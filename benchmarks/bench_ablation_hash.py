@@ -1,0 +1,51 @@
+"""Ablation — hash family choice (paper §12.3).
+
+SHA1 is slower per draw but essentially uniform; the linear multiply-
+shift family is faster but less uniform on adversarial key patterns.
+"""
+
+import time
+
+from repro.core.hashing import linear_unit, sha1_unit, uniformity_chi2
+from repro.experiments.harness import ExperimentResult
+from repro.stats.hashing import set_hash_family
+
+N = 50_000
+
+
+def test_hash_family_ablation(benchmark, record_result):
+    keys = list(range(N))
+
+    def draw_all(fn):
+        t0 = time.perf_counter()
+        draws = [fn((k,), 0) for k in keys]
+        return time.perf_counter() - t0, draws
+
+    t_sha1, d_sha1 = benchmark.pedantic(
+        lambda: draw_all(sha1_unit), rounds=1, iterations=1
+    )
+    t_linear, d_linear = draw_all(linear_unit)
+
+    result = ExperimentResult(
+        "abl-hash", "Ablation: SHA1 vs linear hash (speed and uniformity)",
+        notes="paper §12.3: SHA1 ~an order of magnitude slower but more "
+              "uniform; both acceptable under SUHA",
+    )
+    try:
+        set_hash_family("sha1")
+        chi_sha1 = uniformity_chi2(keys[:10_000])
+        set_hash_family("linear")
+        chi_linear = uniformity_chi2(keys[:10_000])
+    finally:
+        set_hash_family("sha1")
+    result.add(family="sha1", seconds=t_sha1, chi2_20bins=chi_sha1,
+               frac_below_10pct=sum(1 for d in d_sha1 if d < 0.1) / N)
+    result.add(family="linear", seconds=t_linear, chi2_20bins=chi_linear,
+               frac_below_10pct=sum(1 for d in d_linear if d < 0.1) / N)
+    record_result(result)
+
+    assert t_linear < t_sha1
+    # Both families must sample ~10% under a 0.1 threshold.
+    for draws in (d_sha1, d_linear):
+        frac = sum(1 for d in draws if d < 0.1) / N
+        assert 0.07 < frac < 0.13

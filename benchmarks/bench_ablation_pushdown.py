@@ -1,0 +1,60 @@
+"""Ablation — hash push-down on vs off (paper Thm 1 / Fig 3).
+
+Without push-down the cleaning expression applies η at the root, so the
+full maintenance strategy materializes before sampling; with push-down
+only the sampled fraction flows through every operator.  Results must be
+identical (Theorem 1); times must not be.
+"""
+
+import time
+
+from repro.algebra.evaluator import evaluate
+from repro.core.cleaning import cleaning_expression
+from repro.db.catalog import Catalog
+from repro.db.maintenance import choose_strategy
+from repro.workloads.join_view import SAMPLE_ATTRS, create_join_view
+from repro.workloads.tpcd import TPCDConfig, TPCDGenerator
+
+
+def _setup():
+    gen = TPCDGenerator(TPCDConfig(scale=0.5, z=2.0, seed=42))
+    db = gen.build()
+    view = create_join_view(db, Catalog(db))
+    gen.generate_updates(db, 0.1)
+    return db, view
+
+
+def test_pushdown_ablation(benchmark, record_result):
+    from repro.experiments.harness import ExperimentResult
+
+    db, view = _setup()
+    strategy = choose_strategy(view)
+    optimized, _ = cleaning_expression(
+        view, 0.1, 3, strategy, optimize=True, sample_attrs=SAMPLE_ATTRS
+    )
+    unoptimized, _ = cleaning_expression(
+        view, 0.1, 3, strategy, optimize=False, sample_attrs=SAMPLE_ATTRS
+    )
+
+    r_opt = evaluate(optimized, db.leaves())  # warm caches
+
+    def timed_once(expr):
+        t0 = time.perf_counter()
+        rel = evaluate(expr, db.leaves())
+        return time.perf_counter() - t0, rel
+
+    t_opt, r_opt = benchmark.pedantic(
+        lambda: timed_once(optimized), rounds=1, iterations=1
+    )
+    t_raw, r_raw = timed_once(unoptimized)
+
+    result = ExperimentResult(
+        "abl-pushdown", "Ablation: hash push-down on vs off",
+        notes="Theorem 1: identical samples; push-down must be faster",
+    )
+    result.add(variant="pushdown", seconds=t_opt, rows=len(r_opt))
+    result.add(variant="no-pushdown", seconds=t_raw, rows=len(r_raw))
+    record_result(result)
+
+    assert sorted(r_opt.rows) == sorted(r_raw.rows)
+    assert t_opt < t_raw

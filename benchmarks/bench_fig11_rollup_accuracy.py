@@ -1,0 +1,15 @@
+"""Fig 11 — Roll-up query accuracy on the cube view (sum measure)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig11_rollup_accuracy
+
+
+def test_fig11_rollup_accuracy(benchmark, record_result):
+    result = run_once(benchmark, fig11_rollup_accuracy, scale=0.4)
+    record_result(result)
+    stale = np.array(result.column("stale_pct"))
+    corr = np.array(result.column("svc_corr_pct"))
+    # Paper shape: SVC+Corr is an order of magnitude better than stale.
+    assert corr.mean() < stale.mean() / 2

@@ -1,0 +1,22 @@
+"""Fig 14 — cluster throughput vs batch size (1 and 2 threads)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14a_throughput, fig14b_throughput_two_threads
+
+
+def test_fig14a_throughput_vs_batch_size(benchmark, record_result):
+    result = run_once(benchmark, fig14a_throughput)
+    record_result(result)
+    rates = result.column("records_per_s")
+    # Paper shape: small batches are ~10x slower per record.
+    assert rates[-1] / rates[0] > 5.0
+
+
+def test_fig14b_two_thread_throughput(benchmark, record_result):
+    result = run_once(benchmark, fig14b_throughput_two_threads)
+    record_result(result)
+    reductions = result.column("reduction")
+    # Paper shape: ~2x reduction at small batches, shrinking with size.
+    assert reductions[0] > 1.7
+    assert reductions[-1] < reductions[0]

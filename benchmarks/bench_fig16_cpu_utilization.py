@@ -1,0 +1,16 @@
+"""Fig 16 — CPU utilization: SVC fills synchronous-IVM idle troughs."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_cpu_utilization
+
+
+def test_fig16_cpu_utilization(benchmark, record_result):
+    result = run_once(benchmark, fig16_cpu_utilization)
+    record_result(result)
+    by_config = {r["config"]: r for r in result.rows}
+    assert by_config["IVM+SVC"]["mean_util_pct"] > by_config["IVM"]["mean_util_pct"]
+    assert (
+        by_config["IVM+SVC"]["seconds_below_25pct"]
+        < by_config["IVM"]["seconds_below_25pct"]
+    )

@@ -1,0 +1,31 @@
+"""Fig 4 — Join View maintenance cost.
+
+(a) SVC maintenance time vs sampling ratio (IVM as the bold line);
+(b) SVC-10% speedup vs update size (super-linear in the paper because
+    both join inputs grow).
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    fig4a_maintenance_vs_ratio,
+    fig4b_speedup_vs_update_size,
+)
+
+
+def test_fig4a_maintenance_vs_sampling_ratio(benchmark, record_result):
+    result = run_once(benchmark, fig4a_maintenance_vs_ratio, scale=0.5)
+    record_result(result)
+    times = result.column("svc_seconds")
+    ivm = result.rows[0]["ivm_seconds"]
+    # Paper shape: cleaning a 10% sample is several times cheaper than
+    # full IVM, and the cost grows with the sampling ratio.
+    assert times[0] < ivm / 2
+    assert times[0] < times[-1]
+
+
+def test_fig4b_speedup_vs_update_size(benchmark, record_result):
+    result = run_once(benchmark, fig4b_speedup_vs_update_size, scale=0.5)
+    record_result(result)
+    speedups = result.column("speedup")
+    assert min(speedups) > 1.5

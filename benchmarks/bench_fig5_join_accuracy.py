@@ -1,0 +1,15 @@
+"""Fig 5 — Join View query accuracy (stale vs SVC+AQP vs SVC+CORR)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig5_query_accuracy
+
+
+def test_fig5_join_view_accuracy(benchmark, record_result):
+    result = run_once(benchmark, fig5_query_accuracy, scale=0.5)
+    record_result(result)
+    stale = np.array(result.column("stale_pct"))
+    corr = np.array(result.column("svc_corr_pct"))
+    # Paper shape: SVC+CORR beats the stale answer decisively on average.
+    assert corr.mean() < stale.mean() / 2

@@ -1,0 +1,31 @@
+"""Fig 8 — Outlier indexing: skew sweep accuracy and index overhead."""
+
+from conftest import run_once
+
+from repro.experiments import fig8a_skew_accuracy, fig8b_index_overhead
+
+
+def test_fig8a_outlier_accuracy_vs_skew(benchmark, record_result):
+    result = run_once(benchmark, fig8a_skew_accuracy, scale=0.25,
+                      n_queries=30)
+    record_result(result)
+    most_skewed = result.rows[-1]
+    # Paper shape: on the most skewed data the outlier index reduces the
+    # 75%-quartile error of the correction decisively (the paper reports
+    # a ~2x reduction at z=4).
+    assert most_skewed["svc_corr_out_pct"] < most_skewed["svc_corr_pct"]
+
+
+def test_fig8b_outlier_index_overhead(benchmark, record_result):
+    import numpy as np
+
+    result = run_once(benchmark, fig8b_index_overhead, scale=0.3)
+    record_result(result)
+    ivm = np.array(result.column("ivm_seconds"))
+    k100 = np.array(result.column("k100_seconds"))
+    k1000 = np.array(result.column("k1000_seconds"))
+    # Paper shape (averaged over the four views to tame ms-scale timing
+    # noise): a k=100 index keeps sampled maintenance cheaper than IVM,
+    # and even k=1000 stays within the same order of magnitude.
+    assert k100.mean() < ivm.mean()
+    assert k1000.mean() < 3 * ivm.mean()

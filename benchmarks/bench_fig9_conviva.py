@@ -1,0 +1,24 @@
+"""Fig 9 — Conviva log-analysis views: maintenance speedup and accuracy."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig9a_maintenance, fig9b_accuracy
+
+
+def test_fig9a_conviva_maintenance(benchmark, record_result):
+    result = run_once(benchmark, fig9a_maintenance, n_records=20_000)
+    record_result(result)
+    speedups = result.column("speedup")
+    # Paper shape: ~7.5x average speedup for SVC-10%.
+    assert np.mean(speedups) > 3.0
+
+
+def test_fig9b_conviva_accuracy(benchmark, record_result):
+    result = run_once(benchmark, fig9b_accuracy, n_records=20_000)
+    record_result(result)
+    stale = np.array(result.column("stale_pct"))
+    corr = np.array(result.column("svc_corr_pct"))
+    # Paper shape: SVC answers within a few percent, well below stale.
+    assert corr.mean() < stale.mean()
+    assert corr.mean() < 5.0

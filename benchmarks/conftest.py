@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one figure of the paper via the experiment
+harness, times it with pytest-benchmark, prints the reproduced series,
+and archives it under ``benchmarks/results/`` so the tables survive the
+run (pytest captures stdout by default).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist an ExperimentResult table and echo it to stdout."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        table = result.to_table()
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(table + "\n")
+        print("\n" + table)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

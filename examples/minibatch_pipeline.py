@@ -1,0 +1,60 @@
+"""Mini-batch pipeline planning (paper §7.6.2 / Figs 14-15).
+
+A streaming cluster must sustain a fixed ingest rate while keeping a
+dashboard view usable.  Large maintenance batches are efficient but
+leave the view stale for minutes; SVC runs in a second thread, absorbing
+shuffle-idle time, and keeps a sample fresh between batches.  This
+example calibrates the error curves on a real (synthetic-data) workload
+and reports the batch sizes and worst-case errors of both designs.
+
+Run:  python examples/minibatch_pipeline.py   (takes a minute: it runs
+real SVC cleanings to calibrate the error model)
+"""
+
+from repro.distributed import (
+    ClusterModel,
+    SteadyStateConfig,
+    calibrate_error_model,
+    compare_utilization,
+    ivm_max_error,
+    optimal_ratio,
+    sweep_sampling_ratios,
+)
+from repro.workloads.conviva import build_conviva_workload, conviva_query_attrs
+
+model = ClusterModel()
+
+print("1) batch amortization (Fig 14a): records/s by batch size")
+for gb in (5, 20, 80, 200):
+    one = model.throughput(gb, threads=1)
+    two = model.throughput(gb, threads=2)
+    print(f"   {gb:>4} GB: {one:>11,.0f} (1 thread)   {two:>11,.0f} "
+          f"(2 threads, {one / two:.2f}x reduction)")
+
+print("\n2) calibrating error curves on the V2 view (real SVC runs)...")
+error_model = calibrate_error_model(
+    lambda: build_conviva_workload(n_records=8_000, seed=7),
+    "V2", conviva_query_attrs("V2"),
+    staleness_fractions=(0.02, 0.1), ratios=(0.01, 0.06, 0.2),
+    n_queries=10, extrapolate_to=1_000_000.0,
+)
+print(f"   stale error curve:      {error_model.stale_points}")
+print(f"   estimation error curve: {error_model.estimation_points}")
+
+print("\n3) fixed throughput demand of 700k records/s (Fig 15):")
+cfg = SteadyStateConfig(target_rate=700_000.0)
+ivm = ivm_max_error(model, error_model, cfg)
+print(f"   IVM alone:  smallest batch {ivm['batch_gb']:.0f} GB, "
+      f"max error {100 * ivm['max_error']:.2f}%")
+rows = sweep_sampling_ratios(model, error_model, cfg,
+                             (0.01, 0.03, 0.06, 0.1, 0.2))
+for row in rows:
+    print(f"   SVC+IVM m={row['ratio']:<5g} max error "
+          f"{100 * row['max_error']:.2f}%")
+best = optimal_ratio(rows)
+print(f"   -> optimal sampling ratio m={best:g}")
+
+print("\n4) CPU utilization (Fig 16): SVC fills shuffle-idle troughs")
+for config, s in compare_utilization(model, 40.0, seconds=240).items():
+    print(f"   {config:8} mean {s.mean:5.1f}%   seconds below 25%: "
+          f"{s.idle_seconds_below_25}")

@@ -1,0 +1,59 @@
+"""Outlier indexing on heavy-tailed data (paper §6 / Fig 8).
+
+Revenue distributions are long-tailed: a handful of giant line items
+dominate sums, and a uniform sample that misses them is badly wrong.
+This example indexes the top-100 l_extendedprice records, pushes the
+index up into a revenue view (Def 5), and compares estimates with and
+without it as skew grows.
+
+Run:  python examples/skewed_data_outliers.py
+"""
+
+import numpy as np
+
+from repro.core import AggQuery, OutlierIndex, StaleViewCleaner
+from repro.db import Catalog
+from repro.workloads.complex_views import (
+    DENORM,
+    build_denormalized,
+    create_complex_views,
+    generate_denorm_updates,
+)
+from repro.workloads.queries import relative_error
+from repro.workloads.tpcd import TPCDConfig, TPCDGenerator
+
+print(f"{'zipf z':>6} {'tail ratio':>11} {'SVC err %':>10} "
+      f"{'SVC+Outlier err %':>18}")
+
+for z in (1.0, 2.0, 3.0, 4.0):
+    gen = TPCDGenerator(TPCDConfig(scale=0.3, z=z, seed=11))
+    denorm_db = build_denormalized(gen.build())
+    views = create_complex_views(denorm_db, names=["V3"],
+                                 catalog=Catalog(denorm_db))
+    view = views["V3"]
+    generate_denorm_updates(denorm_db, 0.1, seed=int(z))
+
+    prices = denorm_db.relation(DENORM).column_array("l_extendedprice")
+    tail_ratio = prices.max() / np.median(prices)
+
+    index = OutlierIndex.from_top_k(
+        denorm_db.relation(DENORM), "l_extendedprice", 100)
+
+    query = AggQuery("sum", "revenue")
+    truth = query.evaluate(view.fresh_data())
+
+    def mean_err(outlier_index):
+        errs = []
+        for seed in range(6):
+            svc = StaleViewCleaner(view, ratio=0.1, seed=seed,
+                                   outlier_index=outlier_index)
+            svc.refresh()
+            errs.append(relative_error(
+                svc.query(query, method="corr").value, truth))
+        return 100 * float(np.mean(errs))
+
+    print(f"{z:>6.0f} {tail_ratio:>10.0f}x {mean_err(None):>10.3f} "
+          f"{mean_err(index):>18.3f}")
+
+print("\nThe index pins the heavy tail into the sample deterministically, "
+      "cutting variance exactly where skew hurts most (paper Fig 8a).")

@@ -1,0 +1,49 @@
+"""TPCD revenue dashboard: group-by analytics on a sampled join view.
+
+Materializes the lineitem ⋈ orders join view over a skewed TPCD database
+(paper §7.2), applies an update batch, and serves the 12 TPCD-style
+dashboard queries from an SVC-cleaned 10% sample — reporting per-query
+median group error against the stale baseline and ground truth.
+
+Run:  python examples/tpcd_dashboard.py
+"""
+
+from repro.core import StaleViewCleaner
+from repro.db import Catalog
+from repro.experiments.harness import median_errors
+from repro.workloads.join_view import (
+    SAMPLE_ATTRS,
+    create_join_view,
+    tpcd_queries,
+)
+from repro.workloads.tpcd import TPCDConfig, TPCDGenerator
+
+print("generating TPCD-Skew (z=2) and the lineitem ⋈ orders view...")
+gen = TPCDGenerator(TPCDConfig(scale=0.5, z=2.0, seed=21))
+db = gen.build()
+view = create_join_view(db, Catalog(db))
+print(f"view: {len(view.data)} rows, key={view.key[:2]}...")
+
+report = gen.generate_updates(db, fraction=0.10)
+print(f"update batch: {report}\n")
+
+svc = StaleViewCleaner(view, ratio=0.10, seed=4, sample_attrs=SAMPLE_ATTRS)
+svc.refresh()
+fresh = view.fresh_data()
+
+print(f"{'query':6} {'stale %':>8} {'SVC+AQP %':>10} {'SVC+CORR %':>11}")
+totals = {"stale": 0.0, "aqp": 0.0, "corr": 0.0}
+queries = tpcd_queries()
+for name, query, group_by in queries:
+    errs = median_errors(svc, query, group_by, fresh)
+    for k in totals:
+        totals[k] += errs[k]
+    print(f"{name:6} {100 * errs['stale']:>8.2f} {100 * errs['aqp']:>10.2f} "
+          f"{100 * errs['corr']:>11.2f}")
+
+n = len(queries)
+print(f"{'mean':6} {100 * totals['stale'] / n:>8.2f} "
+      f"{100 * totals['aqp'] / n:>10.2f} {100 * totals['corr'] / n:>11.2f}")
+improvement = totals["stale"] / max(totals["corr"], 1e-12)
+print(f"\nSVC+CORR is {improvement:.1f}x more accurate than the stale view "
+      "(paper reports ≈11.7x at their scale).")

@@ -1,0 +1,88 @@
+"""Relational algebra substrate: schemas, relations, expressions, evaluation.
+
+This package implements the full operator set of paper §3.1 (σ, Π, ⋈, γ,
+∪, ∩, −), plus the sampling operator η (§4.4) and the change-table Merge
+(Ex. 1), with primary-key derivation (Def 2) and lineage (Def 1).
+"""
+
+from repro.algebra.aggregates import get_aggregate
+from repro.algebra.evaluator import GROUP_COUNT, evaluate
+from repro.algebra.expressions import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Combiner,
+    Difference,
+    Expr,
+    Hash,
+    Intersect,
+    Join,
+    Merge,
+    Output,
+    Project,
+    Select,
+    Union,
+    distinct,
+)
+from repro.algebra.keys import derive_key, derive_schema
+from repro.algebra.predicates import (
+    ALWAYS,
+    And,
+    Between,
+    Col,
+    Comparison,
+    Const,
+    Func,
+    IsIn,
+    Not,
+    Or,
+    Predicate,
+    col,
+    func,
+    lit,
+)
+from repro.algebra.provenance import provenance_of, trace
+from repro.algebra.relation import Relation
+from repro.algebra.schema import Schema, as_schema
+
+__all__ = [
+    "AggSpec",
+    "Aggregate",
+    "ALWAYS",
+    "And",
+    "BaseRel",
+    "Between",
+    "Col",
+    "Combiner",
+    "Comparison",
+    "Const",
+    "Difference",
+    "Expr",
+    "Func",
+    "GROUP_COUNT",
+    "Hash",
+    "Intersect",
+    "IsIn",
+    "Join",
+    "Merge",
+    "Not",
+    "Or",
+    "Output",
+    "Predicate",
+    "Project",
+    "Relation",
+    "Schema",
+    "Select",
+    "Union",
+    "as_schema",
+    "col",
+    "derive_key",
+    "derive_schema",
+    "distinct",
+    "evaluate",
+    "func",
+    "get_aggregate",
+    "lit",
+    "provenance_of",
+    "trace",
+]

@@ -1,0 +1,221 @@
+"""Aggregate functions for the γ (group-by) operator and for queries.
+
+The change-table maintenance algorithm (paper §2, Ex. 1) needs to know,
+per aggregate, how an old group value combines with a *delta contribution*
+computed from inserted/deleted records.  Aggregates are classified the
+standard way:
+
+* ``distributive`` — sum/count: the delta contribution is additive and the
+  old value can be updated in place.
+* ``algebraic`` — avg: maintained from auxiliary sum and count columns.
+* ``holistic`` — median/percentile/min/max on deletions/count_distinct:
+  affected groups must be recomputed from base data.
+
+Each function is an :class:`AggregateFunction` with
+
+``compute(values)``
+    the textbook evaluation over a list of scalar inputs;
+``contribution(value, mult)``
+    the signed per-record contribution (``mult`` is +1 for insertions,
+    -1 for deletions), only meaningful for distributive aggregates;
+``combine(old, delta)``
+    merge an old group value with an accumulated delta contribution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+DISTRIBUTIVE = "distributive"
+ALGEBRAIC = "algebraic"
+HOLISTIC = "holistic"
+
+
+class AggregateFunction:
+    """A named aggregate with maintenance metadata."""
+
+    __slots__ = ("name", "kind", "_compute", "_contribution", "_combine")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        compute: Callable[[Sequence], object],
+        contribution: Optional[Callable[[object, int], object]] = None,
+        combine: Optional[Callable[[object, object], object]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self._compute = compute
+        self._contribution = contribution
+        self._combine = combine
+
+    def compute(self, values: Sequence) -> object:
+        """Evaluate the aggregate over ``values`` (possibly empty)."""
+        return self._compute(values)
+
+    def contribution(self, value, mult: int):
+        """Signed per-record contribution for distributive maintenance."""
+        if self._contribution is None:
+            raise EvaluationError(
+                f"aggregate {self.name!r} has no incremental contribution"
+            )
+        return self._contribution(value, mult)
+
+    def combine(self, old, delta):
+        """Merge an old group value with an accumulated contribution."""
+        if self._combine is None:
+            raise EvaluationError(f"aggregate {self.name!r} is not combinable")
+        return self._combine(old, delta)
+
+    @property
+    def incremental(self) -> bool:
+        """True if the aggregate supports change-table maintenance."""
+        return self.kind in (DISTRIBUTIVE, ALGEBRAIC)
+
+    def __repr__(self):
+        return f"<agg {self.name} ({self.kind})>"
+
+
+def _safe_sum(values):
+    return sum(values) if values else 0
+
+
+def _safe_avg(values):
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def _safe_min(values):
+    return min(values) if values else None
+
+
+def _safe_max(values):
+    return max(values) if values else None
+
+
+def _median(values):
+    if not values:
+        return float("nan")
+    return float(np.median(np.asarray(values, dtype=float)))
+
+
+def _percentile_factory(q: float):
+    def _pct(values):
+        if not values:
+            return float("nan")
+        return float(np.percentile(np.asarray(values, dtype=float), q))
+
+    return _pct
+
+
+def _var(values):
+    if len(values) < 2:
+        return 0.0
+    return float(np.var(np.asarray(values, dtype=float), ddof=1))
+
+
+def _std(values):
+    return math.sqrt(_var(values))
+
+
+def _count_distinct(values):
+    return len(set(values))
+
+
+SUM = AggregateFunction(
+    "sum",
+    DISTRIBUTIVE,
+    _safe_sum,
+    contribution=lambda v, mult: mult * v,
+    combine=lambda old, delta: (old or 0) + delta,
+)
+
+COUNT = AggregateFunction(
+    "count",
+    DISTRIBUTIVE,
+    len,
+    contribution=lambda v, mult: mult,
+    combine=lambda old, delta: (old or 0) + delta,
+)
+
+AVG = AggregateFunction("avg", ALGEBRAIC, _safe_avg)
+
+MIN = AggregateFunction("min", HOLISTIC, _safe_min)
+MAX = AggregateFunction("max", HOLISTIC, _safe_max)
+MEDIAN = AggregateFunction("median", HOLISTIC, _median)
+VAR = AggregateFunction("var", HOLISTIC, _var)
+STD = AggregateFunction("std", HOLISTIC, _std)
+COUNT_DISTINCT = AggregateFunction("count_distinct", HOLISTIC, _count_distinct)
+
+def _pick(values):
+    """Value of the highest-priority insertion among (priority, value) pairs.
+
+    Change tables for select-project-join views tag each contribution with
+    a term priority (higher = computed from fresher base versions) that is
+    negative for deletions.  The merged row takes the freshest inserted
+    value; pure deletions yield None.
+    """
+    best = None
+    for priority, payload in values:
+        if priority >= 0 and (best is None or priority > best[0]):
+            best = (priority, payload)
+    return best[1] if best is not None else None
+
+
+def _delta_min(values):
+    """Min over the values of (mult, value) pairs with mult > 0."""
+    pos = [v for m, v in values if m > 0 and v is not None]
+    return min(pos) if pos else None
+
+
+def _delta_max(values):
+    """Max over the values of (mult, value) pairs with mult > 0."""
+    pos = [v for m, v in values if m > 0 and v is not None]
+    return max(pos) if pos else None
+
+
+PICK = AggregateFunction("pick", HOLISTIC, _pick)
+DELTA_MIN = AggregateFunction("delta_min", HOLISTIC, _delta_min)
+DELTA_MAX = AggregateFunction("delta_max", HOLISTIC, _delta_max)
+
+_REGISTRY = {
+    f.name: f
+    for f in (
+        SUM,
+        COUNT,
+        AVG,
+        MIN,
+        MAX,
+        MEDIAN,
+        VAR,
+        STD,
+        COUNT_DISTINCT,
+        PICK,
+        DELTA_MIN,
+        DELTA_MAX,
+    )
+}
+
+
+def percentile(q: float) -> AggregateFunction:
+    """The q-th percentile aggregate (holistic)."""
+    return AggregateFunction(f"percentile_{q:g}", HOLISTIC, _percentile_factory(q))
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    """Look up an aggregate function by name.
+
+    Names of the form ``percentile_<q>`` are constructed on the fly.
+    """
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    if name.startswith("percentile_"):
+        return percentile(float(name.split("_", 1)[1]))
+    raise EvaluationError(f"unknown aggregate function {name!r}")

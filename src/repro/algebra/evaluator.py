@@ -1,0 +1,416 @@
+"""Expression evaluation.
+
+:func:`evaluate` executes an expression tree bottom-up against a leaf
+resolver (mapping relation name -> :class:`Relation`) and returns a new
+:class:`Relation` whose primary key is derived per Def 2.
+
+Implementation notes
+--------------------
+* Equality joins are hash joins (build on the right input), with an
+  empty-input fast path for inner joins.
+* Outer joins pad the missing side with ``None``; equality columns that
+  share a name on both sides collapse to a single output column which
+  always carries the key value regardless of which side matched.
+* The η operator filters rows whose key hash (``repro.stats.hashing``)
+  falls below the sampling ratio; hash draws are memoized globally since
+  they are pure in (key values, seed).
+* Shared subtree objects are evaluated once per :func:`evaluate` call
+  (maintenance strategies deliberately share the fresh-version subtrees
+  across change-table terms).
+* :class:`Merge` implements the change-table merge: a full outer equality
+  join on the view key followed by per-column combination, with emptied
+  groups (support count driven to zero or below) removed — exactly the
+  Π(S ⟗ change) maintenance step of paper Ex. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.aggregates import get_aggregate
+from repro.algebra.expressions import (
+    Aggregate,
+    BaseRel,
+    Difference,
+    Expr,
+    Hash,
+    Intersect,
+    Join,
+    Merge,
+    Project,
+    Select,
+    Union,
+)
+from repro.algebra.keys import derive_key
+from repro.algebra.relation import Relation
+from repro.algebra.schema import Schema
+from repro.errors import EvaluationError, KeyDerivationError, SchemaError
+from repro.stats.hashing import unit_hash
+
+#: Hidden column carrying the group support count in aggregate views and
+#: the net multiplicity in change tables.  Prefixed so user queries never
+#: collide with it.
+GROUP_COUNT = "__grpcount__"
+
+# Hash values are pure functions of (key values, seed); maintenance and
+# cleaning re-hash the same keys every period, so memoize globally.  The
+# memo is cleared when the hash family changes (see clear_hash_memo).
+_HASH_MEMO: dict = {}
+
+
+def clear_hash_memo() -> None:
+    """Drop cached hash draws (call after set_hash_family)."""
+    _HASH_MEMO.clear()
+
+
+def hash_draw(values: tuple, seed: int) -> float:
+    """Memoized uniform draw in [0,1) for a key tuple under ``seed``."""
+    key = (values, seed)
+    got = _HASH_MEMO.get(key)
+    if got is None:
+        got = unit_hash(values, seed)
+        _HASH_MEMO[key] = got
+    return got
+
+
+def evaluate(expr: Expr, leaves: Mapping) -> Relation:
+    """Evaluate ``expr`` against ``leaves`` and return a keyed Relation."""
+    rel = _eval(expr, leaves, {})
+    try:
+        rel.key = derive_key(expr, leaves)
+    except KeyDerivationError:
+        rel.key = None
+    return rel
+
+
+def _eval(expr: Expr, leaves: Mapping, memo: dict) -> Relation:
+    """Evaluate with per-call memoization on node identity.
+
+    Maintenance strategies share subtree objects (e.g. the fresh version
+    of a base relation appears in several change-table terms); evaluating
+    each shared node once makes the change-table cost proportional to the
+    delta size rather than the term count.
+    """
+    key = id(expr)
+    got = memo.get(key)
+    if got is None:
+        got = _eval_inner(expr, leaves, memo)
+        memo[key] = got
+    return got
+
+
+def _eval_inner(expr: Expr, leaves: Mapping, memo: dict) -> Relation:
+    if isinstance(expr, BaseRel):
+        try:
+            rel = leaves[expr.name]
+        except KeyError:
+            raise EvaluationError(f"unknown base relation {expr.name!r}") from None
+        return Relation(rel.schema, rel.rows, key=rel.key, name=expr.name)
+    if isinstance(expr, Select):
+        fast = _indexed_membership_select(expr, leaves)
+        if fast is not None:
+            return fast
+        child = _eval(expr.child, leaves, memo)
+        pred = expr.predicate.bind(child.schema)
+        return Relation(child.schema, [r for r in child.rows if pred(r)])
+    if isinstance(expr, Project):
+        child = _eval(expr.child, leaves, memo)
+        bound = [(o.name, o.term.bind(child.schema)) for o in expr.outputs]
+        schema = Schema([name for name, _ in bound])
+        fns = [fn for _, fn in bound]
+        rows = [tuple(fn(row) for fn in fns) for row in child.rows]
+        return Relation(schema, rows)
+    if isinstance(expr, Join):
+        return _eval_join(expr, leaves, memo)
+    if isinstance(expr, Aggregate):
+        return _eval_aggregate(expr, leaves, memo)
+    if isinstance(expr, Union):
+        left, right = _eval_setop_inputs(expr, leaves, memo)
+        if not right.rows:
+            return Relation(left.schema, list(left.rows))
+        seen = set(left.rows)
+        rows = list(left.rows) + [r for r in right.rows if r not in seen]
+        return Relation(left.schema, rows)
+    if isinstance(expr, Intersect):
+        left, right = _eval_setop_inputs(expr, leaves, memo)
+        rset = set(right.rows)
+        rows = [r for r in dict.fromkeys(left.rows) if r in rset]
+        return Relation(left.schema, rows)
+    if isinstance(expr, Difference):
+        left, right = _eval_setop_inputs(expr, leaves, memo)
+        if not right.rows:
+            return Relation(left.schema, list(left.rows))
+        rset = set(right.rows)
+        rows = [r for r in dict.fromkeys(left.rows) if r not in rset]
+        return Relation(left.schema, rows)
+    if isinstance(expr, Hash):
+        # Hash samples of named leaves are cached on the leaf relation —
+        # the in-memory analogue of a hash index over the sampling key
+        # (relations are immutable, so the cache cannot go stale).
+        cache = None
+        cache_key = None
+        if isinstance(expr.child, BaseRel):
+            leaf = leaves.get(expr.child.name) if hasattr(leaves, "get") else None
+            if leaf is not None:
+                cache = leaf.sample_cache()
+                cache_key = (expr.attrs, expr.ratio, expr.seed)
+                hit = cache.get(cache_key)
+                if hit is not None:
+                    return Relation(leaf.schema, hit, key=leaf.key)
+        child = _eval(expr.child, leaves, memo)
+        idx = child.schema.indexes(expr.attrs)
+        ratio, seed = expr.ratio, expr.seed
+        rows = [
+            row
+            for row in child.rows
+            if hash_draw(tuple(row[i] for i in idx), seed) < ratio
+        ]
+        if cache is not None:
+            cache[cache_key] = rows
+        return Relation(child.schema, rows, key=child.key)
+    if isinstance(expr, Merge):
+        return _eval_merge(expr, leaves, memo)
+    raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _indexed_membership_select(expr: Select, leaves) -> Relation:
+    """Fast path: σ_{col ∈ K}(BaseRel) through a cached value index.
+
+    Key-set pulls (outlier-index materialization, §6.2) select a small
+    number of key values from a base relation; a database would serve
+    them from a B-tree.  We cache a value→rows index on the (immutable)
+    leaf relation so the selection costs O(|K| + output) instead of a
+    full scan.
+    """
+    from repro.algebra.predicates import Col, IsIn
+
+    pred = expr.predicate
+    if not (isinstance(expr.child, BaseRel) and isinstance(pred, IsIn)
+            and isinstance(pred.term, Col)):
+        return None
+    leaf = leaves.get(expr.child.name) if hasattr(leaves, "get") else None
+    if leaf is None:
+        return None
+    cache = leaf.sample_cache()
+    cache_key = ("__valindex__", pred.term.name)
+    index = cache.get(cache_key)
+    if index is None:
+        pos = leaf.schema.index(pred.term.name)
+        index = {}
+        for row in leaf.rows:
+            index.setdefault(row[pos], []).append(row)
+        cache[cache_key] = index
+    rows = []
+    for value in pred.values:
+        rows.extend(index.get(value, ()))
+    return Relation(leaf.schema, rows, key=leaf.key)
+
+
+def _eval_setop_inputs(expr, leaves, memo):
+    left = _eval(expr.left, leaves, memo)
+    right = _eval(expr.right, leaves, memo)
+    if left.schema != right.schema:
+        raise SchemaError(
+            f"set operation requires identical schemas: "
+            f"{left.schema!r} vs {right.schema!r}"
+        )
+    return left, right
+
+
+def _eval_join(expr: Join, leaves, memo) -> Relation:
+    left = _eval(expr.left, leaves, memo)
+    right = _eval(expr.right, leaves, memo)
+    lcols = expr.left_on()
+    rcols = expr.right_on()
+    lidx = left.schema.indexes(lcols) if lcols else ()
+    ridx = right.schema.indexes(rcols) if rcols else ()
+
+    collapsed = [r for l, r in expr.on if l == r]
+    kept_right = [c for c in right.schema.columns if c not in collapsed]
+    out_schema = left.schema.concat(right.schema, drop_right=collapsed)
+    kept_ridx = right.schema.indexes(kept_right)
+    left_width = len(left.schema)
+
+    if expr.how == "inner" and (not left.rows or not right.rows):
+        return Relation(out_schema, [])
+
+    # Positions in the output where collapsed equality columns live, paired
+    # with the right-side source index — used to fill key values for rows
+    # that only matched on the right (right/full outer joins).
+    collapse_fill = []
+    for l, r in expr.on:
+        if l == r:
+            collapse_fill.append((left.schema.index(l), right.schema.index(r)))
+
+    theta = expr.theta.bind(out_schema) if expr.theta is not None else None
+
+    rows = []
+    matched_right = set()
+    if lcols:
+        build = {}
+        for j, rrow in enumerate(right.rows):
+            build.setdefault(tuple(rrow[i] for i in ridx), []).append(j)
+        right_rows = right.rows
+        pad = (None,) * len(kept_right)
+        for lrow in left.rows:
+            key = tuple(lrow[i] for i in lidx)
+            hit = False
+            for j in build.get(key, ()):
+                out = lrow + tuple(right_rows[j][i] for i in kept_ridx)
+                if theta is None or theta(out):
+                    rows.append(out)
+                    matched_right.add(j)
+                    hit = True
+            if not hit and expr.how in ("left", "full"):
+                rows.append(lrow + pad)
+    else:
+        # Pure theta join: nested loop.
+        pad = (None,) * len(kept_right)
+        for lrow in left.rows:
+            hit = False
+            for j, rrow in enumerate(right.rows):
+                out = lrow + tuple(rrow[i] for i in kept_ridx)
+                if theta is None or theta(out):
+                    rows.append(out)
+                    matched_right.add(j)
+                    hit = True
+            if not hit and expr.how in ("left", "full"):
+                rows.append(lrow + pad)
+    if expr.how in ("right", "full"):
+        pad_left = [None] * left_width
+        for j, rrow in enumerate(right.rows):
+            if j in matched_right:
+                continue
+            out = list(pad_left)
+            for out_pos, src_idx in collapse_fill:
+                out[out_pos] = rrow[src_idx]
+            rows.append(tuple(out) + tuple(rrow[i] for i in kept_ridx))
+    return Relation(out_schema, rows)
+
+
+def _eval_aggregate(expr: Aggregate, leaves, memo) -> Relation:
+    child = _eval(expr.child, leaves, memo)
+    gidx = child.schema.indexes(expr.group_by)
+    groups = {}
+    for row in child.rows:
+        groups.setdefault(tuple(row[i] for i in gidx), []).append(row)
+    specs = []
+    for a in expr.aggs:
+        fn = get_aggregate(a.func)
+        term = a.term.bind(child.schema) if a.term is not None else None
+        specs.append((fn, term))
+    out_schema = Schema(expr.group_by + tuple(a.name for a in expr.aggs))
+    rows = []
+    if not groups and not expr.group_by and expr.aggs:
+        # Global aggregate over an empty input still yields one row.
+        groups = {(): []}
+    for gkey, grows in groups.items():
+        vals = []
+        for fn, term in specs:
+            if term is None:
+                vals.append(fn.compute(grows))
+            else:
+                vals.append(fn.compute([term(r) for r in grows]))
+        rows.append(gkey + tuple(vals))
+    return Relation(out_schema, rows)
+
+
+def _eval_merge(expr: Merge, leaves, memo) -> Relation:
+    stale = _eval(expr.stale, leaves, memo)
+    change = _eval(expr.change, leaves, memo)
+    out_schema = stale.schema
+    key_idx_stale = stale.schema.indexes(expr.key)
+    key_idx_change = change.schema.indexes(expr.key)
+
+    change_by_key = {}
+    for row in change.rows:
+        change_by_key[tuple(row[i] for i in key_idx_change)] = row
+
+    has_explicit_count = GROUP_COUNT in stale.schema
+    grp_idx_change = (
+        change.schema.index(GROUP_COUNT) if GROUP_COUNT in change.schema else None
+    )
+
+    # Resolve combiner plans: (out position, mode, change position).
+    plans = []
+    ratio_plans = []
+    for comb in expr.combiners:
+        out_pos = stale.schema.index(comb.column)
+        if comb.mode == "group":
+            continue
+        if comb.mode == "ratio":
+            num_pos = stale.schema.index(comb.args[0])
+            den_pos = stale.schema.index(comb.args[1])
+            ratio_plans.append((out_pos, num_pos, den_pos))
+            continue
+        change_pos = change.schema.index(comb.column)
+        plans.append((out_pos, comb.mode, change_pos))
+
+    def combine_row(old_row, change_row):
+        out = list(old_row)
+        for out_pos, mode, change_pos in plans:
+            delta = change_row[change_pos]
+            old = out[out_pos]
+            if mode == "add":
+                out[out_pos] = (old or 0) + (delta or 0)
+            elif mode == "replace":
+                out[out_pos] = delta if delta is not None else old
+            elif mode == "min":
+                if delta is not None:
+                    out[out_pos] = delta if old is None else min(old, delta)
+            elif mode == "max":
+                if delta is not None:
+                    out[out_pos] = delta if old is None else max(old, delta)
+        for out_pos, num_pos, den_pos in ratio_plans:
+            den = out[den_pos]
+            out[out_pos] = (out[num_pos] / den) if den else float("nan")
+        return tuple(out)
+
+    def insert_row(change_row):
+        # A missing row: synthesize a stale-side identity row, then combine.
+        old = [None] * len(out_schema)
+        for s_i, c_i in zip(key_idx_stale, key_idx_change):
+            old[s_i] = change_row[c_i]
+        return combine_row(tuple(old), change_row)
+
+    grp_idx_stale = stale.schema.index(GROUP_COUNT) if has_explicit_count else None
+    drop = expr.drop_empty
+
+    rows = []
+    seen = set()
+    for row in stale.rows:
+        key = tuple(row[i] for i in key_idx_stale)
+        change_row = change_by_key.get(key)
+        if change_row is None:
+            rows.append(row)
+            continue
+        seen.add(key)
+        merged = combine_row(row, change_row)
+        if not drop:
+            rows.append(merged)
+            continue
+        if has_explicit_count:
+            support = merged[grp_idx_stale]
+        elif grp_idx_change is not None:
+            # SPJ views: stale rows have implicit multiplicity one.
+            support = 1 + (change_row[grp_idx_change] or 0)
+        else:
+            support = 1
+        if support is None or support > 0:
+            rows.append(merged)
+    for key, change_row in change_by_key.items():
+        if key in seen:
+            continue
+        merged = insert_row(change_row)
+        if not drop:
+            rows.append(merged)
+            continue
+        if has_explicit_count:
+            support = merged[grp_idx_stale]
+        elif grp_idx_change is not None:
+            support = change_row[grp_idx_change] or 0
+        else:
+            support = 1
+        if support is None or support > 0:
+            rows.append(merged)
+    return Relation(out_schema, rows, key=expr.key)

@@ -1,0 +1,91 @@
+"""Plan explanation: render expression trees for inspection.
+
+``explain(expr)`` produces an indented operator tree, annotated with
+derived keys when a leaf resolver is supplied — the fastest way to see
+where a Hash node landed after push-down (paper Fig 3) or why it got
+blocked.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.algebra.expressions import (
+    Aggregate,
+    BaseRel,
+    Difference,
+    Expr,
+    Hash,
+    Intersect,
+    Join,
+    Merge,
+    Project,
+    Select,
+    Union,
+)
+from repro.algebra.keys import derive_key
+from repro.errors import KeyDerivationError
+
+
+def _label(node: Expr) -> str:
+    if isinstance(node, BaseRel):
+        return f"Scan {node.name}"
+    if isinstance(node, Select):
+        return f"Select [{node.predicate!r}]"
+    if isinstance(node, Project):
+        outs = ", ".join(o.name for o in node.outputs)
+        return f"Project [{outs}]"
+    if isinstance(node, Join):
+        cond = ", ".join(f"{l}={r}" for l, r in node.on)
+        fk = " fk" if node.foreign_key else ""
+        theta = f" theta={node.theta!r}" if node.theta is not None else ""
+        return f"Join {node.how}{fk} [{cond}]{theta}"
+    if isinstance(node, Aggregate):
+        aggs = ", ".join(map(repr, node.aggs)) or "DISTINCT"
+        return f"Aggregate by={list(node.group_by)} [{aggs}]"
+    if isinstance(node, Union):
+        return "Union"
+    if isinstance(node, Intersect):
+        return "Intersect"
+    if isinstance(node, Difference):
+        return "Difference"
+    if isinstance(node, Hash):
+        return f"Sample η attrs={list(node.attrs)} m={node.ratio:g} seed={node.seed}"
+    if isinstance(node, Merge):
+        combs = ", ".join(map(repr, node.combiners))
+        return f"Merge key={list(node.key)} [{combs}]"
+    return type(node).__name__
+
+
+def explain(expr: Expr, leaves: Optional[Mapping] = None) -> str:
+    """Indented operator tree; keys annotated when ``leaves`` given."""
+    lines = []
+
+    def walk(node: Expr, depth: int):
+        suffix = ""
+        if leaves is not None:
+            try:
+                key = derive_key(node, leaves)
+                suffix = f"  key={list(key)}"
+            except (KeyDerivationError, Exception):
+                suffix = ""
+        lines.append("  " * depth + _label(node) + suffix)
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(expr, 0)
+    return "\n".join(lines)
+
+
+def count_operators(expr: Expr) -> dict:
+    """Histogram of operator types in a plan (testing/diagnostics)."""
+    counts: dict = {}
+
+    def walk(node: Expr):
+        name = type(node).__name__
+        counts[name] = counts.get(name, 0) + 1
+        for child in node.children():
+            walk(child)
+
+    walk(expr)
+    return counts

@@ -1,0 +1,158 @@
+"""Schema and primary-key derivation for expression trees.
+
+Implements the recursive primary-key generation rules of paper Def 2,
+which guarantee every row of every sub-expression is uniquely identified.
+These derived keys are what the hashing operator η samples on, and what
+lineage (Def 1) is tracked through.
+
+Both functions take a *leaf resolver*: any mapping from relation name to
+:class:`~repro.algebra.relation.Relation` (a plain dict or a
+:class:`~repro.db.database.Database` both work).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+from repro.algebra.expressions import (
+    Aggregate,
+    BaseRel,
+    Difference,
+    Expr,
+    Hash,
+    Intersect,
+    Join,
+    Merge,
+    Project,
+    Select,
+    Union,
+)
+from repro.algebra.schema import Schema
+from repro.errors import KeyDerivationError, SchemaError
+
+
+def _leaf(leaves, name: str):
+    try:
+        return leaves[name]
+    except KeyError:
+        raise SchemaError(f"unknown base relation {name!r}") from None
+
+
+def derive_schema(expr: Expr, leaves: Mapping) -> Schema:
+    """The output schema of ``expr`` without evaluating it."""
+    if isinstance(expr, BaseRel):
+        return _leaf(leaves, expr.name).schema
+    if isinstance(expr, (Select, Hash)):
+        return derive_schema(expr.child, leaves)
+    if isinstance(expr, Project):
+        child = derive_schema(expr.child, leaves)
+        for out in expr.outputs:
+            for c in out.term.columns():
+                child.index(c)  # validate references
+        return Schema(expr.output_names())
+    if isinstance(expr, Join):
+        return _join_schema(expr, leaves)
+    if isinstance(expr, Aggregate):
+        child = derive_schema(expr.child, leaves)
+        for g in expr.group_by:
+            child.index(g)
+        for a in expr.aggs:
+            for c in a.columns():
+                child.index(c)
+        return Schema(expr.group_by + tuple(a.name for a in expr.aggs))
+    if isinstance(expr, (Union, Intersect, Difference)):
+        left = derive_schema(expr.left, leaves)
+        right = derive_schema(expr.right, leaves)
+        if left != right:
+            raise SchemaError(
+                f"set operation requires identical schemas: {left!r} vs {right!r}"
+            )
+        return left
+    if isinstance(expr, Merge):
+        stale = derive_schema(expr.stale, leaves)
+        change = derive_schema(expr.change, leaves)
+        for k in expr.key:
+            stale.index(k)
+            change.index(k)
+        for comb in expr.combiners:
+            stale.index(comb.column)
+            if comb.mode not in ("group", "ratio"):
+                change.index(comb.column)
+        return stale
+    raise SchemaError(f"cannot derive schema of {type(expr).__name__}")
+
+
+def _join_schema(expr: Join, leaves) -> Schema:
+    left = derive_schema(expr.left, leaves)
+    right = derive_schema(expr.right, leaves)
+    # Equality columns that share a name collapse to a single output column.
+    drop_right = [r for l, r in expr.on if l == r]
+    return left.concat(right, drop_right=drop_right)
+
+
+def derive_key(expr: Expr, leaves: Mapping) -> Tuple[str, ...]:
+    """The primary key of ``expr`` per the rules of paper Def 2.
+
+    Raises :class:`KeyDerivationError` when no key can be constructed
+    (e.g. a projection drops the key, or a leaf has no declared key).
+    """
+    if isinstance(expr, BaseRel):
+        rel = _leaf(leaves, expr.name)
+        if not rel.key:
+            raise KeyDerivationError(
+                f"base relation {expr.name!r} has no primary key; add one "
+                "(an increasing integer column suffices, see paper §3.1)"
+            )
+        return tuple(rel.key)
+    if isinstance(expr, (Select, Hash)):
+        return derive_key(expr.child, leaves)
+    if isinstance(expr, Project):
+        child_key = derive_key(expr.child, leaves)
+        # The key must always be included in the projection (Def 2); a
+        # pass-through rename keeps it valid under the new name.
+        source_to_out = {}
+        for out in expr.outputs:
+            src = out.source_column()
+            if src is not None and src not in source_to_out:
+                source_to_out[src] = out.name
+        missing = [k for k in child_key if k not in source_to_out]
+        if missing:
+            raise KeyDerivationError(
+                f"projection drops key columns {missing!r}; Def 2 requires "
+                "the primary key to be included in the projection"
+            )
+        return tuple(source_to_out[k] for k in child_key)
+    if isinstance(expr, Join):
+        left_key = derive_key(expr.left, leaves)
+        right_key = derive_key(expr.right, leaves)
+        # Collapsed equality columns (same name both sides) are represented
+        # once in the output; keep one occurrence in the combined key.
+        collapsed = {r for l, r in expr.on if l == r}
+        combined = list(left_key)
+        for k in right_key:
+            if k in collapsed and k in combined:
+                continue
+            if k not in combined:
+                combined.append(k)
+        return tuple(combined)
+    if isinstance(expr, Aggregate):
+        # The group-by attributes key the result (empty group-by yields a
+        # single row keyed by the empty tuple).
+        return tuple(expr.group_by)
+    if isinstance(expr, Union):
+        left_key = derive_key(expr.left, leaves)
+        right_key = derive_key(expr.right, leaves)
+        combined = list(left_key)
+        for k in right_key:
+            if k not in combined:
+                combined.append(k)
+        return tuple(combined)
+    if isinstance(expr, Intersect):
+        left_key = derive_key(expr.left, leaves)
+        right_key = set(derive_key(expr.right, leaves))
+        return tuple(k for k in left_key if k in right_key)
+    if isinstance(expr, Difference):
+        return derive_key(expr.left, leaves)
+    if isinstance(expr, Merge):
+        return tuple(expr.key)
+    raise KeyDerivationError(f"cannot derive key of {type(expr).__name__}")

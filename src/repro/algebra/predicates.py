@@ -1,0 +1,397 @@
+"""Scalar terms and boolean predicates over rows.
+
+Generalized projection (paper §3.1) allows output attributes that are
+arithmetic transformations of input attributes; selections need boolean
+conditions.  Both are represented as small immutable term trees that can
+be *bound* against a :class:`~repro.algebra.schema.Schema` to produce a
+fast ``row -> value`` callable (index lookups are resolved once at bind
+time instead of per row).
+
+Terms report the set of columns they reference via :meth:`Term.columns`,
+which the hash push-down optimizer uses to decide whether a projection
+retains the sampling key.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, FrozenSet, Sequence
+
+from repro.algebra.schema import Schema
+
+_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+}
+
+
+class Term:
+    """Base class for scalar terms and predicates."""
+
+    def columns(self) -> FrozenSet[str]:
+        """The set of column names this term reads."""
+        raise NotImplementedError
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        """Compile this term against ``schema`` into a ``row -> value``."""
+        raise NotImplementedError
+
+    # Operator sugar so callers can write ``col("x") + 1 > col("y")``.
+    def __add__(self, other):
+        return BinOp("+", self, _coerce(other))
+
+    def __sub__(self, other):
+        return BinOp("-", self, _coerce(other))
+
+    def __mul__(self, other):
+        return BinOp("*", self, _coerce(other))
+
+    def __truediv__(self, other):
+        return BinOp("/", self, _coerce(other))
+
+    def __mod__(self, other):
+        return BinOp("%", self, _coerce(other))
+
+    def __radd__(self, other):
+        return BinOp("+", _coerce(other), self)
+
+    def __rsub__(self, other):
+        return BinOp("-", _coerce(other), self)
+
+    def __rmul__(self, other):
+        return BinOp("*", _coerce(other), self)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Comparison("==", self, _coerce(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Comparison("!=", self, _coerce(other))
+
+    def __lt__(self, other):
+        return Comparison("<", self, _coerce(other))
+
+    def __le__(self, other):
+        return Comparison("<=", self, _coerce(other))
+
+    def __gt__(self, other):
+        return Comparison(">", self, _coerce(other))
+
+    def __ge__(self, other):
+        return Comparison(">=", self, _coerce(other))
+
+    __hash__ = None
+
+
+def _coerce(value) -> "Term":
+    return value if isinstance(value, Term) else Const(value)
+
+
+class Col(Term):
+    """A reference to a column by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def columns(self):
+        return frozenset((self.name,))
+
+    def bind(self, schema):
+        i = schema.index(self.name)
+        return lambda row: row[i]
+
+    def __repr__(self):
+        return f"col({self.name!r})"
+
+
+class Const(Term):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def columns(self):
+        return frozenset()
+
+    def bind(self, schema):
+        v = self.value
+        return lambda row: v
+
+    def __repr__(self):
+        return f"lit({self.value!r})"
+
+
+class BinOp(Term):
+    """A binary arithmetic operation between two terms."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Term, right: Term):
+        if op not in _OPS:
+            raise ValueError(f"unsupported operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def columns(self):
+        return self.left.columns() | self.right.columns()
+
+    def bind(self, schema):
+        fn = _OPS[self.op]
+        lf = self.left.bind(schema)
+        rf = self.right.bind(schema)
+        return lambda row: fn(lf(row), rf(row))
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Func(Term):
+    """An arbitrary scalar function of one or more terms.
+
+    ``fn`` is an opaque Python callable; terms built from :class:`Func`
+    are treated as *non key-preserving* transformations by the push-down
+    optimizer unless the key column is passed through untouched elsewhere
+    (this is how the V22-style "string transformation of a key" blocking
+    case of the paper arises).
+    """
+
+    __slots__ = ("label", "fn", "args")
+
+    def __init__(self, label: str, fn: Callable, args: Sequence[Term]):
+        self.label = label
+        self.fn = fn
+        self.args = tuple(_coerce(a) for a in args)
+
+    def columns(self):
+        out = frozenset()
+        for a in self.args:
+            out |= a.columns()
+        return out
+
+    def bind(self, schema):
+        fn = self.fn
+        bound = [a.bind(schema) for a in self.args]
+        return lambda row: fn(*(b(row) for b in bound))
+
+    def __repr__(self):
+        return f"{self.label}({', '.join(map(repr, self.args))})"
+
+
+class Tup(Term):
+    """A tuple-valued term ``(t1, t2, ...)``.
+
+    Used by change-table aggregates that need (priority, value) or
+    (multiplicity, value) pairs — see ``repro.algebra.aggregates.PICK``.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, *terms):
+        self.terms = tuple(_coerce(t) for t in terms)
+
+    def columns(self):
+        out = frozenset()
+        for t in self.terms:
+            out |= t.columns()
+        return out
+
+    def bind(self, schema):
+        bound = [t.bind(schema) for t in self.terms]
+        return lambda row: tuple(b(row) for b in bound)
+
+    def __repr__(self):
+        return f"tup({', '.join(map(repr, self.terms))})"
+
+
+# ----------------------------------------------------------------------
+# Boolean predicates
+# ----------------------------------------------------------------------
+class Predicate(Term):
+    """Base class for boolean terms; supports ``&``, ``|``, ``~``."""
+
+    def __and__(self, other):
+        return And(self, other)
+
+    def __or__(self, other):
+        return Or(self, other)
+
+    def __invert__(self):
+        return Not(self)
+
+
+class Comparison(Predicate):
+    """``left <op> right`` where op is a comparison operator."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left, right):
+        if op not in ("==", "!=", "<", "<=", ">", ">="):
+            raise ValueError(f"not a comparison operator: {op!r}")
+        self.op = op
+        self.left = _coerce(left)
+        self.right = _coerce(right)
+
+    def columns(self):
+        return self.left.columns() | self.right.columns()
+
+    def bind(self, schema):
+        fn = _OPS[self.op]
+        lf = self.left.bind(schema)
+        rf = self.right.bind(schema)
+        return lambda row: bool(fn(lf(row), rf(row)))
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Predicate):
+    """Logical conjunction of predicates."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def columns(self):
+        out = frozenset()
+        for p in self.parts:
+            out |= p.columns()
+        return out
+
+    def bind(self, schema):
+        fns = [p.bind(schema) for p in self.parts]
+        return lambda row: all(f(row) for f in fns)
+
+    def __repr__(self):
+        return "(" + " & ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    """Logical disjunction of predicates."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def columns(self):
+        out = frozenset()
+        for p in self.parts:
+            out |= p.columns()
+        return out
+
+    def bind(self, schema):
+        fns = [p.bind(schema) for p in self.parts]
+        return lambda row: any(f(row) for f in fns)
+
+    def __repr__(self):
+        return "(" + " | ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    """Logical negation of a predicate."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def columns(self):
+        return self.part.columns()
+
+    def bind(self, schema):
+        f = self.part.bind(schema)
+        return lambda row: not f(row)
+
+    def __repr__(self):
+        return f"~{self.part!r}"
+
+
+class IsIn(Predicate):
+    """``term IN (v1, v2, ...)`` membership test."""
+
+    __slots__ = ("term", "values")
+
+    def __init__(self, term, values):
+        self.term = _coerce(term)
+        self.values = frozenset(values)
+
+    def columns(self):
+        return self.term.columns()
+
+    def bind(self, schema):
+        f = self.term.bind(schema)
+        vals = self.values
+        return lambda row: f(row) in vals
+
+    def __repr__(self):
+        return f"({self.term!r} in {sorted(self.values, key=repr)!r})"
+
+
+class Between(Predicate):
+    """``lo <= term <= hi`` (inclusive range test)."""
+
+    __slots__ = ("term", "lo", "hi")
+
+    def __init__(self, term, lo, hi):
+        self.term = _coerce(term)
+        self.lo = lo
+        self.hi = hi
+
+    def columns(self):
+        return self.term.columns()
+
+    def bind(self, schema):
+        f = self.term.bind(schema)
+        lo, hi = self.lo, self.hi
+        return lambda row: lo <= f(row) <= hi
+
+    def __repr__(self):
+        return f"({self.lo!r} <= {self.term!r} <= {self.hi!r})"
+
+
+class TruePredicate(Predicate):
+    """A predicate that accepts every row (the trivial condition)."""
+
+    __slots__ = ()
+
+    def columns(self):
+        return frozenset()
+
+    def bind(self, schema):
+        return lambda row: True
+
+    def __repr__(self):
+        return "true"
+
+
+# Convenience constructors mirroring a tiny SQL-ish DSL.
+def col(name: str) -> Col:
+    """Reference a column: ``col('price') * (1 - col('discount'))``."""
+    return Col(name)
+
+
+def lit(value) -> Const:
+    """A literal constant term."""
+    return Const(value)
+
+
+def func(label: str, fn: Callable, *args) -> Func:
+    """An opaque scalar function term (blocks key push-down)."""
+    return Func(label, fn, args)
+
+
+ALWAYS = TruePredicate()

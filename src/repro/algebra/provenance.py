@@ -1,0 +1,224 @@
+"""Row provenance (lineage) tracking — paper Def 1.
+
+The provenance of a derived row r with respect to a base relation U is the
+set of records of U such that updating any record *outside* the set cannot
+change r.  SVC's sampling correctness (§4.2) rests on sampling a view row
+together with all of its contributing records.
+
+:func:`trace` evaluates an expression while propagating, for every output
+row, the set of ``(relation_name, base_key_tuple)`` tokens it derives
+from.  This is the reference implementation used by the property tests to
+validate the hash push-down rules: a pushed-down sample must contain, for
+every sampled view row, exactly the base records its lineage names.
+
+The traced evaluator mirrors :mod:`repro.algebra.evaluator` but is slower
+(it materializes lineage sets); the fast evaluator is used everywhere
+performance matters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+from repro.algebra.aggregates import get_aggregate
+from repro.algebra.expressions import (
+    Aggregate,
+    BaseRel,
+    Difference,
+    Expr,
+    Hash,
+    Intersect,
+    Join,
+    Merge,
+    Project,
+    Select,
+    Union,
+)
+from repro.algebra.keys import derive_key
+from repro.algebra.relation import Relation
+from repro.algebra.schema import Schema
+from repro.errors import EvaluationError
+from repro.stats.hashing import unit_hash
+
+Lineage = List[frozenset]
+
+
+def trace(expr: Expr, leaves: Mapping) -> Tuple[Relation, Lineage]:
+    """Evaluate ``expr`` returning (relation, per-row lineage sets)."""
+    rel, lin = _trace(expr, leaves)
+    try:
+        rel.key = derive_key(expr, leaves)
+    except Exception:
+        rel.key = None
+    return rel, lin
+
+
+def provenance_of(
+    expr: Expr, leaves: Mapping, base_name: str
+) -> List[frozenset]:
+    """Per-row provenance restricted to one base relation (Def 1)."""
+    _, lineage = trace(expr, leaves)
+    return [
+        frozenset(k for (name, k) in tokens if name == base_name)
+        for tokens in lineage
+    ]
+
+
+def _trace(expr: Expr, leaves: Mapping):
+    if isinstance(expr, BaseRel):
+        rel = leaves[expr.name]
+        if rel.key:
+            idx = rel.schema.indexes(rel.key)
+            lineage = [
+                frozenset([(expr.name, tuple(row[i] for i in idx))])
+                for row in rel.rows
+            ]
+        else:
+            lineage = [
+                frozenset([(expr.name, ("row", i))]) for i in range(len(rel.rows))
+            ]
+        return Relation(rel.schema, rel.rows, key=rel.key), lineage
+
+    if isinstance(expr, Select):
+        child, lin = _trace(expr.child, leaves)
+        pred = expr.predicate.bind(child.schema)
+        rows, out_lin = [], []
+        for row, tokens in zip(child.rows, lin):
+            if pred(row):
+                rows.append(row)
+                out_lin.append(tokens)
+        return Relation(child.schema, rows), out_lin
+
+    if isinstance(expr, Project):
+        child, lin = _trace(expr.child, leaves)
+        bound = [(o.name, o.term.bind(child.schema)) for o in expr.outputs]
+        schema = Schema([n for n, _ in bound])
+        rows = [tuple(fn(row) for _, fn in bound) for row in child.rows]
+        return Relation(schema, rows), list(lin)
+
+    if isinstance(expr, Hash):
+        child, lin = _trace(expr.child, leaves)
+        idx = child.schema.indexes(expr.attrs)
+        rows, out_lin = [], []
+        for row, tokens in zip(child.rows, lin):
+            if unit_hash(tuple(row[i] for i in idx), expr.seed) < expr.ratio:
+                rows.append(row)
+                out_lin.append(tokens)
+        return Relation(child.schema, rows, key=child.key), out_lin
+
+    if isinstance(expr, Join):
+        return _trace_join(expr, leaves)
+
+    if isinstance(expr, Aggregate):
+        child, lin = _trace(expr.child, leaves)
+        gidx = child.schema.indexes(expr.group_by)
+        groups, group_lin = {}, {}
+        for row, tokens in zip(child.rows, lin):
+            k = tuple(row[i] for i in gidx)
+            groups.setdefault(k, []).append(row)
+            group_lin.setdefault(k, set()).update(tokens)
+        specs = []
+        for a in expr.aggs:
+            fn = get_aggregate(a.func)
+            term = a.term.bind(child.schema) if a.term is not None else None
+            specs.append((fn, term))
+        schema = Schema(expr.group_by + tuple(a.name for a in expr.aggs))
+        rows, out_lin = [], []
+        for gkey, grows in groups.items():
+            vals = []
+            for fn, term in specs:
+                if term is None:
+                    vals.append(fn.compute(grows))
+                else:
+                    vals.append(fn.compute([term(r) for r in grows]))
+            rows.append(gkey + tuple(vals))
+            out_lin.append(frozenset(group_lin[gkey]))
+        return Relation(schema, rows), out_lin
+
+    if isinstance(expr, Union):
+        left, llin = _trace(expr.left, leaves)
+        right, rlin = _trace(expr.right, leaves)
+        merged = {}
+        for row, tokens in list(zip(left.rows, llin)) + list(zip(right.rows, rlin)):
+            merged.setdefault(row, set()).update(tokens)
+        rows = list(merged)
+        return Relation(left.schema, rows), [frozenset(merged[r]) for r in rows]
+
+    if isinstance(expr, Intersect):
+        left, llin = _trace(expr.left, leaves)
+        right, rlin = _trace(expr.right, leaves)
+        right_lin_by_row = {}
+        for row, tokens in zip(right.rows, rlin):
+            right_lin_by_row.setdefault(row, set()).update(tokens)
+        rows, out_lin = [], []
+        seen = set()
+        for row, tokens in zip(left.rows, llin):
+            if row in right_lin_by_row and row not in seen:
+                seen.add(row)
+                rows.append(row)
+                out_lin.append(frozenset(tokens | right_lin_by_row[row]))
+        return Relation(left.schema, rows), out_lin
+
+    if isinstance(expr, Difference):
+        left, llin = _trace(expr.left, leaves)
+        right, _ = _trace(expr.right, leaves)
+        rset = set(right.rows)
+        rows, out_lin = [], []
+        seen = set()
+        for row, tokens in zip(left.rows, llin):
+            if row not in rset and row not in seen:
+                seen.add(row)
+                rows.append(row)
+                out_lin.append(tokens)
+        return Relation(left.schema, rows), out_lin
+
+    if isinstance(expr, Merge):
+        raise EvaluationError(
+            "lineage tracing through Merge is not supported; trace the "
+            "maintenance strategy's join form instead"
+        )
+
+    raise EvaluationError(f"cannot trace {type(expr).__name__}")
+
+
+def _trace_join(expr: Join, leaves):
+    left, llin = _trace(expr.left, leaves)
+    right, rlin = _trace(expr.right, leaves)
+    lcols, rcols = expr.left_on(), expr.right_on()
+    lidx = left.schema.indexes(lcols) if lcols else ()
+    ridx = right.schema.indexes(rcols) if rcols else ()
+    collapsed = [r for l, r in expr.on if l == r]
+    out_schema = left.schema.concat(right.schema, drop_right=collapsed)
+    kept_right = [c for c in right.schema.columns if c not in collapsed]
+    kept_ridx = right.schema.indexes(kept_right)
+    theta = expr.theta.bind(out_schema) if expr.theta is not None else None
+
+    rows, out_lin = [], []
+    matched_right = set()
+    build = {}
+    for j, rrow in enumerate(right.rows):
+        build.setdefault(tuple(rrow[i] for i in ridx), []).append(j)
+    for li, lrow in enumerate(left.rows):
+        key = tuple(lrow[i] for i in lidx)
+        hit = False
+        for j in build.get(key, ()):
+            out = lrow + tuple(right.rows[j][i] for i in kept_ridx)
+            if theta is None or theta(out):
+                rows.append(out)
+                out_lin.append(frozenset(llin[li] | rlin[j]))
+                matched_right.add(j)
+                hit = True
+        if not hit and expr.how in ("left", "full"):
+            rows.append(lrow + (None,) * len(kept_right))
+            out_lin.append(llin[li])
+    if expr.how in ("right", "full"):
+        for j, rrow in enumerate(right.rows):
+            if j in matched_right:
+                continue
+            out = [None] * len(left.schema)
+            for l, r in expr.on:
+                if l == r:
+                    out[left.schema.index(l)] = rrow[right.schema.index(r)]
+            rows.append(tuple(out) + tuple(rrow[i] for i in kept_ridx))
+            out_lin.append(rlin[j])
+    return Relation(out_schema, rows), out_lin

@@ -1,0 +1,203 @@
+"""In-memory relations.
+
+A :class:`Relation` is the fundamental data container of the substrate: an
+immutable schema, a list of row tuples, and (optionally) a primary key.
+The paper distinguishes *records* (tuples of base relations) from *rows*
+(tuples of derived relations); both are represented by this class.
+
+Relations are deliberately row-oriented: the SVC algorithms are defined
+over row lineage and per-row hashing, which a row store expresses most
+directly.  Aggregate-heavy inner loops convert columns to numpy arrays on
+demand via :meth:`Relation.column_array`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.algebra.schema import Schema, as_schema
+from repro.errors import SchemaError
+
+
+class Relation:
+    """A named, keyed bag of row tuples with a fixed schema.
+
+    Parameters
+    ----------
+    schema:
+        :class:`Schema` (or iterable of column names).
+    rows:
+        Iterable of tuples, positionally aligned with the schema.
+    key:
+        Optional tuple of column names forming a primary key.  When set,
+        key values are expected to be unique; :meth:`validate_key` checks.
+    name:
+        Optional relation name (used by expression leaves and messages).
+    """
+
+    __slots__ = ("schema", "rows", "key", "name", "_sample_cache")
+
+    def __init__(
+        self,
+        schema,
+        rows: Iterable[tuple] = (),
+        key: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ):
+        self.schema = as_schema(schema)
+        self.rows = [tuple(r) for r in rows]
+        width = len(self.schema)
+        for r in self.rows:
+            if len(r) != width:
+                raise SchemaError(
+                    f"row width {len(r)} does not match schema width {width}: {r!r}"
+                )
+        if key is not None:
+            key = tuple(key)
+            for k in key:
+                self.schema.index(k)
+        self.key = key
+        self.name = name
+        # Lazy cache of hash-sample results keyed by (attrs, ratio, seed).
+        # Valid because relations are treated as immutable: every update
+        # path in the library builds a new Relation.  This is the in-memory
+        # analogue of a database hash index over the sampling key.
+        self._sample_cache = None
+
+    def sample_cache(self) -> dict:
+        """The (created-on-demand) hash-sample cache for this relation."""
+        if self._sample_cache is None:
+            self._sample_cache = {}
+        return self._sample_cache
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls,
+        records: Sequence[Mapping],
+        schema=None,
+        key: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """Build a relation from a sequence of dict records."""
+        if schema is None:
+            if not records:
+                raise SchemaError("cannot infer schema from zero records")
+            schema = Schema(records[0].keys())
+        schema = as_schema(schema)
+        rows = [tuple(rec[c] for c in schema.columns) for rec in records]
+        return cls(schema, rows, key=key, name=name)
+
+    @classmethod
+    def empty_like(cls, other: "Relation") -> "Relation":
+        """An empty relation with the same schema/key as ``other``."""
+        return cls(other.schema, [], key=other.key, name=other.name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        label = self.name or "relation"
+        return (
+            f"<Relation {label} cols={list(self.schema.columns)} "
+            f"key={self.key} rows={len(self.rows)}>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same schema and same multiset of rows."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.schema != other.schema:
+            return False
+        return sorted(self.rows, key=repr) == sorted(other.rows, key=repr)
+
+    __hash__ = None  # relations are mutable containers
+
+    def to_dicts(self) -> list:
+        """Rows as a list of dicts (column name -> value)."""
+        cols = self.schema.columns
+        return [dict(zip(cols, row)) for row in self.rows]
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        i = self.schema.index(name)
+        return [row[i] for row in self.rows]
+
+    def column_array(self, name: str, dtype=float) -> np.ndarray:
+        """One column as a numpy array (for vectorized statistics)."""
+        return np.asarray(self.column(name), dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Key handling
+    # ------------------------------------------------------------------
+    def key_indexes(self) -> tuple:
+        """Positional indexes of the key columns."""
+        if self.key is None:
+            raise SchemaError(f"relation {self.name!r} has no primary key")
+        return self.schema.indexes(self.key)
+
+    def key_of(self, row: tuple) -> tuple:
+        """The key-value tuple of one row."""
+        idx = self.key_indexes()
+        return tuple(row[i] for i in idx)
+
+    def key_index(self) -> dict:
+        """Map key-value tuple -> row.  Requires a primary key."""
+        idx = self.key_indexes()
+        return {tuple(row[i] for i in idx): row for row in self.rows}
+
+    def key_set(self) -> set:
+        """The set of key-value tuples present in the relation."""
+        idx = self.key_indexes()
+        return {tuple(row[i] for i in idx) for row in self.rows}
+
+    def validate_key(self) -> bool:
+        """True if key values are unique across all rows."""
+        if self.key is None:
+            return False
+        idx = self.key_indexes()
+        seen = set()
+        for row in self.rows:
+            k = tuple(row[i] for i in idx)
+            if k in seen:
+                return False
+            seen.add(k)
+        return True
+
+    # ------------------------------------------------------------------
+    # Simple derivations (used by tests and workload builders; the full
+    # query path goes through repro.algebra.evaluator)
+    # ------------------------------------------------------------------
+    def filter(self, fn: Callable[[tuple], bool]) -> "Relation":
+        """Rows for which ``fn(row)`` is truthy, keeping schema and key."""
+        return Relation(
+            self.schema, [r for r in self.rows if fn(r)], key=self.key, name=self.name
+        )
+
+    def head(self, n: int) -> "Relation":
+        """The first ``n`` rows."""
+        return Relation(self.schema, self.rows[:n], key=self.key, name=self.name)
+
+    def with_name(self, name: str) -> "Relation":
+        """Same data under a different name."""
+        return Relation(self.schema, self.rows, key=self.key, name=name)
+
+    def with_key(self, key: Sequence[str]) -> "Relation":
+        """Same data with a (re)declared primary key."""
+        return Relation(self.schema, self.rows, key=tuple(key), name=self.name)
+
+    def sorted_by_key(self) -> "Relation":
+        """Rows sorted by key value (for deterministic output/printing)."""
+        idx = self.key_indexes()
+        rows = sorted(self.rows, key=lambda r: tuple(repr(r[i]) for i in idx))
+        return Relation(self.schema, rows, key=self.key, name=self.name)

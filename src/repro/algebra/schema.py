@@ -1,0 +1,117 @@
+"""Relation schemas.
+
+A :class:`Schema` is an ordered, immutable sequence of column names.  Rows
+of a relation are plain tuples positionally aligned with the schema.  The
+schema provides fast column-index lookup, concatenation for joins, and
+renaming helpers used by the expression evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+
+class Schema:
+    """An ordered, immutable list of unique column names.
+
+    Parameters
+    ----------
+    columns:
+        Iterable of column-name strings.  Names must be unique.
+    """
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns: Iterable[str]):
+        cols = tuple(columns)
+        if not all(isinstance(c, str) and c for c in cols):
+            raise SchemaError(f"column names must be non-empty strings: {cols!r}")
+        index = {}
+        for i, name in enumerate(cols):
+            if name in index:
+                raise SchemaError(f"duplicate column name {name!r} in schema {cols!r}")
+            index[name] = i
+        self._columns = cols
+        self._index = index
+
+    @property
+    def columns(self) -> tuple:
+        """The column names, in order."""
+        return self._columns
+
+    def index(self, name: str) -> int:
+        """Return the position of column ``name``.
+
+        Raises :class:`SchemaError` if the column does not exist.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {self._columns!r}"
+            ) from None
+
+    def indexes(self, names: Sequence[str]) -> tuple:
+        """Return positions for a sequence of column names."""
+        return tuple(self.index(n) for n in names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._columns == other._columns
+        if isinstance(other, (tuple, list)):
+            return self._columns == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._columns)!r})"
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema containing only ``names`` (order of ``names`` preserved)."""
+        for n in names:
+            self.index(n)  # validate
+        return Schema(names)
+
+    def concat(self, other: "Schema", drop_right: Sequence[str] = ()) -> "Schema":
+        """Concatenate two schemas for a join result.
+
+        ``drop_right`` lists columns of ``other`` to omit (used to collapse
+        equi-join columns that would otherwise collide).  Any remaining name
+        collision raises :class:`SchemaError`.
+        """
+        drop = set(drop_right)
+        right_cols = [c for c in other.columns if c not in drop]
+        overlap = set(self._columns).intersection(right_cols)
+        if overlap:
+            raise SchemaError(
+                f"join would produce duplicate columns {sorted(overlap)!r}; "
+                "rename inputs or join on the shared key"
+            )
+        return Schema(self._columns + tuple(right_cols))
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Return a schema with columns renamed via ``mapping``."""
+        return Schema(tuple(mapping.get(c, c) for c in self._columns))
+
+
+def as_schema(value) -> Schema:
+    """Coerce a Schema, tuple or list of names into a :class:`Schema`."""
+    if isinstance(value, Schema):
+        return value
+    return Schema(value)

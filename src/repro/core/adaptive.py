@@ -1,0 +1,134 @@
+"""Adaptive parameter selection — the paper's §9 future-work sketch.
+
+The paper closes by suggesting "relatively straightforward
+implementation of adaptive selection of the parameters in SVC such as
+the view sampling ratio and the outlier index threshold".  This module
+implements both:
+
+* :func:`choose_sampling_ratio` — pick the smallest m whose expected
+  confidence-interval width meets an error budget, using a pilot sample
+  to estimate the population variance (CI width scales as √(1/m)).
+* :func:`adaptive_outlier_threshold` — re-fit the outlier threshold each
+  maintenance period from the current value distribution (mean + c·std,
+  §6.1's background-computation strategy), with the index size cap
+  respected.
+* :class:`RatioController` — a per-period feedback loop that nudges the
+  sampling ratio toward a target relative CI width, for long-running
+  deployments where the data distribution drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.algebra.relation import Relation
+from repro.core.confidence import gaussian_z, sum_se, trans_values
+from repro.core.estimators import AggQuery, svc_aqp
+from repro.core.hashing import hash_sample
+from repro.errors import EstimationError
+
+
+def expected_ci_width(
+    pilot: Relation, query: AggQuery, pilot_ratio: float, target_ratio: float,
+    confidence: float = 0.95,
+) -> float:
+    """Predicted CI width at ``target_ratio`` from a pilot sample.
+
+    The Horvitz–Thompson variance of a Σ(trans) estimator scales as
+    (1−m)/m in the sampling ratio, so a pilot at m₀ predicts the width
+    at any m.
+    """
+    values = trans_values(pilot, query, pilot_ratio)
+    if len(values) == 0:
+        raise EstimationError("pilot sample matched no rows")
+    se_pilot = sum_se(values, pilot_ratio)
+    if se_pilot == 0.0:
+        return 0.0
+    scale = np.sqrt(
+        ((1 - target_ratio) / target_ratio) / ((1 - pilot_ratio) / pilot_ratio)
+    ) if target_ratio < 1.0 else 0.0
+    return 2 * gaussian_z(confidence) * se_pilot * float(scale)
+
+
+def choose_sampling_ratio(
+    view_data: Relation,
+    query: AggQuery,
+    target_relative_width: float,
+    pilot_ratio: float = 0.05,
+    seed: int = 0,
+    confidence: float = 0.95,
+    candidates: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3,
+                                   0.5, 0.75, 1.0),
+) -> float:
+    """Smallest sampling ratio meeting a relative CI-width budget.
+
+    ``target_relative_width`` is the acceptable CI width as a fraction
+    of the (pilot-estimated) query answer — the accuracy/cost knob the
+    paper's introduction promises the user.
+    """
+    if not 0.0 < target_relative_width:
+        raise EstimationError("target width must be positive")
+    pilot = hash_sample(view_data, pilot_ratio, seed=seed,
+                        attrs=view_data.key)
+    if len(pilot) == 0:
+        return max(candidates)
+    estimate = svc_aqp(pilot, query, pilot_ratio, confidence)
+    answer = abs(estimate.value)
+    if answer == 0.0:
+        return max(candidates)
+    budget = target_relative_width * answer
+    for m in sorted(candidates):
+        if m <= pilot_ratio / 2:
+            continue
+        if expected_ci_width(pilot, query, pilot_ratio, m, confidence) <= budget:
+            return m
+    return max(candidates)
+
+
+def adaptive_outlier_threshold(
+    rel: Relation, attr: str, size_limit: int, c: float = 3.0,
+) -> float:
+    """Re-fit the outlier threshold for the next maintenance period.
+
+    Uses mean + c·std (§6.1) but never admits more than ``size_limit``
+    records: if the c-sigma rule would overflow the cap, fall back to
+    the top-k threshold.
+    """
+    values = rel.column_array(attr)
+    if len(values) == 0:
+        return 0.0
+    sigma_threshold = float(values.mean() + c * values.std())
+    over = int((values > sigma_threshold).sum())
+    if over <= size_limit:
+        return sigma_threshold
+    return float(np.sort(values)[-size_limit])
+
+
+@dataclass
+class RatioController:
+    """Feedback controller for the sampling ratio across periods.
+
+    After each period, feed the observed relative CI width of the
+    period's queries; the controller scales m by the squared width ratio
+    (CI width ~ √(1/m)), clamped to [min_ratio, max_ratio].
+    """
+
+    target_relative_width: float
+    ratio: float = 0.1
+    min_ratio: float = 0.01
+    max_ratio: float = 1.0
+    smoothing: float = 0.5
+
+    def update(self, observed_relative_width: float) -> float:
+        """One feedback step; returns the ratio for the next period."""
+        if observed_relative_width <= 0:
+            return self.ratio
+        desired = self.ratio * (
+            observed_relative_width / self.target_relative_width
+        ) ** 2
+        blended = (1 - self.smoothing) * self.ratio + self.smoothing * desired
+        self.ratio = float(min(self.max_ratio, max(self.min_ratio, blended)))
+        return self.ratio

@@ -1,0 +1,192 @@
+"""Confidence machinery for sample-mean queries — paper §5.2.1.
+
+The paper rewrites a predicated aggregate into a *trans* table (predicate
+folded into the selected expression, scaled by 1/m), bounds SVC+AQP with
+the CLT on the trans values, and bounds SVC+CORR on the *diff* table
+built with the correspondence-subtract operator −̇ (Def 4): a full outer
+join of the clean and dirty trans tables on the view key with NULLs read
+as zero.
+
+Variance estimators
+-------------------
+``se_method="ht"`` (default) uses the Horvitz–Thompson variance estimate
+for hash (Poisson) sampling, ``Var̂(Σt) = Σ_sample (1−m)·t_i²``, which
+correctly accounts for the random sample size (the paper's SQL formula
+``stdev(trans)/sqrt(count)`` is the CI of the *mean* of the trans values
+and collapses to zero width on constant data).  ``se_method="paper"``
+reproduces the paper's formula, scaled to the sum estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from repro.algebra.relation import Relation
+from repro.errors import EstimationError
+
+
+@dataclass
+class Estimate:
+    """A point estimate with a symmetric CLT confidence interval."""
+
+    value: float
+    se: float
+    confidence: float = 0.95
+    method: str = ""
+    sample_rows: int = 0
+
+    @property
+    def z(self) -> float:
+        """Gaussian tail value for the configured confidence level."""
+        return gaussian_z(self.confidence)
+
+    @property
+    def ci_low(self) -> float:
+        return self.value - self.z * self.se
+
+    @property
+    def ci_high(self) -> float:
+        return self.value + self.z * self.se
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """(low, high) at the configured confidence level."""
+        return (self.ci_low, self.ci_high)
+
+    def contains(self, truth: float) -> bool:
+        """True if the interval covers ``truth``."""
+        return self.ci_low <= truth <= self.ci_high
+
+    def __repr__(self):
+        return (
+            f"Estimate({self.value:.6g} ± {self.z * self.se:.3g} "
+            f"@{self.confidence:.0%}, {self.method})"
+        )
+
+
+def gaussian_z(confidence: float) -> float:
+    """Two-sided Gaussian tail value (1.96 for 95%, 2.57 for 99%)."""
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError(f"confidence must be in (0,1): {confidence}")
+    return float(_scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+
+
+def trans_values(
+    rel: Relation, query, ratio: float
+) -> np.ndarray:
+    """The paper's trans-table values for one sample relation.
+
+    * sum:   (1/m) · attr · cond  over every sample row;
+    * count: (1/m) · cond         over every sample row;
+    * avg:   attr                 over rows satisfying cond.
+    """
+    pred = query.predicate.bind(rel.schema)
+    if query.func == "count":
+        return np.array(
+            [(1.0 / ratio) if pred(row) else 0.0 for row in rel.rows]
+        )
+    attr_idx = rel.schema.index(query.attr)
+    if query.func == "sum":
+        return np.array(
+            [
+                (row[attr_idx] / ratio) if pred(row) else 0.0
+                for row in rel.rows
+            ],
+            dtype=float,
+        )
+    if query.func == "avg":
+        return np.array(
+            [row[attr_idx] for row in rel.rows if pred(row)], dtype=float
+        )
+    raise EstimationError(
+        f"trans tables are defined for sum/count/avg, not {query.func!r}"
+    )
+
+
+def keyed_trans(
+    rel: Relation, query, ratio: float, key
+) -> dict:
+    """Map view-key -> trans value (for the correspondence subtract)."""
+    pred = query.predicate.bind(rel.schema)
+    key_idx = rel.schema.indexes(key)
+    out = {}
+    if query.func == "count":
+        for row in rel.rows:
+            out[tuple(row[i] for i in key_idx)] = (
+                (1.0 / ratio) if pred(row) else 0.0
+            )
+        return out
+    attr_idx = rel.schema.index(query.attr)
+    scale = 1.0 / ratio if query.func == "sum" else 1.0
+    for row in rel.rows:
+        k = tuple(row[i] for i in key_idx)
+        if pred(row):
+            out[k] = row[attr_idx] * scale
+        else:
+            out[k] = 0.0
+    return out
+
+
+def correspondence_subtract(
+    clean: Relation, dirty: Relation, query, ratio: float, key
+) -> np.ndarray:
+    """The diff table trans(Ŝ') −̇ trans(Ŝ) of Def 4 (NULL → 0)."""
+    clean_t = keyed_trans(clean, query, ratio, key)
+    dirty_t = keyed_trans(dirty, query, ratio, key)
+    keys = set(clean_t) | set(dirty_t)
+    return np.array(
+        [clean_t.get(k, 0.0) - dirty_t.get(k, 0.0) for k in keys], dtype=float
+    )
+
+
+def sum_se(values: np.ndarray, ratio: float, se_method: str = "ht") -> float:
+    """Standard error of a Σ(trans) estimator (sum/count queries)."""
+    k = len(values)
+    if k == 0:
+        return 0.0
+    if se_method == "ht":
+        return math.sqrt(max(0.0, float((1.0 - ratio) * (values ** 2).sum())))
+    if se_method == "paper":
+        if k < 2:
+            return 0.0
+        return float(values.std(ddof=1) * math.sqrt(k))
+    raise EstimationError(f"unknown se_method {se_method!r}")
+
+
+def mean_se(values: np.ndarray) -> float:
+    """Standard error of a sample-mean estimator (avg queries)."""
+    k = len(values)
+    if k < 2:
+        return float("inf") if k == 0 else 0.0
+    return float(values.std(ddof=1) / math.sqrt(k))
+
+
+def diff_se(
+    diffs: np.ndarray, ratio: float, kind: str, se_method: str = "ht"
+) -> float:
+    """Standard error of a correction Σ(diff) or mean-difference."""
+    if kind in ("sum", "count"):
+        return sum_se(diffs, ratio, se_method)
+    if kind == "avg":
+        return mean_se(diffs)
+    raise EstimationError(f"no diff-based SE for {kind!r}")
+
+
+def break_even_covariance(
+    stale_values: np.ndarray, fresh_values: np.ndarray
+) -> Optional[float]:
+    """§5.2.2: CORR beats AQP when  σ²_S ≤ 2·cov(S, S').
+
+    Returns ``2·cov − σ²_S`` computed on corresponding value pairs
+    (positive means CORR is preferred); None when undefined.
+    """
+    if len(stale_values) != len(fresh_values) or len(stale_values) < 2:
+        return None
+    cov = float(np.cov(stale_values, fresh_values, ddof=1)[0, 1])
+    var_s = float(np.var(stale_values, ddof=1))
+    return 2.0 * cov - var_s

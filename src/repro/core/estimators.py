@@ -1,0 +1,312 @@
+"""Query result estimation — paper Problem 2 and §5.
+
+Two estimators over the corresponding samples (Ŝ dirty, Ŝ' clean):
+
+* **SVC+AQP** — the direct estimate  q(S') ≈ s · q(Ŝ')  with the AQP
+  scaling factor s (1/m for sum/count, 1 for avg).
+* **SVC+CORR** — the correction estimate
+  q(S') ≈ q(S) + (s·q(Ŝ') − s·q(Ŝ)), i.e. run the query on the *full
+  stale view* and correct it by the estimated staleness c.
+
+Both are unbiased for sum/count/avg (Lemma 1) and the correction has
+lower variance while the view is only mildly stale (§5.2.2); group-by
+variants apply the estimator per group.  median/percentile queries are
+bounded by bootstrap (``repro.core.bootstrap``), min/max by Cantelli
+corrections (``repro.core.extremes``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.algebra.aggregates import get_aggregate
+from repro.algebra.predicates import ALWAYS, Predicate
+from repro.algebra.relation import Relation
+from repro.core.confidence import (
+    Estimate,
+    correspondence_subtract,
+    diff_se,
+    mean_se,
+    sum_se,
+    trans_values,
+)
+from repro.errors import EstimationError
+
+SAMPLE_MEAN_FUNCS = ("sum", "count", "avg")
+
+
+class AggQuery:
+    """``SELECT f(attr) FROM view WHERE condition`` (paper Problem 2).
+
+    Group-by is modeled separately (:func:`estimate_groups`) or folded
+    into the condition, as in the paper.
+    """
+
+    def __init__(
+        self,
+        func: str,
+        attr: Optional[str] = None,
+        predicate: Predicate = ALWAYS,
+        name: Optional[str] = None,
+    ):
+        if func != "count" and attr is None:
+            raise EstimationError(f"aggregate {func!r} requires an attribute")
+        self.func = func
+        self.attr = attr
+        self.predicate = predicate
+        self.name = name or f"{func}({attr or '*'})"
+
+    def evaluate(self, rel: Relation) -> float:
+        """Exact evaluation on a full relation (no sampling)."""
+        pred = self.predicate.bind(rel.schema)
+        if self.func == "count":
+            return float(sum(1 for row in rel.rows if pred(row)))
+        idx = rel.schema.index(self.attr)
+        values = [row[idx] for row in rel.rows if pred(row)]
+        return float(_as_float(get_aggregate(self.func).compute(values)))
+
+    def matching_values(self, rel: Relation) -> np.ndarray:
+        """Attribute values of rows satisfying the predicate."""
+        pred = self.predicate.bind(rel.schema)
+        if self.attr is None:
+            return np.array([1.0 for row in rel.rows if pred(row)])
+        idx = rel.schema.index(self.attr)
+        return np.array(
+            [row[idx] for row in rel.rows if pred(row)], dtype=float
+        )
+
+    def selectivity(self, rel: Relation) -> float:
+        """Fraction p of rows satisfying the predicate (§5.2.3)."""
+        if len(rel) == 0:
+            return 0.0
+        pred = self.predicate.bind(rel.schema)
+        return sum(1 for row in rel.rows if pred(row)) / len(rel)
+
+    def __repr__(self):
+        return f"AggQuery({self.name})"
+
+
+def _as_float(value) -> float:
+    if value is None:
+        return float("nan")
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# SVC+AQP
+# ----------------------------------------------------------------------
+def svc_aqp(
+    clean_sample: Relation,
+    query: AggQuery,
+    ratio: float,
+    confidence: float = 0.95,
+    se_method: str = "ht",
+) -> Estimate:
+    """Direct estimate from the clean sample (paper §5.1, SVC+AQP)."""
+    if query.func not in SAMPLE_MEAN_FUNCS:
+        raise EstimationError(
+            f"svc_aqp bounds sample means; use bootstrap/extremes for "
+            f"{query.func!r}"
+        )
+    values = trans_values(clean_sample, query, ratio)
+    if query.func == "avg":
+        point = float(values.mean()) if len(values) else float("nan")
+        se = mean_se(values)
+    else:
+        point = float(values.sum())
+        se = sum_se(values, ratio, se_method)
+    return Estimate(
+        point, se, confidence, method="SVC+AQP", sample_rows=len(clean_sample)
+    )
+
+
+# ----------------------------------------------------------------------
+# SVC+CORR
+# ----------------------------------------------------------------------
+def svc_corr(
+    stale_view: Relation,
+    dirty_sample: Relation,
+    clean_sample: Relation,
+    query: AggQuery,
+    ratio: float,
+    key: Sequence[str] = None,
+    confidence: float = 0.95,
+    se_method: str = "ht",
+    stale_value: Optional[float] = None,
+) -> Estimate:
+    """Correction estimate (paper §5.1, SVC+CORR).
+
+    ``stale_value`` may pass a precomputed q(S) to avoid rescanning the
+    full view for every query in a sweep.
+    """
+    if query.func not in SAMPLE_MEAN_FUNCS:
+        raise EstimationError(
+            f"svc_corr bounds sample means; use bootstrap/extremes for "
+            f"{query.func!r}"
+        )
+    if key is None:
+        key = clean_sample.key or dirty_sample.key
+    if not key:
+        raise EstimationError("svc_corr requires the view primary key")
+    if stale_value is None:
+        stale_value = query.evaluate(stale_view)
+
+    fresh_est = svc_aqp(clean_sample, query, ratio, confidence, se_method)
+    stale_est = svc_aqp(dirty_sample, query, ratio, confidence, se_method)
+    correction = fresh_est.value - stale_est.value
+    if np.isnan(correction):
+        # Degenerate avg case (no predicate-matching rows in a sample):
+        # fall back to the direct estimate's view of the world.
+        correction = 0.0 if np.isnan(fresh_est.value) else correction
+
+    diffs = correspondence_subtract(clean_sample, dirty_sample, query, ratio, key)
+    se = diff_se(diffs, ratio, query.func, se_method)
+    return Estimate(
+        stale_value + correction,
+        se,
+        confidence,
+        method="SVC+CORR",
+        sample_rows=len(clean_sample),
+    )
+
+
+# ----------------------------------------------------------------------
+# Group-by variants
+# ----------------------------------------------------------------------
+def partition(rel: Relation, group_by: Sequence[str]) -> Dict[tuple, Relation]:
+    """Split a relation into per-group sub-relations."""
+    idx = rel.schema.indexes(group_by)
+    buckets: Dict[tuple, list] = {}
+    for row in rel.rows:
+        buckets.setdefault(tuple(row[i] for i in idx), []).append(row)
+    return {
+        k: Relation(rel.schema, rows, key=rel.key, name=rel.name)
+        for k, rows in buckets.items()
+    }
+
+
+def estimate_groups(
+    method: str,
+    query: AggQuery,
+    group_by: Sequence[str],
+    ratio: float,
+    clean_sample: Relation,
+    dirty_sample: Optional[Relation] = None,
+    stale_view: Optional[Relation] = None,
+    confidence: float = 0.95,
+) -> Dict[tuple, Estimate]:
+    """Per-group estimates for a group-by aggregate query.
+
+    ``method`` is ``"aqp"`` or ``"corr"``.  Groups present in the stale
+    view but absent from both samples get a zero correction (CORR) — the
+    stale value stands; AQP reports no estimate for groups it never saw.
+    """
+    clean_parts = partition(clean_sample, group_by)
+    if query.func not in SAMPLE_MEAN_FUNCS:
+        return _point_estimate_groups(
+            method, query, ratio, clean_parts,
+            partition(dirty_sample, group_by) if dirty_sample is not None else {},
+            partition(stale_view, group_by) if stale_view is not None else {},
+            confidence,
+        )
+    if method == "aqp":
+        return {
+            g: svc_aqp(part, query, ratio, confidence)
+            for g, part in clean_parts.items()
+        }
+    if method != "corr":
+        raise EstimationError(f"unknown estimation method {method!r}")
+    if dirty_sample is None or stale_view is None:
+        raise EstimationError("corr estimation needs dirty sample + stale view")
+
+    dirty_parts = partition(dirty_sample, group_by)
+    stale_parts = partition(stale_view, group_by)
+    key = clean_sample.key or dirty_sample.key
+    empty = Relation(clean_sample.schema, [], key=key)
+
+    out: Dict[tuple, Estimate] = {}
+    for g in set(clean_parts) | set(dirty_parts) | set(stale_parts):
+        stale_part = stale_parts.get(g)
+        stale_value = query.evaluate(stale_part) if stale_part is not None else 0.0
+        out[g] = svc_corr(
+            stale_part if stale_part is not None else empty,
+            dirty_parts.get(g, empty),
+            clean_parts.get(g, empty),
+            query,
+            ratio,
+            key=key,
+            confidence=confidence,
+            stale_value=stale_value,
+        )
+    return out
+
+
+def _point_estimate_groups(
+    method: str,
+    query: AggQuery,
+    ratio: float,
+    clean_parts: Dict[tuple, Relation],
+    dirty_parts: Dict[tuple, Relation],
+    stale_parts: Dict[tuple, Relation],
+    confidence: float,
+) -> Dict[tuple, Estimate]:
+    """Per-group point estimates for holistic aggregates (median etc.).
+
+    Medians/percentiles are not scaled by 1/m; CORR applies the direct
+    difference of sample aggregates to the stale group value (the
+    bootstrap in ``repro.core.bootstrap`` bounds single queries; per
+    group the point estimate is what Fig 13 reports).
+    """
+    out: Dict[tuple, Estimate] = {}
+    groups = set(clean_parts) | (set(stale_parts) if method == "corr" else set())
+    for g in groups:
+        clean_part = clean_parts.get(g)
+        clean_val = query.evaluate(clean_part) if clean_part is not None else float("nan")
+        if method == "aqp":
+            out[g] = Estimate(clean_val, float("nan"), confidence,
+                              method="SVC+AQP(point)",
+                              sample_rows=len(clean_part) if clean_part else 0)
+            continue
+        stale_part = stale_parts.get(g)
+        stale_val = query.evaluate(stale_part) if stale_part is not None else 0.0
+        dirty_part = dirty_parts.get(g)
+        dirty_val = query.evaluate(dirty_part) if dirty_part is not None else float("nan")
+        if np.isnan(clean_val):
+            value = stale_val
+        elif np.isnan(dirty_val) or stale_part is None:
+            value = clean_val
+        else:
+            value = stale_val + (clean_val - dirty_val)
+        out[g] = Estimate(value, float("nan"), confidence,
+                          method="SVC+CORR(point)",
+                          sample_rows=len(clean_part) if clean_part else 0)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Estimator selection (§5.2.2)
+# ----------------------------------------------------------------------
+def recommend_estimator(
+    dirty_sample: Relation,
+    clean_sample: Relation,
+    query: AggQuery,
+    ratio: float,
+    key: Sequence[str] = None,
+) -> str:
+    """Pick "corr" or "aqp" from the break-even analysis of §5.2.2.
+
+    The correction wins while σ²_diff ≤ σ²_fresh (equivalently
+    σ²_S ≤ 2 cov(S, S')); past the break-even point the direct estimate
+    is more accurate.
+    """
+    if key is None:
+        key = clean_sample.key or dirty_sample.key
+    diffs = correspondence_subtract(clean_sample, dirty_sample, query, ratio, key)
+    fresh = trans_values(clean_sample, query, ratio)
+    if len(diffs) < 2 or len(fresh) < 2:
+        return "corr"
+    var_diff = float(np.var(diffs, ddof=1)) * len(diffs)
+    var_fresh = float(np.var(fresh, ddof=1)) * len(fresh)
+    return "corr" if var_diff <= var_fresh else "aqp"

@@ -1,0 +1,289 @@
+"""Hash push-down optimization — paper Def 3 and Theorem 1.
+
+The η operator commutes with most relational operators, so it can be
+pushed from the top of a maintenance strategy toward the leaves — every
+operator *above* the sample then only processes the sampled fraction.
+This is the SVC analogue of predicate push-down.
+
+Rules implemented (Def 3 plus the join special cases):
+
+* σ_φ(R)            — push through.
+* Π(R)              — push through iff the hashed attributes are
+                      pass-through outputs (renamed to their sources).
+* γ_{f,A}(R)        — push through iff the hashed attributes ⊆ A.
+* ∪, ∩, −           — push through to both inputs.
+* Merge             — push through to both inputs when hashing the merge
+                      key (the Merge *is* a full outer equality join plus
+                      projection — paper Fig 3's ⟗ node).
+* ⋈                 — blocked in general.  Special cases:
+                      (a) every hashed attribute resolves on one input
+                          (directly or renamed across an equality pair):
+                          push to that input — this subsumes the paper's
+                          foreign-key rule;
+                      (b) additionally resolvable on the *other* input
+                          too (equality-join key): push to both;
+                      (c) full outer joins push only in case (b).
+* The same engine pushes arbitrary key-filters (used by the outlier
+  index): any row filter that reads only the hashed attributes obeys the
+  same commutation rules, so the filter factory is a parameter.
+
+Theorem 1 (sample equivalence before/after push-down) is property-tested
+in ``tests/core/test_pushdown.py`` against randomized expression trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Sequence, Tuple
+
+from repro.algebra.expressions import (
+    Aggregate,
+    BaseRel,
+    Difference,
+    Expr,
+    Hash,
+    Intersect,
+    Join,
+    Merge,
+    Project,
+    Select,
+    Union,
+)
+from repro.algebra.keys import derive_schema
+from repro.algebra.predicates import Col, IsIn, Predicate, Tup
+from repro.errors import PushdownError
+
+FilterFactory = Callable[[Expr, Tuple[str, ...]], Expr]
+
+
+@dataclass
+class PushdownReport:
+    """Diagnostics of one push-down run."""
+
+    #: Base relations that ended up directly under the pushed filter.
+    sampled_leaves: List[str] = field(default_factory=list)
+    #: Nodes at which the push-down stopped early (repr strings).
+    blocked_at: List[str] = field(default_factory=list)
+
+    @property
+    def fully_pushed(self) -> bool:
+        """True when no operator blocked the descent."""
+        return not self.blocked_at
+
+
+def hash_factory(attrs_ratio_seed) -> FilterFactory:
+    """A filter factory producing η nodes (the standard SVC sampler)."""
+    _, ratio, seed = attrs_ratio_seed
+
+    def factory(child: Expr, attrs: Tuple[str, ...]) -> Expr:
+        return Hash(child, attrs, ratio, seed)
+
+    return factory
+
+
+def keyset_factory(keys) -> FilterFactory:
+    """A filter factory producing σ_{a ∈ K} nodes (outlier-index pulls)."""
+    keyset = frozenset(tuple(k) for k in keys)
+
+    def factory(child: Expr, attrs: Tuple[str, ...]) -> Expr:
+        if len(attrs) == 1:
+            # Single-attribute keys avoid per-row tuple construction.
+            return Select(child, IsIn(Col(attrs[0]), {k[0] for k in keyset}))
+        term = Tup(*[Col(a) for a in attrs])
+        return Select(child, IsIn(term, keyset))
+
+    return factory
+
+
+def push_down(expr: Expr, leaves: Mapping, report: PushdownReport = None) -> Expr:
+    """Push every Hash node in ``expr`` as deep as possible.
+
+    Always returns an expression that evaluates to the identical sample
+    (Theorem 1); the push simply stops early where a rule blocks.
+    """
+    if report is None:
+        report = PushdownReport()
+    if isinstance(expr, Hash):
+        inner = push_down(expr.child, leaves, report)
+        factory = hash_factory((expr.attrs, expr.ratio, expr.seed))
+        return push_filter(inner, expr.attrs, factory, leaves, report)
+    kids = [push_down(c, leaves, report) for c in expr.children()]
+    if not kids:
+        return expr
+    return expr.with_children(kids)
+
+
+def push_down_with_report(
+    expr: Expr, leaves: Mapping
+) -> Tuple[Expr, PushdownReport]:
+    """Like :func:`push_down` but also returns diagnostics."""
+    report = PushdownReport()
+    return push_down(expr, leaves, report), report
+
+
+def push_filter(
+    node: Expr,
+    attrs: Sequence[str],
+    factory: FilterFactory,
+    leaves: Mapping,
+    report: PushdownReport = None,
+) -> Expr:
+    """Push a key-filter (hash or key-set) over ``attrs`` into ``node``."""
+    if report is None:
+        report = PushdownReport()
+    attrs = tuple(attrs)
+    if not attrs:
+        raise PushdownError("cannot push a filter over zero attributes")
+    return _push(node, attrs, factory, leaves, report)
+
+
+def _stop(node: Expr, attrs, factory, report: PushdownReport, reason: str) -> Expr:
+    report.blocked_at.append(f"{type(node).__name__}: {reason}")
+    return factory(node, attrs)
+
+
+def _push(node: Expr, attrs: Tuple[str, ...], factory, leaves, report) -> Expr:
+    if isinstance(node, BaseRel):
+        report.sampled_leaves.append(node.name)
+        return factory(node, attrs)
+
+    if isinstance(node, Select):
+        return Select(_push(node.child, attrs, factory, leaves, report),
+                      node.predicate)
+
+    if isinstance(node, Hash):
+        # Independent sampling layers commute (both filter on their own
+        # attributes); push through.
+        return Hash(
+            _push(node.child, attrs, factory, leaves, report),
+            node.attrs, node.ratio, node.seed,
+        )
+
+    if isinstance(node, Project):
+        passthrough = node.passthrough_map()
+        if all(a in passthrough for a in attrs):
+            renamed = tuple(passthrough[a] for a in attrs)
+            return Project(
+                _push(node.child, renamed, factory, leaves, report),
+                node.outputs,
+            )
+        return _stop(node, attrs, factory, report,
+                     f"attributes {attrs} are not pass-through outputs")
+
+    if isinstance(node, Aggregate):
+        if set(attrs) <= set(node.group_by):
+            return Aggregate(
+                _push(node.child, attrs, factory, leaves, report),
+                node.group_by, node.aggs,
+            )
+        return _stop(node, attrs, factory, report,
+                     f"attributes {attrs} not in group-by {node.group_by}")
+
+    if isinstance(node, (Union, Intersect, Difference)):
+        left = _push(node.left, attrs, factory, leaves, report)
+        right = _push(node.right, attrs, factory, leaves, report)
+        return type(node)(left, right)
+
+    if isinstance(node, Merge):
+        if set(attrs) <= set(node.key):
+            stale = _push(node.stale, attrs, factory, leaves, report)
+            change = _push(node.change, attrs, factory, leaves, report)
+            return Merge(stale, change, node.key, node.combiners,
+                         node.drop_empty)
+        return _stop(node, attrs, factory, report,
+                     f"attributes {attrs} not in merge key {node.key}")
+
+    if isinstance(node, Join):
+        return _push_join(node, attrs, factory, leaves, report)
+
+    return _stop(node, attrs, factory, report, "unknown operator")
+
+
+def _resolve_side(attrs, schema, pairs_from_other) -> Tuple[str, ...]:
+    """Rename ``attrs`` into a side's columns, or None if unresolvable.
+
+    An attribute resolves on a side if it is a column of that side, or if
+    an equality pair equates it to a column of that side.
+    """
+    out = []
+    for a in attrs:
+        if a in schema:
+            out.append(a)
+            continue
+        renamed = pairs_from_other.get(a)
+        if renamed is not None and renamed in schema:
+            out.append(renamed)
+            continue
+        return None
+    return tuple(out)
+
+
+def _push_join(node: Join, attrs, factory, leaves, report) -> Expr:
+    left_schema = derive_schema(node.left, leaves)
+    right_schema = derive_schema(node.right, leaves)
+    # Maps for cross-side renaming through the equality condition.  The
+    # rename is only sound for inner joins: outer joins pad the missing
+    # side with NULL, so a renamed attribute would hash differently above
+    # and below the join for unmatched rows.
+    if node.how == "inner":
+        right_to_left = {r: l for l, r in node.on}
+        left_to_right = {l: r for l, r in node.on}
+    else:
+        right_to_left = {}
+        left_to_right = {}
+
+    left_attrs = _resolve_side(attrs, left_schema, right_to_left)
+    right_attrs = _resolve_side(attrs, right_schema, left_to_right)
+
+    # Full outer joins only commute when the filter reads *collapsed*
+    # equality attributes (same name on both sides): the output column
+    # then carries the key value of whichever side exists.
+    if node.how == "full":
+        collapsed = {r for l, r in node.on if l == r}
+        if set(attrs) <= collapsed:
+            left = _push(node.left, attrs, factory, leaves, report)
+            right = _push(node.right, attrs, factory, leaves, report)
+            return Join(left, right, node.on, node.how, node.foreign_key,
+                        node.theta)
+        return _stop(node, attrs, factory, report,
+                     "full outer join requires collapsed equality attributes")
+
+    pushable_left = left_attrs is not None and node.how in ("inner", "left")
+    pushable_right = right_attrs is not None and node.how in ("inner", "right")
+
+    if pushable_left and pushable_right:
+        # The equality-join special case: push to both sides.
+        left = _push(node.left, left_attrs, factory, leaves, report)
+        right = _push(node.right, right_attrs, factory, leaves, report)
+        return Join(left, right, node.on, node.how, node.foreign_key, node.theta)
+    if pushable_left:
+        # One-sided push (subsumes the foreign-key special case): every
+        # output row's hashed attributes come from the left input, so
+        # filtering the left input filters exactly the same output rows.
+        left = _push(node.left, left_attrs, factory, leaves, report)
+        return Join(left, node.right, node.on, node.how, node.foreign_key,
+                    node.theta)
+    if pushable_right:
+        right = _push(node.right, right_attrs, factory, leaves, report)
+        return Join(node.left, right, node.on, node.how, node.foreign_key,
+                    node.theta)
+    return _stop(node, attrs, factory, report,
+                 f"attributes {attrs} span both join inputs")
+
+
+def hashed_leaves(expr: Expr) -> List[str]:
+    """Names of base relations sitting directly under a Hash node.
+
+    These are the relations "being sampled" in the sense of §6.2 — the
+    precondition for an outlier index on them to be push-up eligible.
+    """
+    out: List[str] = []
+
+    def walk(node: Expr):
+        if isinstance(node, Hash) and isinstance(node.child, BaseRel):
+            out.append(node.child.name)
+        for c in node.children():
+            walk(c)
+
+    walk(expr)
+    return out

@@ -1,0 +1,115 @@
+"""Select-query correction — paper §12.1.2.
+
+A predicated SELECT on a stale view returns rows that may be missing,
+falsely included, or carrying out-of-date values.  Using the lineage that
+primary keys provide, the clean sample corrects the stale selection:
+
+* rows updated in the sample overwrite the stale result,
+* new sampled rows are unioned in,
+* sampled rows that disappeared are removed,
+
+and three count-rewrites of the query bound the number of added, updated
+and deleted rows that the sample implies for the full view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algebra.predicates import Predicate
+from repro.algebra.relation import Relation
+from repro.core.confidence import Estimate, sum_se
+from repro.errors import EstimationError
+
+import numpy as np
+
+
+@dataclass
+class SelectResult:
+    """A corrected selection plus approximation-error bounds."""
+
+    rows: Relation
+    added: Estimate
+    updated: Estimate
+    deleted: Estimate
+
+
+def svc_select(
+    stale_view: Relation,
+    dirty_sample: Relation,
+    clean_sample: Relation,
+    predicate: Predicate,
+    ratio: float,
+    key: Sequence[str] = None,
+    confidence: float = 0.95,
+) -> SelectResult:
+    """Correct ``SELECT * FROM view WHERE predicate`` (paper §12.1.2)."""
+    if key is None:
+        key = clean_sample.key or stale_view.key
+    if not key:
+        raise EstimationError("select correction requires the view key")
+
+    pred_stale = predicate.bind(stale_view.schema)
+    pred_clean = predicate.bind(clean_sample.schema)
+    pred_dirty = predicate.bind(dirty_sample.schema)
+
+    key_idx = stale_view.schema.indexes(key)
+
+    stale_hits = {
+        tuple(r[i] for i in key_idx): r for r in stale_view.rows if pred_stale(r)
+    }
+    clean_hits = {
+        tuple(r[i] for i in key_idx): r
+        for r in clean_sample.rows
+        if pred_clean(r)
+    }
+    dirty_keys = {tuple(r[i] for i in key_idx) for r in dirty_sample.rows}
+    dirty_hit_keys = {
+        tuple(r[i] for i in key_idx) for r in dirty_sample.rows if pred_dirty(r)
+    }
+    clean_keys = {tuple(r[i] for i in key_idx) for r in clean_sample.rows}
+
+    added = updated = deleted = 0
+    out = dict(stale_hits)
+    for k, row in clean_hits.items():
+        if k in stale_hits:
+            if stale_hits[k] != row:
+                out[k] = row  # overwrite out-of-date values
+                updated += 1
+        else:
+            out[k] = row  # union in newly selected rows
+            added += 1
+    # Sampled keys that no longer satisfy the selection (value drifted out
+    # of the predicate) or vanished from the view entirely.
+    for k in dirty_hit_keys:
+        if k not in clean_hits and k in out:
+            del out[k]
+            deleted += 1
+    # Keys sampled in the dirty view that disappeared from the clean
+    # sample altogether are superfluous rows.
+    for k in (dirty_keys - clean_keys) & set(out):
+        del out[k]
+        deleted += 1
+
+    corrected = Relation(
+        stale_view.schema, list(out.values()), key=stale_view.key,
+        name=stale_view.name,
+    )
+
+    def scaled_count(n: int) -> Estimate:
+        values = np.full(n, 1.0 / ratio)
+        return Estimate(
+            float(n / ratio),
+            sum_se(values, ratio),
+            confidence,
+            method="SVC+SELECT",
+            sample_rows=len(clean_sample),
+        )
+
+    return SelectResult(
+        rows=corrected,
+        added=scaled_count(added),
+        updated=scaled_count(updated),
+        deleted=scaled_count(deleted),
+    )

@@ -1,0 +1,52 @@
+"""Database substrate: base relations, deltas, views, maintenance."""
+
+from repro.db.catalog import Catalog
+from repro.db.database import Database
+from repro.db.deltas import Delta, DeltaSet, deletions_name, insertions_name
+from repro.db.maintenance import (
+    CHANGE_TABLE,
+    MULT,
+    RECOMPUTE,
+    TERM,
+    MaintenanceStrategy,
+    build_strategy,
+    choose_strategy,
+    classify_view,
+    fresh_expr,
+    is_spj,
+    maintain,
+    recompute_strategy,
+    replace_leaves,
+    signed_delta_expr,
+)
+from repro.db.staleness import StalenessReport, changed_rows, classify
+from repro.db.view import MaterializedView, augment_definition, hidden_sum_name
+
+__all__ = [
+    "CHANGE_TABLE",
+    "Catalog",
+    "Database",
+    "Delta",
+    "DeltaSet",
+    "MULT",
+    "MaintenanceStrategy",
+    "MaterializedView",
+    "RECOMPUTE",
+    "StalenessReport",
+    "TERM",
+    "augment_definition",
+    "build_strategy",
+    "changed_rows",
+    "choose_strategy",
+    "classify",
+    "classify_view",
+    "deletions_name",
+    "fresh_expr",
+    "hidden_sum_name",
+    "insertions_name",
+    "is_spj",
+    "maintain",
+    "recompute_strategy",
+    "replace_leaves",
+    "signed_delta_expr",
+]

@@ -1,0 +1,169 @@
+"""The database substrate: named base relations plus pending deltas.
+
+A :class:`Database` is the collection D = {R_i} of paper §3.1 together
+with its delta relations ∂D.  It exposes *leaf resolvers* (plain mappings
+from name to :class:`Relation`) used by the expression evaluator:
+
+* :meth:`leaves` — base relations in their **stale** state (as of the
+  last maintenance), plus ``R__ins`` / ``R__del`` delta leaves, plus any
+  registered materialized views.  Maintenance strategies and cleaning
+  expressions evaluate against this mapping.
+* :meth:`fresh_leaves` — base relations with pending deltas applied
+  (the ground truth S' is a view definition evaluated over these).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.algebra.relation import Relation
+from repro.db.deltas import DeltaSet, deletions_name, insertions_name
+from repro.errors import MaintenanceError
+
+
+class Database:
+    """Named base relations, pending deltas, and registered views."""
+
+    def __init__(self):
+        self._relations: Dict[str, Relation] = {}
+        self.deltas = DeltaSet()
+        self._views: Dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # Base relation management
+    # ------------------------------------------------------------------
+    def add_relation(self, rel: Relation) -> Relation:
+        """Register a base relation (must be named and keyed)."""
+        if not rel.name:
+            raise MaintenanceError("base relations must be named")
+        if not rel.key:
+            raise MaintenanceError(
+                f"base relation {rel.name!r} must declare a primary key "
+                "(paper §3.1: add an increasing integer column if needed)"
+            )
+        self._relations[rel.name] = rel
+        return rel
+
+    def relation(self, name: str) -> Relation:
+        """Look up a base relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise MaintenanceError(f"no base relation named {name!r}") from None
+
+    def relation_names(self) -> List[str]:
+        """Names of all registered base relations."""
+        return list(self._relations)
+
+    # ------------------------------------------------------------------
+    # Updates (queued as deltas; folded in by apply_deltas)
+    # ------------------------------------------------------------------
+    def insert(self, name: str, rows: Iterable[tuple]) -> None:
+        """Queue insertions into base relation ``name``."""
+        self.deltas.for_relation(self.relation(name)).insert(rows)
+
+    def delete(self, name: str, rows: Iterable[tuple]) -> None:
+        """Queue deletions (full rows) from base relation ``name``."""
+        self.deltas.for_relation(self.relation(name)).delete(rows)
+
+    def delete_by_key(self, name: str, keys: Iterable[tuple]) -> None:
+        """Queue deletions given key values; rows are looked up."""
+        rel = self.relation(name)
+        index = rel.key_index()
+        rows = []
+        for k in keys:
+            k = tuple(k)
+            if k not in index:
+                raise MaintenanceError(f"{name!r} has no record with key {k!r}")
+            rows.append(index[k])
+        self.delete(name, rows)
+
+    def update(self, name: str, new_rows: Iterable[tuple]) -> None:
+        """Queue updates: modeled as deletion of the old row + insertion
+        of the new one (paper §3.1)."""
+        rel = self.relation(name)
+        index = rel.key_index()
+        key_idx = rel.key_indexes()
+        old_rows, ins_rows = [], []
+        for row in new_rows:
+            row = tuple(row)
+            k = tuple(row[i] for i in key_idx)
+            if k not in index:
+                raise MaintenanceError(f"{name!r} has no record with key {k!r}")
+            old_rows.append(index[k])
+            ins_rows.append(row)
+        self.delete(name, old_rows)
+        self.insert(name, ins_rows)
+
+    def is_stale(self) -> bool:
+        """True when any delta relation is non-empty (paper's staleness)."""
+        return not self.deltas.is_empty()
+
+    def apply_deltas(self, names: Optional[Sequence[str]] = None) -> None:
+        """Fold pending deltas into the base relations and clear them.
+
+        Called at the end of a maintenance period, after every registered
+        view has been brought up to date (or cleaned).
+        """
+        targets = names if names is not None else self.deltas.dirty_relations()
+        for name in targets:
+            delta = self.deltas.get(name)
+            if delta is None or delta.is_empty():
+                continue
+            rel = self.relation(name)
+            deleted = set(delta.deleted)
+            rows = [r for r in rel.rows if r not in deleted]
+            rows.extend(delta.inserted)
+            self._relations[name] = Relation(
+                rel.schema, rows, key=rel.key, name=rel.name
+            )
+            delta.base = self._relations[name]
+            delta.clear()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def register_view_data(self, name: str, data: Relation) -> None:
+        """Make a materialized view's rows visible as an evaluator leaf."""
+        self._views[name] = data
+
+    # ------------------------------------------------------------------
+    # Leaf resolvers
+    # ------------------------------------------------------------------
+    def leaves(self) -> Dict[str, Relation]:
+        """Stale base relations + delta leaves + materialized views."""
+        out: Dict[str, Relation] = dict(self._relations)
+        for name in self._relations:
+            delta = self.deltas.get(name)
+            base = self._relations[name]
+            if delta is None:
+                ins = Relation(base.schema, [], key=base.key)
+                dele = Relation(base.schema, [], key=base.key)
+            else:
+                ins = delta.insertions_relation()
+                dele = delta.deletions_relation()
+            out[insertions_name(name)] = ins
+            out[deletions_name(name)] = dele
+        out.update(self._views)
+        return out
+
+    def fresh_leaves(self) -> Dict[str, Relation]:
+        """Base relations with pending deltas applied (ground truth)."""
+        out: Dict[str, Relation] = {}
+        for name, rel in self._relations.items():
+            delta = self.deltas.get(name)
+            if delta is None or delta.is_empty():
+                out[name] = rel
+                continue
+            deleted = set(delta.deleted)
+            rows = [r for r in rel.rows if r not in deleted]
+            rows.extend(delta.inserted)
+            out[name] = Relation(rel.schema, rows, key=rel.key, name=name)
+        out.update(self._views)
+        return out
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.leaves()[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations or name in self._views

@@ -1,0 +1,143 @@
+"""Delta relations: pending insertions ∆R and deletions ∇R.
+
+Paper §3.1 models every update to a base relation as a deletion followed
+by an insertion; ∂D is the set of all non-empty delta relations.  A view
+is *stale* exactly when ∂D is non-empty for any of its base relations.
+
+Deletions are stored as full rows (not just keys) because change-table
+maintenance must subtract the deleted records' aggregate contributions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.algebra.relation import Relation
+from repro.errors import MaintenanceError
+
+#: Leaf-name suffixes under which delta relations are visible to
+#: maintenance expressions: for base relation ``R`` the insertions are the
+#: leaf ``R__ins`` and the deletions ``R__del``.
+INSERT_SUFFIX = "__ins"
+DELETE_SUFFIX = "__del"
+
+
+def insertions_name(relation_name: str) -> str:
+    """The leaf name of the insertion delta of ``relation_name``."""
+    return relation_name + INSERT_SUFFIX
+
+
+def deletions_name(relation_name: str) -> str:
+    """The leaf name of the deletion delta of ``relation_name``."""
+    return relation_name + DELETE_SUFFIX
+
+
+class Delta:
+    """Pending insertions and deletions for one base relation."""
+
+    __slots__ = ("base", "inserted", "deleted", "_ins_rel", "_del_rel")
+
+    def __init__(self, base: Relation):
+        self.base = base
+        self.inserted: List[tuple] = []
+        self.deleted: List[tuple] = []
+        # Memoized delta relations (rebuilt on mutation) so repeated
+        # evaluations can reuse their hash-sample caches.
+        self._ins_rel: Relation = None
+        self._del_rel: Relation = None
+
+    def is_empty(self) -> bool:
+        """True when no changes are pending."""
+        return not self.inserted and not self.deleted
+
+    def insert(self, rows: Iterable[tuple]) -> None:
+        """Queue new records for insertion."""
+        width = len(self.base.schema)
+        self._ins_rel = None
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise MaintenanceError(
+                    f"insert width {len(row)} != schema width {width}: {row!r}"
+                )
+            self.inserted.append(row)
+
+    def delete(self, rows: Iterable[tuple]) -> None:
+        """Queue existing records (full rows) for deletion."""
+        width = len(self.base.schema)
+        self._del_rel = None
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise MaintenanceError(
+                    f"delete width {len(row)} != schema width {width}: {row!r}"
+                )
+            self.deleted.append(row)
+
+    def insertions_relation(self) -> Relation:
+        """∆R as a relation with the base schema and key."""
+        if self._ins_rel is None:
+            self._ins_rel = Relation(
+                self.base.schema,
+                self.inserted,
+                key=self.base.key,
+                name=insertions_name(self.base.name or "R"),
+            )
+        return self._ins_rel
+
+    def deletions_relation(self) -> Relation:
+        """∇R as a relation with the base schema and key."""
+        if self._del_rel is None:
+            self._del_rel = Relation(
+                self.base.schema,
+                self.deleted,
+                key=self.base.key,
+                name=deletions_name(self.base.name or "R"),
+            )
+        return self._del_rel
+
+    def clear(self) -> None:
+        """Discard pending changes (after they are folded into the base)."""
+        self.inserted = []
+        self.deleted = []
+        self._ins_rel = None
+        self._del_rel = None
+
+
+class DeltaSet:
+    """∂D — the delta relations of a whole database."""
+
+    def __init__(self):
+        self._deltas: Dict[str, Delta] = {}
+
+    def for_relation(self, rel: Relation) -> Delta:
+        """The (created-on-demand) delta of one base relation."""
+        name = rel.name
+        if name is None:
+            raise MaintenanceError("deltas require a named base relation")
+        if name not in self._deltas:
+            self._deltas[name] = Delta(rel)
+        return self._deltas[name]
+
+    def get(self, name: str) -> Optional[Delta]:
+        """The delta for ``name`` if any changes were ever queued."""
+        return self._deltas.get(name)
+
+    def dirty_relations(self) -> List[str]:
+        """Names of base relations with pending changes."""
+        return [n for n, d in self._deltas.items() if not d.is_empty()]
+
+    def is_empty(self) -> bool:
+        """True when the whole database has no pending changes."""
+        return all(d.is_empty() for d in self._deltas.values())
+
+    def clear(self) -> None:
+        """Discard all pending changes."""
+        for d in self._deltas.values():
+            d.clear()
+
+    def total_pending(self) -> int:
+        """Total number of pending inserted + deleted records."""
+        return sum(
+            len(d.inserted) + len(d.deleted) for d in self._deltas.values()
+        )

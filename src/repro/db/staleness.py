@@ -1,0 +1,117 @@
+"""Staleness as data error — paper §3.1.
+
+Given a stale view S and the up-to-date view S' (both keyed by the same
+primary key u), the consequences of staleness are classified as:
+
+* **incorrect** rows — present in both by key but with different values,
+* **missing** rows — in S' but not in S,
+* **superfluous** rows — in S but not in S'.
+
+:func:`classify` computes the three sets; the result also powers the
+relative-error analyses and the select-query correction (§12.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.algebra.relation import Relation
+from repro.errors import SchemaError
+
+
+@dataclass
+class StalenessReport:
+    """The data-error decomposition of a stale view."""
+
+    incorrect: Set[tuple] = field(default_factory=set)
+    missing: Set[tuple] = field(default_factory=set)
+    superfluous: Set[tuple] = field(default_factory=set)
+    unchanged: Set[tuple] = field(default_factory=set)
+
+    @property
+    def total_errors(self) -> int:
+        """Number of rows affected by staleness."""
+        return len(self.incorrect) + len(self.missing) + len(self.superfluous)
+
+    def is_fresh(self) -> bool:
+        """True when the stale view equals the up-to-date view."""
+        return self.total_errors == 0
+
+    def summary(self) -> Dict[str, int]:
+        """Counts per error class."""
+        return {
+            "incorrect": len(self.incorrect),
+            "missing": len(self.missing),
+            "superfluous": len(self.superfluous),
+            "unchanged": len(self.unchanged),
+        }
+
+
+def _values_equal(a, b, rel_tol: float) -> bool:
+    if a == b:
+        return True
+    if isinstance(a, float) and isinstance(b, float):
+        # Incremental maintenance adds floats in a different order than
+        # recomputation; tolerate the resulting rounding drift.
+        return abs(a - b) <= rel_tol * max(abs(a), abs(b), 1.0)
+    return False
+
+
+def rows_equal(a: tuple, b: tuple, rel_tol: float = 1e-9) -> bool:
+    """Row equality with relative tolerance on float fields."""
+    return len(a) == len(b) and all(
+        _values_equal(x, y, rel_tol) for x, y in zip(a, b)
+    )
+
+
+def classify(
+    stale: Relation, fresh: Relation, rel_tol: float = 1e-9
+) -> StalenessReport:
+    """Classify staleness errors between two keyed relations.
+
+    Both relations must share the same schema and primary key.  Float
+    fields compare with relative tolerance ``rel_tol`` (incremental and
+    recomputed sums differ by summation order).
+    """
+    if stale.schema != fresh.schema:
+        raise SchemaError(
+            f"stale/fresh schemas differ: {stale.schema!r} vs {fresh.schema!r}"
+        )
+    if not stale.key or stale.key != fresh.key:
+        raise SchemaError(
+            f"stale/fresh views must share a primary key "
+            f"({stale.key!r} vs {fresh.key!r})"
+        )
+    stale_index = stale.key_index()
+    fresh_index = fresh.key_index()
+    report = StalenessReport()
+    for key, row in stale_index.items():
+        fresh_row = fresh_index.get(key)
+        if fresh_row is None:
+            report.superfluous.add(key)
+        elif not rows_equal(row, fresh_row, rel_tol):
+            report.incorrect.add(key)
+        else:
+            report.unchanged.add(key)
+    for key in fresh_index:
+        if key not in stale_index:
+            report.missing.add(key)
+    return report
+
+
+def changed_rows(
+    stale: Relation, fresh: Relation
+) -> List[Tuple[tuple, tuple, tuple]]:
+    """(key, stale_row_or_None, fresh_row_or_None) for every affected key."""
+    report = classify(stale, fresh)
+    stale_index = stale.key_index()
+    fresh_index = fresh.key_index()
+    out = []
+    for key in report.incorrect:
+        out.append((key, stale_index[key], fresh_index[key]))
+    for key in report.missing:
+        out.append((key, None, fresh_index[key]))
+    for key in report.superfluous:
+        out.append((key, stale_index[key], None))
+    return out

@@ -1,0 +1,36 @@
+"""Distributed mini-batch simulator (Spark substitute for §7.5–7.6.2)."""
+
+from repro.distributed.cluster import (
+    RECORDS_PER_GB,
+    ClusterModel,
+    cpu_utilization_trace,
+    throughput_curve,
+)
+from repro.distributed.metrics import UtilizationSummary, compare_utilization
+from repro.distributed.minibatch import (
+    ErrorModel,
+    SteadyStateConfig,
+    calibrate_error_model,
+    ivm_max_error,
+    optimal_ratio,
+    svc_ivm_max_error,
+    svc_refresh_period,
+    sweep_sampling_ratios,
+)
+
+__all__ = [
+    "ClusterModel",
+    "ErrorModel",
+    "RECORDS_PER_GB",
+    "SteadyStateConfig",
+    "UtilizationSummary",
+    "calibrate_error_model",
+    "compare_utilization",
+    "cpu_utilization_trace",
+    "ivm_max_error",
+    "optimal_ratio",
+    "svc_ivm_max_error",
+    "svc_refresh_period",
+    "sweep_sampling_ratios",
+    "throughput_curve",
+]

@@ -1,0 +1,43 @@
+"""Utilization and timing metrics for the mini-batch experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.distributed.cluster import ClusterModel, cpu_utilization_trace
+
+
+@dataclass
+class UtilizationSummary:
+    """Aggregate statistics of a CPU-utilization trace (Fig 16)."""
+
+    mean: float
+    p10: float
+    p90: float
+    idle_seconds_below_25: int
+
+    @classmethod
+    def from_trace(cls, trace: np.ndarray) -> "UtilizationSummary":
+        return cls(
+            mean=float(trace.mean()),
+            p10=float(np.percentile(trace, 10)),
+            p90=float(np.percentile(trace, 90)),
+            idle_seconds_below_25=int((trace < 25).sum()),
+        )
+
+
+def compare_utilization(
+    model: ClusterModel, batch_gb: float, seconds: int = 300, seed: int = 0
+) -> Dict[str, UtilizationSummary]:
+    """Fig 16: IVM-only vs IVM+SVC utilization summaries."""
+    ivm = cpu_utilization_trace(model, batch_gb, seconds, with_svc=False,
+                                seed=seed)
+    both = cpu_utilization_trace(model, batch_gb, seconds, with_svc=True,
+                                 seed=seed)
+    return {
+        "IVM": UtilizationSummary.from_trace(ivm),
+        "IVM+SVC": UtilizationSummary.from_trace(both),
+    }

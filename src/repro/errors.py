@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-classes distinguish the layer that raised them.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema was malformed, or two schemas were incompatible."""
+
+
+class KeyDerivationError(ReproError):
+    """A primary key could not be derived for a relational expression."""
+
+
+class EvaluationError(ReproError):
+    """A relational expression could not be evaluated."""
+
+
+class PushdownError(ReproError):
+    """The hash operator could not be pushed down (and strict mode was on)."""
+
+
+class MaintenanceError(ReproError):
+    """A maintenance strategy could not be derived or executed."""
+
+
+class EstimationError(ReproError):
+    """A query result could not be estimated from the available samples."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured inconsistently."""

@@ -1,0 +1,84 @@
+"""Experiment harness reproducing every figure of the paper (§7)."""
+
+from repro.experiments.agg_view import (
+    fig10a_maintenance_vs_ratio,
+    fig10b_speedup_vs_update_size,
+    fig11_rollup_accuracy,
+    fig12_max_group_error,
+    fig13_median_rollups,
+)
+from repro.experiments.complex_views import fig7a_maintenance, fig7b_accuracy
+from repro.experiments.conviva_exp import fig9a_maintenance, fig9b_accuracy
+from repro.experiments.harness import (
+    ExperimentResult,
+    groupby_errors,
+    max_errors,
+    median_errors,
+    timed,
+)
+from repro.experiments.join_view import (
+    fig4a_maintenance_vs_ratio,
+    fig4b_speedup_vs_update_size,
+    fig5_query_accuracy,
+    fig6a_total_time,
+    fig6b_corr_vs_aqp_break_even,
+)
+from repro.experiments.minibatch_exp import (
+    fig14a_throughput,
+    fig14b_throughput_two_threads,
+    fig15_fixed_throughput_error,
+    fig16_cpu_utilization,
+)
+from repro.experiments.outliers import fig8a_skew_accuracy, fig8b_index_overhead
+
+ALL_EXPERIMENTS = {
+    "fig4a": fig4a_maintenance_vs_ratio,
+    "fig4b": fig4b_speedup_vs_update_size,
+    "fig5": fig5_query_accuracy,
+    "fig6a": fig6a_total_time,
+    "fig6b": fig6b_corr_vs_aqp_break_even,
+    "fig7a": fig7a_maintenance,
+    "fig7b": fig7b_accuracy,
+    "fig8a": fig8a_skew_accuracy,
+    "fig8b": fig8b_index_overhead,
+    "fig9a": fig9a_maintenance,
+    "fig9b": fig9b_accuracy,
+    "fig10a": fig10a_maintenance_vs_ratio,
+    "fig10b": fig10b_speedup_vs_update_size,
+    "fig11": fig11_rollup_accuracy,
+    "fig12": fig12_max_group_error,
+    "fig13": fig13_median_rollups,
+    "fig14a": fig14a_throughput,
+    "fig14b": fig14b_throughput_two_threads,
+    "fig15": fig15_fixed_throughput_error,
+    "fig16": fig16_cpu_utilization,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "fig4a_maintenance_vs_ratio",
+    "fig4b_speedup_vs_update_size",
+    "fig5_query_accuracy",
+    "fig6a_total_time",
+    "fig6b_corr_vs_aqp_break_even",
+    "fig7a_maintenance",
+    "fig7b_accuracy",
+    "fig8a_skew_accuracy",
+    "fig8b_index_overhead",
+    "fig9a_maintenance",
+    "fig9b_accuracy",
+    "fig10a_maintenance_vs_ratio",
+    "fig10b_speedup_vs_update_size",
+    "fig11_rollup_accuracy",
+    "fig12_max_group_error",
+    "fig13_median_rollups",
+    "fig14a_throughput",
+    "fig14b_throughput_two_threads",
+    "fig15_fixed_throughput_error",
+    "fig16_cpu_utilization",
+    "groupby_errors",
+    "max_errors",
+    "median_errors",
+    "timed",
+]

@@ -1,0 +1,62 @@
+"""Command-line experiment runner.
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments fig5       # regenerate one figure
+    python -m repro.experiments all        # regenerate everything
+
+Each experiment prints the same series the paper plots; keyword
+overrides pass through as ``key=value`` pairs (numbers are parsed):
+
+    python -m repro.experiments fig4a scale=0.3 update_fraction=0.2
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def _parse_value(text: str):
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def main(argv=None) -> int:
+    """Entry point: run one experiment (or ``all``) and print its table."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("available experiments:")
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:8} {doc}")
+        return 0
+
+    target = argv[0]
+    kwargs = {}
+    for pair in argv[1:]:
+        if "=" not in pair:
+            print(f"ignoring argument without '=': {pair!r}", file=sys.stderr)
+            continue
+        key, value = pair.split("=", 1)
+        kwargs[key] = _parse_value(value)
+
+    names = list(ALL_EXPERIMENTS) if target == "all" else [target]
+    for name in names:
+        fn = ALL_EXPERIMENTS.get(name)
+        if fn is None:
+            print(f"unknown experiment {name!r}; run with --help", file=sys.stderr)
+            return 2
+        result = fn(**kwargs) if name == target else fn()
+        print(result.to_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Experiment harness: result containers, timing, error sweeps.
+
+Every figure/table of the paper's evaluation maps to one function in
+this package returning an :class:`ExperimentResult` — a parameterized
+series of rows that prints as the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.estimators import AggQuery
+from repro.core.svc import StaleViewCleaner
+from repro.workloads.queries import relative_error
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced figure/table: an id, a series of rows, and notes."""
+
+    experiment_id: str
+    title: str
+    rows: List[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row) -> None:
+        """Append one observation row."""
+        self.rows.append(row)
+
+    def column(self, name: str) -> List:
+        """One column across all rows."""
+        return [r.get(name) for r in self.rows]
+
+    def to_table(self) -> str:
+        """Render the rows as an aligned text table."""
+        if not self.rows:
+            return f"== {self.experiment_id}: {self.title} ==\n(no rows)"
+        cols = list(self.rows[0].keys())
+        header = [self._fmt_cell(c) for c in cols]
+        body = [[self._fmt_cell(r.get(c)) for c in cols] for r in self.rows]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body))
+            for i in range(len(cols))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"-- {self.notes}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt_cell(value) -> str:
+        if isinstance(value, float):
+            if value != value:
+                return "nan"
+            if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def __str__(self):
+        return self.to_table()
+
+
+def timed(fn: Callable, repeat: int = 1) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def groupby_errors(
+    svc: StaleViewCleaner,
+    query: AggQuery,
+    group_by: Sequence[str],
+    fresh,
+    methods: Sequence[str] = ("stale", "aqp", "corr"),
+    existing_groups_only: bool = False,
+) -> Dict[str, List[float]]:
+    """Per-group relative errors of each method for one group-by query.
+
+    Ground truth comes from the fresh view; groups with zero truth and
+    zero estimate count as exact.  Groups invisible to a method count as
+    answered by the stale value (CORR) or fully wrong (AQP misses new
+    groups), mirroring how the paper's median-over-groups metric treats
+    them.
+
+    ``existing_groups_only`` restricts the metric to groups the stale
+    view already reports (used by the Fig 12 max-error metric: brand-new
+    singleton groups are a missing-row problem that saturates any
+    max-over-groups statistic at 100%).
+    """
+    stale_by_group = _direct_groups(svc.view.require_data(), query, group_by)
+    truth_by_group = {
+        g: t
+        for g, t in _direct_groups(fresh, query, group_by).items()
+        if t == t  # drop NULL groups (no rows satisfy the predicate)
+        and (not existing_groups_only or g in stale_by_group)
+    }
+    out: Dict[str, List[float]] = {}
+    for method in methods:
+        errs = []
+        if method == "stale":
+            for g, t in truth_by_group.items():
+                errs.append(relative_error(stale_by_group.get(g, 0.0), t))
+        else:
+            ests = svc.query_groups(query, group_by, method=method)
+            for g, t in truth_by_group.items():
+                est = ests.get(g)
+                if est is None:
+                    value = stale_by_group.get(g, 0.0) if method == "corr" else 0.0
+                else:
+                    value = est.value
+                errs.append(relative_error(value, t))
+        out[method] = errs
+    return out
+
+
+def _direct_groups(rel, query: AggQuery, group_by) -> Dict[tuple, float]:
+    from repro.core.estimators import partition
+
+    return {
+        g: query.evaluate(part)
+        for g, part in partition(rel, group_by).items()
+    }
+
+
+def median_errors(
+    svc: StaleViewCleaner, query: AggQuery, group_by, fresh,
+) -> Dict[str, float]:
+    """Median-over-groups relative error per method (the Fig 5 metric)."""
+    errs = groupby_errors(svc, query, group_by, fresh)
+    return {m: float(np.median(v)) if v else 0.0 for m, v in errs.items()}
+
+
+def max_errors(
+    svc: StaleViewCleaner, query: AggQuery, group_by, fresh,
+) -> Dict[str, float]:
+    """Max-over-groups relative error per method (the Fig 12 metric).
+
+    Restricted to groups the stale view already reports — the worst-case
+    error a user sees on an *existing* report row.
+    """
+    errs = groupby_errors(svc, query, group_by, fresh,
+                          existing_groups_only=True)
+    return {m: float(np.max(v)) if v else 0.0 for m, v in errs.items()}

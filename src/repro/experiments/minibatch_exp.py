@@ -1,0 +1,127 @@
+"""Mini-batch experiments — paper §7.6.2 (Figures 14, 15, 16).
+
+The cluster timing comes from :class:`ClusterModel`; the error dynamics
+are calibrated on the real (synthetic-data) Conviva views V2 and V5 by
+actually running SVC at several staleness levels and sampling ratios.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from repro.distributed.cluster import ClusterModel, throughput_curve
+from repro.distributed.metrics import compare_utilization
+from repro.distributed.minibatch import (
+    SteadyStateConfig,
+    calibrate_error_model,
+    ivm_max_error,
+    optimal_ratio,
+    sweep_sampling_ratios,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.workloads.conviva import build_conviva_workload, conviva_query_attrs
+
+BATCH_SIZES_GB = (5.0, 10.0, 20.0, 40.0, 80.0, 120.0, 160.0, 200.0)
+
+#: Fixed throughput demands per view, from the paper: 700k records/s for
+#: V2 and 500k for V5.
+TARGET_RATES = {"V2": 700_000.0, "V5": 500_000.0}
+
+
+def fig14a_throughput(model: ClusterModel = None) -> ExperimentResult:
+    """Fig 14(a): throughput vs batch size, single maintenance thread."""
+    model = model or ClusterModel()
+    result = ExperimentResult(
+        "fig14a", "Throughput vs batch size (1 thread)",
+        notes="paper: small batches are ~10x slower per record than large",
+    )
+    for row in throughput_curve(model, list(BATCH_SIZES_GB), threads=1):
+        result.add(batch_gb=row["batch_gb"], records_per_s=row["throughput"])
+    return result
+
+
+def fig14b_throughput_two_threads(model: ClusterModel = None) -> ExperimentResult:
+    """Fig 14(b): throughput with a concurrent SVC thread."""
+    model = model or ClusterModel()
+    result = ExperimentResult(
+        "fig14b", "Throughput vs batch size (2 threads: IVM + SVC)",
+        notes="paper: ~2x reduction for small batches, much less for "
+              "large (idle absorption)",
+    )
+    for g in BATCH_SIZES_GB:
+        one = model.throughput(g, threads=1)
+        two = model.throughput(g, threads=2)
+        result.add(batch_gb=g, one_thread=one, two_threads=two,
+                   reduction=one / two)
+    return result
+
+
+@lru_cache(maxsize=4)
+def _calibrated_model(view_name: str, n_records: int, seed: int):
+    def build():
+        return build_conviva_workload(n_records=n_records, seed=seed)
+
+    # The estimation curve is extrapolated to the paper's deployment
+    # scale (hundreds of millions of log records) via the 1/√k CLT law;
+    # the staleness curve is a function of the pending *fraction* and
+    # transfers as-is.
+    return calibrate_error_model(
+        build, view_name, conviva_query_attrs(view_name),
+        staleness_fractions=(0.02, 0.05, 0.1, 0.2),
+        ratios=(0.01, 0.03, 0.06, 0.1, 0.2),
+        n_queries=16, seed=seed,
+        extrapolate_to=1_000_000.0,
+    )
+
+
+def fig15_fixed_throughput_error(
+    view_name: str = "V2",
+    ratios: Sequence[float] = (0.01, 0.03, 0.06, 0.1, 0.15, 0.2),
+    n_records: int = 12_000,
+    seed: int = 7,
+    model: ClusterModel = None,
+) -> ExperimentResult:
+    """Fig 15: max error vs sampling ratio at fixed cluster throughput.
+
+    IVM alone is a flat line (its smallest feasible batch); IVM+SVC has
+    an interior optimal sampling ratio — small samples are noisy, large
+    samples refresh too slowly.
+    """
+    model = model or ClusterModel()
+    error_model = _calibrated_model(view_name, n_records, seed)
+    cfg = SteadyStateConfig(target_rate=TARGET_RATES.get(view_name, 700_000.0))
+    rows = sweep_sampling_ratios(model, error_model, cfg, ratios)
+    ivm = ivm_max_error(model, error_model, cfg)
+    result = ExperimentResult(
+        "fig15", f"Max error vs sampling ratio at fixed throughput ({view_name})",
+        notes=(
+            f"IVM-alone batch={ivm['batch_gb']}GB max error="
+            f"{100 * ivm['max_error']:.2f}%; paper: optimal m≈3% (V2) / "
+            f"6% (V5); measured optimum m={optimal_ratio(rows):g}"
+        ),
+    )
+    for row in rows:
+        result.add(
+            sampling_ratio=row["ratio"],
+            svc_ivm_max_error_pct=100 * row["max_error"],
+            ivm_max_error_pct=100 * row["ivm_max_error"],
+        )
+    return result
+
+
+def fig16_cpu_utilization(
+    batch_gb: float = 40.0, seconds: int = 300, seed: int = 0,
+    model: ClusterModel = None,
+) -> ExperimentResult:
+    """Fig 16: SVC fills the idle troughs of synchronous IVM."""
+    model = model or ClusterModel()
+    summaries = compare_utilization(model, batch_gb, seconds, seed)
+    result = ExperimentResult(
+        "fig16", "CPU utilization: IVM vs IVM+SVC",
+        notes="paper: SVC exploits shuffle-idle time in the cluster",
+    )
+    for name, s in summaries.items():
+        result.add(config=name, mean_util_pct=s.mean, p10_pct=s.p10,
+                   p90_pct=s.p90, seconds_below_25pct=s.idle_seconds_below_25)
+    return result

@@ -1,0 +1,152 @@
+"""Outlier indexing experiments — paper §7.4 (Figure 8).
+
+An index of the top-k l_extendedprice records pushes up (Def 5) into the
+revenue-dependent views V3, V5, V10, V15; Fig 8(a) sweeps the Zipfian
+skew z ∈ {1, 2, 3, 4} and reports the 75th-quartile query error with and
+without the index; Fig 8(b) measures the maintenance overhead of index
+sizes k ∈ {0, 10, 100, 1000}.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.estimators import AggQuery
+from repro.core.outlier_index import OutlierIndex
+from repro.core.svc import StaleViewCleaner
+from repro.db.catalog import Catalog
+from repro.db.maintenance import choose_strategy
+from repro.experiments.harness import ExperimentResult, timed
+from repro.workloads.complex_views import (
+    DENORM,
+    build_denormalized,
+    create_complex_views,
+    generate_denorm_updates,
+)
+from repro.workloads.queries import QueryGenerator, relative_error
+from repro.workloads.tpcd import TPCDConfig, TPCDGenerator
+
+
+def _skewed_workload(z: float, scale: float, seed: int, update_fraction: float,
+                     names):
+    gen = TPCDGenerator(TPCDConfig(scale=scale, z=z, seed=seed))
+    tpcd_db = gen.build()
+    denorm_db = build_denormalized(tpcd_db)
+    catalog = Catalog(denorm_db)
+    views = create_complex_views(denorm_db, names=list(names), catalog=catalog)
+    generate_denorm_updates(denorm_db, update_fraction, seed=seed)
+    return denorm_db, views
+
+
+def _quartile_errors(view, ratio, index, n_queries, seed, pred_attrs, agg_attrs):
+    """75th-percentile relative error for AQP/CORR with/without index."""
+    fresh = view.fresh_data()
+    qgen = QueryGenerator(view.require_data(), pred_attrs, agg_attrs,
+                          funcs=("sum",), seed=seed)
+    queries = qgen.batch(n_queries)
+    truths = [q.evaluate(fresh) for q in queries]
+
+    plain = StaleViewCleaner(view, ratio=ratio, seed=seed)
+    plain.refresh()
+    indexed = StaleViewCleaner(view, ratio=ratio, seed=seed,
+                               outlier_index=index)
+    indexed.refresh()
+
+    def q75(errors):
+        return 100 * float(np.percentile(errors, 75))
+
+    out = {}
+    for label, cleaner in (("", plain), ("_out", indexed)):
+        for method in ("aqp", "corr"):
+            errs = [
+                relative_error(cleaner.query(q, method=method).value, t)
+                for q, t in zip(queries, truths)
+            ]
+            out[f"{method}{label}"] = q75(errs)
+    out["stale"] = q75(
+        [relative_error(plain.stale_answer(q), t)
+         for q, t in zip(queries, truths)]
+    )
+    return out
+
+
+def fig8a_skew_accuracy(
+    zipf_params: Sequence[float] = (1.0, 2.0, 3.0, 4.0),
+    scale: float = 0.25,
+    ratio: float = 0.1,
+    index_size: int = 100,
+    update_fraction: float = 0.1,
+    n_queries: int = 20,
+    seed: int = 42,
+    view_name: str = "V3",
+) -> ExperimentResult:
+    """Fig 8(a): V3 75%-quartile error vs skew, with/without the index."""
+    result = ExperimentResult(
+        "fig8a", f"Outlier index: {view_name} 75%-quartile error vs skew "
+                 f"(k={index_size})",
+        notes="paper: at z=4 the index halves SVC error; stale is worst",
+    )
+    for z in zipf_params:
+        db, views = _skewed_workload(z, scale, seed, update_fraction,
+                                     (view_name,))
+        view = views[view_name]
+        index = OutlierIndex.from_top_k(
+            db.relation(DENORM), "l_extendedprice", index_size
+        )
+        from repro.workloads.complex_views import complex_query_attrs
+
+        pred_attrs, agg_attrs = complex_query_attrs(view_name)
+        errs = _quartile_errors(view, ratio, index, n_queries, seed,
+                                pred_attrs, agg_attrs)
+        result.add(
+            zipf_z=z,
+            stale_pct=errs["stale"],
+            svc_aqp_pct=errs["aqp"],
+            svc_aqp_out_pct=errs["aqp_out"],
+            svc_corr_pct=errs["corr"],
+            svc_corr_out_pct=errs["corr_out"],
+        )
+    return result
+
+
+def fig8b_index_overhead(
+    index_sizes: Sequence[int] = (0, 10, 100, 1000),
+    view_names: Sequence[str] = ("V3", "V5", "V10", "V15"),
+    scale: float = 0.25,
+    ratio: float = 0.1,
+    update_fraction: float = 0.1,
+    z: float = 2.0,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Fig 8(b): maintenance overhead of the outlier index vs IVM."""
+    from repro.algebra.evaluator import evaluate
+    from repro.core.cleaning import cleaning_expression
+    from repro.core.outlier_index import OutlierAugmentedSample
+
+    result = ExperimentResult(
+        "fig8b", "Outlier index: maintenance overhead (s)",
+        notes="paper: the index adds a small overhead relative to IVM",
+    )
+    db, views = _skewed_workload(z, scale, seed, update_fraction, view_names)
+    for name in view_names:
+        view = views[name]
+        strategy = choose_strategy(view)
+        ivm_t = timed(lambda: evaluate(strategy.expr, db.leaves()), repeat=3)
+        row = {"view": name, "ivm_seconds": ivm_t}
+        for k in index_sizes:
+            if k == 0:
+                expr, _ = cleaning_expression(view, ratio, seed, strategy)
+                evaluate(expr, db.leaves())
+                row["k0_seconds"] = timed(
+                    lambda: evaluate(expr, db.leaves()), repeat=3)
+                continue
+            index = OutlierIndex.from_top_k(
+                db.relation(DENORM), "l_extendedprice", k
+            )
+            sample = OutlierAugmentedSample(view, ratio, index, seed)
+            sample.clean()  # warm
+            row[f"k{k}_seconds"] = timed(lambda: sample.clean(), repeat=2)
+        result.add(**row)
+    return result

@@ -1,0 +1,17 @@
+"""Statistics utilities: hashing families, Zipfian sampling, intervals."""
+
+from repro.stats.hashing import (
+    get_hash_family,
+    linear_unit,
+    set_hash_family,
+    sha1_unit,
+    unit_hash,
+)
+
+__all__ = [
+    "get_hash_family",
+    "linear_unit",
+    "set_hash_family",
+    "sha1_unit",
+    "unit_hash",
+]

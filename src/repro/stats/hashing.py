@@ -1,0 +1,94 @@
+"""Deterministic uniform hashing to [0, 1).
+
+The sampling operator η_{a,m} (paper §4.4) needs a deterministic map from
+a primary-key value to a uniform draw in [0, 1); a row is sampled when the
+draw is below the sampling ratio m.  The paper uses MySQL's MD5/SHA1 and
+argues (§12.3, SUHA) that cryptographic hashes are indistinguishable from
+true uniform random variables for this purpose.
+
+We provide two families:
+
+* :func:`sha1_unit` — SHA1-based, the default; excellent uniformity.
+* :func:`linear_unit` — a multiply-shift linear congruential hash, much
+  faster but visibly less uniform; kept to reproduce the hash-choice
+  trade-off discussion of §12.3 (see ``benchmarks/bench_ablation_hash``).
+
+Both accept a ``seed`` that selects a member of the hash family, so
+repeated experiments can draw independent samples while remaining fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Callable, Sequence
+
+_MAX64 = float(1 << 64)
+_MASK64 = (1 << 64) - 1
+
+# Large odd multipliers for the multiply-shift family (Dietzfelbinger).
+_LINEAR_MULT = 0x9E3779B97F4A7C15
+_LINEAR_XOR = 0xBF58476D1CE4E5B9
+
+
+def _encode(values: Sequence) -> bytes:
+    """Stable byte encoding of a key-value tuple."""
+    parts = []
+    for v in values:
+        if isinstance(v, bytes):
+            parts.append(b"b" + v)
+        elif isinstance(v, bool):
+            parts.append(b"o1" if v else b"o0")
+        elif isinstance(v, int):
+            parts.append(b"i" + str(v).encode())
+        elif isinstance(v, float):
+            parts.append(b"f" + struct.pack(">d", v))
+        elif v is None:
+            parts.append(b"n")
+        else:
+            parts.append(b"s" + str(v).encode("utf-8", "replace"))
+    return b"\x1f".join(parts)
+
+
+def sha1_unit(values: Sequence, seed: int = 0) -> float:
+    """SHA1 hash of a key tuple, normalized to [0, 1)."""
+    h = hashlib.sha1(_encode(values) + b"|" + str(seed).encode())
+    return int.from_bytes(h.digest()[:8], "big") / _MAX64
+
+
+def linear_unit(values: Sequence, seed: int = 0) -> float:
+    """Multiply-shift hash of a key tuple, normalized to [0, 1).
+
+    Faster than :func:`sha1_unit` but less uniform — mirrors the linear
+    hash stored procedure discussed in paper §12.3.
+    """
+    acc = (seed * 2 + 1) & _MASK64
+    for v in values:
+        x = hash(v) & _MASK64
+        acc = ((acc ^ x) * _LINEAR_MULT) & _MASK64
+        acc ^= acc >> 29
+        acc = (acc * _LINEAR_XOR) & _MASK64
+    return ((acc ^ (acc >> 32)) & _MASK64) / _MAX64
+
+
+HASH_FAMILIES = {"sha1": sha1_unit, "linear": linear_unit}
+
+_active_family = [sha1_unit]
+
+
+def unit_hash(values: Sequence, seed: int = 0) -> float:
+    """The library-wide hash used by the η operator (default SHA1)."""
+    return _active_family[0](values, seed)
+
+
+def set_hash_family(name: str) -> Callable:
+    """Select the active hash family ('sha1' or 'linear'); returns it."""
+    fn = HASH_FAMILIES[name]
+    _active_family[0] = fn
+    return fn
+
+
+def get_hash_family() -> Callable:
+    """The currently active hash function."""
+    return _active_family[0]

@@ -1,0 +1,81 @@
+"""Workloads: TPCD-Skew, join view, complex views, data cube, Conviva."""
+
+from repro.workloads.complex_views import (
+    COMPLEX_VIEW_BUILDERS,
+    DENORM,
+    OUTLIER_SENSITIVE_VIEWS,
+    build_complex_workload,
+    build_denormalized,
+    complex_query_attrs,
+    create_complex_views,
+    generate_denorm_updates,
+)
+from repro.workloads.conviva import (
+    CONVIVA_VIEW_BUILDERS,
+    ConvivaGenerator,
+    build_conviva_workload,
+    conviva_query_attrs,
+    create_conviva_views,
+)
+from repro.workloads.cube import (
+    CUBE_DIMENSIONS,
+    CUBE_VIEW_NAME,
+    ROLLUP_GROUPINGS,
+    create_cube_view,
+    cube_definition,
+    rollup_queries,
+)
+from repro.workloads.join_view import (
+    JOIN_VIEW_NAME,
+    SAMPLE_ATTRS,
+    create_join_view,
+    join_view_definition,
+    query_attrs,
+    tpcd_queries,
+)
+from repro.workloads.queries import (
+    QueryGenerator,
+    max_relative_error,
+    median_relative_error,
+    relative_error,
+)
+from repro.workloads.tpcd import (
+    TPCDConfig,
+    TPCDGenerator,
+    build_tpcd,
+)
+
+__all__ = [
+    "COMPLEX_VIEW_BUILDERS",
+    "CONVIVA_VIEW_BUILDERS",
+    "CUBE_DIMENSIONS",
+    "CUBE_VIEW_NAME",
+    "ConvivaGenerator",
+    "DENORM",
+    "JOIN_VIEW_NAME",
+    "OUTLIER_SENSITIVE_VIEWS",
+    "QueryGenerator",
+    "ROLLUP_GROUPINGS",
+    "SAMPLE_ATTRS",
+    "TPCDConfig",
+    "TPCDGenerator",
+    "build_complex_workload",
+    "build_conviva_workload",
+    "build_denormalized",
+    "build_tpcd",
+    "complex_query_attrs",
+    "conviva_query_attrs",
+    "create_complex_views",
+    "create_conviva_views",
+    "create_cube_view",
+    "create_join_view",
+    "cube_definition",
+    "generate_denorm_updates",
+    "join_view_definition",
+    "max_relative_error",
+    "median_relative_error",
+    "query_attrs",
+    "relative_error",
+    "rollup_queries",
+    "tpcd_queries",
+]

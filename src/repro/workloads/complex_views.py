@@ -1,0 +1,267 @@
+"""Complex TPCD views — paper §7.3.
+
+The paper denormalizes the TPCD schema and treats (10 of) the 22 TPCD
+queries as materialized views over the denormalized table.  We build the
+same denormalized relation (lineitem joined with orders, customer,
+nation, region, part, supplier; primary key (l_orderkey, l_linenumber))
+and define views V3, V4, V5, V9, V10, V13, V15, V18, V21, V22 over it:
+
+* V3–V18 are select/group-by aggregates that admit change-table
+  maintenance and full hash push-down;
+* **V21** nests one aggregate inside another (the paper's provably
+  NP-hard push-down case — "subquery in its predicate"): the sampler
+  stops above the inner aggregate, so SVC barely beats IVM;
+* **V22** groups by an opaque transformation of a key ("string
+  transformation of a key blocking the push down"): the sampler stops at
+  the projection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.expressions import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Output,
+    Project,
+    Select,
+)
+from repro.algebra.predicates import Between, IsIn, col, func
+from repro.algebra.relation import Relation
+from repro.db.catalog import Catalog
+from repro.db.database import Database
+from repro.errors import WorkloadError
+from repro.workloads.tpcd import BASE_DATE, DATE_SPAN, TPCDGenerator
+
+DENORM = "denorm"
+_MID_DATE = BASE_DATE + DATE_SPAN // 2
+
+
+def build_denormalized(db: Database) -> Database:
+    """Flatten a TPCD database into one wide ``denorm`` base relation.
+
+    Returns a *new* database whose single base relation is the
+    denormalized table, keyed by (l_orderkey, l_linenumber) — the setting
+    of §7.3 where each TPCD query becomes a view over the flat schema.
+    """
+    expr = Join(
+        Join(
+            Join(
+                Join(
+                    Join(
+                        BaseRel("lineitem"), BaseRel("orders"),
+                        on=[("l_orderkey", "o_orderkey")], foreign_key=True,
+                    ),
+                    BaseRel("customer"),
+                    on=[("o_custkey", "c_custkey")], foreign_key=True,
+                ),
+                BaseRel("nation"),
+                on=[("c_nationkey", "n_nationkey")], foreign_key=True,
+            ),
+            BaseRel("region"),
+            on=[("n_regionkey", "r_regionkey")], foreign_key=True,
+        ),
+        BaseRel("part"),
+        on=[("l_partkey", "p_partkey")], foreign_key=True,
+    )
+    flat = evaluate(expr, db.leaves())
+    flat.name = DENORM
+    flat.key = ("l_orderkey", "l_linenumber")
+    out = Database()
+    out.add_relation(flat)
+    return out
+
+
+def generate_denorm_updates(
+    denorm_db: Database, fraction: float, seed: int = 0,
+    update_share: float = 0.3,
+) -> int:
+    """Insertions of new denormalized rows + price updates to existing.
+
+    Mirrors the paper's 10%-of-base update batches against the flat
+    schema; new rows reuse existing dimension values with fresh lineitem
+    keys so foreign-key semantics stay intact.
+    """
+    rng = np.random.default_rng(seed)
+    rel = denorm_db.relation(DENORM)
+    if len(rel) == 0:
+        raise WorkloadError("denormalized relation is empty")
+    n_new = int(len(rel) * fraction * (1.0 - update_share))
+    n_upd = int(len(rel) * fraction * update_share)
+    okey_idx = rel.schema.index("l_orderkey")
+    line_idx = rel.schema.index("l_linenumber")
+    price_idx = rel.schema.index("l_extendedprice")
+    date_idx = rel.schema.index("o_orderdate")
+    max_okey = max(r[okey_idx] for r in rel.rows)
+
+    new_rows = []
+    picks = rng.integers(0, len(rel), size=n_new)
+    for j, i in enumerate(picks):
+        row = list(rel.rows[i])
+        row[okey_idx] = max_okey + 1 + (j // 4)
+        row[line_idx] = (j % 4) + 1
+        row[price_idx] = float(round(row[price_idx] * rng.uniform(0.5, 2.0), 2))
+        # Recent orders: new data lands at the tail of the date domain,
+        # making recency-predicated queries disproportionately stale.
+        row[date_idx] = int(BASE_DATE + DATE_SPAN - rng.integers(0, DATE_SPAN // 10))
+        new_rows.append(tuple(row))
+    denorm_db.insert(DENORM, new_rows)
+
+    if n_upd:
+        upd_rows = []
+        for i in rng.choice(len(rel), size=min(n_upd, len(rel)), replace=False):
+            row = list(rel.rows[i])
+            row[price_idx] = float(round(row[price_idx] * rng.uniform(0.8, 1.3), 2))
+            upd_rows.append(tuple(row))
+        denorm_db.update(DENORM, upd_rows)
+    return n_new + n_upd
+
+
+def _revenue():
+    return col("l_extendedprice") * (1 - col("l_discount"))
+
+
+def _view_v3():
+    core = Select(BaseRel(DENORM), col("o_orderdate") < _MID_DATE)
+    return Aggregate(core, ["l_orderkey"], [AggSpec("revenue", "sum", _revenue())])
+
+
+def _view_v4():
+    return Aggregate(BaseRel(DENORM), ["o_orderpriority", "o_orderdate"],
+                     [AggSpec("order_count", "count")])
+
+
+def _view_v5():
+    core = Select(BaseRel(DENORM), col("r_regionkey") <= 2)
+    return Aggregate(core, ["n_name", "o_orderdate"],
+                     [AggSpec("revenue", "sum", _revenue()),
+                      AggSpec("visits", "count")])
+
+
+def _view_v9():
+    profit = _revenue() - col("l_quantity") * 10
+    return Aggregate(BaseRel(DENORM), ["n_name"],
+                     [AggSpec("profit", "sum", profit)])
+
+
+def _view_v10():
+    # Recency-predicated revenue: the Zipfian date skew keeps this a
+    # minority slice that update batches (which land at the date tail)
+    # disproportionately grow — the paper's "most recent videos" case.
+    core = Select(BaseRel(DENORM), col("o_orderdate") > BASE_DATE + 2)
+    return Aggregate(core, ["c_custkey"],
+                     [AggSpec("revenue", "sum", _revenue())])
+
+
+def _view_v13():
+    return Aggregate(BaseRel(DENORM), ["c_custkey"],
+                     [AggSpec("item_count", "count"),
+                      AggSpec("spend", "sum", col("l_extendedprice"))])
+
+
+def _view_v15():
+    # Per-supplier revenue over recent shipments (Zipfian dates make the
+    # recent slice a minority that updates grow, like V10).
+    core = Select(BaseRel(DENORM), col("l_shipdate") > BASE_DATE + 2)
+    return Aggregate(core, ["l_suppkey", "l_shipdate"],
+                     [AggSpec("total_revenue", "sum", _revenue())])
+
+
+def _view_v18():
+    return Aggregate(BaseRel(DENORM), ["c_custkey", "l_orderkey"],
+                     [AggSpec("total_qty", "sum", col("l_quantity"))])
+
+
+def _view_v21():
+    # Nested aggregate: distribution of per-customer order counts — the
+    # paper's canonical non-pushable structure (NP-hard, §12.4).
+    inner = Aggregate(BaseRel(DENORM), ["c_custkey"],
+                      [AggSpec("cnt", "count")])
+    return Aggregate(inner, ["cnt"], [AggSpec("customers", "count")])
+
+
+def _view_v22():
+    # Opaque transformation of the grouping key blocks push-down below
+    # the projection (the paper's "string transformation of a key").
+    prefix = func("custprefix", lambda c: str(c)[:2], col("c_custkey"))
+    core = Project(
+        BaseRel(DENORM),
+        [Output("l_orderkey", col("l_orderkey")),
+         Output("l_linenumber", col("l_linenumber")),
+         Output("cust_prefix", prefix),
+         Output("c_acctbal", col("c_acctbal"))],
+    )
+    return Aggregate(core, ["cust_prefix"],
+                     [AggSpec("customers", "count"),
+                      AggSpec("balance", "sum", col("c_acctbal"))])
+
+
+COMPLEX_VIEW_BUILDERS: Dict[str, Callable] = {
+    "V3": _view_v3,
+    "V4": _view_v4,
+    "V5": _view_v5,
+    "V9": _view_v9,
+    "V10": _view_v10,
+    "V13": _view_v13,
+    "V15": _view_v15,
+    "V18": _view_v18,
+    "V21": _view_v21,
+    "V22": _view_v22,
+}
+
+#: Views whose estimates the outlier index on l_extendedprice improves
+#: (paper §7.4: V3, V5, V10, V15 — all aggregate the revenue expression).
+OUTLIER_SENSITIVE_VIEWS = ("V3", "V5", "V10", "V15")
+
+
+def create_complex_views(
+    denorm_db: Database, names: List[str] = None, catalog: Catalog = None
+) -> Dict[str, object]:
+    """Materialize the requested complex views over the flat schema."""
+    catalog = catalog or Catalog(denorm_db)
+    names = names or list(COMPLEX_VIEW_BUILDERS)
+    out = {}
+    for name in names:
+        try:
+            builder = COMPLEX_VIEW_BUILDERS[name]
+        except KeyError:
+            raise WorkloadError(f"unknown complex view {name!r}") from None
+        out[name] = catalog.create_view(name, builder())
+    return out
+
+
+def complex_query_attrs(name: str) -> Tuple[List[str], List[str]]:
+    """(predicate attrs, aggregate attrs) for random queries per view."""
+    table = {
+        "V3": (["l_orderkey"], ["revenue"]),
+        "V4": (["o_orderpriority", "o_orderdate"], ["order_count"]),
+        "V5": (["n_name", "o_orderdate"], ["revenue", "visits"]),
+        "V9": (["n_name"], ["profit"]),
+        "V10": (["c_custkey"], ["revenue"]),
+        "V13": (["c_custkey"], ["item_count", "spend"]),
+        "V15": (["l_suppkey", "l_shipdate"], ["total_revenue"]),
+        "V18": (["c_custkey", "l_orderkey"], ["total_qty"]),
+        "V21": (["cnt"], ["customers"]),
+        "V22": (["cust_prefix"], ["customers", "balance"]),
+    }
+    return table[name]
+
+
+def build_complex_workload(
+    scale: float = 0.35, z: float = 2.0, seed: int = 42,
+) -> Tuple[Database, Catalog, Dict[str, object]]:
+    """TPCD → denormalize → materialize all ten views."""
+    from repro.workloads.tpcd import TPCDConfig
+
+    gen = TPCDGenerator(TPCDConfig(scale=scale, z=z, seed=seed))
+    tpcd_db = gen.build()
+    denorm_db = build_denormalized(tpcd_db)
+    catalog = Catalog(denorm_db)
+    views = create_complex_views(denorm_db, catalog=catalog)
+    return denorm_db, catalog, views

@@ -1,0 +1,231 @@
+"""Conviva-like video-log workload — paper §7.5 and §12.6.2.
+
+The paper's distributed experiments use 1 TB of production user-activity
+logs from Conviva (video views with transfer/latency/error metrics) and
+eight summary-statistics views.  The production data is proprietary, so
+we generate a synthetic activity log with the same shape — Zipfian users
+and resources, error codes, long-tailed byte counts, a date axis — and
+define the eight view shapes described in §12.6.2:
+
+* V1  counts of error types by (errorType, resource, date)
+* V2  bytes transferred by (resource, user bucket, date)
+* V3  visit counts by an *expression of resource tags* and date
+* V4  nested: per-user grouping, then per-(region, provider) statistics
+* V5  nested: per-user grouping, then per-(region, provider) error counts
+* V6  union of two resource subsets, then visit/byte aggregates
+* V7  per-(resource, user, date) network statistics, many aggregates
+* V8  per-(resource, date) visit statistics, many aggregates
+
+Views are keyed and materialized like any other; updates are appended
+log records (the remaining 20% of the trace in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.algebra.expressions import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Output,
+    Project,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import IsIn, col
+from repro.algebra.relation import Relation
+from repro.algebra.schema import Schema
+from repro.db.catalog import Catalog
+from repro.db.database import Database
+from repro.stats.zipf import ZipfGenerator
+
+LOG = "activity_log"
+ERROR_TYPES = ("NONE", "BUFFERING", "DNS", "TIMEOUT", "AUTH", "DECODE")
+PROVIDERS = tuple(f"ISP_{i}" for i in range(8))
+REGIONS = tuple(f"REGION_{i}" for i in range(6))
+
+LOG_SCHEMA = Schema([
+    "sessionId", "userId", "resourceId", "date", "bytes", "latency",
+    "errorType", "provider", "region",
+])
+
+
+class ConvivaGenerator:
+    """Synthetic user-activity log generator."""
+
+    def __init__(
+        self, n_users: int = 400, n_resources: int = 150, z: float = 1.5,
+        seed: int = 7,
+    ):
+        self.n_users = n_users
+        self.n_resources = n_resources
+        self.z = z
+        self.rng = np.random.default_rng(seed)
+        self._next_session = 0
+
+    def records(self, n: int, start_date: int = 0, date_span: int = 120) -> List[tuple]:
+        """``n`` log records over the given date window."""
+        rng = self.rng
+        users = ZipfGenerator(self.n_users, self.z, rng).draw(n)
+        resources = ZipfGenerator(self.n_resources, self.z, rng).draw(n)
+        dates = start_date + rng.integers(0, date_span, n)
+        byte_ranks = ZipfGenerator(5000, max(self.z, 1.0), rng).draw(n) + 1
+        bytes_ = np.round(1e6 * (5000.0 / byte_ranks) ** 0.6, 0)
+        latency = np.round(rng.gamma(2.0, 40.0, n), 1)
+        err = rng.choice(
+            len(ERROR_TYPES), size=n,
+            p=[0.82, 0.06, 0.04, 0.04, 0.02, 0.02],
+        )
+        rows = []
+        for i in range(n):
+            sid = self._next_session
+            self._next_session += 1
+            uid = int(users[i])
+            rows.append((
+                sid, uid, int(resources[i]), int(dates[i]), float(bytes_[i]),
+                float(latency[i]), ERROR_TYPES[err[i]],
+                PROVIDERS[uid % len(PROVIDERS)], REGIONS[uid % len(REGIONS)],
+            ))
+        return rows
+
+    def build(self, n_records: int = 20_000) -> Database:
+        """Database holding the initial 80% of the trace."""
+        db = Database()
+        db.add_relation(Relation(
+            LOG_SCHEMA, self.records(n_records), key=("sessionId",), name=LOG,
+        ))
+        return db
+
+    def append_updates(self, db: Database, n_records: int,
+                       start_date: int = 100, date_span: int = 30) -> int:
+        """Queue fresh log records as deltas (recent dates — new data
+        skews to the tail of the time axis, as in the real trace)."""
+        db.insert(LOG, self.records(n_records, start_date, date_span))
+        return n_records
+
+
+# ----------------------------------------------------------------------
+# The eight views of §12.6.2
+# ----------------------------------------------------------------------
+def _v1():
+    return Aggregate(
+        BaseRel(LOG), ["errorType", "resourceId", "date"],
+        [AggSpec("errors", "count")],
+    )
+
+
+def _v2():
+    return Aggregate(
+        BaseRel(LOG), ["resourceId", "date"],
+        [AggSpec("bytes_total", "sum", col("bytes")),
+         AggSpec("visits", "count")],
+    )
+
+
+def _v3():
+    tagged = Project(
+        BaseRel(LOG),
+        [Output("sessionId", col("sessionId")),
+         Output("tag", col("resourceId") % 10),
+         Output("date", col("date"))],
+    )
+    return Aggregate(tagged, ["tag", "date"], [AggSpec("visits", "count")])
+
+
+def _v4():
+    per_user = Aggregate(
+        BaseRel(LOG), ["userId", "region", "provider"],
+        [AggSpec("user_bytes", "sum", col("bytes")),
+         AggSpec("user_visits", "count")],
+    )
+    return Aggregate(
+        per_user, ["region", "provider"],
+        [AggSpec("bytes_total", "sum", col("user_bytes")),
+         AggSpec("active_users", "count")],
+    )
+
+
+def _v5():
+    errors = Select(BaseRel(LOG), col("errorType") != "NONE")
+    per_user = Aggregate(
+        errors, ["userId", "region", "provider"],
+        [AggSpec("user_errors", "count")],
+    )
+    return Aggregate(
+        per_user, ["region", "provider"],
+        [AggSpec("errors_total", "sum", col("user_errors"))],
+    )
+
+
+def _v6():
+    popular = Select(BaseRel(LOG), col("resourceId") < 20)
+    tail = Select(BaseRel(LOG), col("resourceId") >= 100)
+    return Aggregate(
+        Union(popular, tail), ["resourceId", "date"],
+        [AggSpec("visits", "count"),
+         AggSpec("bytes_total", "sum", col("bytes"))],
+    )
+
+
+def _v7():
+    return Aggregate(
+        BaseRel(LOG), ["resourceId", "userId", "date"],
+        [AggSpec("visits", "count"),
+         AggSpec("bytes_total", "sum", col("bytes")),
+         AggSpec("avg_latency", "avg", col("latency"))],
+    )
+
+
+def _v8():
+    return Aggregate(
+        BaseRel(LOG), ["resourceId", "date"],
+        [AggSpec("visits", "count"),
+         AggSpec("bytes_total", "sum", col("bytes")),
+         AggSpec("avg_bytes", "avg", col("bytes")),
+         AggSpec("avg_latency", "avg", col("latency"))],
+    )
+
+
+CONVIVA_VIEW_BUILDERS: Dict[str, Callable] = {
+    "V1": _v1, "V2": _v2, "V3": _v3, "V4": _v4,
+    "V5": _v5, "V6": _v6, "V7": _v7, "V8": _v8,
+}
+
+
+def conviva_query_attrs(name: str) -> Tuple[List[str], List[str]]:
+    """(predicate attrs, aggregate attrs) for the random query generator
+    — the paper queries random time ranges or customer/resource subsets."""
+    table = {
+        "V1": (["date", "errorType"], ["errors"]),
+        "V2": (["date", "resourceId"], ["bytes_total", "visits"]),
+        "V3": (["date", "tag"], ["visits"]),
+        "V4": (["region", "provider"], ["bytes_total", "active_users"]),
+        "V5": (["region", "provider"], ["errors_total"]),
+        "V6": (["date", "resourceId"], ["visits", "bytes_total"]),
+        "V7": (["date", "resourceId", "userId"], ["bytes_total", "visits"]),
+        "V8": (["date", "resourceId"], ["visits", "bytes_total"]),
+    }
+    return table[name]
+
+
+def create_conviva_views(
+    db: Database, names: List[str] = None, catalog: Catalog = None
+) -> Dict[str, object]:
+    """Materialize the requested Conviva views."""
+    catalog = catalog or Catalog(db)
+    names = names or list(CONVIVA_VIEW_BUILDERS)
+    return {n: catalog.create_view(n, CONVIVA_VIEW_BUILDERS[n]()) for n in names}
+
+
+def build_conviva_workload(
+    n_records: int = 20_000, z: float = 1.5, seed: int = 7,
+) -> Tuple[Database, Catalog, Dict[str, object], ConvivaGenerator]:
+    """Generate the log and materialize all eight views."""
+    gen = ConvivaGenerator(z=z, seed=seed)
+    db = gen.build(n_records)
+    catalog = Catalog(db)
+    views = create_conviva_views(db, catalog=catalog)
+    return db, catalog, views, gen

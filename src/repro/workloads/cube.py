@@ -1,0 +1,84 @@
+"""The aggregate (data cube) view — paper §7.6.1 and §12.6.3.
+
+The base cube materializes revenue grouped by
+(c_custkey, n_nationkey, r_regionkey, l_partkey) over the join of
+lineitem, orders, customer, nation and region; the thirteen roll-up
+queries aggregate the ``revenue`` measure over every dimension subset
+listed in §12.6.3 (sum by default; the Fig 13 variant uses median).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.algebra.expressions import AggSpec, Aggregate, BaseRel, Join
+from repro.algebra.predicates import col
+from repro.core.estimators import AggQuery
+from repro.db.catalog import Catalog
+from repro.db.database import Database
+from repro.db.view import MaterializedView
+
+CUBE_VIEW_NAME = "basecube"
+
+CUBE_DIMENSIONS = ("c_custkey", "n_nationkey", "r_regionkey", "l_partkey")
+
+#: Sampling attribute used by the experiments: hashing the part key (a
+#: subset of the cube key, paper §12.5) pushes the sampler all the way
+#: into the lineitem fact table and through the whole dimension chain.
+CUBE_SAMPLE_ATTRS = ("l_partkey",)
+
+#: The 13 roll-up groupings of §12.6.3 (Q1 = grand total).
+ROLLUP_GROUPINGS: List[Tuple[str, Tuple[str, ...]]] = [
+    ("Q1", ()),
+    ("Q2", ("c_custkey",)),
+    ("Q3", ("n_nationkey",)),
+    ("Q4", ("r_regionkey",)),
+    ("Q5", ("l_partkey",)),
+    ("Q6", ("c_custkey", "n_nationkey")),
+    ("Q7", ("c_custkey", "r_regionkey")),
+    ("Q8", ("c_custkey", "l_partkey")),
+    ("Q9", ("n_nationkey", "r_regionkey")),
+    ("Q10", ("n_nationkey", "l_partkey")),
+    ("Q11", ("c_custkey", "n_nationkey", "r_regionkey")),
+    ("Q12", ("c_custkey", "n_nationkey", "l_partkey")),
+    ("Q13", ("n_nationkey", "r_regionkey", "l_partkey")),
+]
+
+
+def cube_definition():
+    """γ over the five-table join per the appendix SQL (§12.6.3)."""
+    join = Join(
+        Join(
+            Join(
+                Join(
+                    BaseRel("lineitem"), BaseRel("orders"),
+                    on=[("l_orderkey", "o_orderkey")], foreign_key=True,
+                ),
+                BaseRel("customer"),
+                on=[("o_custkey", "c_custkey")], foreign_key=True,
+            ),
+            BaseRel("nation"),
+            on=[("c_nationkey", "n_nationkey")], foreign_key=True,
+        ),
+        BaseRel("region"),
+        on=[("n_regionkey", "r_regionkey")], foreign_key=True,
+    )
+    revenue = col("l_extendedprice") * (1 - col("l_discount"))
+    return Aggregate(
+        join, list(CUBE_DIMENSIONS), [AggSpec("revenue", "sum", revenue)]
+    )
+
+
+def create_cube_view(db: Database, catalog: Catalog = None) -> MaterializedView:
+    """Materialize the base cube on a TPCD database."""
+    catalog = catalog or Catalog(db)
+    return catalog.create_view(CUBE_VIEW_NAME, cube_definition())
+
+
+def rollup_queries(func: str = "sum") -> List[Tuple[str, AggQuery, Tuple[str, ...]]]:
+    """The 13 roll-up queries (``func``: "sum" for Fig 11, "median" for
+    Fig 13); each entry is (name, measure query, group-by dims)."""
+    return [
+        (name, AggQuery(func, "revenue", name=f"{func}(revenue)|{name}"), dims)
+        for name, dims in ROLLUP_GROUPINGS
+    ]

@@ -1,0 +1,112 @@
+"""The Join View workload — paper §7.2.
+
+The materialized view is the foreign-key join of lineitem and orders
+(the two update-bearing TPC-D tables), extended with the classic revenue
+expression ``l_extendedprice·(1−l_discount)`` via generalized projection.
+Twelve group-by aggregates standing in for the TPC-D queries that use the
+join (Q3, Q4, Q5, Q7, Q8, Q9, Q10, Q12, Q14, Q18, Q19, Q21) run as
+queries on the view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.algebra.expressions import BaseRel, Join, Output, Project
+from repro.algebra.predicates import ALWAYS, Between, IsIn, col
+from repro.core.estimators import AggQuery
+from repro.db.catalog import Catalog
+from repro.db.database import Database
+from repro.db.view import MaterializedView
+from repro.workloads.tpcd import BASE_DATE, DATE_SPAN
+
+JOIN_VIEW_NAME = "lineorder"
+
+#: The attributes the paper samples on: the lineitem primary key (the
+#: foreign-key special case pushes the hash to the fact table).
+SAMPLE_ATTRS = ("l_orderkey", "l_linenumber")
+
+_LINE_COLS = (
+    "l_orderkey", "l_linenumber", "l_partkey", "l_suppkey", "l_quantity",
+    "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+    "l_shipdate", "l_shipmode",
+)
+_ORDER_COLS = (
+    "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
+    "o_orderpriority",
+)
+
+
+def join_view_definition():
+    """Π(lineitem ⋈_fk orders) with the revenue and order-year columns."""
+    join = Join(
+        BaseRel("lineitem"), BaseRel("orders"),
+        on=[("l_orderkey", "o_orderkey")], foreign_key=True,
+    )
+    outputs = [Output(c, col(c)) for c in _LINE_COLS + _ORDER_COLS]
+    outputs.append(
+        Output("revenue", col("l_extendedprice") * (1 - col("l_discount")))
+    )
+    outputs.append(Output("o_year", col("o_orderdate") / 400))
+    return Project(join, outputs)
+
+
+def create_join_view(db: Database, catalog: Catalog = None) -> MaterializedView:
+    """Materialize the join view on a TPCD database."""
+    catalog = catalog or Catalog(db)
+    return catalog.create_view(JOIN_VIEW_NAME, join_view_definition())
+
+
+_MID_DATE = BASE_DATE + DATE_SPAN // 2
+
+
+def tpcd_queries() -> List[Tuple[str, AggQuery, Tuple[str, ...]]]:
+    """(name, aggregate query, group-by attrs) for the 12 join queries.
+
+    Shapes follow the corresponding TPC-D queries restricted to the
+    lineitem ⋈ orders attributes (the paper treats the 12 group-by
+    aggregates of the join as queries on the view).
+    """
+    return [
+        ("Q3", AggQuery("sum", "revenue", col("o_orderdate") < _MID_DATE),
+         ("o_orderpriority",)),
+        ("Q4", AggQuery(
+            "count", None,
+            Between(col("o_orderdate"), BASE_DATE, _MID_DATE)),
+         ("o_orderpriority",)),
+        ("Q5", AggQuery("sum", "revenue", ALWAYS), ("l_returnflag",)),
+        ("Q7", AggQuery("sum", "revenue", col("l_shipdate") < _MID_DATE),
+         ("l_shipmode",)),
+        ("Q8", AggQuery("avg", "l_discount", ALWAYS), ("o_orderstatus",)),
+        ("Q9", AggQuery("sum", "revenue", ALWAYS), ("l_linestatus",)),
+        ("Q10", AggQuery("sum", "revenue", col("l_returnflag") == "R"),
+         ("o_orderpriority",)),
+        ("Q12", AggQuery(
+            "count", None,
+            IsIn(col("o_orderpriority"), ["1-URGENT", "2-HIGH"])),
+         ("l_shipmode",)),
+        ("Q14", AggQuery("avg", "l_extendedprice",
+                         col("l_shipdate") < _MID_DATE),
+         ("l_returnflag",)),
+        ("Q18", AggQuery("sum", "l_quantity", col("o_totalprice") > 1000.0),
+         ("o_orderstatus",)),
+        ("Q19", AggQuery("sum", "revenue",
+                         Between(col("l_quantity"), 1, 25)),
+         ("l_shipmode",)),
+        ("Q21", AggQuery("count", None, col("o_orderstatus") == "F"),
+         ("l_linestatus",)),
+    ]
+
+
+def query_attrs() -> Dict[str, List[str]]:
+    """Attribute pools for the random query generator on this view."""
+    return {
+        "predicate": [
+            "o_orderpriority", "l_returnflag", "l_shipmode", "o_orderdate",
+            "l_shipdate", "o_orderstatus", "l_linestatus",
+        ],
+        "aggregate": [
+            "revenue", "l_extendedprice", "l_quantity", "o_totalprice",
+            "l_discount",
+        ],
+    }

@@ -1,0 +1,277 @@
+"""TPCD-Skew synthetic data generator — paper §7.1.
+
+The paper evaluates on a 10 GB TPCD-Skew database (Chaudhuri & Narasayya):
+the TPC-D schema with attribute values drawn from a Zipfian distribution
+with exponent z ∈ {1, 2, 3, 4} (z = 1 ≈ basic TPCD).  We generate the
+same schema in memory at a configurable scale factor; row counts follow
+the TPC-D ratios scaled down so a full experiment sweep runs on a laptop.
+
+Only the columns the experiments touch are generated, with TPC-H-style
+prefixes (``l_``, ``o_``, ``c_``, ...), and the two update-bearing tables
+(lineitem, orders) get an update generator mirroring the paper's
+"insertions and updates to existing records" batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algebra.relation import Relation
+from repro.algebra.schema import Schema
+from repro.db.database import Database
+from repro.errors import WorkloadError
+from repro.stats.zipf import ZipfGenerator
+
+REGION_NAMES = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIP_MODES = ("AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR")
+RETURN_FLAGS = ("R", "A", "N")
+LINE_STATUSES = ("O", "F")
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+
+#: TPC-D row-count ratios per unit scale factor (scaled-down laptop units:
+#: sf=1.0 here corresponds to ~24k lineitem rows, not the 6M of TPC-H).
+ROWS_PER_SF = {
+    "customer": 600,
+    "part": 800,
+    "supplier": 40,
+    "orders": 6_000,
+    "lineitem": 24_000,
+}
+
+BASE_DATE = 8_000  # days; orders span [BASE_DATE, BASE_DATE + DATE_SPAN)
+DATE_SPAN = 2_400
+
+
+@dataclass
+class TPCDConfig:
+    """Generator configuration.
+
+    ``scale`` multiplies :data:`ROWS_PER_SF`; ``z`` is the Zipfian skew
+    exponent (z = 1 is basic TPCD per the paper).
+    """
+
+    scale: float = 0.5
+    z: float = 2.0
+    seed: int = 42
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def rows(self, table: str) -> int:
+        if table in self.counts:
+            return self.counts[table]
+        return max(1, int(ROWS_PER_SF[table] * self.scale))
+
+
+class TPCDGenerator:
+    """Builds a TPCD-Skew :class:`Database` and its update batches."""
+
+    def __init__(self, config: Optional[TPCDConfig] = None):
+        self.config = config or TPCDConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self._next_orderkey = 0
+        self._next_linenumber: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _zipf(self, domain: int) -> ZipfGenerator:
+        return ZipfGenerator(domain, self.config.z, rng=self.rng)
+
+    def _prices(self, n: int) -> np.ndarray:
+        """Long-tailed extended prices (the outlier-index attribute).
+
+        Ranks are drawn from a mildly skewed Zipfian so large ranks stay
+        rare; the configured ``z`` controls the amplitude of the tail
+        (z = 1 ≈ basic TPCD, z = 4 has extreme outliers, §7.4).
+        """
+        ranks = ZipfGenerator(500, 1.1, rng=self.rng).draw(n) + 1
+        base = 10.0 + 5.0 * self.rng.random(n)
+        return np.round(base * ranks ** (self.config.z / 2.0), 2)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Database:
+        """Generate the full database with all seven tables."""
+        cfg = self.config
+        db = Database()
+
+        db.add_relation(Relation(
+            Schema(["r_regionkey", "r_name"]),
+            [(i, REGION_NAMES[i]) for i in range(len(REGION_NAMES))],
+            key=("r_regionkey",), name="region",
+        ))
+        n_nations = 25
+        db.add_relation(Relation(
+            Schema(["n_nationkey", "n_name", "n_regionkey"]),
+            [(i, f"NATION_{i:02d}", i % len(REGION_NAMES)) for i in range(n_nations)],
+            key=("n_nationkey",), name="nation",
+        ))
+
+        n_supp = cfg.rows("supplier")
+        supp_nation = self._zipf(n_nations).draw(n_supp)
+        db.add_relation(Relation(
+            Schema(["s_suppkey", "s_name", "s_nationkey"]),
+            [(i, f"SUPP_{i:05d}", int(supp_nation[i])) for i in range(n_supp)],
+            key=("s_suppkey",), name="supplier",
+        ))
+
+        n_cust = cfg.rows("customer")
+        cust_nation = self._zipf(n_nations).draw(n_cust)
+        acctbal = np.round(self.rng.uniform(-999, 9999, n_cust), 2)
+        segment = self.rng.integers(0, len(SEGMENTS), n_cust)
+        db.add_relation(Relation(
+            Schema(["c_custkey", "c_name", "c_nationkey", "c_acctbal",
+                    "c_mktsegment"]),
+            [
+                (i, f"CUST_{i:06d}", int(cust_nation[i]), float(acctbal[i]),
+                 SEGMENTS[segment[i]])
+                for i in range(n_cust)
+            ],
+            key=("c_custkey",), name="customer",
+        ))
+
+        n_part = cfg.rows("part")
+        retail = self._prices(n_part)
+        db.add_relation(Relation(
+            Schema(["p_partkey", "p_name", "p_brand", "p_retailprice"]),
+            [
+                (i, f"PART_{i:06d}", f"BRAND_{i % 25:02d}", float(retail[i]))
+                for i in range(n_part)
+            ],
+            key=("p_partkey",), name="part",
+        ))
+
+        orders_rel = Relation(
+            Schema(["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+                    "o_orderdate", "o_orderpriority"]),
+            self._order_rows(cfg.rows("orders"), n_cust),
+            key=("o_orderkey",), name="orders",
+        )
+        db.add_relation(orders_rel)
+
+        lineitem_rel = Relation(
+            Schema(["l_orderkey", "l_linenumber", "l_partkey", "l_suppkey",
+                    "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+                    "l_returnflag", "l_linestatus", "l_shipdate", "l_shipmode"]),
+            self._lineitem_rows_for(orders_rel.column("o_orderkey"),
+                                    cfg.rows("lineitem"), n_part, n_supp),
+            key=("l_orderkey", "l_linenumber"), name="lineitem",
+        )
+        db.add_relation(lineitem_rel)
+        return db
+
+    # ------------------------------------------------------------------
+    def _order_rows(self, n: int, n_cust: int) -> List[tuple]:
+        cust = self._zipf(n_cust).draw(n)
+        dates = BASE_DATE + self._zipf(DATE_SPAN).draw(n)
+        prio = self.rng.integers(0, len(ORDER_PRIORITIES), n)
+        total = self._prices(n) * self.rng.integers(1, 5, n)
+        rows = []
+        for i in range(n):
+            key = self._next_orderkey
+            self._next_orderkey += 1
+            rows.append((
+                key, int(cust[i]), "O" if self.rng.random() < 0.5 else "F",
+                float(round(total[i], 2)), int(dates[i]),
+                ORDER_PRIORITIES[prio[i]],
+            ))
+        return rows
+
+    def _lineitem_rows_for(
+        self, orderkeys: List[int], n: int, n_part: int, n_supp: int
+    ) -> List[tuple]:
+        picks = self.rng.integers(0, len(orderkeys), n)
+        part = self._zipf(n_part).draw(n)
+        supp = self._zipf(n_supp).draw(n)
+        qty = 1 + self._zipf(50).draw(n)
+        price = self._prices(n)
+        disc = np.round(self.rng.uniform(0.0, 0.1, n), 2)
+        tax = np.round(self.rng.uniform(0.0, 0.08, n), 2)
+        rflag = self.rng.integers(0, len(RETURN_FLAGS), n)
+        lstat = self.rng.integers(0, len(LINE_STATUSES), n)
+        sdate = BASE_DATE + self._zipf(DATE_SPAN).draw(n)
+        smode = self.rng.integers(0, len(SHIP_MODES), n)
+        rows = []
+        for i in range(n):
+            okey = int(orderkeys[picks[i]])
+            line = self._next_linenumber.get(okey, 0) + 1
+            self._next_linenumber[okey] = line
+            rows.append((
+                okey, line, int(part[i]), int(supp[i]), int(qty[i]),
+                float(price[i]), float(disc[i]), float(tax[i]),
+                RETURN_FLAGS[rflag[i]], LINE_STATUSES[lstat[i]],
+                int(sdate[i]), SHIP_MODES[smode[i]],
+            ))
+        return rows
+
+    # ------------------------------------------------------------------
+    def generate_updates(
+        self, db: Database, fraction: float, update_share: float = 0.3
+    ) -> Dict[str, int]:
+        """Queue one paper-style update batch into the database deltas.
+
+        ``fraction`` sizes the batch relative to the base data (the
+        paper's "updates as % of base data"); ``update_share`` is the
+        portion that modifies existing records (the rest are insertions
+        of new orders with their lineitems).  Returns per-table counts.
+        """
+        if not 0.0 < fraction:
+            raise WorkloadError(f"update fraction must be positive: {fraction}")
+        lineitem = db.relation("lineitem")
+        orders = db.relation("orders")
+        n_cust = len(db.relation("customer"))
+        n_part = len(db.relation("part"))
+        n_supp = len(db.relation("supplier"))
+
+        n_new_line = int(len(lineitem) * fraction * (1 - update_share))
+        n_new_orders = max(1, n_new_line // 4)
+        new_orders = self._order_rows(n_new_orders, n_cust)
+        db.insert("orders", new_orders)
+        new_lines = self._lineitem_rows_for(
+            [r[0] for r in new_orders], n_new_line, n_part, n_supp
+        )
+        db.insert("lineitem", new_lines)
+
+        n_upd_line = int(len(lineitem) * fraction * update_share)
+        updated_lines = self._updated_rows(
+            lineitem, n_upd_line, price_idx=5, qty_idx=4
+        )
+        if updated_lines:
+            db.update("lineitem", updated_lines)
+
+        n_upd_orders = int(len(orders) * fraction * update_share)
+        updated_orders = self._updated_rows(orders, n_upd_orders, price_idx=3)
+        if updated_orders:
+            db.update("orders", updated_orders)
+
+        return {
+            "orders_inserted": n_new_orders,
+            "lineitem_inserted": n_new_line,
+            "lineitem_updated": len(updated_lines),
+            "orders_updated": len(updated_orders),
+        }
+
+    def _updated_rows(
+        self, rel: Relation, n: int, price_idx: int, qty_idx: Optional[int] = None
+    ) -> List[tuple]:
+        if n <= 0 or len(rel) == 0:
+            return []
+        picks = self.rng.choice(len(rel), size=min(n, len(rel)), replace=False)
+        out = []
+        for i in picks:
+            row = list(rel.rows[i])
+            row[price_idx] = float(
+                round(row[price_idx] * self.rng.uniform(0.8, 1.3), 2)
+            )
+            if qty_idx is not None:
+                row[qty_idx] = int(max(1, row[qty_idx] + self.rng.integers(-2, 3)))
+            out.append(tuple(row))
+        return out
+
+
+def build_tpcd(
+    scale: float = 0.5, z: float = 2.0, seed: int = 42
+) -> Tuple[Database, TPCDGenerator]:
+    """Convenience constructor: (database, generator)."""
+    gen = TPCDGenerator(TPCDConfig(scale=scale, z=z, seed=seed))
+    return gen.build(), gen

@@ -1,0 +1,118 @@
+"""Unit tests for repro.algebra.aggregates."""
+
+import math
+
+import pytest
+
+from repro.algebra.aggregates import (
+    AVG,
+    COUNT,
+    DELTA_MAX,
+    DELTA_MIN,
+    MAX,
+    MEDIAN,
+    MIN,
+    PICK,
+    SUM,
+    get_aggregate,
+    percentile,
+)
+from repro.errors import EvaluationError
+
+
+class TestBasicAggregates:
+    def test_sum(self):
+        assert SUM.compute([1, 2, 3]) == 6
+
+    def test_sum_empty(self):
+        assert SUM.compute([]) == 0
+
+    def test_count(self):
+        assert COUNT.compute([5, 5, 5]) == 3
+
+    def test_avg(self):
+        assert AVG.compute([1, 2, 3]) == 2.0
+
+    def test_avg_empty_is_nan(self):
+        assert math.isnan(AVG.compute([]))
+
+    def test_min_max(self):
+        assert MIN.compute([3, 1, 2]) == 1
+        assert MAX.compute([3, 1, 2]) == 3
+
+    def test_min_max_empty(self):
+        assert MIN.compute([]) is None
+        assert MAX.compute([]) is None
+
+    def test_median(self):
+        assert MEDIAN.compute([1, 2, 3, 4]) == 2.5
+
+    def test_percentile(self):
+        p = percentile(75)
+        assert p.compute([1, 2, 3, 4]) == pytest.approx(3.25)
+
+    def test_std_var(self):
+        std = get_aggregate("std")
+        var = get_aggregate("var")
+        assert var.compute([1, 3]) == pytest.approx(2.0)
+        assert std.compute([1, 3]) == pytest.approx(math.sqrt(2.0))
+
+    def test_count_distinct(self):
+        assert get_aggregate("count_distinct").compute([1, 1, 2]) == 2
+
+
+class TestMaintenanceMetadata:
+    def test_sum_contribution_signed(self):
+        assert SUM.contribution(5, 1) == 5
+        assert SUM.contribution(5, -1) == -5
+
+    def test_count_contribution_is_mult(self):
+        assert COUNT.contribution("anything", -1) == -1
+
+    def test_sum_combine_null_as_zero(self):
+        assert SUM.combine(None, 3) == 3
+        assert SUM.combine(7, -2) == 5
+
+    def test_holistic_has_no_contribution(self):
+        with pytest.raises(EvaluationError):
+            MEDIAN.contribution(1, 1)
+
+    def test_incremental_flags(self):
+        assert SUM.incremental
+        assert COUNT.incremental
+        assert AVG.incremental
+        assert not MEDIAN.incremental
+
+
+class TestChangeTableAggregates:
+    def test_pick_takes_freshest_insertion(self):
+        values = [(1, "old"), (2, "new"), (-1, "deleted")]
+        assert PICK.compute(values) == "new"
+
+    def test_pick_all_deletions_is_none(self):
+        assert PICK.compute([(-1, "a"), (-2, "b")]) is None
+
+    def test_pick_empty(self):
+        assert PICK.compute([]) is None
+
+    def test_delta_min_ignores_deletions(self):
+        assert DELTA_MIN.compute([(1, 5), (-1, 1), (1, 7)]) == 5
+
+    def test_delta_max(self):
+        assert DELTA_MAX.compute([(1, 5), (1, 7), (-1, 99)]) == 7
+
+    def test_delta_min_empty(self):
+        assert DELTA_MIN.compute([(-1, 3)]) is None
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_aggregate("sum") is SUM
+
+    def test_percentile_lookup(self):
+        agg = get_aggregate("percentile_90")
+        assert agg.compute([1, 2, 3, 4, 5]) == pytest.approx(4.6)
+
+    def test_unknown_raises(self):
+        with pytest.raises(EvaluationError):
+            get_aggregate("mode")

@@ -1,0 +1,282 @@
+"""Tests for the expression evaluator (operators of paper §3.1)."""
+
+import math
+
+import pytest
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Combiner,
+    Difference,
+    Hash,
+    Intersect,
+    Join,
+    Merge,
+    Output,
+    Project,
+    Relation,
+    Schema,
+    Select,
+    Union,
+    col,
+    evaluate,
+)
+from repro.algebra.evaluator import GROUP_COUNT
+from repro.errors import EvaluationError, SchemaError
+
+R = Relation(
+    Schema(["id", "grp", "val"]),
+    [(1, "a", 10.0), (2, "a", 20.0), (3, "b", 30.0), (4, "c", 40.0)],
+    key=("id",), name="R",
+)
+S = Relation(
+    Schema(["grp", "label"]),
+    [("a", "alpha"), ("b", "beta"), ("d", "delta")],
+    key=("grp",), name="S",
+)
+LEAVES = {"R": R, "S": S}
+
+
+class TestSelectProject:
+    def test_select(self):
+        out = evaluate(Select(BaseRel("R"), col("val") > 15), LEAVES)
+        assert len(out) == 3
+
+    def test_select_none_match(self):
+        out = evaluate(Select(BaseRel("R"), col("val") > 999), LEAVES)
+        assert len(out) == 0
+
+    def test_project_passthrough_and_computed(self):
+        e = Project(BaseRel("R"), [Output("id", col("id")),
+                                   Output("twice", col("val") * 2)])
+        out = evaluate(e, LEAVES)
+        assert out.schema.columns == ("id", "twice")
+        assert out.rows[0] == (1, 20.0)
+
+    def test_unknown_leaf_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(BaseRel("missing"), LEAVES)
+
+
+class TestJoins:
+    def test_inner_join_collapse(self):
+        e = Join(BaseRel("R"), BaseRel("S"), on=[("grp", "grp")])
+        out = evaluate(e, LEAVES)
+        assert out.schema.columns == ("id", "grp", "val", "label")
+        assert len(out) == 3  # grp 'c' has no match
+
+    def test_left_join_pads_none(self):
+        e = Join(BaseRel("R"), BaseRel("S"), on=[("grp", "grp")], how="left")
+        out = evaluate(e, LEAVES)
+        assert len(out) == 4
+        padded = [r for r in out.rows if r[3] is None]
+        assert len(padded) == 1 and padded[0][1] == "c"
+
+    def test_right_join(self):
+        e = Join(BaseRel("R"), BaseRel("S"), on=[("grp", "grp")], how="right")
+        out = evaluate(e, LEAVES)
+        # 3 matches + unmatched 'd'.
+        assert len(out) == 4
+        unmatched = [r for r in out.rows if r[0] is None]
+        assert unmatched[0][1] == "d"  # collapsed key carries right value
+
+    def test_full_outer_join(self):
+        e = Join(BaseRel("R"), BaseRel("S"), on=[("grp", "grp")], how="full")
+        out = evaluate(e, LEAVES)
+        assert len(out) == 5
+        groups = {r[1] for r in out.rows}
+        assert groups == {"a", "b", "c", "d"}
+
+    def test_theta_join(self):
+        e = Join(BaseRel("R"), BaseRel("S"), on=[("grp", "grp")],
+                 theta=col("val") > 15)
+        out = evaluate(e, LEAVES)
+        assert all(r[2] > 15 for r in out.rows)
+
+    def test_pure_theta_join(self):
+        t = Relation(Schema(["tkey", "limit"]), [(1, 35.0), (2, 5.0)],
+                     key=("tkey",), name="T")
+        e = Join(BaseRel("R"), BaseRel("T"), on=[],
+                 theta=col("val") > col("limit"))
+        out = evaluate(e, {"R": R, "T": t})
+        # val>35: 1 row x tkey=1; val>5: all 4 x tkey=2.
+        assert len(out) == 5
+
+    def test_empty_inner_join_fast_path(self):
+        empty = Relation(S.schema, [], key=S.key, name="S")
+        e = Join(BaseRel("R"), BaseRel("S"), on=[("grp", "grp")])
+        out = evaluate(e, {"R": R, "S": empty})
+        assert len(out) == 0
+
+    def test_duplicate_column_collision_raises(self):
+        other = Relation(Schema(["id", "x"]), [], key=("id",))
+        e = Join(BaseRel("R"), BaseRel("T"), on=[("grp", "x")])
+        with pytest.raises(SchemaError):
+            evaluate(e, {"R": R, "T": other})
+
+
+class TestAggregates:
+    def test_group_by_count_sum(self):
+        e = Aggregate(BaseRel("R"), ["grp"],
+                      [AggSpec("n", "count"), AggSpec("total", "sum", "val")])
+        out = evaluate(e, LEAVES)
+        by_grp = {r[0]: r for r in out.rows}
+        assert by_grp["a"] == ("a", 2, 30.0)
+        assert by_grp["b"] == ("b", 1, 30.0)
+
+    def test_global_aggregate_empty_input(self):
+        empty = Relation(R.schema, [], key=R.key, name="R")
+        e = Aggregate(BaseRel("R"), [], [AggSpec("n", "count")])
+        out = evaluate(e, {"R": empty})
+        assert out.rows == [(0,)]
+
+    def test_group_by_empty_input_no_rows(self):
+        empty = Relation(R.schema, [], key=R.key, name="R")
+        e = Aggregate(BaseRel("R"), ["grp"], [AggSpec("n", "count")])
+        assert len(evaluate(e, {"R": empty})) == 0
+
+    def test_distinct_special_case(self):
+        e = Aggregate(BaseRel("R"), ["grp"], [])
+        out = evaluate(e, LEAVES)
+        assert sorted(out.rows) == [("a",), ("b",), ("c",)]
+
+    def test_avg_aggregate(self):
+        e = Aggregate(BaseRel("R"), ["grp"], [AggSpec("m", "avg", "val")])
+        out = evaluate(e, LEAVES)
+        assert dict(out.rows)["a"] == 15.0
+
+    def test_computed_aggregate_term(self):
+        e = Aggregate(BaseRel("R"), ["grp"],
+                      [AggSpec("t", "sum", col("val") * 2)])
+        out = evaluate(e, LEAVES)
+        assert dict(out.rows)["a"] == 60.0
+
+
+class TestSetOps:
+    def test_union_dedups(self):
+        e = Union(BaseRel("R"), BaseRel("R"))
+        assert len(evaluate(e, LEAVES)) == 4
+
+    def test_intersect(self):
+        half = Relation(R.schema, R.rows[:2], key=R.key, name="H")
+        e = Intersect(BaseRel("R"), BaseRel("H"))
+        assert len(evaluate(e, {"R": R, "H": half})) == 2
+
+    def test_difference(self):
+        half = Relation(R.schema, R.rows[:2], key=R.key, name="H")
+        e = Difference(BaseRel("R"), BaseRel("H"))
+        assert len(evaluate(e, {"R": R, "H": half})) == 2
+
+    def test_difference_empty_right_fast_path(self):
+        empty = Relation(R.schema, [], name="H")
+        e = Difference(BaseRel("R"), BaseRel("H"))
+        assert len(evaluate(e, {"R": R, "H": empty})) == 4
+
+
+class TestHash:
+    def test_ratio_one_keeps_all(self):
+        e = Hash(BaseRel("R"), ("id",), 1.0)
+        assert len(evaluate(e, LEAVES)) == 4
+
+    def test_ratio_zero_keeps_none(self):
+        e = Hash(BaseRel("R"), ("id",), 0.0)
+        assert len(evaluate(e, LEAVES)) == 0
+
+    def test_deterministic(self):
+        e = Hash(BaseRel("R"), ("id",), 0.5, seed=7)
+        assert evaluate(e, LEAVES).rows == evaluate(e, LEAVES).rows
+
+    def test_different_seeds_differ_eventually(self):
+        big = Relation(Schema(["id"]), [(i,) for i in range(200)], key=("id",))
+        samples = {
+            seed: tuple(evaluate(Hash(BaseRel("B"), ("id",), 0.3, seed=seed),
+                                 {"B": big}).rows)
+            for seed in range(3)
+        }
+        assert len(set(samples.values())) > 1
+
+    def test_subset_filter_property(self):
+        e = Hash(BaseRel("R"), ("id",), 0.5, seed=1)
+        out = evaluate(e, LEAVES)
+        assert set(out.rows) <= set(R.rows)
+
+
+class TestMerge:
+    def test_spj_merge_upsert_and_delete(self):
+        stale = Relation(Schema(["id", "v"]), [(1, "a"), (2, "b")], key=("id",),
+                         name="stale")
+        change = Relation(
+            Schema(["id", "v", GROUP_COUNT]),
+            [(2, "B", 0), (3, "c", 1), (1, None, -1)],
+            name="change",
+        )
+        e = Merge(BaseRel("stale"), BaseRel("change"), ("id",),
+                  [Combiner("id", "group"), Combiner("v", "replace")])
+        out = evaluate(e, {"stale": stale, "change": change})
+        assert sorted(out.rows) == [(2, "B"), (3, "c")]
+
+    def test_aggregate_merge_add_and_drop(self):
+        stale = Relation(Schema(["g", "n", GROUP_COUNT]),
+                         [("a", 2, 2), ("b", 1, 1)], key=("g",), name="stale")
+        change = Relation(Schema(["g", "n", GROUP_COUNT]),
+                          [("a", 3, 3), ("b", -1, -1), ("c", 1, 1)],
+                          name="change")
+        e = Merge(BaseRel("stale"), BaseRel("change"), ("g",),
+                  [Combiner("g", "group"), Combiner("n", "add"),
+                   Combiner(GROUP_COUNT, "add")])
+        out = evaluate(e, {"stale": stale, "change": change})
+        assert sorted(out.rows) == [("a", 5, 5), ("c", 1, 1)]
+
+    def test_merge_no_drop(self):
+        stale = Relation(Schema(["g", "n", GROUP_COUNT]),
+                         [("a", 1, 1)], key=("g",), name="stale")
+        change = Relation(Schema(["g", "n", GROUP_COUNT]),
+                          [("a", -1, -1)], name="change")
+        e = Merge(BaseRel("stale"), BaseRel("change"), ("g",),
+                  [Combiner("g", "group"), Combiner("n", "add"),
+                   Combiner(GROUP_COUNT, "add")], drop_empty=False)
+        out = evaluate(e, {"stale": stale, "change": change})
+        assert out.rows == [("a", 0, 0)]
+
+    def test_ratio_combiner(self):
+        stale = Relation(Schema(["g", "mean", "s", GROUP_COUNT]),
+                         [("a", 10.0, 20.0, 2)], key=("g",), name="stale")
+        change = Relation(Schema(["g", "s", GROUP_COUNT]),
+                          [("a", 40.0, 2)], name="change")
+        e = Merge(BaseRel("stale"), BaseRel("change"), ("g",),
+                  [Combiner("g", "group"), Combiner("s", "add"),
+                   Combiner(GROUP_COUNT, "add"),
+                   Combiner("mean", "ratio", ("s", GROUP_COUNT))])
+        out = evaluate(e, {"stale": stale, "change": change})
+        assert out.rows == [("a", 15.0, 60.0, 4)]
+
+    def test_min_combiner(self):
+        stale = Relation(Schema(["g", "lo", GROUP_COUNT]),
+                         [("a", 5, 1)], key=("g",), name="stale")
+        change = Relation(Schema(["g", "lo", GROUP_COUNT]),
+                          [("a", 3, 1)], name="change")
+        e = Merge(BaseRel("stale"), BaseRel("change"), ("g",),
+                  [Combiner("g", "group"), Combiner("lo", "min"),
+                   Combiner(GROUP_COUNT, "add")])
+        out = evaluate(e, {"stale": stale, "change": change})
+        assert out.rows == [("a", 3, 2)]
+
+
+class TestMemoization:
+    def test_shared_subtree_is_consistent(self):
+        shared = Select(BaseRel("R"), col("val") > 0)
+        e = Union(Project(shared, ["id", "grp", "val"]),
+                  Project(shared, ["id", "grp", "val"]))
+        out = evaluate(e, LEAVES)
+        assert len(out) == 4  # identical branches collapse under union
+
+    def test_hash_leaf_sample_cached_on_relation(self):
+        rel = Relation(Schema(["id"]), [(i,) for i in range(50)], key=("id",),
+                       name="C")
+        e = Hash(BaseRel("C"), ("id",), 0.4, seed=3)
+        first = evaluate(e, {"C": rel})
+        assert (("id",), 0.4, 3) in rel.sample_cache()
+        second = evaluate(e, {"C": rel})
+        assert first.rows == second.rows

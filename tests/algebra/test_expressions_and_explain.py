@@ -1,0 +1,154 @@
+"""Tests for expression-node structure and the plan explainer."""
+
+import pytest
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Combiner,
+    Difference,
+    Hash,
+    Intersect,
+    Join,
+    Merge,
+    Output,
+    Project,
+    Relation,
+    Schema,
+    Select,
+    Union,
+    col,
+    distinct,
+)
+from repro.algebra.explain import count_operators, explain
+from repro.errors import SchemaError
+
+LEAVES = {
+    "Log": Relation(Schema(["sessionId", "videoId"]), [], key=("sessionId",)),
+    "Video": Relation(Schema(["videoId", "owner"]), [], key=("videoId",)),
+}
+
+
+def sample_tree():
+    join = Join(BaseRel("Log"), BaseRel("Video"),
+                on=[("videoId", "videoId")], foreign_key=True)
+    agg = Aggregate(join, ["videoId"], [AggSpec("n", "count")])
+    return Hash(agg, ("videoId",), 0.1, seed=2)
+
+
+class TestNodeStructure:
+    def test_children_and_rebuild(self):
+        tree = sample_tree()
+        kids = tree.children()
+        rebuilt = tree.with_children(kids)
+        assert isinstance(rebuilt, Hash)
+        assert rebuilt.ratio == 0.1 and rebuilt.seed == 2
+
+    def test_leaves_in_order(self):
+        leaves = sample_tree().leaves()
+        assert [l.name for l in leaves] == ["Log", "Video"]
+
+    def test_depth(self):
+        assert BaseRel("Log").depth() == 1
+        assert sample_tree().depth() == 4
+
+    def test_base_rel_rejects_children(self):
+        with pytest.raises(SchemaError):
+            BaseRel("Log").with_children([BaseRel("Video")])
+
+    def test_join_validation(self):
+        with pytest.raises(SchemaError):
+            Join(BaseRel("Log"), BaseRel("Video"), on=[], how="inner")
+        with pytest.raises(SchemaError):
+            Join(BaseRel("Log"), BaseRel("Video"),
+                 on=[("videoId", "videoId")], how="sideways")
+
+    def test_join_on_accessors(self):
+        j = Join(BaseRel("Log"), BaseRel("Video"), on=[("a", "b")])
+        assert j.left_on() == ("a",)
+        assert j.right_on() == ("b",)
+
+    def test_aggregate_duplicate_outputs_rejected(self):
+        with pytest.raises(SchemaError):
+            Aggregate(BaseRel("Log"), ["x"], [AggSpec("x", "count")])
+
+    def test_project_output_forms(self):
+        p = Project(BaseRel("Log"), ["sessionId", ("vid", col("videoId")),
+                                     Output("v2", col("videoId"))])
+        assert p.output_names() == ("sessionId", "vid", "v2")
+        assert p.passthrough_map() == {
+            "sessionId": "sessionId", "vid": "videoId", "v2": "videoId"}
+
+    def test_project_bad_output_rejected(self):
+        with pytest.raises(SchemaError):
+            Project(BaseRel("Log"), [42])
+
+    def test_hash_validation(self):
+        with pytest.raises(SchemaError):
+            Hash(BaseRel("Log"), (), 0.5)
+        with pytest.raises(SchemaError):
+            Hash(BaseRel("Log"), ("sessionId",), 1.5)
+
+    def test_combiner_validation(self):
+        with pytest.raises(SchemaError):
+            Combiner("x", "frobnicate")
+        with pytest.raises(SchemaError):
+            Combiner("x", "ratio", args=("only-one",))
+
+    def test_merge_rebuild_preserves_flags(self):
+        m = Merge(BaseRel("Log"), BaseRel("Video"), ("videoId",),
+                  [Combiner("videoId", "group")], drop_empty=False)
+        m2 = m.with_children(m.children())
+        assert m2.drop_empty is False
+
+    def test_distinct_helper(self):
+        d = distinct(BaseRel("Log"), ["videoId"])
+        assert isinstance(d, Aggregate)
+        assert d.aggs == ()
+
+    def test_reprs_are_informative(self):
+        tree = sample_tree()
+        text = repr(tree)
+        assert "η" in text and "γ" in text and "⋈" in text
+
+
+class TestExplain:
+    def test_tree_rendered_with_indent(self):
+        text = explain(sample_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("Sample η")
+        assert lines[1].startswith("  Aggregate")
+        assert "Scan Log" in text and "Scan Video" in text
+
+    def test_keys_annotated_with_leaves(self):
+        text = explain(sample_tree(), LEAVES)
+        assert "key=['videoId']" in text
+
+    def test_all_operator_labels(self):
+        sel = Select(BaseRel("Log"), col("videoId") > 1)
+        tree = Union(Intersect(sel, BaseRel("Log")),
+                     Difference(BaseRel("Log"), BaseRel("Log")))
+        text = explain(tree)
+        for label in ("Union", "Intersect", "Difference", "Select"):
+            assert label in text
+
+    def test_merge_label(self):
+        m = Merge(BaseRel("Log"), BaseRel("Video"), ("videoId",),
+                  [Combiner("videoId", "group")])
+        assert "Merge key=['videoId']" in explain(m)
+
+    def test_count_operators(self):
+        counts = count_operators(sample_tree())
+        assert counts == {"Hash": 1, "Aggregate": 1, "Join": 1, "BaseRel": 2}
+
+    def test_explain_pushdown_difference(self):
+        """The explainer makes the Fig 3 optimization visible."""
+        from repro.core.pushdown import push_down
+
+        tree = sample_tree()
+        pushed = push_down(tree, LEAVES)
+        before = count_operators(tree)
+        after = count_operators(pushed)
+        assert before["Hash"] == 1
+        assert after["Hash"] == 2  # pushed into both join branches

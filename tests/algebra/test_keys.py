@@ -1,0 +1,131 @@
+"""Tests for primary-key and schema derivation (paper Def 2)."""
+
+import pytest
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Difference,
+    Hash,
+    Intersect,
+    Join,
+    Output,
+    Project,
+    Relation,
+    Schema,
+    Select,
+    Union,
+    col,
+    derive_key,
+    derive_schema,
+    distinct,
+)
+from repro.errors import KeyDerivationError, SchemaError
+
+LEAVES = {
+    "Log": Relation(Schema(["sessionId", "videoId"]), [], key=("sessionId",)),
+    "Video": Relation(
+        Schema(["videoId", "ownerId", "duration"]), [], key=("videoId",)
+    ),
+    "NoKey": Relation(Schema(["x"]), []),
+}
+
+
+class TestSchemaDerivation:
+    def test_base(self):
+        assert derive_schema(BaseRel("Log"), LEAVES).columns == (
+            "sessionId", "videoId")
+
+    def test_select_keeps_schema(self):
+        e = Select(BaseRel("Log"), col("videoId") > 1)
+        assert derive_schema(e, LEAVES) == derive_schema(BaseRel("Log"), LEAVES)
+
+    def test_project(self):
+        e = Project(BaseRel("Video"), [Output("videoId", col("videoId")),
+                                       Output("dbl", col("duration") * 2)])
+        assert derive_schema(e, LEAVES).columns == ("videoId", "dbl")
+
+    def test_project_unknown_column_raises(self):
+        e = Project(BaseRel("Log"), [Output("x", col("nope"))])
+        with pytest.raises(SchemaError):
+            derive_schema(e, LEAVES)
+
+    def test_join_collapses_shared_equality_column(self):
+        e = Join(BaseRel("Log"), BaseRel("Video"), on=[("videoId", "videoId")])
+        assert derive_schema(e, LEAVES).columns == (
+            "sessionId", "videoId", "ownerId", "duration")
+
+    def test_aggregate_schema(self):
+        e = Aggregate(BaseRel("Log"), ["videoId"], [AggSpec("n", "count")])
+        assert derive_schema(e, LEAVES).columns == ("videoId", "n")
+
+    def test_set_ops_require_same_schema(self):
+        with pytest.raises(SchemaError):
+            derive_schema(Union(BaseRel("Log"), BaseRel("Video")), LEAVES)
+
+    def test_hash_keeps_schema(self):
+        e = Hash(BaseRel("Log"), ("sessionId",), 0.5)
+        assert derive_schema(e, LEAVES).columns == ("sessionId", "videoId")
+
+
+class TestKeyDerivation:
+    def test_base_key(self):
+        assert derive_key(BaseRel("Log"), LEAVES) == ("sessionId",)
+
+    def test_base_missing_key_raises(self):
+        with pytest.raises(KeyDerivationError):
+            derive_key(BaseRel("NoKey"), LEAVES)
+
+    def test_select_preserves_key(self):
+        e = Select(BaseRel("Log"), col("videoId") > 0)
+        assert derive_key(e, LEAVES) == ("sessionId",)
+
+    def test_projection_keeps_key_if_included(self):
+        e = Project(BaseRel("Log"), ["sessionId"])
+        assert derive_key(e, LEAVES) == ("sessionId",)
+
+    def test_projection_rename_tracks_key(self):
+        e = Project(BaseRel("Log"), [Output("sid", col("sessionId"))])
+        assert derive_key(e, LEAVES) == ("sid",)
+
+    def test_projection_dropping_key_raises(self):
+        e = Project(BaseRel("Log"), ["videoId"])
+        with pytest.raises(KeyDerivationError):
+            derive_key(e, LEAVES)
+
+    def test_join_key_is_tuple_of_keys(self):
+        # Paper Fig 2: (Log ⋈ Video) keyed by (sessionId, videoId).
+        e = Join(BaseRel("Log"), BaseRel("Video"), on=[("videoId", "videoId")])
+        assert set(derive_key(e, LEAVES)) == {"sessionId", "videoId"}
+
+    def test_aggregate_key_is_group_by(self):
+        # Paper Fig 2: the γ on videoId makes videoId the view key.
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")])
+        e = Aggregate(join, ["videoId"], [AggSpec("n", "count")])
+        assert derive_key(e, LEAVES) == ("videoId",)
+
+    def test_global_aggregate_key_is_empty(self):
+        e = Aggregate(BaseRel("Log"), [], [AggSpec("n", "count")])
+        assert derive_key(e, LEAVES) == ()
+
+    def test_union_key_is_union(self):
+        e = Union(BaseRel("Log"), BaseRel("Log"))
+        assert derive_key(e, LEAVES) == ("sessionId",)
+
+    def test_intersect_key_is_intersection(self):
+        e = Intersect(BaseRel("Log"), BaseRel("Log"))
+        assert derive_key(e, LEAVES) == ("sessionId",)
+
+    def test_difference_key_is_left(self):
+        e = Difference(BaseRel("Log"), BaseRel("Log"))
+        assert derive_key(e, LEAVES) == ("sessionId",)
+
+    def test_distinct_key(self):
+        e = distinct(BaseRel("Log"), ["videoId"])
+        assert derive_key(e, LEAVES) == ("videoId",)
+
+    def test_hash_preserves_key(self):
+        e = Hash(BaseRel("Log"), ("sessionId",), 0.1)
+        assert derive_key(e, LEAVES) == ("sessionId",)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.algebra.predicates (terms and predicates)."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    ALWAYS,
+    And,
+    Between,
+    Col,
+    Const,
+    IsIn,
+    Not,
+    Or,
+    Tup,
+    col,
+    func,
+    lit,
+)
+from repro.algebra.schema import Schema
+
+SCHEMA = Schema(["a", "b", "c"])
+ROW = (3, 10.0, "x")
+
+
+def evaluate(term, row=ROW, schema=SCHEMA):
+    return term.bind(schema)(row)
+
+
+class TestScalarTerms:
+    def test_col_reads_value(self):
+        assert evaluate(col("b")) == 10.0
+
+    def test_const(self):
+        assert evaluate(lit(7)) == 7
+
+    def test_arithmetic(self):
+        assert evaluate(col("a") + 1) == 4
+        assert evaluate(col("a") - 1) == 2
+        assert evaluate(col("a") * col("b")) == 30.0
+        assert evaluate(col("b") / col("a")) == pytest.approx(10 / 3)
+        assert evaluate(col("a") % 2) == 1
+
+    def test_reverse_arithmetic(self):
+        assert evaluate(1 - col("a")) == -2
+        assert evaluate(2 * col("a")) == 6
+        assert evaluate(1 + col("a")) == 4
+
+    def test_revenue_expression(self):
+        revenue = col("b") * (1 - col("a"))
+        assert evaluate(revenue) == 10.0 * (1 - 3)
+
+    def test_columns_tracked(self):
+        term = col("a") * (1 - col("b"))
+        assert term.columns() == frozenset({"a", "b"})
+
+    def test_func_term(self):
+        f = func("double", lambda v: 2 * v, col("a"))
+        assert evaluate(f) == 6
+        assert f.columns() == frozenset({"a"})
+
+    def test_tup(self):
+        t = Tup(col("a"), lit(5))
+        assert evaluate(t) == (3, 5)
+        assert t.columns() == frozenset({"a"})
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert evaluate(col("a") == 3)
+        assert not evaluate(col("a") == 4)
+
+    def test_ne(self):
+        assert evaluate(col("a") != 4)
+
+    def test_ordering(self):
+        assert evaluate(col("a") < 5)
+        assert evaluate(col("a") <= 3)
+        assert evaluate(col("a") > 2)
+        assert evaluate(col("a") >= 3)
+
+    def test_column_to_column(self):
+        assert evaluate(col("b") > col("a"))
+
+    def test_invalid_comparison_op(self):
+        from repro.algebra.predicates import Comparison
+
+        with pytest.raises(ValueError):
+            Comparison("+", col("a"), lit(1))
+
+
+class TestCombinators:
+    def test_and(self):
+        assert evaluate((col("a") > 1) & (col("b") > 5))
+        assert not evaluate((col("a") > 1) & (col("b") > 50))
+
+    def test_or(self):
+        assert evaluate((col("a") > 99) | (col("b") > 5))
+
+    def test_not(self):
+        assert evaluate(~(col("a") > 99))
+
+    def test_nested_columns(self):
+        pred = (col("a") > 1) & ~(col("c") == "y")
+        assert pred.columns() == frozenset({"a", "c"})
+
+    def test_and_explicit(self):
+        assert evaluate(And(col("a") > 0, col("a") < 5))
+
+    def test_or_explicit(self):
+        assert evaluate(Or(col("a") > 5, col("a") < 5))
+
+    def test_not_explicit(self):
+        assert not evaluate(Not(ALWAYS))
+
+
+class TestMembershipAndRange:
+    def test_isin(self):
+        assert evaluate(IsIn(col("c"), ["x", "y"]))
+        assert not evaluate(IsIn(col("c"), ["y"]))
+
+    def test_between_inclusive(self):
+        assert evaluate(Between(col("a"), 3, 5))
+        assert evaluate(Between(col("a"), 1, 3))
+        assert not evaluate(Between(col("a"), 4, 5))
+
+    def test_always(self):
+        assert evaluate(ALWAYS)
+        assert ALWAYS.columns() == frozenset()
+
+    def test_repr_smoke(self):
+        assert "a" in repr(col("a") > 1)
+        assert "in" in repr(IsIn(col("a"), [1]))

@@ -1,0 +1,96 @@
+"""Property-based tests of the algebra substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Difference,
+    Hash,
+    Intersect,
+    Relation,
+    Schema,
+    Select,
+    Union,
+    col,
+    evaluate,
+)
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(0, 5), st.floats(0, 100)),
+    min_size=0, max_size=40, unique_by=lambda r: r[0],
+)
+
+
+def make_rel(rows):
+    return Relation(Schema(["id", "grp", "val"]), rows, key=("id",), name="R")
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_select_partition(rows):
+    """σ_p(R) ∪ σ_¬p(R) == R as bags."""
+    rel = make_rel(rows)
+    leaves = {"R": rel}
+    pred = col("val") > 50
+    hit = evaluate(Select(BaseRel("R"), pred), leaves)
+    miss = evaluate(Select(BaseRel("R"), ~pred), leaves)
+    assert sorted(hit.rows + miss.rows) == sorted(rel.rows)
+
+
+@given(rows_strategy, st.floats(0.0, 1.0), st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_hash_is_subset_and_deterministic(rows, ratio, seed):
+    rel = make_rel(rows)
+    e = Hash(BaseRel("R"), ("id",), ratio, seed)
+    out1 = evaluate(e, {"R": rel})
+    out2 = evaluate(e, {"R": rel})
+    assert out1.rows == out2.rows
+    assert set(out1.rows) <= set(rel.rows)
+
+
+@given(rows_strategy, st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_hash_monotone_in_ratio(rows, seed):
+    """A bigger sampling ratio can only add rows (nested samples)."""
+    rel = make_rel(rows)
+    small = evaluate(Hash(BaseRel("R"), ("id",), 0.2, seed), {"R": rel})
+    large = evaluate(Hash(BaseRel("R"), ("id",), 0.6, seed), {"R": rel})
+    assert set(small.rows) <= set(large.rows)
+
+
+@given(rows_strategy, rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_set_op_identities(rows_a, rows_b):
+    a = make_rel(rows_a)
+    b = Relation(a.schema, rows_b, key=("id",), name="B")
+    leaves = {"A": a.with_name("A"), "B": b}
+    leaves["A"] = Relation(a.schema, a.rows, key=a.key, name="A")
+    union = evaluate(Union(BaseRel("A"), BaseRel("B")), leaves)
+    inter = evaluate(Intersect(BaseRel("A"), BaseRel("B")), leaves)
+    diff_ab = evaluate(Difference(BaseRel("A"), BaseRel("B")), leaves)
+    set_a, set_b = set(a.rows), set(b.rows)
+    assert set(union.rows) == set_a | set_b
+    assert set(inter.rows) == set_a & set_b
+    assert set(diff_ab.rows) == set_a - set_b
+
+
+@given(rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_group_counts_sum_to_total(rows):
+    rel = make_rel(rows)
+    e = Aggregate(BaseRel("R"), ["grp"], [AggSpec("n", "count")])
+    out = evaluate(e, {"R": rel})
+    assert sum(r[1] for r in out.rows) == len(rel)
+
+
+@given(rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_group_sums_match_total_sum(rows):
+    rel = make_rel(rows)
+    e = Aggregate(BaseRel("R"), ["grp"], [AggSpec("s", "sum", "val")])
+    out = evaluate(e, {"R": rel})
+    total = sum(r[2] for r in rel.rows)
+    assert abs(sum(r[1] for r in out.rows) - total) < 1e-6 * max(1, abs(total))

@@ -1,0 +1,121 @@
+"""Tests for lineage tracking (paper Def 1)."""
+
+import pytest
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Difference,
+    Hash,
+    Intersect,
+    Join,
+    Project,
+    Relation,
+    Schema,
+    Select,
+    Union,
+    col,
+    provenance_of,
+    trace,
+)
+
+LOG = Relation(
+    Schema(["sessionId", "videoId"]),
+    [(1, 10), (2, 10), (3, 20)],
+    key=("sessionId",), name="Log",
+)
+VIDEO = Relation(
+    Schema(["videoId", "owner"]),
+    [(10, "x"), (20, "y")],
+    key=("videoId",), name="Video",
+)
+LEAVES = {"Log": LOG, "Video": VIDEO}
+
+
+class TestBaseAndUnary:
+    def test_base_lineage_is_own_key(self):
+        rel, lin = trace(BaseRel("Log"), LEAVES)
+        assert lin[0] == frozenset({("Log", (1,))})
+
+    def test_select_filters_lineage(self):
+        rel, lin = trace(Select(BaseRel("Log"), col("videoId") == 20), LEAVES)
+        assert len(rel) == 1
+        assert lin[0] == frozenset({("Log", (3,))})
+
+    def test_project_keeps_lineage(self):
+        rel, lin = trace(Project(BaseRel("Log"), ["sessionId"]), LEAVES)
+        assert lin[1] == frozenset({("Log", (2,))})
+
+    def test_hash_filters_lineage_consistently(self):
+        rel, lin = trace(Hash(BaseRel("Log"), ("sessionId",), 0.7, seed=1),
+                         LEAVES)
+        assert len(rel) == len(lin)
+
+
+class TestJoinAggregate:
+    def test_join_unions_lineage(self):
+        e = Join(BaseRel("Log"), BaseRel("Video"), on=[("videoId", "videoId")])
+        rel, lin = trace(e, LEAVES)
+        row_for_session_1 = lin[rel.rows.index((1, 10, "x"))]
+        assert row_for_session_1 == frozenset(
+            {("Log", (1,)), ("Video", (10,))})
+
+    def test_aggregate_unions_group_lineage(self):
+        # The provenance of the videoId=10 count row is both contributing
+        # log records plus the video record (paper §4.2's motivating case).
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")])
+        e = Aggregate(join, ["videoId"], [AggSpec("visits", "count")])
+        rel, lin = trace(e, LEAVES)
+        row = rel.rows.index((10, 2))
+        assert lin[row] == frozenset(
+            {("Log", (1,)), ("Log", (2,)), ("Video", (10,))})
+
+    def test_provenance_of_single_relation(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")])
+        e = Aggregate(join, ["videoId"], [AggSpec("visits", "count")])
+        prov = provenance_of(e, LEAVES, "Log")
+        rel, _ = trace(e, LEAVES)
+        by_key = dict(zip([r[0] for r in rel.rows], prov))
+        assert by_key[10] == frozenset({(1,), (2,)})
+        assert by_key[20] == frozenset({(3,)})
+
+
+class TestSetOps:
+    def test_union_merges_lineage_of_identical_rows(self):
+        e = Union(BaseRel("Log"), BaseRel("Log"))
+        rel, lin = trace(e, LEAVES)
+        assert len(rel) == 3
+        assert all(len(s) == 1 for s in lin)
+
+    def test_intersect_lineage(self):
+        rel, lin = trace(Intersect(BaseRel("Log"), BaseRel("Log")), LEAVES)
+        assert len(rel) == 3
+
+    def test_difference_lineage(self):
+        rel, lin = trace(Difference(BaseRel("Log"), BaseRel("Video")),
+                         {"Log": LOG, "Video": Relation(
+                             LOG.schema, [(1, 10)], key=("sessionId",))})
+        assert len(rel) == 2
+        assert all(("Log", (1,)) not in s for s in lin)
+
+
+class TestDef1Semantics:
+    def test_update_outside_provenance_cannot_change_row(self):
+        """Def 1: rows are insensitive to updates outside their lineage."""
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")])
+        e = Aggregate(join, ["videoId"], [AggSpec("visits", "count")])
+        rel, lin = trace(e, LEAVES)
+        target = rel.rows.index((20, 1))
+
+        # Mutate a Log record *outside* the target row's lineage.
+        mutated_rows = [(1, 10), (2, 10), (3, 20)]
+        mutated_rows[0] = (1, 10)  # same videoId, different doesn't matter
+        mutated = dict(LEAVES)
+        mutated["Log"] = Relation(LOG.schema, [(99, 10), (2, 10), (3, 20)],
+                                  key=("sessionId",), name="Log")
+        rel2, _ = trace(e, mutated)
+        assert (20, 1) in rel2.rows  # the row outside the update is intact

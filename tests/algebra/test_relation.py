@@ -1,0 +1,122 @@
+"""Unit tests for repro.algebra.relation."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.relation import Relation
+from repro.algebra.schema import Schema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def rel():
+    return Relation(
+        Schema(["id", "grp", "val"]),
+        [(1, "a", 10.0), (2, "a", 20.0), (3, "b", 30.0)],
+        key=("id",), name="r",
+    )
+
+
+class TestConstruction:
+    def test_row_width_checked(self):
+        with pytest.raises(SchemaError):
+            Relation(Schema(["a", "b"]), [(1,)])
+
+    def test_rows_coerced_to_tuples(self, rel):
+        assert all(isinstance(r, tuple) for r in rel.rows)
+
+    def test_key_must_exist_in_schema(self):
+        with pytest.raises(SchemaError):
+            Relation(Schema(["a"]), [], key=("b",))
+
+    def test_from_dicts(self):
+        rel = Relation.from_dicts(
+            [{"a": 1, "b": 2}, {"a": 3, "b": 4}], key=("a",)
+        )
+        assert rel.rows == [(1, 2), (3, 4)]
+
+    def test_from_dicts_empty_without_schema_raises(self):
+        with pytest.raises(SchemaError):
+            Relation.from_dicts([])
+
+    def test_empty_like(self, rel):
+        empty = Relation.empty_like(rel)
+        assert len(empty) == 0
+        assert empty.schema == rel.schema
+        assert empty.key == rel.key
+
+
+class TestAccess:
+    def test_len_and_iter(self, rel):
+        assert len(rel) == 3
+        assert list(rel)[0] == (1, "a", 10.0)
+
+    def test_column(self, rel):
+        assert rel.column("grp") == ["a", "a", "b"]
+
+    def test_column_array(self, rel):
+        arr = rel.column_array("val")
+        assert arr.dtype == np.float64
+        assert arr.sum() == 60.0
+
+    def test_to_dicts(self, rel):
+        d = rel.to_dicts()[0]
+        assert d == {"id": 1, "grp": "a", "val": 10.0}
+
+    def test_bag_equality(self, rel):
+        other = Relation(rel.schema, list(reversed(rel.rows)))
+        assert rel == other
+
+    def test_inequality_different_schema(self, rel):
+        other = Relation(Schema(["x", "y", "z"]), rel.rows)
+        assert rel != other
+
+
+class TestKeys:
+    def test_key_index(self, rel):
+        assert rel.key_index()[(2,)] == (2, "a", 20.0)
+
+    def test_key_set(self, rel):
+        assert rel.key_set() == {(1,), (2,), (3,)}
+
+    def test_key_of(self, rel):
+        assert rel.key_of((9, "z", 0.0)) == (9,)
+
+    def test_validate_key_true(self, rel):
+        assert rel.validate_key()
+
+    def test_validate_key_false_on_duplicates(self):
+        r = Relation(Schema(["id"]), [(1,), (1,)], key=("id",))
+        assert not r.validate_key()
+
+    def test_validate_key_false_without_key(self):
+        assert not Relation(Schema(["id"]), [(1,)]).validate_key()
+
+    def test_key_indexes_requires_key(self):
+        with pytest.raises(SchemaError):
+            Relation(Schema(["id"]), []).key_indexes()
+
+
+class TestDerivations:
+    def test_filter(self, rel):
+        out = rel.filter(lambda r: r[2] > 15)
+        assert len(out) == 2
+        assert out.key == rel.key
+
+    def test_head(self, rel):
+        assert len(rel.head(2)) == 2
+
+    def test_with_name(self, rel):
+        assert rel.with_name("q").name == "q"
+
+    def test_with_key(self, rel):
+        assert rel.with_key(("grp",)).key == ("grp",)
+
+    def test_sorted_by_key(self):
+        r = Relation(Schema(["id"]), [(3,), (1,), (2,)], key=("id",))
+        assert r.sorted_by_key().rows == [(1,), (2,), (3,)]
+
+    def test_sample_cache_is_per_instance(self, rel):
+        rel.sample_cache()["x"] = [1]
+        other = Relation(rel.schema, rel.rows)
+        assert "x" not in other.sample_cache()

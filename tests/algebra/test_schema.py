@@ -1,0 +1,96 @@
+"""Unit tests for repro.algebra.schema."""
+
+import pytest
+
+from repro.algebra.schema import Schema, as_schema
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_columns_preserved_in_order(self):
+        s = Schema(["b", "a", "c"])
+        assert s.columns == ("b", "a", "c")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", ""])
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", 3])
+
+    def test_empty_schema_allowed(self):
+        assert len(Schema([])) == 0
+
+
+class TestLookup:
+    def test_index(self):
+        s = Schema(["x", "y"])
+        assert s.index("y") == 1
+
+    def test_index_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["x"]).index("z")
+
+    def test_indexes_many(self):
+        s = Schema(["x", "y", "z"])
+        assert s.indexes(["z", "x"]) == (2, 0)
+
+    def test_contains(self):
+        s = Schema(["x"])
+        assert "x" in s
+        assert "q" not in s
+
+    def test_iteration(self):
+        assert list(Schema(["a", "b"])) == ["a", "b"]
+
+
+class TestEquality:
+    def test_equal_schemas(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+
+    def test_order_matters(self):
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+
+    def test_equality_with_tuple(self):
+        assert Schema(["a", "b"]) == ("a", "b")
+
+    def test_hashable(self):
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+
+class TestDerivation:
+    def test_project(self):
+        s = Schema(["a", "b", "c"]).project(["c", "a"])
+        assert s.columns == ("c", "a")
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).project(["b"])
+
+    def test_concat(self):
+        s = Schema(["a"]).concat(Schema(["b", "c"]))
+        assert s.columns == ("a", "b", "c")
+
+    def test_concat_drop_right(self):
+        s = Schema(["k", "a"]).concat(Schema(["k", "b"]), drop_right=["k"])
+        assert s.columns == ("k", "a", "b")
+
+    def test_concat_collision_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).concat(Schema(["a"]))
+
+    def test_rename(self):
+        s = Schema(["a", "b"]).rename({"a": "x"})
+        assert s.columns == ("x", "b")
+
+    def test_as_schema_passthrough(self):
+        s = Schema(["a"])
+        assert as_schema(s) is s
+
+    def test_as_schema_from_list(self):
+        assert as_schema(["a", "b"]).columns == ("a", "b")

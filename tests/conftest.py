@@ -1,0 +1,60 @@
+"""Shared fixtures: the paper's running example (Log / Video) and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Relation,
+    Schema,
+)
+from repro.db import Catalog, Database
+
+
+def make_log_video_db(n_videos=8, n_log=60, seed=0):
+    """The paper's running example: Log(sessionId, videoId) and
+    Video(videoId, ownerId, duration)."""
+    rng = np.random.default_rng(seed)
+    db = Database()
+    db.add_relation(Relation(
+        Schema(["sessionId", "videoId"]),
+        [(i, int(rng.integers(0, n_videos))) for i in range(n_log)],
+        key=("sessionId",), name="Log",
+    ))
+    db.add_relation(Relation(
+        Schema(["videoId", "ownerId", "duration"]),
+        [(v, v % 3, float(10 + 5 * v)) for v in range(n_videos)],
+        key=("videoId",), name="Video",
+    ))
+    return db
+
+
+def visit_view_definition():
+    """γ_{videoId,ownerId,duration}(Log ⋈ Video) with a visit count."""
+    join = Join(BaseRel("Log"), BaseRel("Video"),
+                on=[("videoId", "videoId")], foreign_key=True)
+    return Aggregate(join, ["videoId", "ownerId", "duration"],
+                     [AggSpec("visitCount", "count")])
+
+
+@pytest.fixture
+def log_video_db():
+    return make_log_video_db()
+
+
+@pytest.fixture
+def visit_view(log_video_db):
+    catalog = Catalog(log_video_db)
+    return catalog.create_view("visitView", visit_view_definition())
+
+
+@pytest.fixture
+def stale_visit_view(visit_view):
+    """The visit view after a batch of inserts/deletes made it stale."""
+    db = visit_view.database
+    db.insert("Log", [(1000 + i, i % 4) for i in range(12)])
+    db.delete_by_key("Log", [(0,), (1,)])
+    return visit_view

@@ -1,0 +1,126 @@
+"""Tests for adaptive parameter selection (the paper's §9 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import Relation, Schema
+from repro.core.adaptive import (
+    RatioController,
+    adaptive_outlier_threshold,
+    choose_sampling_ratio,
+    expected_ci_width,
+)
+from repro.core.estimators import AggQuery
+from repro.core.hashing import hash_sample
+from repro.errors import EstimationError
+
+
+@pytest.fixture(scope="module")
+def view_data():
+    rng = np.random.default_rng(3)
+    rows = [(i, float(rng.gamma(2.0, 10.0))) for i in range(8000)]
+    return Relation(Schema(["k", "v"]), rows, key=("k",), name="view")
+
+
+class TestExpectedWidth:
+    def test_width_shrinks_with_ratio(self, view_data):
+        pilot = hash_sample(view_data, 0.05, seed=0)
+        q = AggQuery("sum", "v")
+        w_small = expected_ci_width(pilot, q, 0.05, 0.05)
+        w_large = expected_ci_width(pilot, q, 0.05, 0.5)
+        assert w_large < w_small
+
+    def test_full_ratio_width_zero(self, view_data):
+        pilot = hash_sample(view_data, 0.05, seed=0)
+        assert expected_ci_width(pilot, AggQuery("sum", "v"), 0.05, 1.0) == 0.0
+
+    def test_prediction_matches_actual(self, view_data):
+        """The pilot prediction at m should track the actual CI at m."""
+        from repro.core.estimators import svc_aqp
+
+        pilot = hash_sample(view_data, 0.05, seed=1)
+        q = AggQuery("sum", "v")
+        predicted = expected_ci_width(pilot, q, 0.05, 0.3)
+        actual_sample = hash_sample(view_data, 0.3, seed=2)
+        est = svc_aqp(actual_sample, q, 0.3)
+        actual = est.ci_high - est.ci_low
+        assert predicted == pytest.approx(actual, rel=0.5)
+
+    def test_empty_pilot_raises(self):
+        empty = Relation(Schema(["k", "v"]), [], key=("k",))
+        with pytest.raises(EstimationError):
+            expected_ci_width(empty, AggQuery("sum", "v"), 0.05, 0.1)
+
+
+class TestChooseRatio:
+    def test_tighter_budget_needs_bigger_sample(self, view_data):
+        q = AggQuery("sum", "v")
+        loose = choose_sampling_ratio(view_data, q, 0.2, seed=4)
+        tight = choose_sampling_ratio(view_data, q, 0.02, seed=4)
+        assert tight >= loose
+
+    def test_budget_is_met(self, view_data):
+        from repro.core.estimators import svc_aqp
+
+        q = AggQuery("sum", "v")
+        target = 0.1
+        m = choose_sampling_ratio(view_data, q, target, seed=5)
+        sample = hash_sample(view_data, m, seed=6)
+        est = svc_aqp(sample, q, m)
+        rel_width = (est.ci_high - est.ci_low) / est.value
+        assert rel_width <= target * 2  # pilot noise tolerance
+
+    def test_invalid_budget(self, view_data):
+        with pytest.raises(EstimationError):
+            choose_sampling_ratio(view_data, AggQuery("sum", "v"), 0.0)
+
+
+class TestAdaptiveThreshold:
+    def test_sigma_rule_when_under_cap(self):
+        rel = Relation(Schema(["k", "v"]),
+                       [(i, float(i % 10)) for i in range(100)], key=("k",))
+        t = adaptive_outlier_threshold(rel, "v", size_limit=50, c=3.0)
+        arr = rel.column_array("v")
+        assert t == pytest.approx(arr.mean() + 3 * arr.std())
+
+    def test_topk_fallback_when_sigma_overflows(self):
+        rel = Relation(Schema(["k", "v"]),
+                       [(i, float(i)) for i in range(100)], key=("k",))
+        t = adaptive_outlier_threshold(rel, "v", size_limit=5, c=0.0)
+        assert int((rel.column_array("v") > t).sum()) <= 5
+
+    def test_empty_relation(self):
+        rel = Relation(Schema(["k", "v"]), [], key=("k",))
+        assert adaptive_outlier_threshold(rel, "v", 10) == 0.0
+
+
+class TestRatioController:
+    def test_grows_when_too_wide(self):
+        ctl = RatioController(target_relative_width=0.05, ratio=0.1)
+        new = ctl.update(observed_relative_width=0.2)
+        assert new > 0.1
+
+    def test_shrinks_when_too_tight(self):
+        ctl = RatioController(target_relative_width=0.05, ratio=0.5)
+        new = ctl.update(observed_relative_width=0.01)
+        assert new < 0.5
+
+    def test_clamped(self):
+        ctl = RatioController(target_relative_width=0.05, ratio=0.9,
+                              max_ratio=1.0)
+        for _ in range(10):
+            ctl.update(1.0)
+        assert ctl.ratio == 1.0
+
+    def test_converges_on_stationary_workload(self):
+        """Width ∝ √(1/m): simulate and check the controller settles."""
+        ctl = RatioController(target_relative_width=0.05, ratio=0.02)
+        k = 0.05 * np.sqrt(0.1)  # so that m=0.1 hits the target exactly
+        for _ in range(30):
+            observed = k / np.sqrt(ctl.ratio)
+            ctl.update(observed)
+        assert ctl.ratio == pytest.approx(0.1, rel=0.2)
+
+    def test_non_positive_observation_ignored(self):
+        ctl = RatioController(target_relative_width=0.05, ratio=0.1)
+        assert ctl.update(0.0) == 0.1

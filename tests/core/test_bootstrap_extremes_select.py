@@ -1,0 +1,135 @@
+"""Tests for bootstrap CIs (§5.2.5), min/max bounds (§12.1.1), and the
+select-query correction (§12.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import Relation, Schema, col
+from repro.core.bootstrap import bootstrap_aqp, bootstrap_corr
+from repro.core.estimators import AggQuery
+from repro.core.extremes import cantelli_probability, svc_max, svc_min
+from repro.core.hashing import hash_sample
+from repro.core.select_queries import svc_select
+
+N = 2000
+SCHEMA = Schema(["k", "v"])
+
+
+def make_pair(seed=0):
+    rng = np.random.default_rng(seed)
+    stale_rows = [(i, float(rng.gamma(3.0, 5.0))) for i in range(N)]
+    fresh_rows = list(stale_rows)
+    for i in rng.choice(N, N // 10, replace=False):
+        k, v = fresh_rows[i]
+        fresh_rows[i] = (k, v * 1.4)
+    fresh_rows.extend(
+        (N + j, float(rng.gamma(3.0, 5.0))) for j in range(N // 10)
+    )
+    stale = Relation(SCHEMA, stale_rows, key=("k",))
+    fresh = Relation(SCHEMA, fresh_rows, key=("k",))
+    return stale, fresh
+
+
+def samples(stale, fresh, ratio=0.15, seed=1):
+    return hash_sample(stale, ratio, seed=seed), hash_sample(fresh, ratio,
+                                                             seed=seed)
+
+
+class TestBootstrap:
+    def test_aqp_median_interval_covers(self):
+        stale, fresh = make_pair()
+        _, clean = samples(stale, fresh)
+        q = AggQuery("median", "v")
+        est = bootstrap_aqp(clean, q, 0.15, iterations=150)
+        truth = q.evaluate(fresh)
+        assert est.ci_low <= truth <= est.ci_high
+        assert abs(est.value - truth) / truth < 0.2
+
+    def test_corr_median_estimate(self):
+        stale, fresh = make_pair()
+        dirty, clean = samples(stale, fresh)
+        q = AggQuery("median", "v")
+        est = bootstrap_corr(stale, dirty, clean, q, 0.15, iterations=150)
+        truth = q.evaluate(fresh)
+        assert abs(est.value - truth) / truth < 0.2
+        assert est.ci_low <= est.value <= est.ci_high
+
+    def test_sum_bootstrap_scales(self):
+        stale, fresh = make_pair()
+        _, clean = samples(stale, fresh)
+        q = AggQuery("sum", "v")
+        est = bootstrap_aqp(clean, q, 0.15, iterations=100)
+        truth = q.evaluate(fresh)
+        assert abs(est.value - truth) / truth < 0.25
+
+    def test_interval_ordering(self):
+        stale, fresh = make_pair()
+        _, clean = samples(stale, fresh)
+        est = bootstrap_aqp(clean, AggQuery("median", "v"), 0.15,
+                            iterations=60)
+        assert est.ci_low <= est.ci_high
+
+
+class TestExtremes:
+    def test_cantelli_bounds_in_unit(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+        p = cantelli_probability(vals, 120.0, "max")
+        assert 0.0 <= p <= 1.0
+
+    def test_cantelli_degenerate(self):
+        assert cantelli_probability(np.array([1.0]), 5.0, "max") == 1.0
+        assert cantelli_probability(np.array([1.0, 2.0]), 0.0, "max") == 1.0
+
+    def test_max_correction_tracks_growth(self):
+        stale, fresh = make_pair(seed=3)
+        dirty, clean = samples(stale, fresh, ratio=0.3, seed=2)
+        q = AggQuery("max", "v")
+        est = svc_max(stale, dirty, clean, q, key=("k",))
+        stale_max = q.evaluate(stale)
+        # Values only grew, so the corrected max must not fall below the
+        # stale max.
+        assert est.value >= stale_max
+        assert 0.0 <= est.exceedance_probability <= 1.0
+
+    def test_min_correction(self):
+        stale, fresh = make_pair(seed=4)
+        dirty, clean = samples(stale, fresh, ratio=0.3, seed=2)
+        est = svc_min(stale, dirty, clean, AggQuery("min", "v"), key=("k",))
+        assert est.value <= AggQuery("min", "v").evaluate(stale) + 1e-9
+
+    def test_observed_new_extreme_dominates(self):
+        stale, _ = make_pair(seed=5)
+        spike = Relation(SCHEMA, stale.rows + [(99999, 1e9)], key=("k",))
+        dirty = hash_sample(stale, 1.0, seed=0)
+        clean = hash_sample(spike, 1.0, seed=0)
+        est = svc_max(stale, dirty, clean, AggQuery("max", "v"), key=("k",))
+        assert est.value == 1e9
+
+
+class TestSelectCorrection:
+    def test_updated_rows_overwritten(self):
+        stale, fresh = make_pair(seed=6)
+        dirty, clean = samples(stale, fresh, ratio=1.0)
+        result = svc_select(stale, dirty, clean, col("v") > 10.0, 1.0,
+                            key=("k",))
+        fresh_hits = {r for r in fresh.rows if r[1] > 10.0}
+        assert set(result.rows.rows) == fresh_hits
+
+    def test_partial_sample_moves_toward_truth(self):
+        stale, fresh = make_pair(seed=7)
+        dirty, clean = samples(stale, fresh, ratio=0.3, seed=3)
+        pred = col("v") > 10.0
+        result = svc_select(stale, dirty, clean, pred, 0.3, key=("k",))
+        fresh_hits = {r for r in fresh.rows if r[1] > 10.0}
+        stale_hits = {r for r in stale.rows if r[1] > 10.0}
+        corrected = set(result.rows.rows)
+        assert len(corrected ^ fresh_hits) < len(stale_hits ^ fresh_hits)
+
+    def test_count_estimates_scaled(self):
+        stale, fresh = make_pair(seed=8)
+        dirty, clean = samples(stale, fresh, ratio=0.25, seed=2)
+        result = svc_select(stale, dirty, clean, col("v") > 10.0, 0.25,
+                            key=("k",))
+        assert result.added.value >= 0
+        assert result.updated.value >= 0
+        assert result.deleted.value >= 0

@@ -1,0 +1,103 @@
+"""Tests for stale sample view cleaning (Problem 1) and Property 1."""
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.core.cleaning import SampleView, cleaning_expression
+from repro.db import choose_strategy, maintain
+from repro.errors import EstimationError
+
+
+class TestSampleLifecycle:
+    def test_dirty_sample_drawn_at_init(self, visit_view):
+        sv = SampleView(visit_view, 0.5, seed=1)
+        assert set(sv.dirty_sample.rows) <= set(visit_view.data.rows)
+
+    def test_invalid_ratio_rejected(self, visit_view):
+        with pytest.raises(EstimationError):
+            SampleView(visit_view, 0.0)
+        with pytest.raises(EstimationError):
+            SampleView(visit_view, 1.5)
+
+    def test_sample_attrs_must_be_key_subset(self, visit_view):
+        with pytest.raises(EstimationError):
+            SampleView(visit_view, 0.5, sample_attrs=("visitCount",))
+
+    def test_clean_required_before_access(self, visit_view):
+        sv = SampleView(visit_view, 0.5)
+        with pytest.raises(EstimationError):
+            sv.require_clean()
+
+    def test_clean_produces_sample_of_fresh_view(self, stale_visit_view):
+        sv = SampleView(stale_visit_view, 0.5, seed=2)
+        clean = sv.clean()
+        fresh = stale_visit_view.fresh_data()
+        assert set(clean.rows) <= set(fresh.rows)
+
+    def test_clean_ratio_one_is_exact_maintenance(self, stale_visit_view):
+        sv = SampleView(stale_visit_view, 1.0, seed=0)
+        clean = sv.clean()
+        fresh = stale_visit_view.fresh_data()
+        assert sorted(clean.rows) == sorted(fresh.rows)
+
+    def test_advance_reanchors_on_maintained_view(self, stale_visit_view):
+        sv = SampleView(stale_visit_view, 0.5, seed=2)
+        clean = sv.clean()
+        maintain(stale_visit_view)
+        stale_visit_view.database.apply_deltas()
+        sv.advance()
+        # Determinism: the new dirty sample equals the clean sample we
+        # materialized before maintenance.
+        assert sorted(sv.dirty_sample.rows) == sorted(clean.rows)
+        assert sv.clean_sample is None
+
+
+class TestCorrespondence:
+    def test_property1_holds(self, stale_visit_view):
+        sv = SampleView(stale_visit_view, 0.5, seed=3)
+        sv.clean()
+        check = sv.check_correspondence(stale_visit_view.fresh_data())
+        assert check.uniform_dirty
+        assert check.uniform_clean
+        assert check.superfluous_removed
+        assert check.missing_sampled
+        assert check.keys_preserved
+        assert check.holds()
+
+    def test_property1_with_subset_attrs(self, stale_visit_view):
+        sv = SampleView(stale_visit_view, 0.5, seed=3,
+                        sample_attrs=("videoId",))
+        sv.clean()
+        assert sv.check_correspondence(stale_visit_view.fresh_data()).holds()
+
+    def test_property1_with_deletions(self, visit_view):
+        db = visit_view.database
+        sessions = [(r[0],) for r in db.relation("Log").rows if r[1] == 0]
+        db.delete_by_key("Log", sessions)
+        sv = SampleView(visit_view, 0.6, seed=5)
+        sv.clean()
+        assert sv.check_correspondence(visit_view.fresh_data()).holds()
+
+
+class TestCleaningExpression:
+    def test_optimized_and_raw_identical(self, stale_visit_view):
+        strategy = choose_strategy(stale_visit_view)
+        leaves = stale_visit_view.database.leaves()
+        opt, report = cleaning_expression(
+            stale_visit_view, 0.4, 1, strategy, optimize=True)
+        raw, _ = cleaning_expression(
+            stale_visit_view, 0.4, 1, strategy, optimize=False)
+        assert sorted(evaluate(opt, leaves).rows) == sorted(
+            evaluate(raw, leaves).rows)
+
+    def test_pushdown_reaches_deltas(self, stale_visit_view):
+        strategy = choose_strategy(stale_visit_view)
+        _, report = cleaning_expression(
+            stale_visit_view, 0.4, 1, strategy,
+            sample_attrs=("videoId",))
+        assert "Log__ins" in report.sampled_leaves
+
+    def test_report_attached_after_clean(self, stale_visit_view):
+        sv = SampleView(stale_visit_view, 0.4)
+        sv.clean()
+        assert sv.last_report is not None

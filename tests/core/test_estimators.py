@@ -1,0 +1,245 @@
+"""Tests for SVC+AQP / SVC+CORR estimation (paper §5).
+
+Unbiasedness and interval coverage are checked empirically over many
+hash seeds (each seed draws an independent corresponding sample pair).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra import Relation, Schema, col
+from repro.core.confidence import break_even_covariance, gaussian_z
+from repro.core.estimators import (
+    AggQuery,
+    estimate_groups,
+    partition,
+    recommend_estimator,
+    svc_aqp,
+    svc_corr,
+)
+from repro.core.hashing import hash_sample
+from repro.errors import EstimationError
+
+N = 3000
+SCHEMA = Schema(["k", "grp", "v"])
+
+
+def make_views(seed=0, change_fraction=0.1):
+    """A synthetic keyed view pair (stale, fresh) with known changes."""
+    rng = np.random.default_rng(seed)
+    stale_rows = [
+        (i, int(rng.integers(0, 5)), float(rng.gamma(2.0, 10.0)))
+        for i in range(N)
+    ]
+    fresh_rows = list(stale_rows)
+    n_change = int(N * change_fraction)
+    for i in rng.choice(N, n_change, replace=False):
+        k, g, v = fresh_rows[i]
+        fresh_rows[i] = (k, g, v * 1.5)  # incorrect rows
+    fresh_rows.extend(
+        (N + j, int(rng.integers(0, 5)), float(rng.gamma(2.0, 10.0)))
+        for j in range(n_change)  # missing rows
+    )
+    stale = Relation(SCHEMA, stale_rows, key=("k",), name="stale")
+    fresh = Relation(SCHEMA, fresh_rows, key=("k",), name="fresh")
+    return stale, fresh
+
+
+def corresponding_samples(stale, fresh, ratio, seed):
+    return (hash_sample(stale, ratio, seed=seed),
+            hash_sample(fresh, ratio, seed=seed))
+
+
+class TestAggQuery:
+    def test_exact_evaluation(self):
+        rel = Relation(SCHEMA, [(1, 0, 2.0), (2, 1, 3.0)], key=("k",))
+        assert AggQuery("sum", "v").evaluate(rel) == 5.0
+        assert AggQuery("count").evaluate(rel) == 2.0
+        assert AggQuery("avg", "v").evaluate(rel) == 2.5
+        assert AggQuery("max", "v").evaluate(rel) == 3.0
+
+    def test_predicate(self):
+        rel = Relation(SCHEMA, [(1, 0, 2.0), (2, 1, 3.0)], key=("k",))
+        q = AggQuery("sum", "v", col("grp") == 1)
+        assert q.evaluate(rel) == 3.0
+        assert q.selectivity(rel) == 0.5
+
+    def test_attr_required(self):
+        with pytest.raises(EstimationError):
+            AggQuery("sum")
+
+
+class TestAQPUnbiasedness:
+    @pytest.mark.parametrize("func,attr", [("sum", "v"), ("count", None),
+                                           ("avg", "v")])
+    def test_mean_of_estimates_near_truth(self, func, attr):
+        stale, fresh = make_views()
+        q = AggQuery(func, attr, col("grp") < 3)
+        truth = q.evaluate(fresh)
+        estimates = []
+        for seed in range(30):
+            _, clean = corresponding_samples(stale, fresh, 0.1, seed)
+            estimates.append(svc_aqp(clean, q, 0.1).value)
+        rel_bias = abs(np.mean(estimates) - truth) / abs(truth)
+        assert rel_bias < 0.05
+
+    def test_unsupported_func_raises(self):
+        stale, fresh = make_views()
+        _, clean = corresponding_samples(stale, fresh, 0.1, 0)
+        with pytest.raises(EstimationError):
+            svc_aqp(clean, AggQuery("median", "v"), 0.1)
+
+
+class TestCORR:
+    @pytest.mark.parametrize("func,attr", [("sum", "v"), ("count", None)])
+    def test_corr_unbiased(self, func, attr):
+        stale, fresh = make_views()
+        q = AggQuery(func, attr, col("grp") < 3)
+        truth = q.evaluate(fresh)
+        estimates = []
+        for seed in range(30):
+            dirty, clean = corresponding_samples(stale, fresh, 0.1, seed)
+            estimates.append(
+                svc_corr(stale, dirty, clean, q, 0.1, key=("k",)).value
+            )
+        rel_bias = abs(np.mean(estimates) - truth) / abs(truth)
+        assert rel_bias < 0.05
+
+    def test_corr_beats_aqp_when_barely_stale(self):
+        stale, fresh = make_views(change_fraction=0.02)
+        q = AggQuery("sum", "v")
+        truth = q.evaluate(fresh)
+        corr_err, aqp_err = [], []
+        for seed in range(25):
+            dirty, clean = corresponding_samples(stale, fresh, 0.1, seed)
+            corr_err.append(abs(
+                svc_corr(stale, dirty, clean, q, 0.1, key=("k",)).value
+                - truth))
+            aqp_err.append(abs(svc_aqp(clean, q, 0.1).value - truth))
+        assert np.mean(corr_err) < np.mean(aqp_err)
+
+    def test_corr_exact_when_view_fresh(self):
+        stale, _ = make_views(change_fraction=0.0)
+        q = AggQuery("sum", "v")
+        dirty, clean = corresponding_samples(stale, stale, 0.1, 3)
+        est = svc_corr(stale, dirty, clean, q, 0.1, key=("k",))
+        assert est.value == pytest.approx(q.evaluate(stale))
+        assert est.se == pytest.approx(0.0)
+
+    def test_stale_value_can_be_precomputed(self):
+        stale, fresh = make_views()
+        q = AggQuery("count")
+        dirty, clean = corresponding_samples(stale, fresh, 0.1, 1)
+        a = svc_corr(stale, dirty, clean, q, 0.1, key=("k",))
+        b = svc_corr(stale, dirty, clean, q, 0.1, key=("k",),
+                     stale_value=q.evaluate(stale))
+        assert a.value == b.value
+
+    def test_requires_key(self):
+        stale, fresh = make_views()
+        dirty, clean = corresponding_samples(stale, fresh, 0.1, 1)
+        clean.key = None
+        dirty.key = None
+        with pytest.raises(EstimationError):
+            svc_corr(stale, dirty, clean, AggQuery("count"), 0.1)
+
+
+class TestConfidenceCoverage:
+    @pytest.mark.parametrize("method", ["aqp", "corr"])
+    def test_95_interval_covers_truth(self, method):
+        stale, fresh = make_views()
+        q = AggQuery("sum", "v", col("grp") < 4)
+        truth = q.evaluate(fresh)
+        hits = 0
+        n_seeds = 40
+        for seed in range(n_seeds):
+            dirty, clean = corresponding_samples(stale, fresh, 0.1, seed)
+            if method == "aqp":
+                est = svc_aqp(clean, q, 0.1, confidence=0.95)
+            else:
+                est = svc_corr(stale, dirty, clean, q, 0.1, key=("k",))
+            if est.contains(truth):
+                hits += 1
+        # Nominal 95%; allow generous slack for 40 draws.
+        assert hits / n_seeds >= 0.8
+
+    def test_interval_width_shrinks_with_ratio(self):
+        stale, fresh = make_views()
+        q = AggQuery("sum", "v")
+        _, clean_small = corresponding_samples(stale, fresh, 0.05, 0)
+        _, clean_large = corresponding_samples(stale, fresh, 0.5, 0)
+        se_small = svc_aqp(clean_small, q, 0.05).se
+        se_large = svc_aqp(clean_large, q, 0.5).se
+        assert se_large < se_small
+
+    def test_gaussian_z_values(self):
+        assert gaussian_z(0.95) == pytest.approx(1.96, abs=0.01)
+        assert gaussian_z(0.99) == pytest.approx(2.576, abs=0.01)
+
+
+class TestGroupEstimation:
+    def test_partition(self):
+        stale, _ = make_views()
+        parts = partition(stale, ("grp",))
+        assert sum(len(p) for p in parts.values()) == len(stale)
+
+    def test_group_estimates_sum_to_total(self):
+        stale, fresh = make_views()
+        q = AggQuery("sum", "v")
+        dirty, clean = corresponding_samples(stale, fresh, 0.2, 1)
+        ests = estimate_groups("corr", q, ("grp",), 0.2, clean,
+                               dirty_sample=dirty, stale_view=stale)
+        total = svc_corr(stale, dirty, clean, q, 0.2, key=("k",)).value
+        assert sum(e.value for e in ests.values()) == pytest.approx(
+            total, rel=1e-6)
+
+    def test_aqp_group_estimates(self):
+        stale, fresh = make_views()
+        q = AggQuery("count")
+        _, clean = corresponding_samples(stale, fresh, 0.2, 1)
+        ests = estimate_groups("aqp", q, ("grp",), 0.2, clean)
+        assert all(e.value >= 0 for e in ests.values())
+
+    def test_unknown_method_raises(self):
+        stale, fresh = make_views()
+        _, clean = corresponding_samples(stale, fresh, 0.2, 1)
+        with pytest.raises(EstimationError):
+            estimate_groups("nope", AggQuery("count"), ("grp",), 0.2, clean)
+
+    def test_median_groups_point_estimates(self):
+        stale, fresh = make_views()
+        q = AggQuery("median", "v")
+        dirty, clean = corresponding_samples(stale, fresh, 0.2, 1)
+        ests = estimate_groups("corr", q, ("grp",), 0.2, clean,
+                               dirty_sample=dirty, stale_view=stale)
+        fresh_groups = partition(fresh, ("grp",))
+        for g, est in ests.items():
+            truth = q.evaluate(fresh_groups[g])
+            assert abs(est.value - truth) / abs(truth) < 0.5
+
+
+class TestBreakEven:
+    def test_recommends_corr_when_fresh(self):
+        stale, _ = make_views(change_fraction=0.0)
+        dirty, clean = corresponding_samples(stale, stale, 0.2, 0)
+        assert recommend_estimator(dirty, clean, AggQuery("sum", "v"),
+                                   0.2, key=("k",)) == "corr"
+
+    def test_recommends_aqp_when_very_stale(self):
+        # Values redrawn independently: the dirty/clean correlation that
+        # makes the correction cheap (§5.2.2) is gone, so AQP should win.
+        rng = np.random.default_rng(5)
+        stale_rows = [(i, 0, float(rng.gamma(2.0, 10.0))) for i in range(N)]
+        fresh_rows = [(i, 0, float(rng.gamma(2.0, 10.0))) for i in range(N)]
+        stale = Relation(SCHEMA, stale_rows, key=("k",))
+        fresh = Relation(SCHEMA, fresh_rows, key=("k",))
+        dirty, clean = corresponding_samples(stale, fresh, 0.2, 0)
+        choice = recommend_estimator(dirty, clean, AggQuery("sum", "v"),
+                                     0.2, key=("k",))
+        assert choice == "aqp"
+
+    def test_break_even_covariance_sign(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert break_even_covariance(a, a) > 0  # identical: cov == var
+        assert break_even_covariance(a, -a) < 0
+        assert break_even_covariance(a[:1], a[:1]) is None

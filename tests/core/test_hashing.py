@@ -1,0 +1,97 @@
+"""Tests for the hashing operator and hash families (§4.4, §12.3)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import Relation, Schema
+from repro.core.hashing import (
+    hash_ratio_estimate,
+    hash_sample,
+    linear_unit,
+    sha1_unit,
+    uniformity_chi2,
+)
+from repro.errors import EstimationError
+from repro.stats.hashing import get_hash_family, set_hash_family, unit_hash
+
+
+@pytest.fixture
+def big_rel():
+    return Relation(Schema(["id", "v"]), [(i, i * 2) for i in range(5000)],
+                    key=("id",), name="big")
+
+
+class TestHashFamilies:
+    def test_sha1_in_unit_interval(self):
+        draws = [sha1_unit((i,), 0) for i in range(100)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_linear_in_unit_interval(self):
+        draws = [linear_unit((i,), 0) for i in range(100)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_deterministic(self):
+        assert sha1_unit(("abc", 1), 7) == sha1_unit(("abc", 1), 7)
+        assert linear_unit((42,), 3) == linear_unit((42,), 3)
+
+    def test_seed_changes_draws(self):
+        assert sha1_unit((1,), 0) != sha1_unit((1,), 1)
+
+    def test_mixed_type_values(self):
+        for v in [(1,), (1.5,), ("s",), (b"b",), (None,), (True,)]:
+            assert 0.0 <= sha1_unit(v, 0) < 1.0
+
+    def test_int_float_distinguished(self):
+        assert sha1_unit((1,), 0) != sha1_unit((1.0,), 0)
+
+    def test_family_switch(self):
+        try:
+            set_hash_family("linear")
+            assert get_hash_family() is linear_unit
+            assert unit_hash((5,), 0) == linear_unit((5,), 0)
+        finally:
+            set_hash_family("sha1")
+
+    def test_sha1_uniformity(self):
+        """SUHA check: ~m of sequential keys sampled at threshold m."""
+        n = 20_000
+        frac = sum(1 for i in range(n) if sha1_unit((i,), 0) < 0.1) / n
+        assert 0.085 < frac < 0.115
+
+    def test_chi2_statistic_reasonable_for_sha1(self):
+        chi = uniformity_chi2(range(5000), bins=20)
+        # 19 dof; anything below ~60 is clearly not broken.
+        assert chi < 80
+
+
+class TestHashSample:
+    def test_ratio_close_to_m(self, big_rel):
+        sample = hash_sample(big_rel, 0.1, seed=2)
+        assert 0.08 < hash_ratio_estimate(big_rel, sample) < 0.12
+
+    def test_deterministic_and_idempotent(self, big_rel):
+        s1 = hash_sample(big_rel, 0.2, seed=1)
+        s2 = hash_sample(big_rel, 0.2, seed=1)
+        assert s1.rows == s2.rows
+        # Re-sampling the sample is the identity (η is idempotent).
+        s3 = hash_sample(s1, 0.2, seed=1)
+        assert s3.rows == s1.rows
+
+    def test_explicit_attrs(self, big_rel):
+        sample = hash_sample(big_rel, 0.3, seed=0, attrs=("v",))
+        assert set(sample.rows) <= set(big_rel.rows)
+
+    def test_unkeyed_requires_attrs(self):
+        rel = Relation(Schema(["a"]), [(1,)])
+        with pytest.raises(EstimationError):
+            hash_sample(rel, 0.1)
+
+    def test_empty_relation(self):
+        rel = Relation(Schema(["a"]), [], key=("a",))
+        assert len(hash_sample(rel, 0.5)) == 0
+        assert hash_ratio_estimate(rel, rel) == 0.0
+
+    def test_nested_ratio_subsets(self, big_rel):
+        small = hash_sample(big_rel, 0.05, seed=4)
+        large = hash_sample(big_rel, 0.5, seed=4)
+        assert set(small.rows) <= set(large.rows)

@@ -1,0 +1,170 @@
+"""Tests for the outlier index (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import Relation, Schema, col
+from repro.core.estimators import AggQuery, svc_aqp
+from repro.core.hashing import hash_sample
+from repro.core.outlier_index import (
+    OutlierAugmentedSample,
+    OutlierIndex,
+    is_eligible,
+    outlier_view_keys,
+)
+from repro.db import Catalog
+
+from tests.conftest import make_log_video_db, visit_view_definition
+
+
+class TestIndexConstruction:
+    def _rel(self):
+        return Relation(
+            Schema(["id", "amount"]),
+            [(i, float(i)) for i in range(100)],
+            key=("id",), name="payments",
+        )
+
+    def test_threshold_indexing(self):
+        idx = OutlierIndex("payments", "amount", threshold=95.0)
+        idx.observe(self._rel())
+        assert sorted(r[1] for r in idx.records) == [95.0, 96, 97, 98, 99]
+
+    def test_top_k_sets_threshold(self):
+        idx = OutlierIndex.from_top_k(self._rel(), "amount", 10)
+        assert idx.threshold == 90.0
+        assert len(idx) == 10
+
+    def test_std_threshold(self):
+        idx = OutlierIndex.from_std(self._rel(), "amount", 1.5)
+        arr = self._rel().column_array("amount")
+        assert idx.threshold == pytest.approx(arr.mean() + 1.5 * arr.std())
+
+    def test_eviction_keeps_largest(self):
+        idx = OutlierIndex("payments", "amount", threshold=0.0, size_limit=3)
+        idx.observe(self._rel())
+        assert sorted(r[1] for r in idx.records) == [97.0, 98.0, 99.0]
+
+    def test_two_sided_threshold(self):
+        idx = OutlierIndex("payments", "amount", threshold=(5.0, 95.0),
+                           size_limit=100)
+        idx.observe(self._rel())
+        values = {r[1] for r in idx.records}
+        assert 2.0 in values and 99.0 in values and 50.0 not in values
+
+    def test_observe_updates_stream(self):
+        rel = self._rel()
+        idx = OutlierIndex("payments", "amount", threshold=95.0)
+        idx.observe(rel)
+        idx.observe([(200, 500.0)])  # single pass over incoming updates
+        assert (200, 500.0) in idx.records
+
+    def test_as_relation(self):
+        rel = self._rel()
+        idx = OutlierIndex.from_top_k(rel, "amount", 5)
+        out = idx.as_relation(rel.schema, key=rel.key)
+        assert len(out) == 5
+
+
+class TestPushUp:
+    def test_eligibility_on_sampled_base(self, visit_view):
+        index = OutlierIndex("Log", "sessionId", threshold=0)
+        # Sampling on the grouping key pushes the hash into Log.
+        assert is_eligible(visit_view, index, sample_attrs=("videoId",))
+
+    def test_not_eligible_when_base_not_sampled(self, visit_view):
+        # Full-key sampling resolves on the dimension side only, so an
+        # index on Log is not push-up eligible (§6.2).
+        index = OutlierIndex("Log", "sessionId", threshold=0)
+        assert not is_eligible(visit_view, index)
+
+    def test_outlier_view_keys_cover_lineage(self, visit_view):
+        db = visit_view.database
+        log = db.relation("Log")
+        index = OutlierIndex.from_top_k(log, "sessionId", 5)
+        keys = outlier_view_keys(visit_view, index)
+        indexed_videos = {r[1] for r in index.records}
+        assert {k[0] for k in keys} == indexed_videos
+
+    def test_keys_follow_fresh_data(self, stale_visit_view):
+        db = stale_visit_view.database
+        index = OutlierIndex("Log", "sessionId", threshold=1000)
+        index.observe(db.relation("Log"))
+        index.observe(db.deltas.get("Log").inserted)
+        keys = outlier_view_keys(stale_visit_view, index)
+        # The inserted sessions 1000+ point at videos 0..3.
+        assert {k[0] for k in keys} == {0, 1, 2, 3}
+
+
+class TestAugmentedEstimation:
+    def _setup(self, seed=0):
+        db = make_log_video_db(n_videos=12, n_log=400, seed=seed)
+        catalog = Catalog(db)
+        view = catalog.create_view("vv", visit_view_definition())
+        db.insert("Log", [(5000 + i, i % 12) for i in range(60)])
+        index = OutlierIndex.from_top_k(db.relation("Log"), "sessionId", 20)
+        sample = OutlierAugmentedSample(view, 0.25, index, seed=seed)
+        sample.clean()
+        return view, sample
+
+    def test_outlier_rows_materialized(self):
+        view, sample = self._setup()
+        assert sample.outlier_rows is not None
+        assert len(sample.outlier_keys) > 0
+
+    def test_estimation_requires_clean(self, visit_view):
+        index = OutlierIndex("Log", "sessionId", threshold=0)
+        sample = OutlierAugmentedSample(visit_view, 0.5, index)
+        from repro.errors import EstimationError
+
+        with pytest.raises(EstimationError):
+            sample.aqp(AggQuery("count"))
+
+    def test_aqp_count_reasonable(self):
+        view, sample = self._setup()
+        fresh = view.fresh_data()
+        q = AggQuery("sum", "visitCount")
+        truth = q.evaluate(fresh)
+        est = sample.aqp(q)
+        assert abs(est.value - truth) / truth < 0.5
+
+    def test_corr_matches_truth_closely(self):
+        view, sample = self._setup()
+        fresh = view.fresh_data()
+        q = AggQuery("sum", "visitCount")
+        truth = q.evaluate(fresh)
+        est = sample.corr(q)
+        assert abs(est.value - truth) / truth < 0.3
+
+    def test_avg_merged_estimate(self):
+        view, sample = self._setup()
+        fresh = view.fresh_data()
+        q = AggQuery("avg", "visitCount")
+        truth = q.evaluate(fresh)
+        est = sample.aqp(q)
+        assert abs(est.value - truth) / truth < 0.5
+
+
+class TestVarianceReduction:
+    def test_index_reduces_sum_variance_on_skewed_data(self):
+        """The §6 headline: deterministic outliers cut estimator variance."""
+        rng = np.random.default_rng(0)
+        n = 4000
+        values = rng.gamma(1.0, 10.0, n)
+        spikes = rng.choice(n, 25, replace=False)
+        values[spikes] *= 400.0  # heavy tail
+        rel = Relation(Schema(["id", "v"]), list(enumerate(map(float, values))),
+                       key=("id",), name="R")
+        q = AggQuery("sum", "v")
+        truth = q.evaluate(rel)
+        outliers = sorted(rel.rows, key=lambda r: -r[1])[:25]
+        outlier_keys = {(r[0],) for r in outliers}
+        plain_err, split_err = [], []
+        for seed in range(25):
+            sample = hash_sample(rel, 0.1, seed=seed)
+            plain_err.append(abs(svc_aqp(sample, q, 0.1).value - truth))
+            reg_rows = [r for r in sample.rows if (r[0],) not in outlier_keys]
+            reg = Relation(rel.schema, reg_rows, key=rel.key)
+            est = svc_aqp(reg, q, 0.1).value + sum(r[1] for r in outliers)
+            split_err.append(abs(est - truth))
+        assert np.mean(split_err) < np.mean(plain_err) / 2

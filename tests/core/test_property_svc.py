@@ -1,0 +1,108 @@
+"""Property-based tests of the SVC invariants (hypothesis).
+
+These are the paper's load-bearing statistical claims:
+
+* correspondence (Property 1) holds for arbitrary update batches;
+* SVC+CORR at sampling ratio 1.0 is *exact*;
+* SVC+AQP and SVC+CORR agree with the ground truth in expectation
+  (checked via the deterministic ratio-1 sample plus structure checks);
+* the cleaning expression never materializes rows outside the sample.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import AggSpec, Aggregate, BaseRel, Join, Relation, Schema
+from repro.core.cleaning import SampleView
+from repro.core.estimators import AggQuery, svc_corr
+from repro.db import Catalog, Database
+
+log_rows = st.lists(
+    st.tuples(st.integers(0, 120), st.integers(0, 5)),
+    min_size=2, max_size=25, unique_by=lambda r: r[0],
+)
+inserts = st.lists(
+    st.tuples(st.integers(200, 320), st.integers(0, 6)),
+    min_size=0, max_size=12, unique_by=lambda r: r[0],
+)
+delete_picks = st.lists(st.integers(0, 24), min_size=0, max_size=6,
+                        unique=True)
+ratios = st.sampled_from([0.2, 0.5, 0.8, 1.0])
+seeds = st.integers(0, 5)
+
+
+def build_view(rows):
+    db = Database()
+    db.add_relation(Relation(Schema(["sessionId", "videoId"]), rows,
+                             key=("sessionId",), name="Log"))
+    db.add_relation(Relation(
+        Schema(["videoId", "ownerId"]), [(v, v % 2) for v in range(7)],
+        key=("videoId",), name="Video",
+    ))
+    catalog = Catalog(db)
+    join = Join(BaseRel("Log"), BaseRel("Video"),
+                on=[("videoId", "videoId")], foreign_key=True)
+    return catalog.create_view(
+        "vv", Aggregate(join, ["videoId"], [AggSpec("visits", "count")])
+    )
+
+
+def apply_batch(db, new_rows, delete_idx):
+    base = db.relation("Log")
+    if new_rows:
+        db.insert("Log", new_rows)
+    picks = list(dict.fromkeys(
+        base.rows[i] for i in delete_idx if i < len(base.rows)
+    ))
+    if picks:
+        db.delete("Log", picks)
+
+
+@given(log_rows, inserts, delete_picks, ratios, seeds)
+@settings(max_examples=30, deadline=None)
+def test_property1_correspondence_random_batches(rows, new_rows, delete_idx,
+                                                 ratio, seed):
+    view = build_view(rows)
+    apply_batch(view.database, new_rows, delete_idx)
+    sv = SampleView(view, ratio, seed=seed)
+    sv.clean()
+    assert sv.check_correspondence(view.fresh_data()).holds()
+
+
+@given(log_rows, inserts, delete_picks, seeds)
+@settings(max_examples=30, deadline=None)
+def test_ratio_one_cleaning_is_exact_maintenance(rows, new_rows, delete_idx,
+                                                 seed):
+    view = build_view(rows)
+    apply_batch(view.database, new_rows, delete_idx)
+    sv = SampleView(view, 1.0, seed=seed)
+    clean = sv.clean()
+    fresh = view.fresh_data()
+    assert sorted(clean.rows) == sorted(fresh.rows)
+
+
+@given(log_rows, inserts, delete_picks, seeds)
+@settings(max_examples=30, deadline=None)
+def test_corr_at_ratio_one_is_exact(rows, new_rows, delete_idx, seed):
+    view = build_view(rows)
+    apply_batch(view.database, new_rows, delete_idx)
+    sv = SampleView(view, 1.0, seed=seed)
+    clean = sv.clean()
+    q = AggQuery("sum", "visits")
+    truth = q.evaluate(view.fresh_data())
+    est = svc_corr(view.require_data(), sv.dirty_sample, clean, q, 1.0,
+                   key=view.key)
+    assert abs(est.value - truth) < 1e-9
+    assert est.se == 0.0
+
+
+@given(log_rows, inserts, ratios, seeds)
+@settings(max_examples=30, deadline=None)
+def test_clean_sample_is_subset_of_fresh_view(rows, new_rows, ratio, seed):
+    view = build_view(rows)
+    if new_rows:
+        view.database.insert("Log", new_rows)
+    sv = SampleView(view, ratio, seed=seed)
+    clean = sv.clean()
+    fresh_rows = set(view.fresh_data().rows)
+    assert set(clean.rows) <= fresh_rows

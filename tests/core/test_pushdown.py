@@ -1,0 +1,245 @@
+"""Tests for hash push-down (paper Def 3, Theorem 1).
+
+The decisive property: push-down never changes the evaluated sample.
+Randomized expression trees exercise every rule, including the blocking
+cases (nested aggregates, computed projections, attribute-spanning
+joins).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Difference,
+    Hash,
+    Intersect,
+    Join,
+    Output,
+    Project,
+    Relation,
+    Schema,
+    Select,
+    Union,
+    col,
+    evaluate,
+    func,
+)
+from repro.core.pushdown import (
+    hashed_leaves,
+    keyset_factory,
+    push_down,
+    push_down_with_report,
+    push_filter,
+)
+
+LOG = Relation(
+    Schema(["sessionId", "videoId"]),
+    [(i, i % 7) for i in range(60)],
+    key=("sessionId",), name="Log",
+)
+VIDEO = Relation(
+    Schema(["videoId", "ownerId", "duration"]),
+    [(v, v % 3, 10.0 + v) for v in range(7)],
+    key=("videoId",), name="Video",
+)
+LEAVES = {"Log": LOG, "Video": VIDEO}
+
+
+def assert_equivalent(expr):
+    """Theorem 1: identical samples before and after push-down."""
+    pushed = push_down(expr, LEAVES)
+    raw = evaluate(expr, LEAVES)
+    opt = evaluate(pushed, LEAVES)
+    assert sorted(map(repr, raw.rows)) == sorted(map(repr, opt.rows))
+    return pushed
+
+
+class TestUnaryRules:
+    def test_through_select(self):
+        e = Hash(Select(BaseRel("Log"), col("videoId") > 2),
+                 ("sessionId",), 0.4)
+        pushed = assert_equivalent(e)
+        assert isinstance(pushed, Select)
+
+    def test_through_passthrough_project(self):
+        e = Hash(Project(BaseRel("Log"), ["sessionId", "videoId"]),
+                 ("sessionId",), 0.4)
+        pushed = assert_equivalent(e)
+        assert isinstance(pushed, Project)
+
+    def test_through_renaming_project(self):
+        proj = Project(BaseRel("Log"), [Output("sid", col("sessionId")),
+                                        Output("videoId", col("videoId"))])
+        e = Hash(proj, ("sid",), 0.4)
+        pushed = assert_equivalent(e)
+        assert isinstance(pushed, Project)
+        assert isinstance(pushed.child, Hash)
+        assert pushed.child.attrs == ("sessionId",)
+
+    def test_blocked_by_computed_projection(self):
+        proj = Project(BaseRel("Log"),
+                       [Output("sid2", func("f", lambda x: x * 2,
+                                            col("sessionId"))),
+                        Output("videoId", col("videoId"))])
+        e = Hash(proj, ("sid2",), 0.4)
+        pushed, report = push_down_with_report(e, LEAVES)
+        assert isinstance(pushed, Hash)  # stayed at the root
+        assert report.blocked_at
+
+    def test_through_group_by(self):
+        agg = Aggregate(BaseRel("Log"), ["videoId"], [AggSpec("n", "count")])
+        e = Hash(agg, ("videoId",), 0.5)
+        pushed = assert_equivalent(e)
+        assert isinstance(pushed, Aggregate)
+
+    def test_blocked_by_non_group_attr(self):
+        # The paper's nested-aggregate example: hashing the count value.
+        agg = Aggregate(BaseRel("Log"), ["videoId"], [AggSpec("n", "count")])
+        outer = Aggregate(agg, ["n"], [AggSpec("m", "count")])
+        e = Hash(outer, ("n",), 0.5)
+        pushed, report = push_down_with_report(e, LEAVES)
+        assert report.blocked_at
+        assert_equivalent(e)
+
+
+class TestSetOpRules:
+    def test_through_union(self):
+        a = Select(BaseRel("Log"), col("videoId") < 3)
+        b = Select(BaseRel("Log"), col("videoId") >= 3)
+        e = Hash(Union(a, b), ("sessionId",), 0.5)
+        pushed = assert_equivalent(e)
+        assert isinstance(pushed, Union)
+
+    def test_through_intersection(self):
+        e = Hash(Intersect(BaseRel("Log"), BaseRel("Log")), ("sessionId",), 0.5)
+        assert_equivalent(e)
+
+    def test_through_difference(self):
+        a = BaseRel("Log")
+        b = Select(BaseRel("Log"), col("videoId") == 0)
+        e = Hash(Difference(a, b), ("sessionId",), 0.5)
+        assert_equivalent(e)
+
+
+class TestJoinRules:
+    def test_fk_join_pushes_to_fact_side(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")], foreign_key=True)
+        e = Hash(join, ("sessionId",), 0.5)
+        pushed = assert_equivalent(e)
+        assert hashed_leaves(pushed) == ["Log"]
+
+    def test_equality_join_pushes_both_sides(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")])
+        e = Hash(join, ("videoId",), 0.5)
+        pushed = assert_equivalent(e)
+        assert sorted(hashed_leaves(pushed)) == ["Log", "Video"]
+
+    def test_rename_across_equality_pair(self):
+        other = Relation(Schema(["vid", "extra"]), [(v, v) for v in range(7)],
+                         key=("vid",), name="Other")
+        join = Join(BaseRel("Log"), BaseRel("Other"), on=[("videoId", "vid")])
+        e = Hash(join, ("vid",), 0.5)
+        pushed = push_down(e, {**LEAVES, "Other": other})
+        raw = evaluate(e, {**LEAVES, "Other": other})
+        opt = evaluate(pushed, {**LEAVES, "Other": other})
+        assert sorted(raw.rows) == sorted(opt.rows)
+        assert sorted(hashed_leaves(pushed)) == ["Log", "Other"]
+
+    def test_spanning_attrs_block(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")])
+        e = Hash(join, ("sessionId", "ownerId"), 0.5)
+        pushed, report = push_down_with_report(e, LEAVES)
+        assert report.blocked_at
+        assert_equivalent(e)
+
+    def test_left_join_pushes_left_only_direct(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")], how="left")
+        e = Hash(join, ("sessionId",), 0.5)
+        pushed = assert_equivalent(e)
+        assert hashed_leaves(pushed) == ["Log"]
+
+    def test_full_outer_join_on_collapsed_key(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")], how="full")
+        e = Hash(join, ("videoId",), 0.5)
+        pushed = assert_equivalent(e)
+        assert sorted(hashed_leaves(pushed)) == ["Log", "Video"]
+
+    def test_full_outer_join_other_attrs_block(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")], how="full")
+        e = Hash(join, ("sessionId",), 0.5)
+        pushed, report = push_down_with_report(e, LEAVES)
+        assert report.blocked_at
+        assert_equivalent(e)
+
+
+class TestKeysetFilter:
+    def test_keyset_filter_pushes_like_hash(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")], foreign_key=True)
+        agg = Aggregate(join, ["videoId"], [AggSpec("n", "count")])
+        keys = {(0,), (3,)}
+        pushed = push_filter(agg, ("videoId",), keyset_factory(keys), LEAVES)
+        out = evaluate(pushed, LEAVES)
+        assert {r[0] for r in out.rows} <= {0, 3}
+
+    def test_keyset_filter_equivalence(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")])
+        keys = {(1,), (5,)}
+        factory = keyset_factory(keys)
+        pushed = push_filter(join, ("videoId",), factory, LEAVES)
+        top = evaluate(factory(join, ("videoId",)), LEAVES)
+        opt = evaluate(pushed, LEAVES)
+        assert sorted(top.rows) == sorted(opt.rows)
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 as a property over random trees.
+# ----------------------------------------------------------------------
+@st.composite
+def random_tree(draw):
+    """A random expression over Log/Video keyed by derivable attrs."""
+    shape = draw(st.sampled_from(["select", "join", "agg", "union", "proj"]))
+    if shape == "select":
+        bound = draw(st.integers(0, 6))
+        return Select(BaseRel("Log"), col("videoId") >= bound), ("sessionId",)
+    if shape == "join":
+        fk = draw(st.booleans())
+        return (
+            Join(BaseRel("Log"), BaseRel("Video"),
+                 on=[("videoId", "videoId")], foreign_key=fk),
+            ("sessionId",),
+        )
+    if shape == "agg":
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")])
+        return (
+            Aggregate(join, ["videoId"], [AggSpec("n", "count")]),
+            ("videoId",),
+        )
+    if shape == "union":
+        a = Select(BaseRel("Log"), col("videoId") < 3)
+        b = Select(BaseRel("Log"), col("videoId") >= 2)
+        return Union(a, b), ("sessionId",)
+    return Project(BaseRel("Log"), ["sessionId", "videoId"]), ("sessionId",)
+
+
+@given(random_tree(), st.floats(0.05, 0.95), st.integers(0, 4))
+@settings(max_examples=40, deadline=None)
+def test_theorem1_random_trees(tree_and_attrs, ratio, seed):
+    tree, attrs = tree_and_attrs
+    e = Hash(tree, attrs, ratio, seed)
+    pushed = push_down(e, LEAVES)
+    raw = evaluate(e, LEAVES)
+    opt = evaluate(pushed, LEAVES)
+    assert sorted(map(repr, raw.rows)) == sorted(map(repr, opt.rows))

@@ -1,0 +1,111 @@
+"""Tests for the Database substrate (base relations + deltas)."""
+
+import pytest
+
+from repro.algebra import Relation, Schema
+from repro.db import Database, deletions_name, insertions_name
+from repro.errors import MaintenanceError
+
+from tests.conftest import make_log_video_db
+
+
+class TestRegistration:
+    def test_add_and_lookup(self):
+        db = make_log_video_db()
+        assert db.relation("Log").name == "Log"
+        assert set(db.relation_names()) == {"Log", "Video"}
+
+    def test_unnamed_relation_rejected(self):
+        db = Database()
+        with pytest.raises(MaintenanceError):
+            db.add_relation(Relation(Schema(["a"]), [], key=("a",)))
+
+    def test_unkeyed_relation_rejected(self):
+        db = Database()
+        with pytest.raises(MaintenanceError):
+            db.add_relation(Relation(Schema(["a"]), [], name="R"))
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(MaintenanceError):
+            make_log_video_db().relation("nope")
+
+
+class TestUpdates:
+    def test_insert_queues_delta(self):
+        db = make_log_video_db()
+        db.insert("Log", [(999, 1)])
+        assert db.is_stale()
+        assert db.deltas.get("Log").inserted == [(999, 1)]
+        # Base unchanged until apply_deltas.
+        assert (999, 1) not in db.relation("Log").rows
+
+    def test_delete_by_key(self):
+        db = make_log_video_db()
+        db.delete_by_key("Log", [(0,)])
+        deleted = db.deltas.get("Log").deleted
+        assert len(deleted) == 1 and deleted[0][0] == 0
+
+    def test_delete_by_unknown_key_raises(self):
+        db = make_log_video_db()
+        with pytest.raises(MaintenanceError):
+            db.delete_by_key("Log", [(424242,)])
+
+    def test_update_is_delete_plus_insert(self):
+        db = make_log_video_db()
+        old = db.relation("Video").key_index()[(1,)]
+        db.update("Video", [(1, 99, 3.0)])
+        delta = db.deltas.get("Video")
+        assert delta.deleted == [old]
+        assert delta.inserted == [(1, 99, 3.0)]
+
+    def test_update_unknown_key_raises(self):
+        db = make_log_video_db()
+        with pytest.raises(MaintenanceError):
+            db.update("Video", [(12345, 0, 0.0)])
+
+    def test_apply_deltas_folds_and_clears(self):
+        db = make_log_video_db()
+        n = len(db.relation("Log"))
+        db.insert("Log", [(999, 1)])
+        db.delete_by_key("Log", [(0,)])
+        db.apply_deltas()
+        assert not db.is_stale()
+        assert len(db.relation("Log")) == n  # +1 −1
+        assert (999, 1) in db.relation("Log").rows
+
+
+class TestLeafResolvers:
+    def test_leaves_contains_delta_relations(self):
+        db = make_log_video_db()
+        db.insert("Log", [(999, 1)])
+        leaves = db.leaves()
+        assert insertions_name("Log") in leaves
+        assert deletions_name("Log") in leaves
+        assert leaves[insertions_name("Log")].rows == [(999, 1)]
+        assert leaves[deletions_name("Log")].rows == []
+
+    def test_leaves_include_clean_relations_with_empty_deltas(self):
+        db = make_log_video_db()
+        leaves = db.leaves()
+        assert leaves[insertions_name("Video")].rows == []
+
+    def test_fresh_leaves_apply_pending_changes(self):
+        db = make_log_video_db()
+        db.insert("Log", [(999, 1)])
+        db.delete_by_key("Log", [(0,)])
+        fresh = db.fresh_leaves()["Log"]
+        assert (999, 1) in fresh.rows
+        assert all(r[0] != 0 for r in fresh.rows)
+        # Stale resolver untouched.
+        assert (999, 1) not in db.leaves()["Log"].rows
+
+    def test_views_visible_as_leaves(self):
+        db = make_log_video_db()
+        data = Relation(Schema(["x"]), [(1,)], key=("x",))
+        db.register_view_data("myview", data)
+        assert db.leaves()["myview"] is data
+        assert "myview" in db
+
+    def test_getitem(self):
+        db = make_log_video_db()
+        assert db["Log"].name == "Log"

@@ -1,0 +1,82 @@
+"""Unit tests for delta relations (∆R / ∇R)."""
+
+import pytest
+
+from repro.algebra import Relation, Schema
+from repro.db.deltas import (
+    Delta,
+    DeltaSet,
+    deletions_name,
+    insertions_name,
+)
+from repro.errors import MaintenanceError
+
+
+@pytest.fixture
+def base():
+    return Relation(Schema(["id", "v"]), [(1, "a"), (2, "b")], key=("id",),
+                    name="R")
+
+
+class TestDelta:
+    def test_empty_by_default(self, base):
+        assert Delta(base).is_empty()
+
+    def test_insert_and_delete(self, base):
+        delta = Delta(base)
+        delta.insert([(3, "c")])
+        delta.delete([(1, "a")])
+        assert not delta.is_empty()
+        assert delta.insertions_relation().rows == [(3, "c")]
+        assert delta.deletions_relation().rows == [(1, "a")]
+
+    def test_width_validated(self, base):
+        delta = Delta(base)
+        with pytest.raises(MaintenanceError):
+            delta.insert([(3,)])
+        with pytest.raises(MaintenanceError):
+            delta.delete([(1, "a", "extra")])
+
+    def test_relation_names(self, base):
+        delta = Delta(base)
+        assert delta.insertions_relation().name == insertions_name("R")
+        assert delta.deletions_relation().name == deletions_name("R")
+
+    def test_memoized_relations_invalidate_on_mutation(self, base):
+        delta = Delta(base)
+        first = delta.insertions_relation()
+        assert delta.insertions_relation() is first  # memoized
+        delta.insert([(3, "c")])
+        second = delta.insertions_relation()
+        assert second is not first
+        assert second.rows == [(3, "c")]
+
+    def test_clear(self, base):
+        delta = Delta(base)
+        delta.insert([(3, "c")])
+        delta.clear()
+        assert delta.is_empty()
+        assert delta.insertions_relation().rows == []
+
+
+class TestDeltaSet:
+    def test_created_on_demand(self, base):
+        ds = DeltaSet()
+        delta = ds.for_relation(base)
+        assert ds.for_relation(base) is delta
+        assert ds.get("R") is delta
+        assert ds.get("missing") is None
+
+    def test_requires_named_relation(self):
+        ds = DeltaSet()
+        with pytest.raises(MaintenanceError):
+            ds.for_relation(Relation(Schema(["a"]), [], key=("a",)))
+
+    def test_dirty_tracking(self, base):
+        ds = DeltaSet()
+        assert ds.is_empty()
+        ds.for_relation(base).insert([(3, "c")])
+        assert ds.dirty_relations() == ["R"]
+        assert ds.total_pending() == 1
+        ds.clear()
+        assert ds.is_empty()

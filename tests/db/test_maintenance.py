@@ -1,0 +1,235 @@
+"""Tests for maintenance strategies: change-table IVM and recomputation."""
+
+import pytest
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Output,
+    Project,
+    Select,
+    col,
+    evaluate,
+    func,
+)
+from repro.db import (
+    CHANGE_TABLE,
+    Catalog,
+    RECOMPUTE,
+    build_strategy,
+    choose_strategy,
+    classify,
+    classify_view,
+    fresh_expr,
+    is_spj,
+    maintain,
+    recompute_strategy,
+)
+from repro.db.maintenance import MULT, signed_delta_expr
+
+from tests.conftest import make_log_video_db, visit_view_definition
+
+
+def assert_maintained_fresh(view, strategy=None):
+    fresh = view.fresh_data()
+    maintained = maintain(view, strategy)
+    report = classify(maintained, fresh)
+    assert report.is_fresh(), report.summary()
+
+
+class TestStructure:
+    def test_is_spj(self):
+        assert is_spj(BaseRel("Log"))
+        assert is_spj(Select(BaseRel("Log"), col("videoId") > 0))
+        assert is_spj(Join(BaseRel("Log"), BaseRel("Video"),
+                           on=[("videoId", "videoId")]))
+        assert not is_spj(Aggregate(BaseRel("Log"), ["videoId"], []))
+
+    def test_classify_spja(self):
+        assert classify_view(visit_view_definition()) == CHANGE_TABLE
+
+    def test_classify_spj(self):
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")])
+        assert classify_view(join) == CHANGE_TABLE
+
+    def test_classify_nested_aggregate_recompute(self):
+        inner = Aggregate(BaseRel("Log"), ["videoId"], [AggSpec("n", "count")])
+        outer = Aggregate(inner, ["n"], [AggSpec("m", "count")])
+        assert classify_view(outer) == RECOMPUTE
+
+    def test_classify_holistic_aggregate_recompute(self):
+        e = Aggregate(BaseRel("Log"), ["videoId"],
+                      [AggSpec("med", "median", "sessionId")])
+        assert classify_view(e) == RECOMPUTE
+
+    def test_fresh_expr_evaluates_to_updated_base(self):
+        db = make_log_video_db()
+        db.insert("Log", [(900, 1)])
+        db.delete_by_key("Log", [(0,)])
+        fresh = evaluate(fresh_expr("Log"), db.leaves())
+        assert set(fresh.rows) == set(db.fresh_leaves()["Log"].rows)
+
+    def test_signed_delta_has_mult(self):
+        db = make_log_video_db()
+        db.insert("Log", [(900, 1)])
+        db.delete_by_key("Log", [(0,)])
+        delta = evaluate(
+            signed_delta_expr("Log", ("sessionId", "videoId")), db.leaves()
+        )
+        assert MULT in delta.schema
+        mults = sorted(r[delta.schema.index(MULT)] for r in delta.rows)
+        assert mults == [-1, 1]
+
+
+class TestChangeTableCorrectness:
+    def test_spja_insert_only(self, visit_view):
+        db = visit_view.database
+        db.insert("Log", [(800 + i, i % 5) for i in range(10)])
+        strategy = choose_strategy(visit_view)
+        assert strategy.kind == CHANGE_TABLE
+        assert_maintained_fresh(visit_view, strategy)
+
+    def test_spja_with_deletes(self, visit_view):
+        db = visit_view.database
+        db.delete_by_key("Log", [(0,), (1,), (2,)])
+        assert_maintained_fresh(visit_view)
+
+    def test_spja_missing_rows_inserted(self, visit_view):
+        db = visit_view.database
+        # Delete every log entry of video 0 then re-add video usage for a
+        # brand-new video id via the Video dimension + logs.
+        db.insert("Video", [(100, 0, 1.0)])
+        db.insert("Log", [(900, 100)])
+        maintained = maintain(visit_view)
+        assert any(r[0] == 100 for r in maintained.rows)
+
+    def test_spja_superfluous_rows_removed(self, visit_view):
+        db = visit_view.database
+        vid0_sessions = [
+            (r[0],) for r in db.relation("Log").rows if r[1] == 0
+        ]
+        db.delete_by_key("Log", vid0_sessions)
+        maintained = maintain(visit_view)
+        assert all(r[0] != 0 for r in maintained.rows)
+
+    def test_spja_updates_to_dimension(self, visit_view):
+        db = visit_view.database
+        db.update("Video", [(2, 99, 123.0)])
+        assert_maintained_fresh(visit_view)
+
+    def test_spja_both_relations_dirty(self, visit_view):
+        db = visit_view.database
+        db.insert("Log", [(801, 3)])
+        db.update("Video", [(3, 77, 9.0)])
+        assert_maintained_fresh(visit_view)
+
+    def test_spj_join_view(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        view = catalog.create_view(
+            "joined",
+            Join(BaseRel("Log"), BaseRel("Video"),
+                 on=[("videoId", "videoId")], foreign_key=True),
+        )
+        log_video_db.insert("Log", [(801, 3), (802, 0)])
+        log_video_db.update("Video", [(0, 42, 5.0)])
+        log_video_db.delete_by_key("Log", [(5,)])
+        assert_maintained_fresh(view)
+
+    def test_spj_with_projection_and_select(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")], foreign_key=True)
+        definition = Project(
+            Select(join, col("duration") > 12.0),
+            [Output("sessionId", col("sessionId")),
+             Output("videoId", col("videoId")),
+             Output("dur2", col("duration") * 2)],
+        )
+        view = catalog.create_view("pv", definition)
+        log_video_db.insert("Log", [(801, 7), (802, 0)])
+        assert_maintained_fresh(view)
+
+    def test_no_deltas_is_identity(self, visit_view):
+        before = list(visit_view.require_data().rows)
+        maintained = maintain(visit_view)
+        assert sorted(maintained.rows) == sorted(before)
+
+    def test_avg_view_maintained(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        join = Join(BaseRel("Log"), BaseRel("Video"),
+                    on=[("videoId", "videoId")], foreign_key=True)
+        view = catalog.create_view(
+            "avgview",
+            Aggregate(join, ["videoId"],
+                      [AggSpec("avgSess", "avg", col("sessionId"))]),
+        )
+        log_video_db.insert("Log", [(801, 3), (802, 3)])
+        log_video_db.delete_by_key("Log", [(1,)])
+        assert_maintained_fresh(view)
+
+    def test_minmax_insert_only_change_table(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        view = catalog.create_view(
+            "mx",
+            Aggregate(BaseRel("Log"), ["videoId"],
+                      [AggSpec("hi", "max", col("sessionId")),
+                       AggSpec("lo", "min", col("sessionId"))]),
+        )
+        log_video_db.insert("Log", [(901, 0), (-5, 0)])
+        strategy = choose_strategy(view)
+        assert strategy.kind == CHANGE_TABLE
+        assert_maintained_fresh(view, strategy)
+
+    def test_minmax_with_deletes_falls_back_to_recompute(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        view = catalog.create_view(
+            "mx2",
+            Aggregate(BaseRel("Log"), ["videoId"],
+                      [AggSpec("hi", "max", col("sessionId"))]),
+        )
+        log_video_db.delete_by_key("Log", [(59,)])
+        strategy = choose_strategy(view)
+        assert strategy.kind == RECOMPUTE
+        assert_maintained_fresh(view, strategy)
+
+
+class TestRecompute:
+    def test_recompute_matches_fresh(self, visit_view):
+        db = visit_view.database
+        db.insert("Log", [(700, 2)])
+        db.delete_by_key("Log", [(3,)])
+        strategy = build_strategy(visit_view, RECOMPUTE)
+        assert_maintained_fresh(visit_view, strategy)
+
+    def test_recompute_equals_change_table(self, visit_view):
+        db = visit_view.database
+        db.insert("Log", [(700, 2), (701, 5)])
+        db.update("Video", [(5, 1, 2.0)])
+        a = evaluate(build_strategy(visit_view, RECOMPUTE).expr, db.leaves())
+        b = evaluate(build_strategy(visit_view, CHANGE_TABLE).expr, db.leaves())
+        assert sorted(a.rows) == sorted(b.rows)
+
+    def test_nested_aggregate_view_recompute(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        inner = Aggregate(BaseRel("Log"), ["videoId"],
+                          [AggSpec("cnt", "count")])
+        view = catalog.create_view(
+            "nested", Aggregate(inner, ["cnt"], [AggSpec("videos", "count")])
+        )
+        log_video_db.insert("Log", [(700, 2)])
+        assert_maintained_fresh(view)
+
+    def test_opaque_key_transform_view(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        transform = func("mod3", lambda v: v % 3, col("videoId"))
+        core = Project(BaseRel("Log"),
+                       [Output("sessionId", col("sessionId")),
+                        Output("bucket", transform)])
+        view = catalog.create_view(
+            "buckets", Aggregate(core, ["bucket"], [AggSpec("n", "count")])
+        )
+        log_video_db.insert("Log", [(700, 2), (701, 1)])
+        assert_maintained_fresh(view)

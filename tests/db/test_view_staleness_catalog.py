@@ -1,0 +1,136 @@
+"""Tests for MaterializedView, staleness classification, and the Catalog."""
+
+import pytest
+
+from repro.algebra import AggSpec, Aggregate, BaseRel, Relation, Schema, col
+from repro.algebra.evaluator import GROUP_COUNT
+from repro.db import Catalog, StalenessReport, changed_rows, classify
+from repro.db.view import augment_definition, hidden_sum_name
+from repro.errors import MaintenanceError, SchemaError
+
+from tests.conftest import make_log_video_db, visit_view_definition
+
+
+class TestAugmentation:
+    def test_group_count_added(self):
+        aug = augment_definition(visit_view_definition())
+        names = [a.name for a in aug.aggs]
+        assert GROUP_COUNT in names
+
+    def test_avg_gets_hidden_sum(self):
+        definition = Aggregate(BaseRel("Log"), ["videoId"],
+                               [AggSpec("m", "avg", col("sessionId"))])
+        aug = augment_definition(definition)
+        names = [a.name for a in aug.aggs]
+        assert hidden_sum_name("m") in names
+
+    def test_non_aggregate_unchanged(self):
+        e = BaseRel("Log")
+        assert augment_definition(e) is e
+
+    def test_augmentation_idempotent(self):
+        aug = augment_definition(visit_view_definition())
+        again = augment_definition(aug)
+        assert [a.name for a in again.aggs] == [a.name for a in aug.aggs]
+
+
+class TestMaterializedView:
+    def test_materialize_sets_key_and_registers(self, visit_view):
+        assert visit_view.key == ("videoId", "ownerId", "duration")
+        assert visit_view.data.validate_key()
+        assert visit_view.name in visit_view.database.leaves()
+
+    def test_visible_columns_hide_internals(self, visit_view):
+        assert GROUP_COUNT not in visit_view.visible_columns()
+        assert "visitCount" in visit_view.visible_columns()
+
+    def test_is_stale_tracks_deltas(self, visit_view):
+        assert not visit_view.is_stale()
+        visit_view.database.insert("Log", [(999, 0)])
+        assert visit_view.is_stale()
+
+    def test_fresh_data_reflects_deltas(self, visit_view):
+        db = visit_view.database
+        stale_total = sum(r[3] for r in visit_view.data.rows)
+        db.insert("Log", [(999, 0)])
+        fresh_total = sum(r[3] for r in visit_view.fresh_data().rows)
+        assert fresh_total == stale_total + 1
+
+    def test_require_data_before_materialize(self, log_video_db):
+        from repro.db.view import MaterializedView
+
+        view = MaterializedView("v", visit_view_definition(), log_video_db)
+        with pytest.raises(MaintenanceError):
+            view.require_data()
+
+
+class TestStalenessClassification:
+    def _views(self):
+        schema = Schema(["k", "v"])
+        stale = Relation(schema, [(1, "a"), (2, "b"), (3, "c")], key=("k",))
+        fresh = Relation(schema, [(1, "a"), (2, "B"), (4, "d")], key=("k",))
+        return stale, fresh
+
+    def test_all_three_error_classes(self):
+        stale, fresh = self._views()
+        report = classify(stale, fresh)
+        assert report.incorrect == {(2,)}
+        assert report.superfluous == {(3,)}
+        assert report.missing == {(4,)}
+        assert report.unchanged == {(1,)}
+        assert report.total_errors == 3
+        assert not report.is_fresh()
+
+    def test_identical_views_fresh(self):
+        stale, _ = self._views()
+        assert classify(stale, stale).is_fresh()
+
+    def test_changed_rows_listing(self):
+        stale, fresh = self._views()
+        rows = {k: (s, f) for k, s, f in changed_rows(stale, fresh)}
+        assert rows[(2,)] == ((2, "b"), (2, "B"))
+        assert rows[(3,)] == ((3, "c"), None)
+        assert rows[(4,)] == (None, (4, "d"))
+
+    def test_schema_mismatch_raises(self):
+        stale, _ = self._views()
+        other = Relation(Schema(["k", "w"]), [], key=("k",))
+        with pytest.raises(SchemaError):
+            classify(stale, other)
+
+    def test_key_mismatch_raises(self):
+        stale, fresh = self._views()
+        with pytest.raises(SchemaError):
+            classify(stale, Relation(fresh.schema, fresh.rows, key=("v",)))
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        view = catalog.create_view("vv", visit_view_definition())
+        assert catalog.view("vv") is view
+        assert "vv" in catalog
+        assert view in list(catalog)
+
+    def test_duplicate_name_rejected(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        catalog.create_view("vv", visit_view_definition())
+        with pytest.raises(MaintenanceError):
+            catalog.create_view("vv", visit_view_definition())
+
+    def test_drop_view(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        catalog.create_view("vv", visit_view_definition())
+        catalog.drop_view("vv")
+        assert "vv" not in catalog
+        with pytest.raises(MaintenanceError):
+            catalog.drop_view("vv")
+
+    def test_maintain_all_refreshes_and_clears(self, log_video_db):
+        catalog = Catalog(log_video_db)
+        view = catalog.create_view("vv", visit_view_definition())
+        log_video_db.insert("Log", [(999, 0)])
+        fresh = view.fresh_data()
+        catalog.maintain_all()
+        assert not log_video_db.is_stale()
+        assert classify(view.data, fresh).is_fresh()

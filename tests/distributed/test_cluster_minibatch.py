@@ -1,0 +1,129 @@
+"""Tests for the mini-batch cluster simulator (§7.6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ClusterModel,
+    ErrorModel,
+    SteadyStateConfig,
+    UtilizationSummary,
+    compare_utilization,
+    cpu_utilization_trace,
+    ivm_max_error,
+    optimal_ratio,
+    svc_ivm_max_error,
+    svc_refresh_period,
+    sweep_sampling_ratios,
+    throughput_curve,
+)
+from repro.errors import WorkloadError
+
+
+@pytest.fixture
+def model():
+    return ClusterModel()
+
+
+class TestThroughputModel:
+    def test_throughput_increases_with_batch(self, model):
+        small = model.throughput(5.0)
+        large = model.throughput(200.0)
+        assert large > 5 * small
+
+    def test_asymptote_is_peak_rate(self, model):
+        assert model.throughput(100000.0) == pytest.approx(
+            model.peak_rate, rel=0.01)
+
+    def test_two_threads_reduce_throughput(self, model):
+        for g in (5.0, 40.0, 200.0):
+            assert model.throughput(g, threads=2) < model.throughput(g)
+
+    def test_contention_shrinks_with_batch_size(self, model):
+        red_small = model.throughput(5.0) / model.throughput(5.0, 2)
+        red_large = model.throughput(200.0) / model.throughput(200.0, 2)
+        assert red_small > 1.7
+        assert red_large < red_small
+
+    def test_invalid_batch(self, model):
+        with pytest.raises(WorkloadError):
+            model.batch_time(0.0)
+
+    def test_smallest_batch_for_demand(self, model):
+        g = model.smallest_batch_for(500_000.0)
+        assert model.throughput(g) >= 500_000.0
+        # The next smaller candidate must fail the demand.
+        assert model.throughput(g - 5.0) < 500_000.0 or g == 5.0
+
+    def test_unreachable_demand_raises(self, model):
+        with pytest.raises(WorkloadError):
+            model.smallest_batch_for(10 * model.peak_rate)
+
+    def test_throughput_curve_rows(self, model):
+        rows = throughput_curve(model, [5.0, 50.0])
+        assert len(rows) == 2 and rows[0]["throughput"] < rows[1]["throughput"]
+
+
+class TestErrorModel:
+    def _em(self):
+        return ErrorModel(
+            stale_points=[(0.0, 0.0), (0.1, 0.05), (0.2, 0.12)],
+            estimation_points=[(0.01, 0.20), (0.1, 0.05), (0.2, 0.03)],
+        )
+
+    def test_interpolation(self):
+        em = self._em()
+        assert em.stale_error(0.05) == pytest.approx(0.025)
+        assert em.estimation_error(0.055) == pytest.approx(0.125)
+
+    def test_extrapolation_scale(self):
+        em = ErrorModel([(0.0, 0.0), (0.1, 0.1)], [(0.1, 0.2)],
+                        estimation_scale=0.5)
+        assert em.estimation_error(0.1) == pytest.approx(0.1)
+
+    def test_refresh_period_grows_with_ratio(self):
+        model = ClusterModel()
+        cfg = SteadyStateConfig()
+        assert svc_refresh_period(model, cfg, 0.2) > svc_refresh_period(
+            model, cfg, 0.02)
+
+    def test_refresh_period_diverges(self):
+        model = ClusterModel(peak_rate=100.0)
+        cfg = SteadyStateConfig(target_rate=100.0)
+        assert svc_refresh_period(model, cfg, 0.99) == float("inf")
+
+    def test_sweep_and_optimum(self):
+        model = ClusterModel()
+        cfg = SteadyStateConfig()
+        rows = sweep_sampling_ratios(model, self._em(), cfg,
+                                     [0.01, 0.05, 0.1, 0.2])
+        assert len(rows) == 4
+        best = optimal_ratio(rows)
+        assert best in (0.01, 0.05, 0.1, 0.2)
+        ivm = ivm_max_error(model, self._em(), cfg)
+        assert ivm["max_error"] >= 0.0
+
+    def test_infeasible_ratio_reports_inf(self):
+        model = ClusterModel(peak_rate=100.0)
+        cfg = SteadyStateConfig(target_rate=100.0)
+        row = svc_ivm_max_error(model, self._em(), cfg, 0.99)
+        assert row["max_error"] == float("inf")
+
+
+class TestUtilization:
+    def test_svc_fills_idle(self):
+        model = ClusterModel()
+        summaries = compare_utilization(model, 40.0, seconds=240, seed=1)
+        assert summaries["IVM+SVC"].mean > summaries["IVM"].mean
+        assert (summaries["IVM+SVC"].idle_seconds_below_25
+                < summaries["IVM"].idle_seconds_below_25)
+
+    def test_trace_bounds(self):
+        model = ClusterModel()
+        trace = cpu_utilization_trace(model, 40.0, 120, with_svc=True, seed=0)
+        assert trace.min() >= 0.0 and trace.max() <= 100.0
+
+    def test_summary_from_trace(self):
+        s = UtilizationSummary.from_trace(np.array([10.0, 50.0, 90.0]))
+        assert s.mean == pytest.approx(50.0)
+        assert s.idle_seconds_below_25 == 1

@@ -1,0 +1,78 @@
+"""Tests for the CLI runner, the error hierarchy, and misc utilities."""
+
+import pytest
+
+from repro.errors import (
+    EstimationError,
+    EvaluationError,
+    KeyDerivationError,
+    MaintenanceError,
+    PushdownError,
+    ReproError,
+    SchemaError,
+    WorkloadError,
+)
+from repro.experiments.__main__ import _parse_value, main
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SchemaError, KeyDerivationError, EvaluationError, PushdownError,
+        MaintenanceError, EstimationError, WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestCLI:
+    def test_help_lists_experiments(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "fig16" in out
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 0
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figNaN"]) == 2
+
+    def test_runs_model_experiment(self, capsys):
+        assert main(["fig14b"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14b" in out
+
+    def test_kwargs_parsed(self, capsys):
+        assert main(["fig16", "seconds=30"]) == 0
+        assert "fig16" in capsys.readouterr().out
+
+    def test_parse_value(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("0.5") == 0.5
+        assert _parse_value("V2") == "V2"
+
+
+class TestVersionAndExports:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None or name == "__version__"
+
+    def test_subpackage_alls_resolve(self):
+        import repro.algebra
+        import repro.core
+        import repro.db
+        import repro.distributed
+        import repro.workloads
+
+        for mod in (repro.algebra, repro.core, repro.db, repro.distributed,
+                    repro.workloads):
+            for name in mod.__all__:
+                assert getattr(mod, name, None) is not None, (mod, name)

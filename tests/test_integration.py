@@ -1,0 +1,99 @@
+"""End-to-end integration tests: the full SVC workflow of paper §3.2
+running over multiple maintenance periods on realistic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import col
+from repro.core import AggQuery, OutlierIndex, StaleViewCleaner
+from repro.db import Catalog, classify, maintain
+from repro.workloads import (
+    SAMPLE_ATTRS,
+    build_conviva_workload,
+    build_tpcd,
+    create_join_view,
+)
+from repro.workloads.queries import relative_error
+
+
+class TestMultiPeriodLifecycle:
+    def test_three_maintenance_periods(self):
+        """Sample stays corresponding across periods of update → clean →
+        query → full-maintain → advance."""
+        db, gen = build_tpcd(scale=0.25, z=2.0, seed=11)
+        view = create_join_view(db, Catalog(db))
+        svc = StaleViewCleaner(view, ratio=0.2, seed=1,
+                               sample_attrs=SAMPLE_ATTRS)
+        query = AggQuery("sum", "revenue", col("l_quantity") > 5)
+
+        for period in range(3):
+            gen.generate_updates(db, 0.08)
+            svc.refresh()
+            fresh = view.fresh_data()
+            assert svc.sample_view.check_correspondence(fresh).holds(), period
+
+            truth = query.evaluate(fresh)
+            stale = svc.stale_answer(query)
+            corr = svc.query(query, method="corr").value
+            assert relative_error(corr, truth) <= relative_error(stale, truth)
+
+            maintained = maintain(view)
+            assert classify(maintained, fresh).is_fresh()
+            db.apply_deltas()
+            svc.advance()
+
+    def test_estimates_improve_with_ratio(self):
+        db, gen = build_tpcd(scale=0.25, z=2.0, seed=12)
+        view = create_join_view(db, Catalog(db))
+        gen.generate_updates(db, 0.1)
+        fresh = view.fresh_data()
+        query = AggQuery("sum", "revenue")
+        truth = query.evaluate(fresh)
+
+        def mean_error(ratio):
+            errs = []
+            for seed in range(8):
+                svc = StaleViewCleaner(view, ratio=ratio, seed=seed,
+                                       sample_attrs=SAMPLE_ATTRS)
+                svc.refresh()
+                errs.append(relative_error(
+                    svc.query(query, method="aqp").value, truth))
+            return np.mean(errs)
+
+        assert mean_error(0.5) < mean_error(0.05) + 0.02
+
+
+class TestConvivaEndToEnd:
+    def test_all_views_cleanable_and_queriable(self):
+        db, catalog, views, gen = build_conviva_workload(
+            n_records=4000, seed=13)
+        gen.append_updates(db, 400)
+        for name, view in views.items():
+            svc = StaleViewCleaner(view, ratio=0.25, seed=2)
+            svc.refresh()
+            fresh = view.fresh_data()
+            assert svc.sample_view.check_correspondence(fresh).holds(), name
+            agg_attr = view.visible_columns()[-1]
+            q = AggQuery("sum", agg_attr)
+            truth = q.evaluate(fresh)
+            est = svc.query(q, method="corr").value
+            assert relative_error(est, truth) < 0.35, name
+
+
+class TestOutlierEndToEnd:
+    def test_outlier_pipeline_on_skewed_tpcd(self):
+        db, gen = build_tpcd(scale=0.25, z=4.0, seed=14)
+        view = create_join_view(db, Catalog(db))
+        gen.generate_updates(db, 0.1)
+        index = OutlierIndex.from_top_k(
+            db.relation("lineitem"), "l_extendedprice", 50)
+        index.observe(db.deltas.get("lineitem").inserted)
+        svc = StaleViewCleaner(view, ratio=0.1, seed=3,
+                               outlier_index=index,
+                               sample_attrs=SAMPLE_ATTRS)
+        svc.refresh()
+        fresh = view.fresh_data()
+        q = AggQuery("sum", "revenue")
+        truth = q.evaluate(fresh)
+        est = svc.query(q, method="corr")
+        assert relative_error(est.value, truth) < 0.2

@@ -1,0 +1,113 @@
+"""Tests for the TPCD-Skew generator and the Zipfian sampler."""
+
+import numpy as np
+import pytest
+
+from repro.stats.zipf import ZipfGenerator, zipf_values
+from repro.workloads.tpcd import ROWS_PER_SF, TPCDConfig, TPCDGenerator, build_tpcd
+
+
+class TestZipf:
+    def test_domain_respected(self):
+        draws = zipf_values(500, 10, 2.0, rng=np.random.default_rng(0))
+        assert draws.min() >= 0 and draws.max() < 10
+
+    def test_skew_concentrates_on_low_ranks(self):
+        rng = np.random.default_rng(0)
+        skewed = ZipfGenerator(100, 3.0, rng).draw(2000)
+        uniform = ZipfGenerator(100, 0.0, rng).draw(2000)
+        assert (skewed == 0).mean() > (uniform == 0).mean() * 5
+
+    def test_zero_exponent_is_uniform(self):
+        gen = ZipfGenerator(4, 0.0)
+        assert np.allclose(gen.pmf(), 0.25)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(5, -1.0)
+
+    def test_pmf_sums_to_one(self):
+        assert ZipfGenerator(50, 2.0).pmf().sum() == pytest.approx(1.0)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def db_gen(self):
+        return build_tpcd(scale=0.2, z=2.0, seed=1)
+
+    def test_all_tables_present(self, db_gen):
+        db, _ = db_gen
+        assert set(db.relation_names()) == {
+            "region", "nation", "supplier", "customer", "part", "orders",
+            "lineitem",
+        }
+
+    def test_row_counts_scale(self, db_gen):
+        db, _ = db_gen
+        for table in ("customer", "orders", "lineitem"):
+            expected = int(ROWS_PER_SF[table] * 0.2)
+            assert abs(len(db.relation(table)) - expected) <= 1
+
+    def test_primary_keys_valid(self, db_gen):
+        db, _ = db_gen
+        for name in db.relation_names():
+            assert db.relation(name).validate_key(), name
+
+    def test_foreign_keys_resolve(self, db_gen):
+        db, _ = db_gen
+        orders = db.relation("orders")
+        custkeys = db.relation("customer").key_set()
+        o_cust = orders.schema.index("o_custkey")
+        assert all((r[o_cust],) in custkeys for r in orders.rows)
+        lineitem = db.relation("lineitem")
+        orderkeys = orders.key_set()
+        l_ok = lineitem.schema.index("l_orderkey")
+        assert all((r[l_ok],) in orderkeys for r in lineitem.rows)
+
+    def test_prices_are_long_tailed(self):
+        db, _ = build_tpcd(scale=0.4, z=4.0, seed=2)
+        prices = db.relation("lineitem").column_array("l_extendedprice")
+        assert prices.max() / np.median(prices) > 50
+
+    def test_skew_grows_with_z(self):
+        low = build_tpcd(scale=0.4, z=1.0, seed=3)[0]
+        high = build_tpcd(scale=0.4, z=4.0, seed=3)[0]
+        cv = lambda arr: arr.std() / arr.mean()
+        assert cv(high.relation("lineitem").column_array("l_extendedprice")) \
+            > cv(low.relation("lineitem").column_array("l_extendedprice"))
+
+    def test_determinism(self):
+        a, _ = build_tpcd(scale=0.2, z=2.0, seed=9)
+        b, _ = build_tpcd(scale=0.2, z=2.0, seed=9)
+        assert a.relation("lineitem").rows == b.relation("lineitem").rows
+
+
+class TestUpdates:
+    def test_update_batch_counts(self):
+        db, gen = build_tpcd(scale=0.3, z=2.0, seed=4)
+        report = gen.generate_updates(db, 0.1)
+        assert report["lineitem_inserted"] > 0
+        assert report["lineitem_updated"] > 0
+        assert db.is_stale()
+
+    def test_updates_preserve_foreign_keys(self):
+        db, gen = build_tpcd(scale=0.3, z=2.0, seed=4)
+        gen.generate_updates(db, 0.1)
+        fresh = db.fresh_leaves()
+        orderkeys = fresh["orders"].key_set()
+        l_ok = fresh["lineitem"].schema.index("l_orderkey")
+        assert all((r[l_ok],) in orderkeys for r in fresh["lineitem"].rows)
+
+    def test_fresh_lineitem_keys_unique(self):
+        db, gen = build_tpcd(scale=0.3, z=2.0, seed=4)
+        gen.generate_updates(db, 0.15)
+        assert db.fresh_leaves()["lineitem"].validate_key()
+
+    def test_invalid_fraction(self):
+        db, gen = build_tpcd(scale=0.2, z=2.0, seed=4)
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            gen.generate_updates(db, 0.0)
