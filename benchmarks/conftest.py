@@ -13,6 +13,33 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads for CI smoke runs",
+    )
+
+
+@pytest.fixture
+def quick(request):
+    """True when the run should use a reduced CI-sized workload."""
+    return request.config.getoption("--quick")
+
+
+@pytest.fixture
+def record_text():
+    """Persist a free-form text result table and echo it to stdout."""
+
+    def _record(name: str, table: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        print("\n" + table)
+
+    return _record
+
+
 @pytest.fixture
 def record_result():
     """Persist an ExperimentResult table and echo it to stdout."""

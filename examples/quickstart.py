@@ -92,7 +92,11 @@ print(f"{'stale view':14}{stale:>12.0f}  (unknown error!)")
 print(f"{'SVC+CORR':14}{corr.value:>12.0f}  [{corr.ci_low:.0f}, {corr.ci_high:.0f}]")
 print(f"{'SVC+AQP':14}{aqp.value:>12.0f}  [{aqp.ci_low:.0f}, {aqp.ci_high:.0f}]")
 
-err = lambda v: abs(v - truth) / truth * 100
+
+def err(v):
+    return abs(v - truth) / truth * 100
+
+
 print(f"\nrelative errors: stale {err(stale):.1f}%  "
       f"corr {err(corr.value):.1f}%  aqp {err(aqp.value):.1f}%")
 assert err(corr.value) < err(stale), "SVC should beat the stale answer"

@@ -11,7 +11,7 @@ Run:  python examples/video_log_analysis.py
 
 import time
 
-from repro.core import AggQuery, StaleViewCleaner
+from repro.core import StaleViewCleaner
 from repro.db import choose_strategy, maintain
 from repro.experiments.harness import timed
 from repro.workloads.conviva import build_conviva_workload, conviva_query_attrs

@@ -2,11 +2,21 @@
 
 This package implements the full operator set of paper §3.1 (σ, Π, ⋈, γ,
 ∪, ∩, −), plus the sampling operator η (§4.4) and the change-table Merge
-(Ex. 1), with primary-key derivation (Def 2) and lineage (Def 1).
+(Ex. 1), with primary-key derivation (Def 2) and lineage (Def 1).  The
+evaluator runs columnar (numpy-vectorized) fast paths over
+:class:`ColumnarRelation` views by default, falling back to the
+reference row-at-a-time loops operator by operator; see
+:func:`set_columnar_enabled`.
 """
 
 from repro.algebra.aggregates import get_aggregate
-from repro.algebra.evaluator import GROUP_COUNT, evaluate
+from repro.algebra.columnar import ColumnarRelation
+from repro.algebra.evaluator import (
+    GROUP_COUNT,
+    columnar_enabled,
+    evaluate,
+    set_columnar_enabled,
+)
 from repro.algebra.expressions import (
     AggSpec,
     Aggregate,
@@ -53,6 +63,7 @@ __all__ = [
     "BaseRel",
     "Between",
     "Col",
+    "ColumnarRelation",
     "Combiner",
     "Comparison",
     "Const",
@@ -76,6 +87,7 @@ __all__ = [
     "Union",
     "as_schema",
     "col",
+    "columnar_enabled",
     "derive_key",
     "derive_schema",
     "distinct",
@@ -84,5 +96,6 @@ __all__ = [
     "get_aggregate",
     "lit",
     "provenance_of",
+    "set_columnar_enabled",
     "trace",
 ]

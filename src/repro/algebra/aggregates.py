@@ -19,7 +19,13 @@ Each function is an :class:`AggregateFunction` with
     the signed per-record contribution (``mult`` is +1 for insertions,
     -1 for deletions), only meaningful for distributive aggregates;
 ``combine(old, delta)``
-    merge an old group value with an accumulated delta contribution.
+    merge an old group value with an accumulated delta contribution;
+``grouped(sorted_values, starts, counts)``
+    optional vectorized evaluation over *all* groups at once (columnar
+    fast path): ``sorted_values`` holds the input values stably sorted
+    by group id, ``starts`` the ``np.ufunc.reduceat`` offsets, and
+    ``counts`` the per-group sizes.  Aggregates without a ``grouped``
+    implementation are computed per group by the evaluator's fallback.
 """
 
 from __future__ import annotations
@@ -39,7 +45,7 @@ HOLISTIC = "holistic"
 class AggregateFunction:
     """A named aggregate with maintenance metadata."""
 
-    __slots__ = ("name", "kind", "_compute", "_contribution", "_combine")
+    __slots__ = ("name", "kind", "_compute", "_contribution", "_combine", "grouped")
 
     def __init__(
         self,
@@ -48,12 +54,14 @@ class AggregateFunction:
         compute: Callable[[Sequence], object],
         contribution: Optional[Callable[[object, int], object]] = None,
         combine: Optional[Callable[[object, object], object]] = None,
+        grouped: Optional[Callable] = None,
     ):
         self.name = name
         self.kind = kind
         self._compute = compute
         self._contribution = contribution
         self._combine = combine
+        self.grouped = grouped
 
     def compute(self, values: Sequence) -> object:
         """Evaluate the aggregate over ``values`` (possibly empty)."""
@@ -129,12 +137,53 @@ def _count_distinct(values):
     return len(set(values))
 
 
+# ----------------------------------------------------------------------
+# Vectorized grouped reductions (columnar fast path).  Each takes the
+# input values stably sorted by group id, the per-group reduceat start
+# offsets, and the per-group counts; returns one value per group.
+# Float summation order differs from Python's left-to-right ``sum``
+# (numpy may sum pairwise), so float results can drift by a few ULPs;
+# integer reductions stay exact (the evaluator bounds them first).
+# ----------------------------------------------------------------------
+def _grouped_sum(sorted_values, starts, counts):
+    return np.add.reduceat(sorted_values, starts)
+
+
+def _grouped_count(sorted_values, starts, counts):
+    return counts
+
+
+def _grouped_avg(sorted_values, starts, counts):
+    return np.add.reduceat(sorted_values, starts) / counts
+
+
+def _grouped_min(sorted_values, starts, counts):
+    return np.minimum.reduceat(sorted_values, starts)
+
+
+def _grouped_max(sorted_values, starts, counts):
+    return np.maximum.reduceat(sorted_values, starts)
+
+
+def _grouped_var(sorted_values, starts, counts):
+    vals = np.asarray(sorted_values, dtype=float)
+    means = np.add.reduceat(vals, starts) / counts
+    dev = vals - np.repeat(means, counts)
+    ssd = np.add.reduceat(dev * dev, starts)
+    return np.where(counts > 1, ssd / np.maximum(counts - 1, 1), 0.0)
+
+
+def _grouped_std(sorted_values, starts, counts):
+    return np.sqrt(_grouped_var(sorted_values, starts, counts))
+
+
 SUM = AggregateFunction(
     "sum",
     DISTRIBUTIVE,
     _safe_sum,
     contribution=lambda v, mult: mult * v,
     combine=lambda old, delta: (old or 0) + delta,
+    grouped=_grouped_sum,
 )
 
 COUNT = AggregateFunction(
@@ -143,16 +192,18 @@ COUNT = AggregateFunction(
     len,
     contribution=lambda v, mult: mult,
     combine=lambda old, delta: (old or 0) + delta,
+    grouped=_grouped_count,
 )
 
-AVG = AggregateFunction("avg", ALGEBRAIC, _safe_avg)
+AVG = AggregateFunction("avg", ALGEBRAIC, _safe_avg, grouped=_grouped_avg)
 
-MIN = AggregateFunction("min", HOLISTIC, _safe_min)
-MAX = AggregateFunction("max", HOLISTIC, _safe_max)
+MIN = AggregateFunction("min", HOLISTIC, _safe_min, grouped=_grouped_min)
+MAX = AggregateFunction("max", HOLISTIC, _safe_max, grouped=_grouped_max)
 MEDIAN = AggregateFunction("median", HOLISTIC, _median)
-VAR = AggregateFunction("var", HOLISTIC, _var)
-STD = AggregateFunction("std", HOLISTIC, _std)
+VAR = AggregateFunction("var", HOLISTIC, _var, grouped=_grouped_var)
+STD = AggregateFunction("std", HOLISTIC, _std, grouped=_grouped_std)
 COUNT_DISTINCT = AggregateFunction("count_distinct", HOLISTIC, _count_distinct)
+
 
 def _pick(values):
     """Value of the highest-priority insertion among (priority, value) pairs.

@@ -1,0 +1,204 @@
+"""Columnar views of row relations.
+
+The SVC evaluator is row-oriented because the paper's algorithms are
+defined over row lineage and per-row hashing — but the *hot loops*
+(selection masks, η hashing, group-by reduction) are embarrassingly
+data-parallel.  This module provides the columnar execution backend:
+
+* :class:`ColumnarRelation` — a lazy, cached column-store view over an
+  (immutable) :class:`~repro.algebra.relation.Relation`.  Columns are
+  materialized on first access as numpy arrays when the values admit a
+  uniform dtype, and as object arrays otherwise.
+* :func:`group_ids` — dense group identifiers for a group-by key, in
+  first-appearance order (exactly the order the row-at-a-time dict
+  grouping produces), via ``np.unique`` when the key columns are
+  integer/bool/string and a Python dict otherwise.
+* :func:`grouped_starts` — the stable-sorted order and per-group start
+  offsets that feed ``np.ufunc.reduceat``-style grouped reductions.
+
+The evaluator treats every columnar path as a *fast path with a row
+fallback*: any value that does not vectorize cleanly (``None``-bearing
+columns under arithmetic, opaque :class:`~repro.algebra.predicates.Func`
+terms, exotic Python objects) drops back to the reference row loop, so
+results are identical by construction.  Integer arithmetic that could
+overflow an int64 is likewise routed back to the row path, where Python's
+arbitrary-precision integers define the semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ColumnarRelation", "column_to_array", "group_ids", "grouped_starts"]
+
+#: dtype kinds that vectorize for arithmetic/comparison fast paths.
+NUMERIC_KINDS = "biuf"
+
+#: dtype kinds safe for exact group-key round-tripping (no int/float or
+#: precision collapse): bool, signed/unsigned int, unicode, bytes.
+GROUPABLE_KINDS = "biuUS"
+
+
+def column_to_array(values: Sequence) -> np.ndarray:
+    """One column as a 1-D numpy array, falling back to object dtype.
+
+    ``np.asarray`` infers int64/float64/bool dtypes for uniform numeric
+    columns (promotion preserves Python's ``==`` semantics).  String
+    dtypes are only accepted when *every* value really is a string —
+    ``np.asarray(['', 0])`` silently stringifies the int, which would
+    corrupt equality masks and group keys.  Ragged, oversized-int, and
+    mixed columns become object arrays so every Python value round-trips
+    unchanged.
+    """
+    try:
+        arr = np.asarray(values)
+    except (ValueError, TypeError, OverflowError):
+        arr = None
+    if arr is not None and arr.ndim == 1:
+        kind = arr.dtype.kind
+        if kind in "biuf":
+            return arr
+        if kind == "U" and all(isinstance(v, str) for v in values):
+            return arr
+        if kind == "S" and all(isinstance(v, bytes) for v in values):
+            return arr
+        if kind == "O":
+            return arr
+    out = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        out[i] = v
+    return out
+
+
+class ColumnarRelation:
+    """A cached column-store view over a row :class:`Relation`.
+
+    Construction is O(1): columns are extracted and converted lazily, one
+    per :meth:`array`/:meth:`pycolumn` call, and cached thereafter.  The
+    view is valid because relations are treated as immutable everywhere
+    in the library (every update path builds a new ``Relation``).
+    """
+
+    __slots__ = ("schema", "_rows", "_pycols", "_arrays")
+
+    def __init__(self, relation):
+        self.schema = relation.schema
+        self._rows = relation.rows
+        self._pycols: dict = {}
+        self._arrays: dict = {}
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows in the underlying relation."""
+        return len(self._rows)
+
+    def pycolumn(self, name: str) -> list:
+        """One column as a plain Python list, in row order (cached)."""
+        col = self._pycols.get(name)
+        if col is None:
+            i = self.schema.index(name)
+            col = [row[i] for row in self._rows]
+            self._pycols[name] = col
+        return col
+
+    def array(self, name: str) -> np.ndarray:
+        """One column as a numpy array (cached; object dtype fallback).
+
+        The intermediate Python list is *not* cached here — only callers
+        that need Python values (η hashing, dict grouping) pay for a
+        retained list via :meth:`pycolumn`, so array-only access does
+        not double the column's resident memory.
+        """
+        arr = self._arrays.get(name)
+        if arr is None:
+            col = self._pycols.get(name)
+            if col is None:
+                i = self.schema.index(name)
+                col = [row[i] for row in self._rows]
+            arr = column_to_array(col)
+            self._arrays[name] = arr
+        return arr
+
+    def arrays(self, names: Sequence[str]) -> list:
+        """Arrays for several columns, in the given order."""
+        return [self.array(n) for n in names]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ColumnarRelation cols={list(self.schema.columns)} "
+            f"rows={self.nrows} cached={sorted(self._arrays)}>"
+        )
+
+
+def _first_appearance(uniq, first, inv):
+    """Remap ``np.unique`` output (sorted order) to first-appearance order."""
+    perm = np.argsort(first, kind="stable")
+    rank = np.empty(len(perm), dtype=np.intp)
+    rank[perm] = np.arange(len(perm), dtype=np.intp)
+    gid = rank[np.asarray(inv).reshape(-1)]
+    return gid, uniq[perm]
+
+
+def group_ids(cols: ColumnarRelation, names: Sequence[str]):
+    """Dense group ids + group-key tuples for a group-by key.
+
+    Returns ``(gid, group_keys)`` where ``gid[i]`` is the group of row
+    ``i`` and ``group_keys[g]`` is the key tuple of group ``g``; groups
+    are numbered in first-appearance (row) order, matching the dict
+    grouping of the row-at-a-time path.
+    """
+    arrays = cols.arrays(names)
+    if len(arrays) == 1 and arrays[0].dtype.kind in GROUPABLE_KINDS:
+        # A single column mixing Python bools with ints flattens to an
+        # int64 array, which would emit 0/1 keys where the row path
+        # emits False/True; such columns take the exact dict path.
+        # (set(map(type, ...)) is the cheapest full-column type scan.)
+        mixed_bool = arrays[0].dtype.kind in "iu" and bool in set(
+            map(type, cols.pycolumn(names[0]))
+        )
+        if not mixed_bool:
+            uniq, first, inv = np.unique(
+                arrays[0], return_index=True, return_inverse=True
+            )
+            gid, ordered = _first_appearance(uniq, first, inv)
+            return gid, [(k,) for k in ordered.tolist()]
+    kinds = {a.dtype.kind for a in arrays}
+    if len(arrays) > 1 and len(kinds) == 1 and kinds <= set("biu"):
+        # One kind only: np.stack on mixed bool/int columns would promote
+        # bools to 0/1 and change the emitted group-key values.
+        stacked = np.stack(arrays, axis=1)
+        uniq, first, inv = np.unique(
+            stacked, axis=0, return_index=True, return_inverse=True
+        )
+        gid, ordered = _first_appearance(uniq, first, inv)
+        return gid, [tuple(r) for r in ordered.tolist()]
+    # Exact fallback: Python values as dict keys, like the row path.
+    pycols = [cols.pycolumn(n) for n in names]
+    n = len(pycols[0])
+    gid = np.empty(n, dtype=np.intp)
+    mapping: dict = {}
+    keys: list = []
+    for i, key in enumerate(zip(*pycols)):
+        g = mapping.get(key)
+        if g is None:
+            g = len(keys)
+            mapping[key] = g
+            keys.append(key)
+        gid[i] = g
+    return gid, keys
+
+
+def grouped_starts(gid: np.ndarray, counts: np.ndarray):
+    """Stable row order and reduceat start offsets for grouped reduction.
+
+    Returns ``(order, starts)``: ``order`` sorts rows by group id while
+    preserving row order within each group, and ``starts[g]`` is the
+    offset of group ``g``'s first row in that order — the shape
+    ``np.ufunc.reduceat`` wants.
+    """
+    order = np.argsort(gid, kind="stable")
+    starts = np.zeros(len(counts), dtype=np.intp)
+    np.cumsum(counts[:-1], out=starts[1:])
+    return order, starts

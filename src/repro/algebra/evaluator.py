@@ -1,19 +1,33 @@
-"""Expression evaluation.
+"""Expression evaluation: columnar fast paths over a row-at-a-time core.
 
 :func:`evaluate` executes an expression tree bottom-up against a leaf
 resolver (mapping relation name -> :class:`Relation`) and returns a new
 :class:`Relation` whose primary key is derived per Def 2.
 
+Every operator has a reference row-at-a-time implementation that defines
+the semantics.  The hot operators additionally have *columnar* fast
+paths — selection masks via :meth:`Predicate.mask`, batched η hashing
+via :func:`repro.stats.hashing.unit_hash_batch`, and grouped
+``reduceat``-style aggregation over
+:class:`~repro.algebra.columnar.ColumnarRelation` views — which the
+evaluator tries first and abandons (per operator, per aggregate spec)
+whenever a value does not vectorize cleanly, so results are identical to
+the row path by construction.  :func:`set_columnar_enabled` switches the
+fast paths off globally, which the equivalence tests and the
+``bench_vectorized_eval`` microbenchmark use to compare the two engines.
+
 Implementation notes
 --------------------
-* Equality joins are hash joins (build on the right input), with an
+* Equality joins are hash joins (build on the right input) whose
+  build/probe keys are extracted column-wise in bulk, with an
   empty-input fast path for inner joins.
 * Outer joins pad the missing side with ``None``; equality columns that
   share a name on both sides collapse to a single output column which
   always carries the key value regardless of which side matched.
 * The η operator filters rows whose key hash (``repro.stats.hashing``)
-  falls below the sampling ratio; hash draws are memoized globally since
-  they are pure in (key values, seed).
+  falls below the sampling ratio.  The columnar path hashes all key
+  columns in one batched pass; the row path memoizes per-key draws in a
+  bounded, hash-family-aware cache (see :func:`hash_draw`).
 * Shared subtree objects are evaluated once per :func:`evaluate` call
   (maintenance strategies deliberately share the fresh-version subtrees
   across change-table terms).
@@ -25,9 +39,13 @@ Implementation notes
 
 from __future__ import annotations
 
+from itertools import compress
 from typing import Mapping
 
+import numpy as np
+
 from repro.algebra.aggregates import get_aggregate
+from repro.algebra.columnar import group_ids, grouped_starts
 from repro.algebra.expressions import (
     Aggregate,
     BaseRel,
@@ -42,35 +60,80 @@ from repro.algebra.expressions import (
     Union,
 )
 from repro.algebra.keys import derive_key
+from repro.algebra.predicates import _FLOAT_EXACT, _INT64_SAFE
 from repro.algebra.relation import Relation
 from repro.algebra.schema import Schema
 from repro.errors import EvaluationError, KeyDerivationError, SchemaError
-from repro.stats.hashing import unit_hash
+from repro.stats.hashing import get_hash_family, linear_unit, unit_hash_batch
 
 #: Hidden column carrying the group support count in aggregate views and
 #: the net multiplicity in change tables.  Prefixed so user queries never
 #: collide with it.
 GROUP_COUNT = "__grpcount__"
 
-# Hash values are pure functions of (key values, seed); maintenance and
-# cleaning re-hash the same keys every period, so memoize globally.  The
-# memo is cleared when the hash family changes (see clear_hash_memo).
+# Columnar fast paths are on by default; set_columnar_enabled(False)
+# forces the reference row-at-a-time implementations everywhere.
+_COLUMNAR = [True]
+
+
+def set_columnar_enabled(enabled: bool) -> bool:
+    """Globally enable/disable the columnar fast paths; returns the old value."""
+    old = _COLUMNAR[0]
+    _COLUMNAR[0] = bool(enabled)
+    return old
+
+
+def columnar_enabled() -> bool:
+    """True when the columnar fast paths are active."""
+    return _COLUMNAR[0]
+
+
+# Hash values are pure functions of (key values, seed, hash family);
+# cleaning and correspondence checks re-hash the same keys every period,
+# so memoize — but bound the cache (it previously grew without limit
+# across maintenance periods) and invalidate it automatically when the
+# active hash family changes.
 _HASH_MEMO: dict = {}
+_HASH_MEMO_FAMILY = [None]
+
+#: Entry cap for the hash-draw memo; the cache is dropped wholesale when
+#: it fills (hash draws are cheap to recompute relative to unbounded RSS).
+HASH_MEMO_LIMIT = 1 << 20
 
 
 def clear_hash_memo() -> None:
-    """Drop cached hash draws (call after set_hash_family)."""
+    """Drop cached hash draws (also done automatically on family change)."""
     _HASH_MEMO.clear()
+    _HASH_MEMO_FAMILY[0] = None
 
 
 def hash_draw(values: tuple, seed: int) -> float:
     """Memoized uniform draw in [0,1) for a key tuple under ``seed``."""
+    fam = get_hash_family()
+    if fam is not _HASH_MEMO_FAMILY[0]:
+        _HASH_MEMO.clear()
+        _HASH_MEMO_FAMILY[0] = fam
     key = (values, seed)
     got = _HASH_MEMO.get(key)
     if got is None:
-        got = unit_hash(values, seed)
+        if len(_HASH_MEMO) >= HASH_MEMO_LIMIT:
+            _HASH_MEMO.clear()
+        got = fam(values, seed)
         _HASH_MEMO[key] = got
     return got
+
+
+def eta_mask(columns, ratio: float, seed: int):
+    """Per-row sampling decisions for η over key ``columns``.
+
+    The linear family hashes all rows in one numpy pass; cryptographic
+    families (where per-row hashing dwarfs dict overhead) go through the
+    memoized :func:`hash_draw`, so re-sampling the same keys at another
+    ratio — the adaptive-cleaning pattern — stays cheap.
+    """
+    if get_hash_family() is linear_unit:
+        return unit_hash_batch(columns, seed) < ratio
+    return [hash_draw(key, seed) < ratio for key in zip(*columns)]
 
 
 def evaluate(expr: Expr, leaves: Mapping) -> Relation:
@@ -105,19 +168,41 @@ def _eval_inner(expr: Expr, leaves: Mapping, memo: dict) -> Relation:
             rel = leaves[expr.name]
         except KeyError:
             raise EvaluationError(f"unknown base relation {expr.name!r}") from None
-        return Relation(rel.schema, rel.rows, key=rel.key, name=expr.name)
+        out = Relation(rel.schema, rel.rows, key=rel.key, name=expr.name)
+        if isinstance(rel, Relation):
+            # Share the leaf's columnar cache (same rows object) so
+            # column arrays built in one evaluate() call amortize over
+            # repeated queries against the same base data.
+            out._columnar = rel.columnar()
+        return out
     if isinstance(expr, Select):
         fast = _indexed_membership_select(expr, leaves)
         if fast is not None:
             return fast
         child = _eval(expr.child, leaves, memo)
+        if _COLUMNAR[0] and child.rows:
+            mask = _try_mask(expr.predicate, child)
+            if mask is not None:
+                out = Relation(child.schema, list(compress(child.rows, mask)))
+                _slice_columnar_cache(child, out, mask)
+                return out
         pred = expr.predicate.bind(child.schema)
         return Relation(child.schema, [r for r in child.rows if pred(r)])
     if isinstance(expr, Project):
         child = _eval(expr.child, leaves, memo)
-        bound = [(o.name, o.term.bind(child.schema)) for o in expr.outputs]
-        schema = Schema([name for name, _ in bound])
-        fns = [fn for _, fn in bound]
+        schema = Schema([o.name for o in expr.outputs])
+        if (
+            _COLUMNAR[0]
+            and child.rows
+            and expr.outputs
+            and all(o.is_passthrough for o in expr.outputs)
+        ):
+            cols = child.columnar()
+            rows = list(
+                zip(*(cols.pycolumn(o.source_column()) for o in expr.outputs))
+            )
+            return Relation(schema, rows)
+        fns = [o.term.bind(child.schema) for o in expr.outputs]
         rows = [tuple(fn(row) for fn in fns) for row in child.rows]
         return Relation(schema, rows)
     if isinstance(expr, Join):
@@ -153,18 +238,28 @@ def _eval_inner(expr: Expr, leaves: Mapping, memo: dict) -> Relation:
             leaf = leaves.get(expr.child.name) if hasattr(leaves, "get") else None
             if leaf is not None:
                 cache = leaf.sample_cache()
-                cache_key = (expr.attrs, expr.ratio, expr.seed)
+                # The family is part of the key: cached samples must not
+                # survive set_hash_family (same staleness bug the draw
+                # memo had).
+                cache_key = (expr.attrs, expr.ratio, expr.seed, get_hash_family())
                 hit = cache.get(cache_key)
                 if hit is not None:
                     return Relation(leaf.schema, hit, key=leaf.key)
         child = _eval(expr.child, leaves, memo)
-        idx = child.schema.indexes(expr.attrs)
         ratio, seed = expr.ratio, expr.seed
-        rows = [
-            row
-            for row in child.rows
-            if hash_draw(tuple(row[i] for i in idx), seed) < ratio
-        ]
+        if _COLUMNAR[0] and child.rows:
+            # Batched η over whole key columns (vectorized for the
+            # linear family, memoized per key otherwise).
+            cols = child.columnar()
+            mask = eta_mask([cols.pycolumn(a) for a in expr.attrs], ratio, seed)
+            rows = list(compress(child.rows, mask))
+        else:
+            idx = child.schema.indexes(expr.attrs)
+            rows = [
+                row
+                for row in child.rows
+                if hash_draw(tuple(row[i] for i in idx), seed) < ratio
+            ]
         if cache is not None:
             cache[cache_key] = rows
         return Relation(child.schema, rows, key=child.key)
@@ -206,6 +301,49 @@ def _indexed_membership_select(expr: Select, leaves) -> Relation:
     return Relation(leaf.schema, rows, key=leaf.key)
 
 
+def _slice_columnar_cache(child: Relation, out: Relation, mask) -> None:
+    """Carry a Select child's materialized column arrays into its output.
+
+    Arrays already built for the mask evaluation are sliced by the mask
+    instead of being re-extracted row-wise by downstream operators (the
+    σ→γ pipeline every SVC view query takes).
+    """
+    src = child._columnar
+    if src is None:
+        return
+    dst = out.columnar()
+    for name, arr in src._arrays.items():
+        dst._arrays[name] = arr[mask]
+
+
+def _try_mask(predicate, relation):
+    """Vectorized selection mask, or None to fall back to the row path.
+
+    Any failure — no columnar form, mixed-type comparison errors, float
+    divide/invalid signals — defers to the row loop, which either
+    produces the reference result or raises the reference error.
+    """
+    try:
+        mask = predicate.mask(relation)
+    except Exception:
+        return None
+    if len(mask) != len(relation.rows):
+        return None
+    return mask
+
+
+def _join_keys(rel, cols):
+    """Join keys for all rows, extracted column-wise in bulk.
+
+    Single-column keys are the bare column values (no per-row tuple
+    allocation); multi-column keys are tuples via one zip pass.
+    """
+    columnar = rel.columnar()
+    if len(cols) == 1:
+        return columnar.pycolumn(cols[0])
+    return list(zip(*(columnar.pycolumn(c) for c in cols)))
+
+
 def _eval_setop_inputs(expr, leaves, memo):
     left = _eval(expr.left, leaves, memo)
     right = _eval(expr.right, leaves, memo)
@@ -222,10 +360,12 @@ def _eval_join(expr: Join, leaves, memo) -> Relation:
     right = _eval(expr.right, leaves, memo)
     lcols = expr.left_on()
     rcols = expr.right_on()
-    lidx = left.schema.indexes(lcols) if lcols else ()
-    ridx = right.schema.indexes(rcols) if rcols else ()
+    if lcols:
+        # Validate equality columns up front (before any fast path).
+        left.schema.indexes(lcols)
+        right.schema.indexes(rcols)
 
-    collapsed = [r for l, r in expr.on if l == r]
+    collapsed = [rc for lc, rc in expr.on if lc == rc]
     kept_right = [c for c in right.schema.columns if c not in collapsed]
     out_schema = left.schema.concat(right.schema, drop_right=collapsed)
     kept_ridx = right.schema.indexes(kept_right)
@@ -238,22 +378,31 @@ def _eval_join(expr: Join, leaves, memo) -> Relation:
     # with the right-side source index — used to fill key values for rows
     # that only matched on the right (right/full outer joins).
     collapse_fill = []
-    for l, r in expr.on:
-        if l == r:
-            collapse_fill.append((left.schema.index(l), right.schema.index(r)))
+    for lc, rc in expr.on:
+        if lc == rc:
+            collapse_fill.append((left.schema.index(lc), right.schema.index(rc)))
 
     theta = expr.theta.bind(out_schema) if expr.theta is not None else None
 
     rows = []
     matched_right = set()
     if lcols:
+        if _COLUMNAR[0]:
+            # Bulk column-wise build/probe key extraction (no per-row
+            # tuple construction for single-column equality joins).
+            build_keys = _join_keys(right, rcols)
+            probe_keys = _join_keys(left, lcols)
+        else:
+            ridx = right.schema.indexes(rcols)
+            lidx = left.schema.indexes(lcols)
+            build_keys = [tuple(row[i] for i in ridx) for row in right.rows]
+            probe_keys = [tuple(row[i] for i in lidx) for row in left.rows]
         build = {}
-        for j, rrow in enumerate(right.rows):
-            build.setdefault(tuple(rrow[i] for i in ridx), []).append(j)
+        for j, bkey in enumerate(build_keys):
+            build.setdefault(bkey, []).append(j)
         right_rows = right.rows
         pad = (None,) * len(kept_right)
-        for lrow in left.rows:
-            key = tuple(lrow[i] for i in lidx)
+        for lrow, key in zip(left.rows, probe_keys):
             hit = False
             for j in build.get(key, ()):
                 out = lrow + tuple(right_rows[j][i] for i in kept_ridx)
@@ -290,6 +439,11 @@ def _eval_join(expr: Join, leaves, memo) -> Relation:
 
 def _eval_aggregate(expr: Aggregate, leaves, memo) -> Relation:
     child = _eval(expr.child, leaves, memo)
+    out_schema = Schema(expr.group_by + tuple(a.name for a in expr.aggs))
+    if _COLUMNAR[0]:
+        fast = _aggregate_columnar(expr, child, out_schema)
+        if fast is not None:
+            return fast
     gidx = child.schema.indexes(expr.group_by)
     groups = {}
     for row in child.rows:
@@ -299,7 +453,6 @@ def _eval_aggregate(expr: Aggregate, leaves, memo) -> Relation:
         fn = get_aggregate(a.func)
         term = a.term.bind(child.schema) if a.term is not None else None
         specs.append((fn, term))
-    out_schema = Schema(expr.group_by + tuple(a.name for a in expr.aggs))
     rows = []
     if not groups and not expr.group_by and expr.aggs:
         # Global aggregate over an empty input still yields one row.
@@ -313,6 +466,102 @@ def _eval_aggregate(expr: Aggregate, leaves, memo) -> Relation:
                 vals.append(fn.compute([term(r) for r in grows]))
         rows.append(gkey + tuple(vals))
     return Relation(out_schema, rows)
+
+
+def _aggregate_columnar(expr: Aggregate, child: Relation, out_schema):
+    """Columnar γ: grouped reduceat-style reductions, or None to fall back.
+
+    Group ids come from :func:`repro.algebra.columnar.group_ids` in
+    first-appearance order (identical to the dict grouping of the row
+    path).  Each aggregate spec vectorizes independently: specs whose
+    input term or dtype does not qualify are computed per group with the
+    reference ``compute`` over stably-ordered row values, so a single
+    exotic column never forces the whole γ back to the row loop.
+    """
+    rows = child.rows
+    n = len(rows)
+    if n == 0 or (not expr.group_by and not expr.aggs):
+        return None
+    try:
+        cols = child.columnar()
+        if expr.group_by:
+            gid, group_keys = group_ids(cols, expr.group_by)
+        else:
+            gid = np.zeros(n, dtype=np.intp)
+            group_keys = [()]
+        ngroups = len(group_keys)
+        counts = np.bincount(gid, minlength=ngroups)
+        order = starts = split = None
+        agg_cols = []
+        for a in expr.aggs:
+            fn = get_aggregate(a.func)
+            values = None
+            if fn.grouped is not None and a.term is not None:
+                values = _vector_values(a.term, cols, fn.name)
+            if fn.grouped is not None and (a.term is None or values is not None):
+                if order is None:
+                    order, starts = grouped_starts(gid, counts)
+                sorted_vals = values[order] if values is not None else None
+                agg_cols.append(fn.grouped(sorted_vals, starts, counts).tolist())
+                continue
+            # Per-spec fallback: reference compute over each group's
+            # values, in row order (stable sort preserves it).
+            if split is None:
+                if order is None:
+                    order, starts = grouped_starts(gid, counts)
+                split = np.split(order, np.asarray(starts[1:]))
+            bound = a.term.bind(child.schema) if a.term is not None else None
+            out = []
+            for g in range(ngroups):
+                if bound is None:
+                    vals = [rows[i] for i in split[g]]
+                else:
+                    vals = [bound(rows[i]) for i in split[g]]
+                out.append(fn.compute(vals))
+            agg_cols.append(out)
+    except Exception:
+        return None
+    out_rows = [
+        gkey + tuple(col[g] for col in agg_cols)
+        for g, gkey in enumerate(group_keys)
+    ]
+    return Relation(out_schema, out_rows)
+
+
+def _vector_values(term, cols, func_name):
+    """A numeric value array for one aggregate input, or None to fall back.
+
+    Float divide/invalid raise (mirroring the row path's ZeroDivisionError)
+    instead of silently flowing inf/nan into the reductions.
+    """
+    try:
+        with np.errstate(divide="raise", invalid="raise"):
+            arr = term.vector(cols)
+    except Exception:
+        return None
+    if np.ndim(arr) == 0 or not isinstance(arr, np.ndarray):
+        return None
+    if arr.dtype.kind == "b":
+        if func_name in ("min", "max"):
+            # min/max over bools must return False/True, not 0/1.
+            return None
+        return arr.astype(np.int64)
+    if arr.dtype.kind in "iu":
+        if func_name in ("sum", "avg") and arr.size:
+            bound = max(abs(int(arr.min())), abs(int(arr.max())))
+            # Sums that could wrap int64 must use Python's big ints;
+            # avg additionally divides through float64, which stops
+            # being exactly rounded once the sum can exceed 2**53.
+            limit = _FLOAT_EXACT if func_name == "avg" else _INT64_SAFE
+            if bound * arr.size >= limit:
+                return None
+        return arr
+    if arr.dtype.kind == "f":
+        if func_name in ("min", "max") and np.isnan(arr).any():
+            # Python min/max over NaNs is order-dependent; defer.
+            return None
+        return arr
+    return None
 
 
 def _eval_merge(expr: Merge, leaves, memo) -> Relation:

@@ -36,7 +36,7 @@ def _label(node: Expr) -> str:
         outs = ", ".join(o.name for o in node.outputs)
         return f"Project [{outs}]"
     if isinstance(node, Join):
-        cond = ", ".join(f"{l}={r}" for l, r in node.on)
+        cond = ", ".join(f"{lc}={rc}" for lc, rc in node.on)
         fk = " fk" if node.foreign_key else ""
         theta = f" theta={node.theta!r}" if node.theta is not None else ""
         return f"Join {node.how}{fk} [{cond}]{theta}"

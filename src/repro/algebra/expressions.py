@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from repro.algebra.predicates import Col, Predicate, Term, _coerce
+from repro.algebra.predicates import Col, Predicate, _coerce
 from repro.errors import SchemaError
 
 
@@ -203,7 +203,7 @@ class Join(Expr):
             raise SchemaError("join requires equality pairs or a theta predicate")
         self.left = left
         self.right = right
-        self.on = tuple((str(l), str(r)) for l, r in on)
+        self.on = tuple((str(lc), str(rc)) for lc, rc in on)
         self.how = how
         self.foreign_key = foreign_key
         self.theta = theta
@@ -219,15 +219,15 @@ class Join(Expr):
 
     def left_on(self) -> tuple:
         """Left-side equality columns."""
-        return tuple(l for l, _ in self.on)
+        return tuple(lc for lc, _ in self.on)
 
     def right_on(self) -> tuple:
         """Right-side equality columns."""
-        return tuple(r for _, r in self.on)
+        return tuple(rc for _, rc in self.on)
 
     def __repr__(self):
         tag = "fk⋈" if self.foreign_key else "⋈"
-        cond = ", ".join(f"{l}={r}" for l, r in self.on)
+        cond = ", ".join(f"{lc}={rc}" for lc, rc in self.on)
         return f"{tag}[{self.how};{cond}]({self.left!r}, {self.right!r})"
 
 

@@ -86,7 +86,7 @@ def _join_schema(expr: Join, leaves) -> Schema:
     left = derive_schema(expr.left, leaves)
     right = derive_schema(expr.right, leaves)
     # Equality columns that share a name collapse to a single output column.
-    drop_right = [r for l, r in expr.on if l == r]
+    drop_right = [rc for lc, rc in expr.on if lc == rc]
     return left.concat(right, drop_right=drop_right)
 
 
@@ -127,7 +127,7 @@ def derive_key(expr: Expr, leaves: Mapping) -> Tuple[str, ...]:
         right_key = derive_key(expr.right, leaves)
         # Collapsed equality columns (same name both sides) are represented
         # once in the output; keep one occurrence in the combined key.
-        collapsed = {r for l, r in expr.on if l == r}
+        collapsed = {rc for lc, rc in expr.on if lc == rc}
         combined = list(left_key)
         for k in right_key:
             if k in collapsed and k in combined:

@@ -7,6 +7,14 @@ be *bound* against a :class:`~repro.algebra.schema.Schema` to produce a
 fast ``row -> value`` callable (index lookups are resolved once at bind
 time instead of per row).
 
+Terms additionally support *columnar* evaluation: :meth:`Term.vector`
+computes the term over every row at once against a
+:class:`~repro.algebra.columnar.ColumnarRelation`, and
+:meth:`Predicate.mask` turns a predicate into a boolean selection mask.
+Terms with no vectorized form (opaque :class:`Func`, :class:`Tup`) raise
+:class:`~repro.errors.VectorizationError`, which the evaluator catches to
+fall back to the row path — so the columnar path never changes results.
+
 Terms report the set of columns they reference via :meth:`Term.columns`,
 which the hash push-down optimizer uses to decide whether a projection
 retains the sampling key.
@@ -17,7 +25,10 @@ from __future__ import annotations
 import operator
 from typing import Callable, FrozenSet, Sequence
 
+import numpy as np
+
 from repro.algebra.schema import Schema
+from repro.errors import VectorizationError
 
 _OPS = {
     "==": operator.eq,
@@ -33,6 +44,82 @@ _OPS = {
     "%": operator.mod,
 }
 
+#: Largest |operand| product/sum allowed through int64 vector arithmetic;
+#: beyond this the columnar path defers to Python's big ints (row path).
+_INT64_SAFE = 1 << 62
+
+
+def _int_bound(value) -> int:
+    """Max absolute value of an integer array or scalar."""
+    if isinstance(value, np.ndarray):
+        if value.size == 0:
+            return 0
+        return max(abs(int(value.min())), abs(int(value.max())))
+    return abs(int(value))
+
+
+def _is_int_like(value) -> bool:
+    if isinstance(value, np.ndarray):
+        return value.dtype.kind in "biu"
+    return isinstance(value, (bool, int, np.integer))
+
+
+def _guard_int_overflow(op: str, left, right) -> None:
+    """Refuse int64 vector arithmetic that could wrap (row path is exact)."""
+    if op not in ("+", "-", "*"):
+        return
+    if not (_is_int_like(left) and _is_int_like(right)):
+        return
+    if not (isinstance(left, np.ndarray) or isinstance(right, np.ndarray)):
+        return
+    lb, rb = _int_bound(left), _int_bound(right)
+    risk = lb * rb if op == "*" else lb + rb
+    if risk >= _INT64_SAFE:
+        raise VectorizationError(f"int64 overflow risk in vectorized {op!r}")
+
+
+def _kinds_match(a: str, b: str) -> bool:
+    """True when two dtype kinds compare consistently under np.isin."""
+    numeric = "biuf"
+    text = "US"
+    return (a in numeric and b in numeric) or (a in text and b in text)
+
+
+def _has_nan(arr: np.ndarray) -> bool:
+    return arr.dtype.kind == "f" and bool(np.isnan(arr).any())
+
+
+#: Magnitude beyond which float64 cannot represent every integer, so
+#: numpy's int→float comparison promotion diverges from Python's exact
+#: int-vs-float comparison semantics.
+_FLOAT_EXACT = 1 << 53
+
+
+def _numeric_kind(value):
+    """'i' / 'f' dtype-kind of an operand, or None if non-numeric."""
+    if isinstance(value, np.ndarray):
+        k = value.dtype.kind
+        return "i" if k in "biu" else ("f" if k == "f" else None)
+    if isinstance(value, (bool, int, np.integer)):
+        return "i"
+    if isinstance(value, float):
+        return "f"
+    return None
+
+
+def _guard_exact_compare(left, right) -> None:
+    """Refuse vector comparisons where int→float promotion loses exactness.
+
+    Python compares int vs float exactly; numpy promotes the int side to
+    float64 first, which differs once magnitudes reach 2**53.  Mixed
+    int/float comparisons over that bound fall back to the row path.
+    """
+    lk, rk = _numeric_kind(left), _numeric_kind(right)
+    if lk is None or rk is None or lk == rk:
+        return
+    if max(_int_bound(left), _int_bound(right)) >= _FLOAT_EXACT:
+        raise VectorizationError("int/float comparison beyond 2**53")
+
 
 class Term:
     """Base class for scalar terms and predicates."""
@@ -44,6 +131,17 @@ class Term:
     def bind(self, schema: Schema) -> Callable[[tuple], object]:
         """Compile this term against ``schema`` into a ``row -> value``."""
         raise NotImplementedError
+
+    def vector(self, cols):
+        """Columnar evaluation: the term over all rows of ``cols``.
+
+        Returns an ndarray (or a scalar for row-independent terms).
+        Terms with no vectorized form raise
+        :class:`~repro.errors.VectorizationError`.
+        """
+        raise VectorizationError(
+            f"{type(self).__name__} has no columnar evaluation"
+        )
 
     # Operator sugar so callers can write ``col("x") + 1 > col("y")``.
     def __add__(self, other):
@@ -110,6 +208,9 @@ class Col(Term):
         i = schema.index(self.name)
         return lambda row: row[i]
 
+    def vector(self, cols):
+        return cols.array(self.name)
+
     def __repr__(self):
         return f"col({self.name!r})"
 
@@ -128,6 +229,14 @@ class Const(Term):
     def bind(self, schema):
         v = self.value
         return lambda row: v
+
+    def vector(self, cols):
+        # Sequence constants would broadcast elementwise under numpy
+        # where the row path compares them as single values; only true
+        # scalars have a columnar form.
+        if isinstance(self.value, (list, tuple, set, frozenset, dict, np.ndarray)):
+            raise VectorizationError("non-scalar constant")
+        return self.value
 
     def __repr__(self):
         return f"lit({self.value!r})"
@@ -153,6 +262,12 @@ class BinOp(Term):
         lf = self.left.bind(schema)
         rf = self.right.bind(schema)
         return lambda row: fn(lf(row), rf(row))
+
+    def vector(self, cols):
+        left = self.left.vector(cols)
+        right = self.right.vector(cols)
+        _guard_int_overflow(self.op, left, right)
+        return _OPS[self.op](left, right)
 
     def __repr__(self):
         return f"({self.left!r} {self.op} {self.right!r})"
@@ -231,6 +346,25 @@ class Predicate(Term):
     def __invert__(self):
         return Not(self)
 
+    def mask(self, relation) -> np.ndarray:
+        """Boolean selection mask of this predicate over ``relation``.
+
+        Vectorized equivalent of binding the predicate and testing every
+        row; raises :class:`~repro.errors.VectorizationError` (or the
+        error row-wise evaluation would raise) when no columnar form
+        exists.  Float divide-by-zero and invalid operations are raised
+        rather than silently producing inf/nan, mirroring the row path.
+        """
+        cols = relation.columnar()
+        with np.errstate(divide="raise", invalid="raise"):
+            out = self.vector(cols)
+        if np.ndim(out) == 0:
+            return np.full(cols.nrows, bool(out))
+        out = np.asarray(out)
+        if out.dtype != np.bool_:
+            out = out.astype(bool)
+        return out
+
 
 class Comparison(Predicate):
     """``left <op> right`` where op is a comparison operator."""
@@ -252,6 +386,12 @@ class Comparison(Predicate):
         lf = self.left.bind(schema)
         rf = self.right.bind(schema)
         return lambda row: bool(fn(lf(row), rf(row)))
+
+    def vector(self, cols):
+        left = self.left.vector(cols)
+        right = self.right.vector(cols)
+        _guard_exact_compare(left, right)
+        return _OPS[self.op](left, right)
 
     def __repr__(self):
         return f"({self.left!r} {self.op} {self.right!r})"
@@ -275,6 +415,12 @@ class And(Predicate):
         fns = [p.bind(schema) for p in self.parts]
         return lambda row: all(f(row) for f in fns)
 
+    def vector(self, cols):
+        out = True
+        for p in self.parts:
+            out = np.logical_and(out, p.vector(cols))
+        return out
+
     def __repr__(self):
         return "(" + " & ".join(map(repr, self.parts)) + ")"
 
@@ -297,6 +443,12 @@ class Or(Predicate):
         fns = [p.bind(schema) for p in self.parts]
         return lambda row: any(f(row) for f in fns)
 
+    def vector(self, cols):
+        out = False
+        for p in self.parts:
+            out = np.logical_or(out, p.vector(cols))
+        return out
+
     def __repr__(self):
         return "(" + " | ".join(map(repr, self.parts)) + ")"
 
@@ -315,6 +467,9 @@ class Not(Predicate):
     def bind(self, schema):
         f = self.part.bind(schema)
         return lambda row: not f(row)
+
+    def vector(self, cols):
+        return np.logical_not(self.part.vector(cols))
 
     def __repr__(self):
         return f"~{self.part!r}"
@@ -336,6 +491,41 @@ class IsIn(Predicate):
         f = self.term.bind(schema)
         vals = self.values
         return lambda row: f(row) in vals
+
+    def vector(self, cols):
+        arr = self.term.vector(cols)
+        vals = self.values
+        if np.ndim(arr) == 0:
+            return arr in vals
+        arr = np.asarray(arr)
+        if arr.dtype != object:
+            # Type-faithful conversion of the value set: mixed str/int
+            # sets must become object arrays (np.asarray would silently
+            # stringify the ints) so they take the set-membership path.
+            from repro.algebra.columnar import column_to_array
+
+            try:
+                varr = column_to_array(list(vals))
+            except (ValueError, TypeError, OverflowError):
+                varr = None
+            # np.isin uses ==-semantics; restrict it to like-kinded,
+            # NaN-free inputs whose int→float promotion stays exact so it
+            # agrees with set membership.
+            if (
+                varr is not None
+                and varr.ndim == 1
+                and _kinds_match(arr.dtype.kind, varr.dtype.kind)
+                and not _has_nan(arr)
+                and not _has_nan(varr)
+                and (
+                    _numeric_kind(arr) == _numeric_kind(varr)
+                    or max(_int_bound(arr), _int_bound(varr)) < _FLOAT_EXACT
+                )
+            ):
+                return np.isin(arr, varr)
+        return np.fromiter(
+            (v in vals for v in arr.tolist()), dtype=bool, count=len(arr)
+        )
 
     def __repr__(self):
         return f"({self.term!r} in {sorted(self.values, key=repr)!r})"
@@ -359,6 +549,12 @@ class Between(Predicate):
         lo, hi = self.lo, self.hi
         return lambda row: lo <= f(row) <= hi
 
+    def vector(self, cols):
+        arr = self.term.vector(cols)
+        _guard_exact_compare(self.lo, arr)
+        _guard_exact_compare(arr, self.hi)
+        return np.logical_and(self.lo <= arr, arr <= self.hi)
+
     def __repr__(self):
         return f"({self.lo!r} <= {self.term!r} <= {self.hi!r})"
 
@@ -373,6 +569,9 @@ class TruePredicate(Predicate):
 
     def bind(self, schema):
         return lambda row: True
+
+    def vector(self, cols):
+        return True
 
     def __repr__(self):
         return "true"

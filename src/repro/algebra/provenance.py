@@ -187,7 +187,7 @@ def _trace_join(expr: Join, leaves):
     lcols, rcols = expr.left_on(), expr.right_on()
     lidx = left.schema.indexes(lcols) if lcols else ()
     ridx = right.schema.indexes(rcols) if rcols else ()
-    collapsed = [r for l, r in expr.on if l == r]
+    collapsed = [rc for lc, rc in expr.on if lc == rc]
     out_schema = left.schema.concat(right.schema, drop_right=collapsed)
     kept_right = [c for c in right.schema.columns if c not in collapsed]
     kept_ridx = right.schema.indexes(kept_right)
@@ -216,9 +216,9 @@ def _trace_join(expr: Join, leaves):
             if j in matched_right:
                 continue
             out = [None] * len(left.schema)
-            for l, r in expr.on:
-                if l == r:
-                    out[left.schema.index(l)] = rrow[right.schema.index(r)]
+            for lc, rc in expr.on:
+                if lc == rc:
+                    out[left.schema.index(lc)] = rrow[right.schema.index(rc)]
             rows.append(tuple(out) + tuple(rrow[i] for i in kept_ridx))
             out_lin.append(rlin[j])
     return Relation(out_schema, rows), out_lin

@@ -5,10 +5,15 @@ immutable schema, a list of row tuples, and (optionally) a primary key.
 The paper distinguishes *records* (tuples of base relations) from *rows*
 (tuples of derived relations); both are represented by this class.
 
-Relations are deliberately row-oriented: the SVC algorithms are defined
+Row tuples remain the source of truth — the SVC algorithms are defined
 over row lineage and per-row hashing, which a row store expresses most
-directly.  Aggregate-heavy inner loops convert columns to numpy arrays on
-demand via :meth:`Relation.column_array`.
+directly — but every relation also carries a lazily-built *columnar
+view* (:meth:`Relation.columnar`): per-column numpy arrays, cached on
+the relation, that back the evaluator's vectorized selection, hashing,
+and group-by fast paths.  The cache is sound because relations are
+treated as immutable; every update path in the library builds a new
+``Relation``.  Ad-hoc statistics can still grab a single column via
+:meth:`Relation.column_array`.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.algebra.columnar import ColumnarRelation
 from repro.algebra.schema import Schema, as_schema
 from repro.errors import SchemaError
 
@@ -37,7 +43,7 @@ class Relation:
         Optional relation name (used by expression leaves and messages).
     """
 
-    __slots__ = ("schema", "rows", "key", "name", "_sample_cache")
+    __slots__ = ("schema", "rows", "key", "name", "_sample_cache", "_columnar")
 
     def __init__(
         self,
@@ -65,12 +71,21 @@ class Relation:
         # path in the library builds a new Relation.  This is the in-memory
         # analogue of a database hash index over the sampling key.
         self._sample_cache = None
+        # Lazy columnar view (per-column numpy arrays), same immutability
+        # argument; built on first use by the vectorized fast paths.
+        self._columnar = None
 
     def sample_cache(self) -> dict:
         """The (created-on-demand) hash-sample cache for this relation."""
         if self._sample_cache is None:
             self._sample_cache = {}
         return self._sample_cache
+
+    def columnar(self) -> ColumnarRelation:
+        """The (created-on-demand) columnar view of this relation."""
+        if self._columnar is None:
+            self._columnar = ColumnarRelation(self)
+        return self._columnar
 
     # ------------------------------------------------------------------
     # Constructors

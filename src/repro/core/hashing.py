@@ -8,11 +8,12 @@ uniformity diagnostics referenced in §12.3.
 
 from __future__ import annotations
 
+from itertools import compress
 from typing import Sequence
 
 import numpy as np
 
-from repro.algebra.evaluator import hash_draw
+from repro.algebra.evaluator import columnar_enabled, eta_mask, hash_draw
 from repro.algebra.relation import Relation
 from repro.errors import EstimationError
 from repro.stats.hashing import (
@@ -21,6 +22,7 @@ from repro.stats.hashing import (
     set_hash_family,
     sha1_unit,
     unit_hash,
+    unit_hash_batch,
 )
 
 __all__ = [
@@ -28,6 +30,7 @@ __all__ = [
     "hash_ratio_estimate",
     "uniformity_chi2",
     "unit_hash",
+    "unit_hash_batch",
     "sha1_unit",
     "linear_unit",
     "set_hash_family",
@@ -52,11 +55,18 @@ def hash_sample(
             )
         attrs = rel.key
     idx = rel.schema.indexes(attrs)
-    rows = [
-        row
-        for row in rel.rows
-        if hash_draw(tuple(row[i] for i in idx), seed) < ratio
-    ]
+    if columnar_enabled() and rel.rows:
+        # One batched pass over the key columns (columnar η fast path;
+        # vectorized for the linear family, memoized per key otherwise).
+        cols = rel.columnar()
+        mask = eta_mask([cols.pycolumn(a) for a in attrs], ratio, seed)
+        rows = list(compress(rel.rows, mask))
+    else:
+        rows = [
+            row
+            for row in rel.rows
+            if hash_draw(tuple(row[i] for i in idx), seed) < ratio
+        ]
     return Relation(rel.schema, rows, key=rel.key, name=rel.name)
 
 

@@ -18,15 +18,13 @@ strategy with the same rules as the hash operator.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from typing import List, Optional, Set, Tuple
 
 from repro.algebra.evaluator import evaluate
-from repro.algebra.expressions import Aggregate, Expr, distinct
+from repro.algebra.expressions import Aggregate, distinct
 from repro.algebra.relation import Relation
 from repro.core.cleaning import SampleView
-from repro.core.confidence import Estimate, mean_se, sum_se, trans_values
+from repro.core.confidence import Estimate, mean_se, trans_values
 from repro.core.estimators import AggQuery, svc_aqp
 from repro.core.pushdown import (
     PushdownReport,
@@ -335,13 +333,13 @@ class OutlierAugmentedSample:
         """§6.3 weighted merge  v = (N−l)/N·v_reg + l/N·v_out  for avg."""
         reg_clean, _ = self._split(self.sample.clean_sample)
         out_vals = query.matching_values(self.outlier_rows)
-        l = len(out_vals)
-        v_out = float(out_vals.mean()) if l else 0.0
+        n_out = len(out_vals)
+        v_out = float(out_vals.mean()) if n_out else 0.0
 
         reg_vals = trans_values(reg_clean, query, self.ratio)
         count_q = AggQuery("count", predicate=query.predicate)
         n_reg_est = svc_aqp(reg_clean, count_q, self.ratio, confidence).value
-        total_n = n_reg_est + l
+        total_n = n_reg_est + n_out
         if total_n <= 0:
             raise EstimationError("no rows satisfy the query condition")
 
@@ -359,14 +357,14 @@ class OutlierAugmentedSample:
             stale_out_vals = query.matching_values(stale_out)
             v_out_stale = float(stale_out_vals.mean()) if len(stale_out_vals) else 0.0
             c_out = v_out - v_out_stale
-            weight_out = l / total_n
+            weight_out = n_out / total_n
             correction = (1 - weight_out) * c_reg + weight_out * c_out
             return Estimate(
                 stale_value + correction, mean_se(reg_vals) * (1 - weight_out),
                 confidence, method="SVC+CORR+Out", sample_rows=len(reg_clean),
             )
         v_reg = float(reg_vals.mean()) if len(reg_vals) else 0.0
-        weight_out = l / total_n
+        weight_out = n_out / total_n
         value = (1 - weight_out) * v_reg + weight_out * v_out
         return Estimate(
             value, mean_se(reg_vals) * (1 - weight_out), confidence,

@@ -50,7 +50,7 @@ from repro.algebra.expressions import (
     Union,
 )
 from repro.algebra.keys import derive_schema
-from repro.algebra.predicates import Col, IsIn, Predicate, Tup
+from repro.algebra.predicates import Col, IsIn, Tup
 from repro.errors import PushdownError
 
 FilterFactory = Callable[[Expr, Tuple[str, ...]], Expr]
@@ -226,8 +226,8 @@ def _push_join(node: Join, attrs, factory, leaves, report) -> Expr:
     # side with NULL, so a renamed attribute would hash differently above
     # and below the join for unmatched rows.
     if node.how == "inner":
-        right_to_left = {r: l for l, r in node.on}
-        left_to_right = {l: r for l, r in node.on}
+        right_to_left = {rc: lc for lc, rc in node.on}
+        left_to_right = {lc: rc for lc, rc in node.on}
     else:
         right_to_left = {}
         left_to_right = {}
@@ -239,7 +239,7 @@ def _push_join(node: Join, attrs, factory, leaves, report) -> Expr:
     # equality attributes (same name on both sides): the output column
     # then carries the key value of whichever side exists.
     if node.how == "full":
-        collapsed = {r for l, r in node.on if l == r}
+        collapsed = {rc for lc, rc in node.on if lc == rc}
         if set(attrs) <= collapsed:
             left = _push(node.left, attrs, factory, leaves, report)
             right = _push(node.right, attrs, factory, leaves, report)

@@ -23,7 +23,6 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from repro.core.estimators import AggQuery
 from repro.core.svc import StaleViewCleaner
 from repro.distributed.cluster import RECORDS_PER_GB, ClusterModel
 from repro.errors import WorkloadError

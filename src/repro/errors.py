@@ -21,6 +21,14 @@ class EvaluationError(ReproError):
     """A relational expression could not be evaluated."""
 
 
+class VectorizationError(ReproError):
+    """A term or predicate has no columnar (vectorized) evaluation.
+
+    Raised by the columnar fast paths to signal the evaluator to fall
+    back to the reference row-at-a-time loop; it never escapes to users.
+    """
+
+
 class PushdownError(ReproError):
     """The hash operator could not be pushed down (and strict mode was on)."""
 

@@ -13,7 +13,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.estimators import AggQuery
 from repro.core.outlier_index import OutlierIndex
 from repro.core.svc import StaleViewCleaner
 from repro.db.catalog import Catalog

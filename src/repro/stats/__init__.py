@@ -6,6 +6,7 @@ from repro.stats.hashing import (
     set_hash_family,
     sha1_unit,
     unit_hash,
+    unit_hash_batch,
 )
 
 __all__ = [
@@ -14,4 +15,5 @@ __all__ = [
     "set_hash_family",
     "sha1_unit",
     "unit_hash",
+    "unit_hash_batch",
 ]

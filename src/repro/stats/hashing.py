@@ -16,6 +16,12 @@ We provide two families:
 Both accept a ``seed`` that selects a member of the hash family, so
 repeated experiments can draw independent samples while remaining fully
 deterministic.
+
+:func:`unit_hash_batch` evaluates the active family over whole key
+*columns* in one pass — the columnar form used by the η operator's fast
+path.  The linear family vectorizes fully in numpy (bit-identical to the
+scalar form for machine-sized non-negative integer keys); SHA1 is a
+cryptographic hash and is batched as a tight loop.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ from __future__ import annotations
 import hashlib
 import struct
 from typing import Callable, Sequence
+
+import numpy as np
 
 _MAX64 = float(1 << 64)
 _MASK64 = (1 << 64) - 1
@@ -92,3 +100,77 @@ def set_hash_family(name: str) -> Callable:
 def get_hash_family() -> Callable:
     """The currently active hash function."""
     return _active_family[0]
+
+
+# Python's int hash is the identity for 0 <= v < 2**61 - 1 (modulus is
+# the Mersenne prime 2**61 - 1), which is what lets the linear family
+# vectorize exactly over machine-sized non-negative integer keys.
+_PYHASH_MODULUS = (1 << 61) - 1
+
+
+def _linear_unit_vectorized(arrays: Sequence[np.ndarray], seed: int):
+    """Vectorized multiply-shift hash, or None if the keys don't qualify."""
+    casted = []
+    for arr in arrays:
+        if arr.dtype.kind not in "biu" or arr.ndim != 1:
+            return None
+        if arr.size and (
+            int(arr.min()) < 0 or int(arr.max()) >= _PYHASH_MODULUS
+        ):
+            return None
+        casted.append(arr.astype(np.uint64))
+    acc = np.full(
+        len(casted[0]) if casted else 0,
+        (seed * 2 + 1) & _MASK64,
+        dtype=np.uint64,
+    )
+    with np.errstate(over="ignore"):
+        for x in casted:
+            acc = (acc ^ x) * np.uint64(_LINEAR_MULT)
+            acc ^= acc >> np.uint64(29)
+            acc = acc * np.uint64(_LINEAR_XOR)
+        out = acc ^ (acc >> np.uint64(32))
+    return out.astype(np.float64) / _MAX64
+
+
+def unit_hash_batch(columns: Sequence[Sequence], seed: int = 0) -> np.ndarray:
+    """Uniform draws for whole key columns in one pass.
+
+    ``columns`` holds one sequence per key attribute (all the same
+    length); the result is a float array with one draw per row, equal
+    element-wise to calling :func:`unit_hash` on each key tuple.  This is
+    the batched form the η operator's columnar fast path uses instead of
+    per-row memoized hashing.
+    """
+    fam = _active_family[0]
+    cols = [
+        c if isinstance(c, (list, tuple, np.ndarray)) else list(c)
+        for c in columns
+    ]
+    if not cols:
+        raise ValueError("unit_hash_batch requires at least one key column")
+    n = len(cols[0])
+    if fam is linear_unit and n:
+        arrays = []
+        for c in cols:
+            arr = c if isinstance(c, np.ndarray) else None
+            if arr is None:
+                try:
+                    arr = np.asarray(c)
+                except (ValueError, TypeError, OverflowError):
+                    return _unit_hash_batch_loop(fam, cols, n, seed)
+            arrays.append(arr)
+        vec = _linear_unit_vectorized(arrays, seed)
+        if vec is not None:
+            return vec
+    return _unit_hash_batch_loop(fam, cols, n, seed)
+
+
+def _unit_hash_batch_loop(fam, cols, n: int, seed: int) -> np.ndarray:
+    # ndarray columns are round-tripped through tolist() so the scalar
+    # hash sees plain Python values (np.int64 would encode differently).
+    pycols = [c.tolist() if isinstance(c, np.ndarray) else c for c in cols]
+    out = np.empty(n, dtype=np.float64)
+    for i, key in enumerate(zip(*pycols)):
+        out[i] = fam(key, seed)
+    return out

@@ -32,8 +32,7 @@ from repro.algebra.expressions import (
     Project,
     Select,
 )
-from repro.algebra.predicates import Between, IsIn, col, func
-from repro.algebra.relation import Relation
+from repro.algebra.predicates import col, func
 from repro.db.catalog import Catalog
 from repro.db.database import Database
 from repro.errors import WorkloadError

@@ -35,7 +35,7 @@ from repro.algebra.expressions import (
     Select,
     Union,
 )
-from repro.algebra.predicates import IsIn, col
+from repro.algebra.predicates import col
 from repro.algebra.relation import Relation
 from repro.algebra.schema import Schema
 from repro.db.catalog import Catalog

@@ -9,7 +9,7 @@ listed in §12.6.3 (sum by default; the Fig 13 variant uses median).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.algebra.expressions import AggSpec, Aggregate, BaseRel, Join
 from repro.algebra.predicates import col

@@ -1,0 +1,400 @@
+"""Row-path vs columnar-path equivalence (property-style, hypothesis).
+
+The columnar fast paths must be invisible: for every operator the
+vectorized engine and the reference row-at-a-time engine must return the
+same rows (same keys, same ``__grpcount__``), over mixed-type and
+``None``-containing relations alike.  Each test evaluates the same
+expression twice — once per engine — via :func:`set_columnar_enabled`.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    GROUP_COUNT,
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Hash,
+    IsIn,
+    Join,
+    Project,
+    Relation,
+    Schema,
+    Select,
+    col,
+    evaluate,
+    func,
+    set_columnar_enabled,
+)
+
+
+def both_engines(expr, leaves):
+    """Evaluate ``expr`` under the columnar and the row engine."""
+    old = set_columnar_enabled(True)
+    try:
+        fast = evaluate(expr, dict(leaves))
+        set_columnar_enabled(False)
+        slow = evaluate(expr, dict(leaves))
+    finally:
+        set_columnar_enabled(old)
+    return fast, slow
+
+
+def assert_same_rows(fast, slow):
+    """Bag equality with float tolerance (var/std summation order)."""
+    assert fast.schema == slow.schema
+    assert len(fast.rows) == len(slow.rows)
+    key = lambda r: tuple(repr(v) for v in r)  # noqa: E731
+    for ra, rb in zip(sorted(fast.rows, key=key), sorted(slow.rows, key=key)):
+        assert len(ra) == len(rb)
+        for x, y in zip(ra, rb):
+            if isinstance(x, float) and isinstance(y, float):
+                if math.isnan(x) or math.isnan(y):
+                    assert math.isnan(x) and math.isnan(y)
+                else:
+                    assert x == pytest.approx(y, rel=1e-9, abs=1e-9)
+            else:
+                assert x == y
+
+
+# Mixed-type, None-containing relations: int ids, small-int groups,
+# floats, strings, and a column that mixes None/int/str freely.
+mixed_value = st.one_of(
+    st.none(),
+    st.integers(-1000, 1000),
+    st.text("abc", max_size=3),
+)
+mixed_rows = st.lists(
+    st.tuples(
+        st.integers(0, 10_000),
+        st.integers(0, 5),
+        st.floats(-100, 100, allow_nan=False),
+        st.sampled_from(["x", "y", "z"]),
+        mixed_value,
+    ),
+    min_size=0,
+    max_size=60,
+    unique_by=lambda r: r[0],
+)
+
+SCHEMA = Schema(["id", "grp", "val", "tag", "misc"])
+
+
+def make_rel(rows, name="R"):
+    return Relation(SCHEMA, rows, key=("id",), name=name)
+
+
+@given(mixed_rows)
+@settings(max_examples=50, deadline=None)
+def test_select_equivalence(rows):
+    rel = make_rel(rows)
+    predicates = [
+        col("val") > 0.0,
+        (col("val") * 2 + 1 <= 50.0) & (col("grp") != 3),
+        (col("grp") == 1) | ~(col("tag") == "x"),
+        IsIn(col("tag"), ["x", "z"]),
+        IsIn(col("grp"), [0, 2, 4]),
+        col("val") + col("grp") >= col("val") - 1,
+    ]
+    for pred in predicates:
+        fast, slow = both_engines(Select(BaseRel("R"), pred), {"R": rel})
+        assert_same_rows(fast, slow)
+
+
+@given(mixed_rows)
+@settings(max_examples=50, deadline=None)
+def test_aggregate_equivalence(rows):
+    rel = make_rel(rows)
+    expr = Aggregate(
+        BaseRel("R"),
+        ("grp", "tag"),
+        (
+            AggSpec(GROUP_COUNT, "count"),
+            AggSpec("s", "sum", "val"),
+            AggSpec("m", "avg", "val"),
+            AggSpec("v", "var", "val"),
+            AggSpec("lo", "min", "val"),
+            AggSpec("hi", "max", "val"),
+            AggSpec("nd", "count_distinct", "tag"),
+        ),
+    )
+    fast, slow = both_engines(expr, {"R": rel})
+    assert_same_rows(fast, slow)
+
+
+@given(mixed_rows)
+@settings(max_examples=50, deadline=None)
+def test_aggregate_on_mixed_column_equivalence(rows):
+    """Group by a None/mixed column; aggregate ints with sum/min/max."""
+    rel = make_rel(rows)
+    expr = Aggregate(
+        BaseRel("R"),
+        ("misc",),
+        (
+            AggSpec("n", "count"),
+            AggSpec("s", "sum", "grp"),
+            AggSpec("lo", "min", "grp"),
+        ),
+    )
+    fast, slow = both_engines(expr, {"R": rel})
+    assert_same_rows(fast, slow)
+
+
+@given(mixed_rows)
+@settings(max_examples=50, deadline=None)
+def test_global_aggregate_equivalence(rows):
+    rel = make_rel(rows)
+    expr = Aggregate(
+        BaseRel("R"),
+        (),
+        (AggSpec("n", "count"), AggSpec("s", "sum", "val")),
+    )
+    fast, slow = both_engines(expr, {"R": rel})
+    assert_same_rows(fast, slow)
+
+
+@given(mixed_rows, mixed_rows, st.sampled_from(["inner", "left", "right", "full"]))
+@settings(max_examples=40, deadline=None)
+def test_join_equivalence(lrows, rrows, how):
+    left = make_rel(lrows, name="L")
+    right = Relation(
+        Schema(["grp", "label"]),
+        [(g, f"g{g}") for g in sorted({r[1] for r in rrows} | {99})],
+        key=("grp",),
+        name="S",
+    )
+    expr = Join(BaseRel("L"), BaseRel("S"), on=[("grp", "grp")], how=how)
+    fast, slow = both_engines(expr, {"L": left, "S": right})
+    assert_same_rows(fast, slow)
+
+
+@given(mixed_rows, st.floats(0.0, 1.0), st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_eta_equivalence(rows, ratio, seed):
+    rel = make_rel(rows)
+    expr = Hash(BaseRel("R"), ("id",), ratio, seed)
+    fast, slow = both_engines(expr, {"R": rel})
+    assert_same_rows(fast, slow)
+    # η over a mixed-type key attribute takes the loop batch path.
+    expr2 = Hash(BaseRel("R"), ("misc", "tag"), ratio, seed)
+    fast2, slow2 = both_engines(expr2, {"R": rel})
+    assert_same_rows(fast2, slow2)
+
+
+@given(mixed_rows)
+@settings(max_examples=40, deadline=None)
+def test_project_equivalence(rows):
+    rel = make_rel(rows)
+    passthrough = Project(BaseRel("R"), ["tag", "grp", "id"])
+    fast, slow = both_engines(passthrough, {"R": rel})
+    assert_same_rows(fast, slow)
+    computed = Project(
+        BaseRel("R"), [("id", "id"), ("twice", col("val") * 2)]
+    )
+    fast2, slow2 = both_engines(computed, {"R": rel})
+    assert_same_rows(fast2, slow2)
+
+
+def test_opaque_func_predicate_falls_back():
+    """Func terms have no columnar form; results must still match."""
+    rel = make_rel([(1, 0, 1.0, "x", None), (2, 1, -1.0, "y", 5)])
+    pred = func("isneg", lambda v: v < 0, col("val")) == True  # noqa: E712
+    fast, slow = both_engines(Select(BaseRel("R"), pred), {"R": rel})
+    assert_same_rows(fast, slow)
+    assert len(fast.rows) == 1
+
+
+def test_division_predicate_matches_row_semantics():
+    """A zero divisor raises in both engines (no silent inf/nan masks)."""
+    rel = Relation(Schema(["a", "b"]), [(1.0, 2.0), (3.0, 0.0)], name="R")
+    expr = Select(BaseRel("R"), col("a") / col("b") > 0.1)
+    old = set_columnar_enabled(True)
+    try:
+        with pytest.raises(ZeroDivisionError):
+            evaluate(expr, {"R": rel})
+    finally:
+        set_columnar_enabled(old)
+
+
+def test_huge_int_aggregate_falls_back_exactly():
+    """Sums/avgs that would wrap int64 must use Python's big ints."""
+    big = 1 << 62
+    rel = Relation(
+        Schema(["id", "grp", "val"]),
+        [(0, 0, big), (1, 0, big), (2, 1, 7)],
+        key=("id",),
+        name="R",
+    )
+    expr = Aggregate(
+        BaseRel("R"),
+        ("grp",),
+        (AggSpec("s", "sum", "val"), AggSpec("m", "avg", "val")),
+    )
+    fast, slow = both_engines(expr, {"R": rel})
+    assert_same_rows(fast, slow)
+    by_grp = {r[0]: r[1:] for r in fast.rows}
+    assert by_grp[0][0] == 2 * big
+    assert by_grp[0][1] == pytest.approx(float(big), rel=1e-12)
+
+
+def test_aggregate_division_term_matches_row_semantics():
+    """Div-by-zero inside an aggregate input raises in both engines."""
+    rel = Relation(
+        Schema(["g", "a", "b"]), [(1, 10.0, 2.0), (1, 5.0, 0.0)], name="R"
+    )
+    expr = Aggregate(
+        BaseRel("R"), ("g",), (AggSpec("s", "sum", col("a") / col("b")),)
+    )
+    for enabled in (True, False):
+        old = set_columnar_enabled(enabled)
+        try:
+            with pytest.raises(ZeroDivisionError):
+                evaluate(expr, {"R": rel})
+        finally:
+            set_columnar_enabled(old)
+
+
+def test_empty_projection_keeps_cardinality():
+    """Π with zero outputs yields one empty tuple per row in both engines."""
+    rel = Relation(Schema(["x"]), [(1,), (2,)], name="R")
+    fast, slow = both_engines(Project(BaseRel("R"), ()), {"R": rel})
+    assert fast.rows == slow.rows == [(), ()]
+
+
+def test_int_float_comparison_beyond_2_53_is_exact():
+    """numpy's int→float promotion must not leak into comparison masks."""
+    exact = 1 << 53
+    rel = Relation(
+        Schema(["id", "x"]),
+        [(0, float(exact)), (1, 1.5)],
+        key=("id",),
+        name="R",
+    )
+    # float(2**53) == 2**53 + 1 is False in Python but True after float64
+    # promotion; the columnar path must agree with Python.
+    fast, slow = both_engines(
+        Select(BaseRel("R"), col("x") == exact + 1), {"R": rel}
+    )
+    assert fast.rows == slow.rows == []
+    rel2 = Relation(
+        Schema(["id", "n"]), [(0, exact + 1), (1, 3)], key=("id",), name="R"
+    )
+    fast2, slow2 = both_engines(
+        Select(BaseRel("R"), col("n") == float(exact)), {"R": rel2}
+    )
+    assert fast2.rows == slow2.rows == []
+
+
+def test_bool_int_group_keys_preserved():
+    """Multi-column group keys must not promote bools to 0/1."""
+    rel = Relation(
+        Schema(["a", "b", "v"]),
+        [(True, 1, 4.0), (False, 2, 2.0), (True, 1, 6.0)],
+        name="R",
+    )
+    expr = Aggregate(BaseRel("R"), ("a", "b"), (AggSpec("s", "sum", "v"),))
+    fast, slow = both_engines(expr, {"R": rel})
+    assert fast.rows == slow.rows
+    assert all(isinstance(r[0], bool) for r in fast.rows)
+
+
+def test_single_column_mixed_bool_int_group_keys_preserved():
+    """A single group column mixing bools and ints keeps row-path keys."""
+    rel = Relation(
+        Schema(["k", "v"]),
+        [(True, 1.0), (1, 2.0), (False, 3.0), (0, 4.0)],
+        name="R",
+    )
+    expr = Aggregate(BaseRel("R"), ("k",), (AggSpec("s", "sum", "v"),))
+    fast, slow = both_engines(expr, {"R": rel})
+    assert fast.rows == slow.rows
+    assert all(isinstance(r[0], bool) for r in fast.rows)
+
+
+def test_isin_mixed_type_value_set_matches_row_semantics():
+    """A value set mixing strs and ints must not stringify the ints."""
+    rel = Relation(Schema(["t"]), [("2",), ("x",), (2,)], name="R")
+    expr = Select(BaseRel("R"), IsIn(col("t"), ["1", 2]))
+    fast, slow = both_engines(expr, {"R": rel})
+    assert_same_rows(fast, slow)
+    assert sorted(fast.rows, key=repr) == [(2,)]
+
+
+def test_sequence_constant_comparison_matches_row_semantics():
+    """Tuple constants compare as single values, never broadcast."""
+    from repro.algebra import lit
+
+    rel = Relation(Schema(["x"]), [(1,), (2,)], name="R")
+    expr = Select(BaseRel("R"), col("x") == lit((1, 2)))
+    fast, slow = both_engines(expr, {"R": rel})
+    assert fast.rows == slow.rows == []
+
+
+def test_avg_beyond_2_53_uses_exact_division():
+    """avg over ints whose sum exceeds 2**53 must match Python division."""
+    base = (1 << 53) + 1
+    rel = Relation(
+        Schema(["g", "v"]),
+        [(1, base), (1, base + 2), (1, base + 4)],
+        name="R",
+    )
+    expr = Aggregate(BaseRel("R"), ("g",), (AggSpec("m", "avg", "v"),))
+    fast, slow = both_engines(expr, {"R": rel})
+    assert fast.rows == slow.rows
+
+
+def test_bool_min_max_preserves_type():
+    """min/max over bool columns returns False/True, not 0/1."""
+    rel = Relation(
+        Schema(["g", "b"]), [(1, True), (1, False), (2, True)], name="R"
+    )
+    expr = Aggregate(
+        BaseRel("R"), ("g",), (AggSpec("lo", "min", "b"), AggSpec("hi", "max", "b"))
+    )
+    fast, slow = both_engines(expr, {"R": rel})
+    assert fast.rows == slow.rows
+    assert all(isinstance(v, bool) for row in fast.rows for v in row[1:])
+
+
+def test_eta_leaf_cache_invalidated_on_family_change():
+    """Cached η samples must not survive set_hash_family."""
+    from repro.stats.hashing import set_hash_family
+
+    rel = make_rel([(i, i % 3, float(i), "x", None) for i in range(200)])
+    expr = Hash(BaseRel("R"), ("id",), 0.3, seed=0)
+    try:
+        sha_rows = evaluate(expr, {"R": rel}).rows
+        set_hash_family("linear")
+        lin_rows = evaluate(expr, {"R": rel}).rows
+        fresh = make_rel([(i, i % 3, float(i), "x", None) for i in range(200)])
+        lin_fresh = evaluate(expr, {"R": fresh}).rows
+    finally:
+        set_hash_family("sha1")
+    assert sorted(lin_rows) == sorted(lin_fresh)
+    assert sorted(lin_rows) != sorted(sha_rows)
+
+
+def test_grpcount_column_matches():
+    """The hidden __grpcount__ support column vectorizes as a count."""
+    rel = make_rel([(i, i % 3, float(i), "x", None) for i in range(30)])
+    expr = Aggregate(
+        BaseRel("R"), ("grp",), (AggSpec(GROUP_COUNT, "count"),)
+    )
+    fast, slow = both_engines(expr, {"R": rel})
+    assert_same_rows(fast, slow)
+    counts = {g: c for g, c in fast.rows}
+    assert counts == {0: 10, 1: 10, 2: 10}
+
+
+def test_distinct_equivalence():
+    rel = make_rel(
+        [(i, i % 2, 1.0, "x" if i % 4 else "y", None) for i in range(20)]
+    )
+    expr = Aggregate(BaseRel("R"), ("grp", "tag"), ())
+    fast, slow = both_engines(expr, {"R": rel})
+    assert_same_rows(fast, slow)
+    assert fast.rows == slow.rows  # first-appearance order preserved

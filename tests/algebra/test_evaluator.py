@@ -1,6 +1,5 @@
 """Tests for the expression evaluator (operators of paper §3.1)."""
 
-import math
 
 import pytest
 
@@ -277,6 +276,10 @@ class TestMemoization:
                        name="C")
         e = Hash(BaseRel("C"), ("id",), 0.4, seed=3)
         first = evaluate(e, {"C": rel})
-        assert (("id",), 0.4, 3) in rel.sample_cache()
+        # Cache keys carry the active hash family so cached samples
+        # cannot survive set_hash_family.
+        from repro.stats.hashing import get_hash_family
+
+        assert (("id",), 0.4, 3, get_hash_family()) in rel.sample_cache()
         second = evaluate(e, {"C": rel})
         assert first.rows == second.rows

@@ -47,7 +47,7 @@ class TestNodeStructure:
 
     def test_leaves_in_order(self):
         leaves = sample_tree().leaves()
-        assert [l.name for l in leaves] == ["Log", "Video"]
+        assert [leaf.name for leaf in leaves] == ["Log", "Video"]
 
     def test_depth(self):
         assert BaseRel("Log").depth() == 1

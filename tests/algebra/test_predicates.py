@@ -6,8 +6,6 @@ from repro.algebra.predicates import (
     ALWAYS,
     And,
     Between,
-    Col,
-    Const,
     IsIn,
     Not,
     Or,

@@ -1,6 +1,5 @@
 """Tests for lineage tracking (paper Def 1)."""
 
-import pytest
 
 from repro.algebra import (
     AggSpec,

@@ -2,7 +2,6 @@
 select-query correction (§12.1.2)."""
 
 import numpy as np
-import pytest
 
 from repro.algebra import Relation, Schema, col
 from repro.core.bootstrap import bootstrap_aqp, bootstrap_corr

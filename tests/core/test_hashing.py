@@ -1,6 +1,5 @@
 """Tests for the hashing operator and hash families (§4.4, §12.3)."""
 
-import numpy as np
 import pytest
 
 from repro.algebra import Relation, Schema

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algebra import Relation, Schema, col
+from repro.algebra import Relation, Schema
 from repro.core.estimators import AggQuery, svc_aqp
 from repro.core.hashing import hash_sample
 from repro.core.outlier_index import (

@@ -6,7 +6,6 @@ cases (nested aggregates, computed projections, attribute-spanning
 joins).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

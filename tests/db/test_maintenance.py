@@ -1,6 +1,5 @@
 """Tests for maintenance strategies: change-table IVM and recomputation."""
 
-import pytest
 
 from repro.algebra import (
     AggSpec,
@@ -25,7 +24,6 @@ from repro.db import (
     fresh_expr,
     is_spj,
     maintain,
-    recompute_strategy,
 )
 from repro.db.maintenance import MULT, signed_delta_expr
 

@@ -4,11 +4,11 @@ import pytest
 
 from repro.algebra import AggSpec, Aggregate, BaseRel, Relation, Schema, col
 from repro.algebra.evaluator import GROUP_COUNT
-from repro.db import Catalog, StalenessReport, changed_rows, classify
+from repro.db import Catalog, changed_rows, classify
 from repro.db.view import augment_definition, hidden_sum_name
 from repro.errors import MaintenanceError, SchemaError
 
-from tests.conftest import make_log_video_db, visit_view_definition
+from tests.conftest import visit_view_definition
 
 
 class TestAugmentation:

@@ -2,7 +2,6 @@
 running over multiple maintenance periods on realistic workloads."""
 
 import numpy as np
-import pytest
 
 from repro.algebra import col
 from repro.core import AggQuery, OutlierIndex, StaleViewCleaner

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.stats.zipf import ZipfGenerator, zipf_values
-from repro.workloads.tpcd import ROWS_PER_SF, TPCDConfig, TPCDGenerator, build_tpcd
+from repro.workloads.tpcd import ROWS_PER_SF, build_tpcd
 
 
 class TestZipf:
@@ -74,9 +74,13 @@ class TestGenerator:
     def test_skew_grows_with_z(self):
         low = build_tpcd(scale=0.4, z=1.0, seed=3)[0]
         high = build_tpcd(scale=0.4, z=4.0, seed=3)[0]
-        cv = lambda arr: arr.std() / arr.mean()
-        assert cv(high.relation("lineitem").column_array("l_extendedprice")) \
-            > cv(low.relation("lineitem").column_array("l_extendedprice"))
+
+        def cv(arr):
+            return arr.std() / arr.mean()
+
+        assert cv(high.relation("lineitem").column_array("l_extendedprice")) > cv(
+            low.relation("lineitem").column_array("l_extendedprice")
+        )
 
     def test_determinism(self):
         a, _ = build_tpcd(scale=0.2, z=2.0, seed=9)
