@@ -1,0 +1,239 @@
+"""Benchmark: sharded parallel view maintenance vs the single-shard path.
+
+Maintains an SPJA join view (activity ⋈ items, grouped, count/sum/avg)
+against a 100 000-row pending delta touching *both* relations — the
+change table has one term per dirty relation, including the expensive
+``fresh(activity) ⋈ δitems`` term that reconstructs the fresh fact
+table — through the reference single-shard path and through the sharded
+executor (4 hash shards on the ``process`` backend).
+
+Every mode must produce row-for-row identical results (asserted in both
+full and ``--quick`` runs).  The full run additionally requires a ≥ 2×
+throughput speedup at 4 workers, which is only meaningful on hardware
+with at least 4 usable cores — on smaller machines (and in ``--quick``
+CI runs) the speedup is recorded for inspection instead of gated, like
+``bench_vectorized_eval`` does for its wall-clock assertion.
+
+Run under pytest (``pytest benchmarks/bench_sharded_maintenance.py``)
+or standalone (``python benchmarks/bench_sharded_maintenance.py
+[--quick] [--shards N] [--backend B]``).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Relation,
+    Schema,
+    col,
+)
+from repro.db import Catalog, Database, maintain
+from repro.db.sharding import clear_partition_cache
+from repro.distributed import last_shard_report, set_shard_count
+from repro.distributed.shard import shutdown_shard_pool
+
+FULL_DELTA = 100_000
+QUICK_DELTA = 20_000
+SHARDS = 4
+WORKERS = 4
+#: Required speedup in full mode on hardware that can show it (>= 4
+#: usable cores).  The equivalence check runs in every mode.
+FULL_SPEEDUP = 2.0
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _build(n_delta: int, seed: int = 7):
+    """The workload: fact ⋈ dimension SPJA view plus a pending delta.
+
+    The delta splits ~94/6 between the fact and the dimension so both
+    change-table terms are exercised; sizes scale with ``n_delta`` so
+    ``--quick`` shrinks everything together.
+    """
+    n_fact = n_delta * 2
+    n_items = max(200, n_delta // 20)
+    n_groups = max(100, n_delta // 25)
+    rng = np.random.default_rng(seed)
+
+    db = Database()
+    grp = rng.integers(0, n_groups, n_fact)
+    item = rng.integers(0, n_items, n_fact)
+    val = rng.exponential(30.0, n_fact)
+    db.add_relation(Relation(
+        Schema(["id", "grp", "item", "val"]),
+        [
+            (i, int(g), int(it), float(v))
+            for i, (g, it, v) in enumerate(zip(grp, item, val))
+        ],
+        key=("id",), name="activity",
+    ))
+    db.add_relation(Relation(
+        Schema(["item", "weight"]),
+        [(i, float(1 + i % 9)) for i in range(n_items)],
+        key=("item",), name="items",
+    ))
+    view = Catalog(db).create_view(
+        "byGroup",
+        Aggregate(
+            Join(BaseRel("activity"), BaseRel("items"),
+                 on=[("item", "item")], foreign_key=True),
+            ["grp"],
+            [
+                AggSpec("n", "count"),
+                AggSpec("total", "sum", col("val") * col("weight")),
+                AggSpec("mean", "avg", col("val")),
+                AggSpec("sq", "sum", col("val") * col("val")),
+                AggSpec("unweighted", "sum", col("val")),
+                AggSpec("discounted", "sum",
+                        col("val") * col("weight") - col("val")),
+            ],
+        ),
+    )
+
+    # Pending 100k-delta period: inserts + deletes on the fact table and
+    # updates (delete+insert pairs) on the dimension.
+    n_item_updates = n_delta * 3 // 100
+    n_fact_delta = n_delta - 2 * n_item_updates
+    n_ins = n_fact_delta * 6 // 10
+    n_del = n_fact_delta - n_ins
+    db.insert("activity", [
+        (n_fact + i, int(g), int(it), float(v))
+        for i, (g, it, v) in enumerate(zip(
+            rng.integers(0, n_groups, n_ins),
+            rng.integers(0, n_items, n_ins),
+            rng.exponential(30.0, n_ins),
+        ))
+    ])
+    picks = rng.choice(n_fact, n_del, replace=False)
+    base_rows = db.relation("activity").rows
+    db.delete("activity", [base_rows[i] for i in picks])
+    upd = rng.choice(n_items, n_item_updates, replace=False)
+    db.update("items", [(int(i), float(10 + i % 5)) for i in upd])
+
+    assert db.deltas.total_pending() == n_delta
+    return db, view
+
+
+def _time_maintain(view, stale, repeats: int) -> float:
+    """Best-of-N maintenance time for the current pending delta.
+
+    ``maintain`` installs the maintained rows on the view, so the stale
+    snapshot is restored (untimed) before every repeat.  Memoized
+    partitions are dropped from every leaf too: in production each
+    period's deltas and maintained view are fresh relations, so a real
+    sharded round always pays the partitioning pass — the timed region
+    must include it (the single-shard path partitions nothing).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        view.set_data(stale)
+        for rel in view.database.leaves().values():
+            clear_partition_cache(rel)
+        t0 = time.perf_counter()
+        maintain(view)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_bench(
+    n_delta: int = FULL_DELTA,
+    shards: int = SHARDS,
+    workers: int = WORKERS,
+    backend: str = "process",
+    repeats: int = 3,
+) -> dict:
+    """Time single-shard vs sharded maintenance; returns the measurements."""
+    db, view = _build(n_delta)
+    stale = view.require_data()
+
+    set_shard_count(1)
+    reference = maintain(view)
+    single_s = _time_maintain(view, stale, repeats)
+
+    view.set_data(stale)
+    set_shard_count(shards, backend=backend, max_workers=workers)
+    try:
+        sharded = maintain(view)
+        sharded_s = _time_maintain(view, stale, repeats)
+        report = last_shard_report()
+    finally:
+        set_shard_count(1)
+        shutdown_shard_pool()
+
+    # Equivalence gate: the sharded result must be row-for-row equal to
+    # the single-shard reference.  This is what CI enforces.
+    assert sorted(sharded.rows, key=repr) == sorted(reference.rows, key=repr), (
+        "sharded maintenance diverged from the single-shard reference"
+    )
+
+    return {
+        "n_delta": n_delta,
+        "shards": shards,
+        "workers": workers,
+        "backend": report.backend if report else backend,
+        "cpus": _usable_cpus(),
+        "single_s": single_s,
+        "sharded_s": sharded_s,
+        "single_rows_per_s": n_delta / single_s,
+        "sharded_rows_per_s": n_delta / sharded_s,
+        "speedup": single_s / sharded_s,
+        "skipped_shards": report.skipped_count if report else 0,
+    }
+
+
+def to_table(result: dict) -> str:
+    lines = [
+        "bench_sharded_maintenance — single-shard vs sharded IVM",
+        f"delta rows: {result['n_delta']}   shards: {result['shards']}   "
+        f"workers: {result['workers']} ({result['backend']} backend, "
+        f"{result['cpus']} usable cpu(s))",
+        f"single-shard: {result['single_s'] * 1e3:9.2f} ms   "
+        f"{result['single_rows_per_s']:12.0f} delta rows/s",
+        f"sharded:      {result['sharded_s'] * 1e3:9.2f} ms   "
+        f"{result['sharded_rows_per_s']:12.0f} delta rows/s",
+        f"speedup: {result['speedup']:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def test_sharded_maintenance_speedup(benchmark, quick, record_text):
+    from conftest import run_once
+
+    n_delta = QUICK_DELTA if quick else FULL_DELTA
+    result = run_once(benchmark, run_bench, n_delta=n_delta)
+    record_text("bench_sharded_maintenance", to_table(result))
+    if not quick and result["cpus"] >= WORKERS:
+        assert result["speedup"] >= FULL_SPEEDUP, (
+            f"sharded maintenance only {result['speedup']:.2f}x over the "
+            f"single-shard path (need >= {FULL_SPEEDUP}x at "
+            f"{n_delta} delta rows with {WORKERS} workers)"
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small workload")
+    parser.add_argument("--delta", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=SHARDS)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument("--backend", default="process",
+                        choices=["serial", "thread", "process"])
+    args = parser.parse_args()
+    delta = args.delta or (QUICK_DELTA if args.quick else FULL_DELTA)
+    print(to_table(run_bench(
+        n_delta=delta, shards=args.shards, workers=args.workers,
+        backend=args.backend,
+    )))

@@ -40,6 +40,7 @@ from repro.core import (
     svc_corr,
 )
 from repro.db import Catalog, Database, MaterializedView
+from repro.distributed.shard import get_shard_count, set_shard_count
 
 __version__ = "1.0.0"
 
@@ -64,7 +65,9 @@ __all__ = [
     "__version__",
     "col",
     "evaluate",
+    "get_shard_count",
     "lit",
+    "set_shard_count",
     "svc_aqp",
     "svc_corr",
 ]

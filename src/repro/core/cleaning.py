@@ -121,19 +121,43 @@ class SampleView:
         """Problem 1: materialize Ŝ' = C(Ŝ, D, ∂D).
 
         The returned relation is an m-sample of the up-to-date view that
-        corresponds to :attr:`dirty_sample`.
+        corresponds to :attr:`dirty_sample`.  Under an active shard
+        configuration (``set_shard_count(n)`` with n > 1) the cleaning
+        expression is evaluated per shard and the per-shard hashed
+        samples merge back into one sample — η is deterministic per row,
+        so the union is exactly the single-shard sample.
         """
-        from repro.algebra.evaluator import evaluate
-
+        if strategy is None:
+            strategy = choose_strategy(self.view)
         expr, report = cleaning_expression(
             self.view, self.ratio, self.seed, strategy, self.optimize,
             sample_attrs=self.sample_attrs,
         )
         self.last_report = report
-        result = evaluate(expr, self.view.database.leaves())
+        result = self._evaluate_cleaning(expr, strategy)
         result.key = self.view.key
         result.name = f"{self.view.name}__sample"
         self.clean_sample = result
+        return result
+
+    def _evaluate_cleaning(
+        self, expr: Expr, strategy: MaintenanceStrategy
+    ) -> Relation:
+        """Evaluate C single-shard or shard-parallel per the global config.
+
+        The sharded path reuses the maintenance flow with the dirty
+        sample as the identity source for skipped shards (a shard no
+        delta row routes to cleans to η of its untouched stale slice —
+        exactly its slice of the dirty sample).
+        """
+        from repro.algebra.evaluator import evaluate
+        from repro.distributed.shard import run_sharded
+
+        result = run_sharded(
+            self.view, expr, strategy, identity_source=self.dirty_sample
+        )
+        if result is None:
+            result = evaluate(expr, self.view.database.leaves())
         return result
 
     def require_clean(self) -> Relation:

@@ -19,6 +19,13 @@ from repro.db.maintenance import (
     replace_leaves,
     signed_delta_expr,
 )
+from repro.db.sharding import (
+    partition_delta,
+    partition_leaves,
+    partition_relation,
+    shard_hash,
+    shard_ids,
+)
 from repro.db.staleness import StalenessReport, changed_rows, classify
 from repro.db.view import MaterializedView, augment_definition, hidden_sum_name
 
@@ -46,7 +53,12 @@ __all__ = [
     "insertions_name",
     "is_spj",
     "maintain",
+    "partition_delta",
+    "partition_leaves",
+    "partition_relation",
     "recompute_strategy",
+    "shard_hash",
+    "shard_ids",
     "replace_leaves",
     "signed_delta_expr",
 ]

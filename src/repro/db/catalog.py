@@ -57,19 +57,28 @@ class Catalog:
 
     def maintain_all(
         self, strategies: Optional[Dict[str, MaintenanceStrategy]] = None,
-        apply_deltas: bool = True,
+        apply_deltas: bool = True, shards: Optional[int] = None,
     ) -> None:
         """Run one maintenance period: update every view, fold deltas.
 
         ``strategies`` optionally overrides the per-view strategy (e.g. a
-        pre-built one reused across periods).
+        pre-built one reused across periods).  ``shards`` overrides the
+        global shard count for this period only (views whose structure
+        does not admit partitioning still run single-shard).
         """
-        for view in self._views.values():
-            strategy = None
-            if strategies is not None:
-                strategy = strategies.get(view.name)
-            if strategy is None:
-                strategy = choose_strategy(view)
-            maintain(view, strategy)
+        from repro.distributed.shard import set_shard_count
+
+        old = set_shard_count(shards) if shards is not None else None
+        try:
+            for view in self._views.values():
+                strategy = None
+                if strategies is not None:
+                    strategy = strategies.get(view.name)
+                if strategy is None:
+                    strategy = choose_strategy(view)
+                maintain(view, strategy)
+        finally:
+            if old is not None:
+                set_shard_count(old)
         if apply_deltas:
             self.database.apply_deltas()

@@ -66,10 +66,29 @@ class Database:
         """Queue deletions (full rows) from base relation ``name``."""
         self.deltas.for_relation(self.relation(name)).delete(rows)
 
-    def delete_by_key(self, name: str, keys: Iterable[tuple]) -> None:
-        """Queue deletions given key values; rows are looked up."""
+    def effective_key_index(self, name: str) -> Dict[tuple, tuple]:
+        """Key -> row as of *now*, with pending deltas overlaid.
+
+        Updates and keyed deletes issued mid-period must resolve against
+        the current effective rows, not the stale base — otherwise two
+        updates of the same key both delete the original record and both
+        insertions survive, breaking the telescoped delete+insert pair.
+        """
         rel = self.relation(name)
         index = rel.key_index()
+        delta = self.deltas.get(name)
+        if delta is not None and not delta.is_empty():
+            for k, row in delta.pending_key_overlay(rel.key_indexes()).items():
+                if row is None:
+                    index.pop(k, None)
+                else:
+                    index[k] = row
+        return index
+
+    def delete_by_key(self, name: str, keys: Iterable[tuple]) -> None:
+        """Queue deletions given key values; rows are looked up in the
+        effective (pending-delta-applied) state."""
+        index = self.effective_key_index(name)
         rows = []
         for k in keys:
             k = tuple(k)
@@ -80,9 +99,14 @@ class Database:
 
     def update(self, name: str, new_rows: Iterable[tuple]) -> None:
         """Queue updates: modeled as deletion of the old row + insertion
-        of the new one (paper §3.1)."""
+        of the new one (paper §3.1).
+
+        The old row is resolved against the effective state, so repeated
+        updates of one key telescope: the delta nets to one deletion of
+        the original record plus one insertion of the final version.
+        """
         rel = self.relation(name)
-        index = rel.key_index()
+        index = self.effective_key_index(name)
         key_idx = rel.key_indexes()
         old_rows, ins_rows = [], []
         for row in new_rows:
@@ -92,6 +116,7 @@ class Database:
                 raise MaintenanceError(f"{name!r} has no record with key {k!r}")
             old_rows.append(index[k])
             ins_rows.append(row)
+            index[k] = row  # updates within one batch telescope too
         self.delete(name, old_rows)
         self.insert(name, ins_rows)
 

@@ -10,7 +10,7 @@ maintenance must subtract the deleted records' aggregate contributions.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.algebra.relation import Relation
 from repro.errors import MaintenanceError
@@ -33,46 +33,113 @@ def deletions_name(relation_name: str) -> str:
 
 
 class Delta:
-    """Pending insertions and deletions for one base relation."""
+    """Pending insertions and deletions for one base relation.
 
-    __slots__ = ("base", "inserted", "deleted", "_ins_rel", "_del_rel")
+    Changes accumulate with *telescoped multiplicity* semantics: a row's
+    pending multiplicity is the net of its queued insertions (+1 each)
+    and deletions (−1 each), so deleting a row that is itself pending
+    insertion cancels the insertion instead of queuing both.  This is
+    what makes an update-modeled-as-delete+insert (paper §3.1) compose:
+    updating the same key twice between refreshes nets to one deletion
+    of the original record and one insertion of the final version —
+    change tables see the correct signed multiplicities and
+    ``apply_deltas`` cannot duplicate the key.
+    """
+
+    __slots__ = ("base", "_ins", "_del", "_ins_list", "_del_list",
+                 "_ins_rel", "_del_rel")
 
     def __init__(self, base: Relation):
         self.base = base
-        self.inserted: List[tuple] = []
-        self.deleted: List[tuple] = []
-        # Memoized delta relations (rebuilt on mutation) so repeated
-        # evaluations can reuse their hash-sample caches.
+        # Ordered row -> pending count maps (first-queued order preserved).
+        self._ins: Dict[tuple, int] = {}
+        self._del: Dict[tuple, int] = {}
+        # Memoized row lists and delta relations (rebuilt on mutation) so
+        # repeated evaluations can reuse their hash-sample caches.
+        self._ins_list: List[tuple] = None
+        self._del_list: List[tuple] = None
         self._ins_rel: Relation = None
         self._del_rel: Relation = None
 
+    @property
+    def inserted(self) -> List[tuple]:
+        """Pending insertions ∆R as full rows (with net multiplicity)."""
+        if self._ins_list is None:
+            self._ins_list = [
+                r for r, c in self._ins.items() for _ in range(c)
+            ]
+        return self._ins_list
+
+    @property
+    def deleted(self) -> List[tuple]:
+        """Pending deletions ∇R as full rows (with net multiplicity)."""
+        if self._del_list is None:
+            self._del_list = [
+                r for r, c in self._del.items() for _ in range(c)
+            ]
+        return self._del_list
+
     def is_empty(self) -> bool:
         """True when no changes are pending."""
-        return not self.inserted and not self.deleted
+        return not self._ins and not self._del
+
+    def _invalidate(self) -> None:
+        self._ins_list = self._del_list = None
+        self._ins_rel = self._del_rel = None
+
+    def _check_width(self, row: tuple, op: str) -> tuple:
+        row = tuple(row)
+        width = len(self.base.schema)
+        if len(row) != width:
+            raise MaintenanceError(
+                f"{op} width {len(row)} != schema width {width}: {row!r}"
+            )
+        return row
 
     def insert(self, rows: Iterable[tuple]) -> None:
-        """Queue new records for insertion."""
-        width = len(self.base.schema)
-        self._ins_rel = None
+        """Queue new records for insertion (telescoping pending deletes)."""
+        self._invalidate()
         for row in rows:
-            row = tuple(row)
-            if len(row) != width:
-                raise MaintenanceError(
-                    f"insert width {len(row)} != schema width {width}: {row!r}"
-                )
-            self.inserted.append(row)
+            row = self._check_width(row, "insert")
+            pending = self._del.get(row)
+            if pending:
+                if pending == 1:
+                    del self._del[row]
+                else:
+                    self._del[row] = pending - 1
+            else:
+                self._ins[row] = self._ins.get(row, 0) + 1
 
     def delete(self, rows: Iterable[tuple]) -> None:
-        """Queue existing records (full rows) for deletion."""
-        width = len(self.base.schema)
-        self._del_rel = None
+        """Queue existing records (full rows) for deletion (telescoping
+        pending inserts)."""
+        self._invalidate()
         for row in rows:
-            row = tuple(row)
-            if len(row) != width:
-                raise MaintenanceError(
-                    f"delete width {len(row)} != schema width {width}: {row!r}"
-                )
-            self.deleted.append(row)
+            row = self._check_width(row, "delete")
+            pending = self._ins.get(row)
+            if pending:
+                if pending == 1:
+                    del self._ins[row]
+                else:
+                    self._ins[row] = pending - 1
+            else:
+                self._del[row] = self._del.get(row, 0) + 1
+
+    def pending_key_overlay(
+        self, key_indexes: Sequence[int]
+    ) -> Dict[tuple, Optional[tuple]]:
+        """Key -> pending row (or None for pending deletion).
+
+        Overlaying this on the base relation's key index yields the
+        *effective* current rows — what an update or keyed delete issued
+        mid-period must resolve against (paper §3.1 updates compose).
+        """
+        overlay: Dict[tuple, Optional[tuple]] = {}
+        for row in self._del:
+            overlay[tuple(row[i] for i in key_indexes)] = None
+        for row in self._ins:
+            overlay[tuple(row[i] for i in key_indexes)] = row
+        return overlay
 
     def insertions_relation(self) -> Relation:
         """∆R as a relation with the base schema and key."""
@@ -98,10 +165,9 @@ class Delta:
 
     def clear(self) -> None:
         """Discard pending changes (after they are folded into the base)."""
-        self.inserted = []
-        self.deleted = []
-        self._ins_rel = None
-        self._del_rel = None
+        self._ins = {}
+        self._del = {}
+        self._invalidate()
 
 
 class DeltaSet:

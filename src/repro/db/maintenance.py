@@ -353,11 +353,23 @@ def choose_strategy(view) -> MaintenanceStrategy:
 def maintain(view, strategy: Optional[MaintenanceStrategy] = None):
     """Bring one materialized view up to date; returns the new relation.
 
-    Does not fold the deltas into the base relations — call
-    ``database.apply_deltas()`` once every registered view (and every SVC
-    sample) has been maintained for the period.
+    When the global shard count (:func:`repro.distributed.shard.
+    set_shard_count`) is above one and the view's structure admits
+    partitioning, maintenance runs shard-parallel and the per-shard
+    results are concatenated; otherwise this is the single-shard
+    reference path.  Does not fold the deltas into the base relations —
+    call ``database.apply_deltas()`` once every registered view (and
+    every SVC sample) has been maintained for the period.
     """
     if strategy is None:
         strategy = choose_strategy(view)
-    result = evaluate(strategy.expr, view.database.leaves())
+    result = None
+    from repro.distributed.shard import get_shard_count
+
+    if get_shard_count() > 1:
+        from repro.distributed.shard import maintain_sharded
+
+        result = maintain_sharded(view, strategy)
+    if result is None:
+        result = evaluate(strategy.expr, view.database.leaves())
     return view.set_data(result)

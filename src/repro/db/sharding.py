@@ -1,0 +1,214 @@
+"""Hash partitioning of relations and deltas by maintenance key.
+
+The paper's maintenance strategies M(S, D, ∂D) are ordinary relational
+expressions (§3.1), which makes them partitionable: hash every base
+relation, its delta relations ∆R/∇R, and the stale view on the same
+*maintenance key* (group key for SPJA views, view/join key for SPJ) and
+each shard can run M independently — the per-shard results concatenate
+into exactly the single-shard answer (see ``docs/sharding.md`` for the
+safety argument and :mod:`repro.distributed.shard` for the planner that
+decides which relations partition and which replicate).
+
+The shard routing function must be *value-deterministic across
+relations*: a delta row and the view row of the same group have to land
+in the same shard even though they are hashed through different code
+paths (a vectorized pass over an int64 column vs. a per-row Python
+loop).  :func:`shard_hash` therefore defines one 64-bit mixer with a
+numpy implementation that is bit-identical to the scalar one, and the
+scalar path normalizes bools/integral floats to int before mixing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from operator import itemgetter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algebra.relation import Relation
+from repro.errors import MaintenanceError
+
+_MASK64 = (1 << 64) - 1
+#: Multipliers of the 64-bit mix (splitmix64 finalizer constants).
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+#: Column-combination multiplier (same role as CPython's tuple hash).
+_COMBINE = 0x9E3779B97F4A7C15
+
+#: Cache key prefix under which per-relation partitions are memoized on
+#: ``Relation.sample_cache()`` (sound: relations are immutable).
+_PARTITION_CACHE = "__shards__"
+
+
+def _mix64(v: int) -> int:
+    """splitmix64 finalizer on a 64-bit unsigned value."""
+    v &= _MASK64
+    v = ((v ^ (v >> 30)) * _MIX_A) & _MASK64
+    v = ((v ^ (v >> 27)) * _MIX_B) & _MASK64
+    return v ^ (v >> 31)
+
+
+def _scalar_hash(value) -> int:
+    """64-bit hash of one cell value (must agree with the numpy path)."""
+    if isinstance(value, bool):
+        return _mix64(int(value))
+    if isinstance(value, (int, np.integer)):
+        return _mix64(int(value))
+    if isinstance(value, (float, np.floating)):
+        # Integral floats hash like the equal int so mixed int/float key
+        # columns (5 vs 5.0) still route together, matching dict equality.
+        f = float(value)
+        if f.is_integer() and abs(f) < 2**63:
+            return _mix64(int(f))
+        return _mix64(zlib.crc32(repr(f).encode()))
+    if isinstance(value, str):
+        return _mix64(zlib.crc32(value.encode()))
+    if value is None:
+        return _mix64(0x6E6F6E65)  # b"none"
+    return _mix64(zlib.crc32(repr(value).encode()))
+
+
+def shard_hash(values: Sequence) -> int:
+    """Order-sensitive 64-bit hash of a key-value tuple."""
+    h = 0
+    for v in values:
+        h = ((h * _COMBINE) + _scalar_hash(v)) & _MASK64
+    return h
+
+
+def _vector_hash(arr: np.ndarray) -> Optional[np.ndarray]:
+    """Vectorized :func:`_scalar_hash` for one column, or None to fall back.
+
+    Only integer/bool dtypes qualify (their scalar path is pure int
+    mixing); everything else routes through the per-row loop.
+    """
+    if arr.dtype.kind not in "iub":
+        return None
+    v = arr.astype(np.uint64, copy=False) if arr.dtype.kind != "i" else (
+        arr.astype(np.int64, copy=False).view(np.uint64)
+    )
+    a = np.uint64(_MIX_A)
+    b = np.uint64(_MIX_B)
+    v = (v ^ (v >> np.uint64(30))) * a
+    v = (v ^ (v >> np.uint64(27))) * b
+    return v ^ (v >> np.uint64(31))
+
+
+def shard_ids(rel: Relation, cols: Sequence[str], n: int) -> np.ndarray:
+    """The shard index of every row of ``rel``, hashing ``cols``.
+
+    Integer key columns are mixed in one numpy pass; any column that does
+    not vectorize drops the whole computation to the (bit-identical)
+    scalar loop so routing never depends on which path ran.
+    """
+    if n <= 0:
+        raise MaintenanceError(f"shard count must be positive: {n}")
+    m = len(rel.rows)
+    if m == 0:
+        return np.empty(0, dtype=np.intp)
+    combine = np.uint64(_COMBINE)
+    h = np.zeros(m, dtype=np.uint64)
+    vectorized = True
+    columnar = rel.columnar()
+    for c in cols:
+        ch = _vector_hash(columnar.array(c))
+        if ch is None:
+            vectorized = False
+            break
+        h = h * combine + ch
+    if vectorized:
+        return (h % np.uint64(n)).astype(np.intp)
+    idx = rel.schema.indexes(cols)
+    return np.fromiter(
+        (shard_hash(tuple(row[i] for i in idx)) % n for row in rel.rows),
+        dtype=np.intp,
+        count=m,
+    )
+
+
+def partition_relation(rel: Relation, cols: Sequence[str], n: int) -> List[Relation]:
+    """Hash-partition ``rel`` into ``n`` relations on ``cols``.
+
+    Every row lands in exactly one shard.  Partitions are memoized on the
+    relation's cache (relations are immutable), so re-partitioning the
+    same base data across maintenance rounds is free and the per-shard
+    relations keep their own columnar/sample caches warm.
+    """
+    cols = tuple(cols)
+    cache = rel.sample_cache()
+    cache_key = (_PARTITION_CACHE, cols, n)
+    hit = cache.get(cache_key)
+    if hit is not None:
+        return hit
+    if n == 1:
+        parts = [rel]
+    elif not rel.rows:
+        parts = [
+            Relation(rel.schema, [], key=rel.key, name=rel.name)
+            for _ in range(n)
+        ]
+    else:
+        # Stable argsort by shard id, then slice: one C-speed gather pass
+        # instead of n Python append loops (partitioning sits on the
+        # serial path of every sharded maintenance round).
+        ids = shard_ids(rel, cols, n)
+        order = np.argsort(ids, kind="stable")
+        rows = rel.rows
+        if len(order) == 1:
+            ordered = [rows[order[0]]]
+        else:
+            ordered = list(itemgetter(*order)(rows))
+        bounds = np.searchsorted(ids[order], np.arange(1, n)).tolist()
+        parts = [
+            Relation(rel.schema, ordered[a:b], key=rel.key, name=rel.name)
+            for a, b in zip([0] + bounds, bounds + [len(ordered)])
+        ]
+    cache[cache_key] = parts
+    return parts
+
+
+def clear_partition_cache(rel: Relation) -> None:
+    """Drop memoized partitions of one relation (benchmark cold-state)."""
+    cache = rel.sample_cache()
+    for key in [k for k in cache if k and k[0] == _PARTITION_CACHE]:
+        del cache[key]
+
+
+def partition_delta(
+    delta, cols: Sequence[str], n: int
+) -> List[Tuple[Relation, Relation]]:
+    """Partition one base relation's ∆R/∇R into per-shard pairs.
+
+    Routing uses the same hash as :func:`partition_relation`, so a
+    delta row always lands in the shard holding its base partition.
+    """
+    ins = partition_relation(delta.insertions_relation(), cols, n)
+    dels = partition_relation(delta.deletions_relation(), cols, n)
+    return list(zip(ins, dels))
+
+
+def partition_leaves(
+    leaves: Dict[str, Relation],
+    partitioned: Dict[str, Tuple[str, ...]],
+    n: int,
+) -> List[Dict[str, Relation]]:
+    """Per-shard leaf resolvers: partition the named relations, share the rest.
+
+    ``partitioned`` maps leaf name -> the columns to hash it on.  Names
+    absent from the mapping are *replicated*: every shard sees the same
+    relation object (no copy).
+    """
+    parts: Dict[str, List[Relation]] = {}
+    for name, cols in partitioned.items():
+        rel = leaves.get(name)
+        if rel is None:
+            raise MaintenanceError(f"cannot partition unknown leaf {name!r}")
+        parts[name] = partition_relation(rel, cols, n)
+    out = []
+    for s in range(n):
+        shard_env = dict(leaves)
+        for name, shards in parts.items():
+            shard_env[name] = shards[s]
+        out.append(shard_env)
+    return out

@@ -1,4 +1,5 @@
-"""Distributed mini-batch simulator (Spark substitute for §7.5–7.6.2)."""
+"""Distributed execution: the sharded parallel maintenance executor and
+the mini-batch cluster simulator (Spark substitute for §7.5–7.6.2)."""
 
 from repro.distributed.cluster import (
     RECORDS_PER_GB,
@@ -6,7 +7,23 @@ from repro.distributed.cluster import (
     cpu_utilization_trace,
     throughput_curve,
 )
-from repro.distributed.metrics import UtilizationSummary, compare_utilization
+from repro.distributed.metrics import (
+    ShardRunReport,
+    ShardTiming,
+    UtilizationSummary,
+    compare_utilization,
+)
+from repro.distributed.shard import (
+    ShardConfig,
+    ShardPlan,
+    evaluate_sharded,
+    get_shard_config,
+    get_shard_count,
+    last_shard_report,
+    maintain_sharded,
+    plan_shards,
+    set_shard_count,
+)
 from repro.distributed.minibatch import (
     ErrorModel,
     SteadyStateConfig,
@@ -22,8 +39,19 @@ __all__ = [
     "ClusterModel",
     "ErrorModel",
     "RECORDS_PER_GB",
+    "ShardConfig",
+    "ShardPlan",
+    "ShardRunReport",
+    "ShardTiming",
     "SteadyStateConfig",
     "UtilizationSummary",
+    "evaluate_sharded",
+    "get_shard_config",
+    "get_shard_count",
+    "last_shard_report",
+    "maintain_sharded",
+    "plan_shards",
+    "set_shard_count",
     "calibrate_error_model",
     "compare_utilization",
     "cpu_utilization_trace",

@@ -1,13 +1,64 @@
-"""Utilization and timing metrics for the mini-batch experiments."""
+"""Utilization and timing metrics for the mini-batch experiments and the
+sharded maintenance executor."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.distributed.cluster import ClusterModel, cpu_utilization_trace
+
+
+@dataclass
+class ShardTiming:
+    """One shard's contribution to a sharded evaluation."""
+
+    shard: int
+    rows: int
+    seconds: float
+    skipped: bool = False
+
+
+@dataclass
+class ShardRunReport:
+    """Metrics of one sharded maintenance/cleaning evaluation.
+
+    ``skipped`` shards were proven untouched by the pending deltas and
+    reassembled from the stale view without any evaluation.
+    """
+
+    view: str
+    attrs: Tuple[str, ...]
+    backend: str
+    shards: List[ShardTiming] = field(default_factory=list)
+    partitioned: Tuple[str, ...] = ()
+
+    @property
+    def count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def skipped_count(self) -> int:
+        return sum(1 for s in self.shards if s.skipped)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(s.rows for s in self.shards)
+
+    @property
+    def eval_seconds(self) -> float:
+        """Summed per-shard evaluation time (CPU cost, not wall time)."""
+        return sum(s.seconds for s in self.shards)
+
+    def summary(self) -> str:
+        return (
+            f"{self.view}: {self.count} shard(s) on {self.backend}, "
+            f"{self.skipped_count} skipped, {self.total_rows} rows, "
+            f"eval {self.eval_seconds * 1e3:.1f} ms "
+            f"(partitioned: {', '.join(self.partitioned) or 'none'})"
+        )
 
 
 @dataclass

@@ -1,0 +1,604 @@
+"""Sharded parallel view maintenance — the partition-parallel executor.
+
+Because every maintenance strategy M(S, D, ∂D) is an ordinary relational
+expression over named leaves (paper §3.1), sharding needs no expression
+rewriting at all: build one *leaf environment per shard* — partitioned
+base relations, partitioned ∆R/∇R, the matching slice of the stale view,
+and shared (replicated) copies of everything else — and evaluate the
+same strategy expression against each.  Concatenating the per-shard
+results yields exactly the single-shard answer.
+
+Three pieces live here:
+
+* :class:`ShardPlan` / :func:`plan_shards` — decides the maintenance key
+  (group key for SPJA views, view key for SPJ) and which base relations
+  can be hash-partitioned on it versus replicated to every shard.  The
+  planner only shards the structures whose partition-correctness it can
+  prove (SPJ cores of inner joins); everything else falls back to the
+  single-shard reference path.
+* :func:`evaluate_sharded` / :func:`_run_tasks` — run the per-shard
+  evaluations serially, on a thread pool, or on a persistent fork-based
+  process pool (``concurrent.futures``), and concatenate the results.
+* :func:`set_shard_count` — the global toggle.  ``set_shard_count(1)``
+  (the default) is the reference single-shard path; every sharded result
+  is row-for-row equal to it (property-tested in
+  ``tests/db/test_sharded_maintenance.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.expressions import (
+    Aggregate,
+    BaseRel,
+    Expr,
+    Join,
+    Project,
+    Select,
+)
+from repro.algebra.keys import derive_key, derive_schema
+from repro.algebra.relation import Relation
+from repro.db.deltas import deletions_name, insertions_name
+from repro.db.maintenance import is_spj
+from repro.db.sharding import partition_leaves, partition_relation
+from repro.distributed.metrics import ShardRunReport, ShardTiming
+from repro.errors import KeyDerivationError, MaintenanceError
+
+# ----------------------------------------------------------------------
+# Global shard configuration (the set_shard_count toggle)
+# ----------------------------------------------------------------------
+
+#: Executor backends.  ``process`` keeps a persistent fork-based worker
+#: pool and ships each shard's (expression, leaves) task by pickle; it
+#: is the default on platforms with ``os.fork``.  ``thread`` is the
+#: portable fallback (shares caches, contends on the GIL for row-path
+#: operators); ``serial`` runs shards in a loop (tests, debugging).
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass
+class ShardConfig:
+    """How sharded maintenance executes.
+
+    ``count == 1`` is the single-shard reference path.  ``max_workers``
+    defaults to ``min(count, cpu_count)``.
+    """
+
+    count: int = 1
+    backend: str = "process" if hasattr(os, "fork") else "thread"
+    max_workers: Optional[int] = None
+
+    def workers(self) -> int:
+        cpus = os.cpu_count() or 1
+        if self.max_workers is not None:
+            return max(1, self.max_workers)
+        return max(1, min(self.count, cpus))
+
+
+_CONFIG = ShardConfig()
+
+
+def set_shard_count(
+    count: int, backend: Optional[str] = None, max_workers: Optional[int] = None
+) -> int:
+    """Set the global shard count (1 = reference single-shard path).
+
+    ``backend`` and ``max_workers`` are sticky: omitting them keeps the
+    current setting, so a count-only override (e.g.
+    ``Catalog.maintain_all(shards=n)``) never drops a worker cap the
+    user configured.  Pass ``max_workers=0`` to clear the cap.  Returns
+    the previous count so callers can restore it::
+
+        old = set_shard_count(4)
+        try: ...
+        finally: set_shard_count(old)
+    """
+    global _CONFIG
+    if count < 1:
+        raise MaintenanceError(f"shard count must be >= 1: {count}")
+    if backend is not None and backend not in BACKENDS:
+        raise MaintenanceError(
+            f"unknown shard backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if max_workers is None:
+        max_workers = _CONFIG.max_workers
+    elif max_workers == 0:
+        max_workers = None
+    old = _CONFIG.count
+    _CONFIG = ShardConfig(
+        count=count,
+        backend=backend if backend is not None else _CONFIG.backend,
+        max_workers=max_workers,
+    )
+    return old
+
+
+def get_shard_count() -> int:
+    """The active shard count (1 when sharding is off)."""
+    return _CONFIG.count
+
+
+def get_shard_config() -> ShardConfig:
+    """The active shard configuration."""
+    return _CONFIG
+
+
+# ----------------------------------------------------------------------
+# Planning: which leaves partition, which replicate
+# ----------------------------------------------------------------------
+@dataclass
+class ShardPlan:
+    """The partition decision for one view's maintenance.
+
+    ``attrs`` are the maintenance-key columns *of the view schema*;
+    ``partitioned`` maps leaf name -> columns of that leaf to hash on
+    (delta leaves ``R__ins``/``R__del`` follow their base relation
+    automatically; the stale view partitions on ``attrs``).  Leaves not
+    listed are replicated to every shard.  ``reason`` documents why a
+    view is not shardable.
+    """
+
+    view_name: str
+    attrs: Tuple[str, ...] = ()
+    partitioned: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    reason: str = ""
+
+    @property
+    def shardable(self) -> bool:
+        return bool(self.partitioned)
+
+    def leaf_partitions(self) -> Dict[str, Tuple[str, ...]]:
+        """Partition columns for every leaf name, deltas and view included."""
+        out = {self.view_name: self.attrs}
+        for name, cols in self.partitioned.items():
+            out[name] = cols
+            out[insertions_name(name)] = cols
+            out[deletions_name(name)] = cols
+        return out
+
+
+def _leaf_attr_maps(
+    expr: Expr, attr_map: Dict[str, str], leaves: Mapping
+) -> Dict[str, Dict[str, str]]:
+    """Per-leaf resolution of shard attributes to leaf column names.
+
+    ``attr_map`` maps each shard attribute to its column name at this
+    level of the tree.  Attributes propagate down through selections,
+    pass-through projection outputs, and join sides; crucially they cross
+    a join onto the *other* side only along an equality pair, which is
+    what makes co-partitioning two joined relations safe (rows that join
+    agree on the equated columns, hence on the shard route).
+
+    Relations that appear more than once keep only occurrence-consistent
+    resolutions (a self-join role conflict drops the leaf).
+    """
+    if isinstance(expr, BaseRel):
+        schema = derive_schema(expr, leaves)
+        resolved = {a: c for a, c in attr_map.items() if c in schema}
+        return {expr.name: resolved} if resolved else {}
+    if isinstance(expr, Select):
+        return _leaf_attr_maps(expr.child, attr_map, leaves)
+    if isinstance(expr, Project):
+        passthrough = {}  # output name -> source column (first wins)
+        for out in expr.outputs:
+            src = out.source_column()
+            if src is not None and out.name not in passthrough:
+                passthrough[out.name] = src
+        child_map = {
+            a: passthrough[c] for a, c in attr_map.items() if c in passthrough
+        }
+        if not child_map:
+            return {}
+        return _leaf_attr_maps(expr.child, child_map, leaves)
+    if isinstance(expr, Join):
+        left_schema = derive_schema(expr.left, leaves)
+        right_schema = derive_schema(expr.right, leaves)
+        pairs = dict(expr.on)  # left col -> right col
+        rpairs = {rc: lc for lc, rc in expr.on}
+        left_map, right_map = {}, {}
+        for a, c in attr_map.items():
+            if c in left_schema:
+                left_map[a] = c
+                # Equality transfer: the attribute also resolves on the
+                # right side when the join equates it (and vice versa).
+                if c in pairs and pairs[c] in right_schema:
+                    right_map[a] = pairs[c]
+            elif c in right_schema:
+                right_map[a] = c
+                if c in rpairs and rpairs[c] in left_schema:
+                    left_map[a] = rpairs[c]
+        out: Dict[str, Dict[str, str]] = {}
+        for side, side_map in ((expr.left, left_map), (expr.right, right_map)):
+            if not side_map:
+                continue
+            for name, m in _leaf_attr_maps(side, side_map, leaves).items():
+                if name in out:
+                    # Same relation in both roles: keep only entries the
+                    # occurrences agree on.
+                    out[name] = {
+                        a: c for a, c in out[name].items() if m.get(a) == c
+                    }
+                else:
+                    out[name] = m
+        return {n: m for n, m in out.items() if m}
+    # Any other operator (set ops, nested aggregates, η, merge): no
+    # partition-safety proof — everything below replicates.
+    return {}
+
+
+def _has_non_inner_join(expr: Expr) -> bool:
+    """Outer joins preserve unmatched rows of a side; replicating that
+    side would emit the padding row once per shard, so the planner
+    refuses the whole view (conservative, and unused by the repo's
+    views, which are all FK inner joins)."""
+    if isinstance(expr, Join) and expr.how != "inner":
+        return True
+    return any(_has_non_inner_join(c) for c in expr.children())
+
+
+def _plan_score(partitioned: Dict[str, Tuple[str, ...]], database) -> int:
+    """Rows covered by a candidate plan: base + pending delta sizes.
+
+    Partitioning the relations that carry the data (and the deltas that
+    drive the maintenance cost) is what buys parallel speedup; a plan
+    that only partitions a small dimension table scores low.
+    """
+    score = 0
+    for name in partitioned:
+        try:
+            score += len(database.relation(name))
+        except MaintenanceError:
+            continue
+        delta = database.deltas.get(name)
+        if delta is not None:
+            score += len(delta.inserted) + len(delta.deleted)
+    return score
+
+
+def plan_shards(view) -> ShardPlan:
+    """Decide the maintenance key and partitionable leaves for a view.
+
+    SPJA views shard on (a traceable subset of) the group key; SPJ views
+    on (a traceable subset of) the view key — any non-empty subset keeps
+    whole merge groups co-located because the view key determines every
+    routing value.  Among the candidate subsets the planner picks the
+    one covering the most base/delta rows with partitioned relations.
+    """
+    definition = view.definition
+    database = view.database
+    leaves = database.leaves()
+
+    if isinstance(definition, Aggregate):
+        core = definition.child
+        attrs = tuple(definition.group_by)
+        if not attrs:
+            return ShardPlan(view.name, reason="global aggregate (no group key)")
+        if not is_spj(core):
+            return ShardPlan(view.name, reason="aggregate core is not SPJ")
+    elif is_spj(definition):
+        core = definition
+        attrs = tuple(view.key or ())
+        if not attrs:
+            return ShardPlan(view.name, reason="view has no key to shard on")
+    else:
+        return ShardPlan(view.name, reason="definition is not SPJ/SPJA")
+    if _has_non_inner_join(core):
+        return ShardPlan(view.name, reason="outer join in view core")
+
+    try:
+        maps = _leaf_attr_maps(core, {a: a for a in attrs}, leaves)
+    except Exception:
+        return ShardPlan(view.name, reason="attribute tracing failed")
+    base_names = set(database.relation_names())
+    maps = {n: m for n, m in maps.items() if n in base_names}
+    if not maps:
+        return ShardPlan(view.name, reason="no leaf resolves the shard key")
+
+    # Candidate shard-key subsets: the full key, each leaf's resolvable
+    # subset, and pairwise intersections of leaf subsets (a join view
+    # often co-partitions both sides only on the shared join key).  Kept
+    # in attrs order for determinism.
+    leaf_subsets = [
+        tuple(a for a in attrs if a in m) for m in maps.values()
+    ]
+    candidates = [attrs]
+    for i, sub in enumerate(leaf_subsets):
+        if sub and sub not in candidates:
+            candidates.append(sub)
+        for other in leaf_subsets[i + 1:]:
+            both = tuple(a for a in sub if a in other)
+            if both and both not in candidates:
+                candidates.append(both)
+
+    best: Optional[ShardPlan] = None
+    best_score = -1
+    for cand in candidates:
+        partitioned = {
+            name: tuple(m[a] for a in cand)
+            for name, m in maps.items()
+            if all(a in m for a in cand)
+        }
+        if not partitioned:
+            continue
+        score = _plan_score(partitioned, database)
+        if score > best_score:
+            best_score = score
+            best = ShardPlan(view.name, attrs=cand, partitioned=partitioned)
+    if best is None:
+        return ShardPlan(view.name, reason="no partitionable leaf")
+    return best
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+#: Report of the most recent sharded evaluation (None before the first).
+_LAST_REPORT: List[Optional[ShardRunReport]] = [None]
+
+
+def last_shard_report() -> Optional[ShardRunReport]:
+    """Metrics of the most recent sharded evaluation in this process."""
+    return _LAST_REPORT[0]
+
+
+def _run_local_task(task):
+    expr, leaves = task[0], task[1]
+    t0 = time.perf_counter()
+    rel = evaluate(expr, leaves)
+    return rel.schema.columns, rel.rows, time.perf_counter() - t0
+
+
+def _run_worker_task(task):
+    """Process-pool task: apply the shipped evaluator toggles, then run.
+
+    Worker processes are long-lived (the pool persists across
+    maintenance rounds), so the parent's current hash family and
+    columnar flag ride along with every task instead of being frozen at
+    fork time.
+    """
+    from repro.algebra.evaluator import columnar_enabled, set_columnar_enabled
+    from repro.stats import hashing as _hashing
+
+    expr, leaves, family, columnar = task
+    if _hashing._active_family[0] is not family:
+        _hashing._active_family[0] = family
+    if columnar_enabled() != columnar:
+        set_columnar_enabled(columnar)
+    return _run_local_task((expr, leaves))
+
+
+# Persistent worker pool, keyed by (kind, max_workers).  Keeping the pool
+# alive across maintenance rounds matters on CPython: tearing a forked
+# pool down every round makes each short-lived child fault-copy the
+# parent's heap during interpreter shutdown (refcount/GC writes on
+# copy-on-write pages), which costs more than the evaluation itself.
+_POOL: List = [None]
+_POOL_KEY: List[Optional[tuple]] = [None]
+
+
+def _get_pool(kind: str, workers: int):
+    key = (kind, workers)
+    if _POOL_KEY[0] != key and _POOL[0] is not None:
+        _POOL[0].shutdown(wait=False, cancel_futures=True)
+        _POOL[0] = None
+    if _POOL[0] is None:
+        if kind == "process":
+            import multiprocessing
+
+            _POOL[0] = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        else:
+            _POOL[0] = ThreadPoolExecutor(max_workers=workers)
+        _POOL_KEY[0] = key
+    return _POOL[0]
+
+
+def shutdown_shard_pool() -> None:
+    """Tear down the persistent worker pool (tests; end of benchmarks)."""
+    if _POOL[0] is not None:
+        _POOL[0].shutdown(wait=True, cancel_futures=True)
+        _POOL[0] = None
+        _POOL_KEY[0] = None
+
+
+def _run_tasks(tasks, config: ShardConfig):
+    """Evaluate (expr, leaves) tasks on the configured backend."""
+    backend = config.backend
+    workers = min(config.workers(), max(1, len(tasks)))
+    if backend == "process" and not hasattr(os, "fork"):
+        backend = "thread"
+    if backend == "serial" or workers == 1 or len(tasks) <= 1:
+        return [_run_local_task(t) for t in tasks], "serial"
+    if backend == "process":
+        from repro.algebra.evaluator import columnar_enabled
+        from repro.stats.hashing import get_hash_family
+
+        family = get_hash_family()
+        columnar = columnar_enabled()
+        shipped = [(expr, env, family, columnar) for expr, env in tasks]
+        try:
+            pool = _get_pool("process", workers)
+            results = list(pool.map(_run_worker_task, shipped))
+            return results, "process"
+        except Exception:
+            # Broken pools (sandboxed environments, fork limits) must not
+            # break maintenance: rerun in-process.
+            shutdown_shard_pool()
+            return [_run_local_task(t) for t in tasks], "serial"
+    pool = _get_pool("thread", workers)
+    return list(pool.map(_run_local_task, tasks)), "thread"
+
+
+def evaluate_sharded(
+    expr: Expr,
+    leaves: Mapping,
+    plan: ShardPlan,
+    config: Optional[ShardConfig] = None,
+    skip_shards: Optional[List[int]] = None,
+    identity_rows: Optional[List[List[tuple]]] = None,
+) -> Relation:
+    """Evaluate one expression per shard and concatenate the results.
+
+    ``skip_shards`` marks shards whose evaluation is known to be the
+    identity on the stale view (no pending delta rows route to them
+    under a change-table strategy); their rows are taken directly from
+    ``identity_rows`` without evaluating anything.
+    """
+    config = config or _CONFIG
+    n = config.count
+    # Only partition leaves the expression references: a change-table
+    # strategy reads the delta leaves and the stale view but never the
+    # (large) stale base relations — partitioning those would cost a full
+    # pass for nothing.
+    referenced = {leaf.name for leaf in expr.leaves()}
+    partitions = {
+        name: cols
+        for name, cols in plan.leaf_partitions().items()
+        if name in referenced
+    }
+    shard_envs = partition_leaves(dict(leaves), partitions, n)
+    skip = set(skip_shards or ())
+
+    tasks = []
+    task_shards = []
+    for s, env in enumerate(shard_envs):
+        if s in skip:
+            continue
+        # Ship only the leaves the expression reads: smaller task
+        # payloads for the process backend, same result everywhere.
+        tasks.append((expr, {k: v for k, v in env.items() if k in referenced}))
+        task_shards.append(s)
+
+    results, backend_used = _run_tasks(tasks, config)
+
+    schema = None
+    rows: List[tuple] = []
+    timings: List[ShardTiming] = []
+    by_shard = dict(zip(task_shards, results))
+    for s in range(n):
+        if s in by_shard:
+            cols, shard_rows, seconds = by_shard[s]
+            if schema is None:
+                schema = cols
+            rows.extend(shard_rows)
+            timings.append(
+                ShardTiming(shard=s, rows=len(shard_rows), seconds=seconds,
+                            skipped=False)
+            )
+        else:
+            shard_rows = identity_rows[s] if identity_rows else []
+            rows.extend(shard_rows)
+            timings.append(
+                ShardTiming(shard=s, rows=len(shard_rows), seconds=0.0,
+                            skipped=True)
+            )
+    if schema is None:
+        # Every shard was skipped: the result is the reassembled input.
+        schema = derive_schema(expr, leaves).columns
+    out = Relation(schema, rows)
+    try:
+        out.key = derive_key(expr, leaves)
+    except KeyDerivationError:
+        out.key = None
+    _LAST_REPORT[0] = ShardRunReport(
+        view=plan.view_name,
+        attrs=plan.attrs,
+        backend=backend_used,
+        shards=timings,
+        partitioned=tuple(sorted(plan.partitioned)),
+    )
+    return out
+
+
+def _skippable_shards(view, plan: ShardPlan, n: int) -> Optional[List[int]]:
+    """Shards guaranteed untouched by the pending deltas, or None.
+
+    Only valid for change-table strategies (their merge with an empty
+    change table is structurally the identity on the stale view).  A
+    shard is skippable when every dirty relation of the view is
+    partitioned and routes zero delta rows to it; one dirty *replicated*
+    relation makes every shard non-skippable.
+    """
+    database = view.database
+    view_leaves = {leaf.name for leaf in view.definition.leaves()}
+    dirty = [name for name in database.deltas.dirty_relations()
+             if name in view_leaves]
+    if not dirty:
+        return list(range(n))
+    touched = set()
+    for name in dirty:
+        cols = plan.partitioned.get(name)
+        if cols is None:
+            return None
+        delta = database.deltas.get(name)
+        for rel in (delta.insertions_relation(), delta.deletions_relation()):
+            for part_id, part in enumerate(partition_relation(rel, cols, n)):
+                if part.rows:
+                    touched.add(part_id)
+    return [s for s in range(n) if s not in touched]
+
+
+def run_sharded(
+    view, expr: Expr, strategy, identity_source: Optional[Relation] = None,
+    config: Optional[ShardConfig] = None,
+) -> Optional[Relation]:
+    """Shared sharded-evaluation flow for maintenance *and* cleaning.
+
+    Evaluates ``expr`` (the strategy expression, or a cleaning
+    expression built from it) per shard.  Under a change-table strategy
+    the shards no delta row routes to are skipped and their rows are
+    taken from ``identity_source`` — the stale view for maintenance, the
+    dirty sample for cleaning (η of an untouched stale slice *is* the
+    dirty sample's slice).  Returns ``None`` when sharding is off or the
+    view is not shardable; the caller falls back to the single-shard
+    reference path.
+    """
+    from repro.db.maintenance import CHANGE_TABLE
+
+    config = config or _CONFIG
+    if config.count <= 1:
+        return None
+    plan = plan_shards(view)
+    if not plan.shardable:
+        return None
+
+    skip = None
+    identity_rows = None
+    if strategy.kind == CHANGE_TABLE and identity_source is not None:
+        skip = _skippable_shards(view, plan, config.count)
+        if skip:
+            identity_rows = [
+                part.rows
+                for part in partition_relation(
+                    identity_source, plan.attrs, config.count
+                )
+            ]
+    return evaluate_sharded(
+        expr,
+        view.database.leaves(),
+        plan,
+        config,
+        skip_shards=skip,
+        identity_rows=identity_rows,
+    )
+
+
+def maintain_sharded(view, strategy, config: Optional[ShardConfig] = None):
+    """Run one maintenance strategy sharded; returns the new relation.
+
+    Returns ``None`` when the view is not shardable (caller falls back
+    to the single-shard reference path).
+    """
+    return run_sharded(
+        view, strategy.expr, strategy,
+        identity_source=view.require_data(), config=config,
+    )

@@ -1,0 +1,120 @@
+"""Statistical tests: do the 95% confidence intervals actually cover?
+
+Seeded Monte-Carlo check of ``repro.core.confidence`` +
+``repro.core.estimators``: across many independent samples (distinct
+hash seeds draw independent samples of the same stale view), the CLT
+interval of each estimator must contain the true fresh answer at no
+less than the nominal rate minus a tolerance.
+
+The tolerance budgets two effects: binomial noise of the Monte-Carlo
+estimate itself (sd ≈ √(0.95·0.05/N)) and the CLT approximation error at
+moderate sample sizes.  The full ≥ 200-trial run is marked ``slow``; the
+quick variant always runs (CI included) with fewer trials and a
+correspondingly looser tolerance.
+"""
+
+import pytest
+
+from repro.algebra import AggSpec, Aggregate, BaseRel, Relation, Schema, col
+from repro.core import AggQuery, StaleViewCleaner
+from repro.db import Catalog, Database
+
+import numpy as np
+
+CONFIDENCE = 0.95
+RATIO = 0.3
+
+FULL_TRIALS = 250
+FULL_TOLERANCE = 0.05  # >= 90% empirical coverage
+QUICK_TRIALS = 60
+QUICK_TOLERANCE = 0.08  # >= 87% empirical coverage
+
+
+def _workload(seed: int = 23):
+    """A keyed SPJA view with enough groups for CLT-sized samples."""
+    rng = np.random.default_rng(seed)
+    n_rows, n_groups = 1200, 240
+    db = Database()
+    rows = [
+        (i, int(rng.integers(0, n_groups)), float(rng.exponential(40.0)),
+         int(rng.integers(0, 4)))
+        for i in range(n_rows)
+    ]
+    db.add_relation(Relation(Schema(["id", "grp", "val", "flag"]), rows,
+                             key=("id",), name="R"))
+    view = Catalog(db).create_view(
+        "v", Aggregate(BaseRel("R"), ["grp"],
+                       [AggSpec("n", "count"),
+                        AggSpec("total", "sum", col("val")),
+                        AggSpec("flagged", "sum", col("flag"))]),
+    )
+    # One update period: inserts, deletions, and updates.
+    base = db.relation("R")
+    db.insert("R", [
+        (n_rows + i, int(rng.integers(0, n_groups)),
+         float(rng.exponential(40.0)), int(rng.integers(0, 4)))
+        for i in range(180)
+    ])
+    picks = rng.choice(n_rows, 120, replace=False)
+    db.delete("R", [base.rows[i] for i in picks])
+    upd = rng.choice(n_rows, 60, replace=False)
+    existing = {r[0] for r in db.deltas.get("R").deleted}
+    db.update("R", [
+        (int(i), int(rng.integers(0, n_groups)), float(rng.exponential(40.0)), 1)
+        for i in upd if int(i) not in existing
+    ])
+    return db, view
+
+
+QUERIES = [
+    AggQuery("sum", "total"),
+    AggQuery("sum", "total", col("grp") < 120),
+    # Group sizes hover around the threshold, so the update period flips
+    # membership for many groups — the correction's diff table has real
+    # support (a handful of flipped groups would break the CLT, which is
+    # a property of tiny samples, not of the estimator).
+    AggQuery("count", "n", col("n") >= 5),
+    AggQuery("avg", "total"),
+]
+
+
+def _coverage(trials: int):
+    """Empirical CI coverage per (query, method) over independent seeds."""
+    db, view = _workload()
+    fresh = view.fresh_data()
+    truths = {id(q): q.evaluate(fresh) for q in QUERIES}
+    hits = {(id(q), m): 0 for q in QUERIES for m in ("corr", "aqp")}
+    for seed in range(trials):
+        svc = StaleViewCleaner(view, ratio=RATIO, seed=seed)
+        svc.refresh()
+        for q in QUERIES:
+            for method in ("corr", "aqp"):
+                est = svc.query(q, method=method, confidence=CONFIDENCE)
+                if est.contains(truths[id(q)]):
+                    hits[(id(q), method)] += 1
+    return {
+        (q.func, q.attr, method): hits[(id(q), method)] / trials
+        for q in QUERIES
+        for method in ("corr", "aqp")
+    }
+
+
+def _assert_coverage(trials: int, tolerance: float):
+    rates = _coverage(trials)
+    floor = CONFIDENCE - tolerance
+    failures = {k: r for k, r in rates.items() if r < floor}
+    assert not failures, (
+        f"CI coverage below {floor:.0%} over {trials} trials: "
+        + ", ".join(f"{k}: {r:.1%}" for k, r in failures.items())
+    )
+
+
+def test_ci_coverage_quick():
+    """CI-sized variant: every estimator covers at >= nominal − 8%."""
+    _assert_coverage(QUICK_TRIALS, QUICK_TOLERANCE)
+
+
+@pytest.mark.slow
+def test_ci_coverage_full():
+    """>= 200 seeded trials: coverage within 5% of the nominal 95%."""
+    _assert_coverage(FULL_TRIALS, FULL_TOLERANCE)

@@ -59,6 +59,84 @@ class TestDelta:
         assert delta.insertions_relation().rows == []
 
 
+class TestTelescopedMultiplicity:
+    """Regression: an update's delete+insert pair must telescope.
+
+    Updating the same key twice between refreshes used to queue the
+    original row for deletion twice and keep both intermediate
+    insertions — change tables saw multiplicity −2/+1/+1 instead of
+    −1/0/+1 and ``apply_deltas`` duplicated the key.
+    """
+
+    def test_delete_cancels_pending_insert(self, base):
+        delta = Delta(base)
+        delta.insert([(3, "c")])
+        delta.delete([(3, "c")])
+        assert delta.is_empty()
+
+    def test_insert_cancels_pending_delete(self, base):
+        delta = Delta(base)
+        delta.delete([(1, "a")])
+        delta.insert([(1, "a")])
+        assert delta.is_empty()
+
+    def test_net_multiplicity_is_bounded(self, base):
+        delta = Delta(base)
+        delta.insert([(3, "c"), (3, "c")])
+        delta.delete([(3, "c")])
+        assert delta.inserted == [(3, "c")]
+        assert delta.deleted == []
+
+    def test_same_key_updated_twice_between_refreshes(self):
+        from repro.db import Database
+
+        db = Database()
+        db.add_relation(Relation(Schema(["id", "v"]), [(1, 10), (2, 20)],
+                                 key=("id",), name="R"))
+        db.update("R", [(1, 11)])
+        db.update("R", [(1, 12)])
+        delta = db.deltas.get("R")
+        # Telescoped: one deletion of the original, one insertion of the
+        # final version — the intermediate (1, 11) nets away.
+        assert delta.deleted == [(1, 10)]
+        assert delta.inserted == [(1, 12)]
+        db.apply_deltas()
+        assert sorted(db.relation("R").rows) == [(1, 12), (2, 20)]
+
+    def test_change_table_correct_after_double_update(self):
+        from repro.algebra import AggSpec, Aggregate, BaseRel, col
+        from repro.db import Catalog, Database, classify, maintain
+
+        db = Database()
+        db.add_relation(Relation(
+            Schema(["id", "grp", "val"]),
+            [(i, i % 3, 10.0 * i) for i in range(12)],
+            key=("id",), name="R",
+        ))
+        view = Catalog(db).create_view(
+            "v", Aggregate(BaseRel("R"), ["grp"],
+                           [AggSpec("n", "count"),
+                            AggSpec("total", "sum", col("val"))]),
+        )
+        db.update("R", [(5, 5 % 3, 999.0)])
+        db.update("R", [(5, 5 % 3, 111.0)])  # same key again
+        db.delete_by_key("R", [(7,)])
+        fresh = view.fresh_data()
+        assert classify(maintain(view), fresh).is_fresh()
+
+    def test_update_row_inserted_this_period(self):
+        from repro.db import Database
+
+        db = Database()
+        db.add_relation(Relation(Schema(["id", "v"]), [(1, 10)],
+                                 key=("id",), name="R"))
+        db.insert("R", [(9, 90)])
+        db.update("R", [(9, 91)])  # resolves against the pending insert
+        delta = db.deltas.get("R")
+        assert delta.deleted == []
+        assert delta.inserted == [(9, 91)]
+
+
 class TestDeltaSet:
     def test_created_on_demand(self, base):
         ds = DeltaSet()

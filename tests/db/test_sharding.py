@@ -1,0 +1,132 @@
+"""Unit tests for the hash-partition primitives (repro.db.sharding)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import Relation, Schema
+from repro.db import Database, partition_delta, partition_relation, shard_ids
+from repro.db.sharding import _scalar_hash, shard_hash
+from repro.errors import MaintenanceError
+
+
+@pytest.fixture
+def rel():
+    return Relation(
+        Schema(["id", "grp", "name"]),
+        [(i, i % 5, f"n{i}") for i in range(40)],
+        key=("id",), name="R",
+    )
+
+
+class TestShardHash:
+    def test_deterministic(self):
+        assert shard_hash((1, "a")) == shard_hash((1, "a"))
+        assert shard_hash((1, "a")) != shard_hash(("a", 1))
+
+    def test_value_types(self):
+        for v in (0, -7, 2**70, True, 1.5, "x", None, (1, 2)):
+            assert 0 <= _scalar_hash(v) < 2**64
+
+    def test_integral_float_routes_like_int(self):
+        # dict equality treats 5 == 5.0; routing must agree.
+        assert _scalar_hash(5) == _scalar_hash(5.0)
+        assert _scalar_hash(True) == _scalar_hash(1)
+
+    def test_vectorized_matches_scalar(self):
+        """The numpy mixer must be bit-identical to the scalar path.
+
+        The same key values routed through an int64 column (vectorized
+        pass) and through the per-row :func:`shard_hash` loop must land
+        in the same shards — cross-relation routing consistency (a delta
+        row vs. its base partition) depends on it.
+        """
+        values = [0, 1, -1, 7, -12345, 2**40, -(2**40), 2**62]
+        int_rel = Relation(Schema(["k"]), [(v,) for v in values])
+        assert int_rel.columnar().array("k").dtype.kind == "i"
+        ids_vec = shard_ids(int_rel, ("k",), 13)
+        assert list(ids_vec) == [shard_hash((v,)) % 13 for v in values]
+
+    def test_scalar_fallback_on_mixed_columns(self):
+        # A huge int forces an object column -> per-row loop; routing of
+        # the ordinary values must not change.
+        values = [0, 1, -1, 7, -12345, 2**40]
+        obj_rel = Relation(Schema(["k"]), [(v,) for v in values + [2**70]])
+        assert obj_rel.columnar().array("k").dtype.kind == "O"
+        ids = shard_ids(obj_rel, ("k",), 13)
+        assert list(ids[:-1]) == [shard_hash((v,)) % 13 for v in values]
+
+    def test_multi_column_consistency(self):
+        values = [(i, i * 3 - 7) for i in range(50)]
+        int_rel = Relation(Schema(["a", "b"]), values)
+        ids = shard_ids(int_rel, ("a", "b"), 7)
+        assert list(ids) == [shard_hash(v) % 7 for v in values]
+
+
+class TestPartitionRelation:
+    def test_partition_is_exact_cover(self, rel):
+        parts = partition_relation(rel, ("grp",), 4)
+        assert len(parts) == 4
+        all_rows = [r for p in parts for r in p.rows]
+        assert sorted(all_rows) == sorted(rel.rows)
+
+    def test_rows_route_by_key_value(self, rel):
+        parts = partition_relation(rel, ("grp",), 3)
+        for s, part in enumerate(parts):
+            for row in part.rows:
+                assert shard_hash((row[1],)) % 3 == s
+
+    def test_schema_key_name_preserved(self, rel):
+        parts = partition_relation(rel, ("grp",), 2)
+        for p in parts:
+            assert p.schema == rel.schema
+            assert p.key == rel.key
+            assert p.name == rel.name
+
+    def test_single_shard_is_identity(self, rel):
+        (only,) = partition_relation(rel, ("grp",), 1)
+        assert only is rel
+
+    def test_partitions_memoized(self, rel):
+        first = partition_relation(rel, ("grp",), 4)
+        assert partition_relation(rel, ("grp",), 4) is first
+        assert partition_relation(rel, ("grp",), 2) is not first
+
+    def test_empty_relation(self):
+        empty = Relation(Schema(["a"]), [], key=("a",), name="E")
+        parts = partition_relation(empty, ("a",), 5)
+        assert [len(p) for p in parts] == [0] * 5
+
+    def test_empty_shards_allowed(self):
+        # Every row in one group: all but one shard must be empty.
+        rel = Relation(Schema(["a"]), [(42,)] * 10)
+        parts = partition_relation(rel, ("a",), 7)
+        sizes = sorted(len(p) for p in parts)
+        assert sizes == [0] * 6 + [10]
+
+    def test_bad_shard_count(self, rel):
+        with pytest.raises(MaintenanceError):
+            shard_ids(rel, ("grp",), 0)
+
+
+class TestPartitionDelta:
+    def test_delta_routes_with_base(self, rel):
+        db = Database()
+        db.add_relation(rel)
+        db.insert("R", [(100 + i, i % 5, f"x{i}") for i in range(10)])
+        db.delete("R", [rel.rows[0], rel.rows[6]])
+        delta = db.deltas.get("R")
+        base_parts = partition_relation(rel, ("grp",), 3)
+        delta_parts = partition_delta(delta, ("grp",), 3)
+        assert len(delta_parts) == 3
+        for s, (ins, dels) in enumerate(delta_parts):
+            # Deleted rows sit in the same shard as their base partition.
+            for row in dels.rows:
+                assert row in base_parts[s].rows
+            for row in ins.rows:
+                assert shard_hash((row[1],)) % 3 == s
+
+    def test_numpy_int_columns_route_like_python_ints(self):
+        """Generator-produced np.int64 cells and plain ints co-route."""
+        a = Relation(Schema(["k"]), [(np.int64(i),) for i in range(20)])
+        b = Relation(Schema(["k"]), [(int(i),) for i in range(20)])
+        assert list(shard_ids(a, ("k",), 5)) == list(shard_ids(b, ("k",), 5))

@@ -2,10 +2,12 @@
 running over multiple maintenance periods on realistic workloads."""
 
 import numpy as np
+import pytest
 
 from repro.algebra import col
 from repro.core import AggQuery, OutlierIndex, StaleViewCleaner
 from repro.db import Catalog, classify, maintain
+from repro.distributed import set_shard_count
 from repro.workloads import (
     SAMPLE_ATTRS,
     build_conviva_workload,
@@ -60,6 +62,87 @@ class TestMultiPeriodLifecycle:
             return np.mean(errs)
 
         assert mean_error(0.5) < mean_error(0.05) + 0.02
+
+
+class TestCleanerLifecycleRegression:
+    """The full insert/update/delete → refresh → query → advance cycle.
+
+    Regression for the StaleViewCleaner workflow: estimates must track
+    the fresh answer while stale, and *re-anchor exactly* once the view
+    is fully maintained — after ``maintain`` + ``apply_deltas`` +
+    ``advance`` the correction is identically zero, so a corr estimate
+    equals the (now fresh) stale answer with zero standard error.
+    """
+
+    def _make(self, seed=21):
+        db, gen = build_tpcd(scale=0.25, z=2.0, seed=seed)
+        view = create_join_view(db, Catalog(db))
+        svc = StaleViewCleaner(view, ratio=0.25, seed=4,
+                               sample_attrs=SAMPLE_ATTRS)
+        return db, gen, view, svc
+
+    def test_refresh_query_advance_reanchors_exactly(self):
+        db, gen, view, svc = self._make()
+        query = AggQuery("sum", "revenue", col("l_quantity") > 3)
+
+        # One period of mixed changes: explicit update (modeled as
+        # delete+insert, §3.1), insert, and delete, plus a bulk
+        # generator batch so the stale error is dominated by real drift.
+        db_rows = db.relation("lineitem").rows
+        db.update("lineitem", [db_rows[0][:4] + (db_rows[0][4] + 1,)
+                               + db_rows[0][5:]])
+        db.insert("lineitem", [db_rows[1][:1] + (10_001,) + db_rows[1][2:]])
+        db.delete("lineitem", [db_rows[2]])
+        gen.generate_updates(db, 0.06)
+
+        svc.refresh()
+        fresh = view.fresh_data()
+        truth = query.evaluate(fresh)
+        est_stale = svc.query(query, method="corr")
+        stale_ans = svc.stale_answer(query)
+        assert relative_error(est_stale.value, truth) <= \
+            relative_error(stale_ans, truth) + 1e-9
+
+        # Full maintenance closes the period.
+        maintain(view)
+        db.apply_deltas()
+        svc.advance()
+
+        # Re-anchored: the view is fresh, the dirty sample is drawn from
+        # it, and a refresh with no pending deltas leaves the sample
+        # untouched — the corr estimate collapses onto the exact answer.
+        assert not view.is_stale()
+        svc.refresh()
+        assert sorted(svc.clean_sample.rows) == sorted(svc.dirty_sample.rows)
+        est_fresh = svc.query(query, method="corr")
+        exact = query.evaluate(view.require_data())
+        assert est_fresh.value == pytest.approx(exact, abs=1e-9)
+        assert est_fresh.se == pytest.approx(0.0, abs=1e-12)
+        assert query.evaluate(fresh) == pytest.approx(exact)
+
+    def test_lifecycle_reanchors_under_sharding(self):
+        """The same lifecycle with the sharded executor active."""
+        db, gen, view, svc = self._make(seed=22)
+        query = AggQuery("sum", "revenue")
+        set_shard_count(3, backend="serial")
+        try:
+            gen_rows = db.relation("lineitem").rows
+            db.delete("lineitem", [gen_rows[0]])
+            db.insert("lineitem", [gen_rows[0][:1] + (10_002,)
+                                   + gen_rows[0][2:]])
+            svc.refresh()
+            fresh = view.fresh_data()
+            assert svc.sample_view.check_correspondence(fresh).holds()
+            maintain(view)
+            db.apply_deltas()
+            svc.advance()
+            svc.refresh()
+            est = svc.query(query, method="corr")
+            exact = query.evaluate(view.require_data())
+            assert est.value == pytest.approx(exact, abs=1e-6)
+            assert classify(view.require_data(), fresh).is_fresh()
+        finally:
+            set_shard_count(1)
 
 
 class TestConvivaEndToEnd:
