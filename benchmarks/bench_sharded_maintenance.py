@@ -207,12 +207,21 @@ def to_table(result: dict) -> str:
     return "\n".join(lines)
 
 
-def test_sharded_maintenance_speedup(benchmark, quick, record_text):
+def test_sharded_maintenance_speedup(benchmark, quick, record_text, record_json):
     from conftest import run_once
 
     n_delta = QUICK_DELTA if quick else FULL_DELTA
     result = run_once(benchmark, run_bench, n_delta=n_delta)
     record_text("bench_sharded_maintenance", to_table(result))
+    record_json(
+        "bench_sharded_maintenance",
+        result,
+        {
+            "n_delta": n_delta,
+            "quick": quick,
+            "gate": FULL_SPEEDUP if not quick and result["cpus"] >= WORKERS else None,
+        },
+    )
     if not quick and result["cpus"] >= WORKERS:
         assert result["speedup"] >= FULL_SPEEDUP, (
             f"sharded maintenance only {result['speedup']:.2f}x over the "
@@ -233,7 +242,16 @@ if __name__ == "__main__":
                         choices=["serial", "thread", "process"])
     args = parser.parse_args()
     delta = args.delta or (QUICK_DELTA if args.quick else FULL_DELTA)
-    print(to_table(run_bench(
+    result = run_bench(
         n_delta=delta, shards=args.shards, workers=args.workers,
         backend=args.backend,
-    )))
+    )
+    from conftest import write_json_result
+
+    write_json_result(
+        "bench_sharded_maintenance",
+        result,
+        {"n_delta": delta, "quick": args.quick, "shards": args.shards,
+         "workers": args.workers, "backend": args.backend},
+    )
+    print(to_table(result))

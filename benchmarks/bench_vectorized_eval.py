@@ -13,8 +13,6 @@ Run under pytest (``pytest benchmarks/bench_vectorized_eval.py``) or
 standalone (``python benchmarks/bench_vectorized_eval.py [--quick]``).
 """
 
-import time
-
 import numpy as np
 
 from repro.algebra import (
@@ -65,17 +63,6 @@ def _workload(n_rows: int, n_groups: int = 100, seed: int = 7):
     return rel, expr
 
 
-def _best_time(setup, fn, repeats: int) -> float:
-    """Best-of-N timing of ``fn(setup())``; setup runs outside the timer."""
-    best = float("inf")
-    for _ in range(repeats):
-        arg = setup()
-        t0 = time.perf_counter()
-        fn(arg)
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
 def run_bench(n_rows: int = FULL_ROWS, repeats: int = 3) -> dict:
     """Time the workload through both engines; returns the measurements.
 
@@ -83,6 +70,8 @@ def run_bench(n_rows: int = FULL_ROWS, repeats: int = 3) -> dict:
     columnar engine pays its column-array conversion cost inside the
     timed region on each iteration — cold-cache, apples to apples.
     """
+    from conftest import best_time, same_rows
+
     rel, expr = _workload(n_rows)
 
     def fresh_leaf():
@@ -94,15 +83,15 @@ def run_bench(n_rows: int = FULL_ROWS, repeats: int = 3) -> dict:
     old = set_columnar_enabled(False)
     try:
         row_result = run(fresh_leaf())
-        row_s = _best_time(fresh_leaf, run, repeats)
+        row_s = best_time(fresh_leaf, run, repeats)
         set_columnar_enabled(True)
         col_result = run(fresh_leaf())
-        col_s = _best_time(fresh_leaf, run, repeats)
+        col_s = best_time(fresh_leaf, run, repeats)
     finally:
         set_columnar_enabled(old)
 
     # Both engines must produce the same answer before timing means much.
-    assert _same_rows(row_result.rows, col_result.rows)
+    assert same_rows(row_result.rows, col_result.rows)
     return {
         "n_rows": n_rows,
         "row_s": row_s,
@@ -111,19 +100,6 @@ def run_bench(n_rows: int = FULL_ROWS, repeats: int = 3) -> dict:
         "columnar_rows_per_s": n_rows / col_s,
         "speedup": row_s / col_s,
     }
-
-
-def _same_rows(rows_a, rows_b, tol: float = 1e-9) -> bool:
-    if len(rows_a) != len(rows_b):
-        return False
-    for ra, rb in zip(sorted(rows_a), sorted(rows_b)):
-        for x, y in zip(ra, rb):
-            if isinstance(x, float) or isinstance(y, float):
-                if abs(x - y) > tol * max(1.0, abs(x), abs(y)):
-                    return False
-            elif x != y:
-                return False
-    return True
 
 
 def to_table(result: dict) -> str:
@@ -139,12 +115,17 @@ def to_table(result: dict) -> str:
     return "\n".join(lines)
 
 
-def test_columnar_speedup(benchmark, quick, record_text):
+def test_columnar_speedup(benchmark, quick, record_text, record_json):
     from conftest import run_once
 
     n_rows = QUICK_ROWS if quick else FULL_ROWS
     result = run_once(benchmark, run_bench, n_rows=n_rows)
     record_text("bench_vectorized_eval", to_table(result))
+    record_json(
+        "bench_vectorized_eval",
+        result,
+        {"n_rows": n_rows, "quick": quick, "gate": None if quick else FULL_SPEEDUP},
+    )
     if not quick:
         assert result["speedup"] >= FULL_SPEEDUP, (
             f"columnar engine only {result['speedup']:.2f}x over the row "
@@ -155,9 +136,18 @@ def test_columnar_speedup(benchmark, quick, record_text):
 if __name__ == "__main__":
     import argparse
 
+    from conftest import write_json_result
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small workload")
     parser.add_argument("--rows", type=int, default=None)
     args = parser.parse_args()
     rows = args.rows or (QUICK_ROWS if args.quick else FULL_ROWS)
-    print(to_table(run_bench(n_rows=rows)))
+    result = run_bench(n_rows=rows)
+    write_json_result(
+        "bench_vectorized_eval",
+        result,
+        {"n_rows": rows, "quick": args.quick,
+         "gate": None if args.quick else FULL_SPEEDUP},
+    )
+    print(to_table(result))

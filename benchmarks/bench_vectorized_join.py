@@ -1,0 +1,189 @@
+"""Microbenchmark: row vs vectorized hash-join maintenance throughput.
+
+Times the join-shaped core of every SPJ/SPJA maintenance plan — a
+100 000-row fact table joined against a 100 000-row dimension table,
+filtered and aggregated per group (the delta ⋈ base ⋈ base shape of
+change-table terms) — through the evaluator twice: once with the
+columnar fast paths disabled (the reference row engine, a Python dict
+hash join building one output tuple per match) and once enabled (key
+factorization into integer codes, grouped build offsets, fancy-indexed
+output gathers chained batch-to-batch into the aggregate).  The
+vectorized engine must clear a 3× speedup on the full workload;
+``--quick`` shrinks it for CI smoke runs, which assert only
+row/columnar result equivalence and record the speedup (shared runners
+are too noisy for a wall-clock gate).
+
+Both engines' outputs are compared row-for-row (float-tolerant: grouped
+summation association differs) in every mode — the equivalence gate is
+what CI enforces.
+
+Run under pytest (``pytest benchmarks/bench_vectorized_join.py``) or
+standalone (``python benchmarks/bench_vectorized_join.py [--quick]``).
+"""
+
+import numpy as np
+
+from repro.algebra import (
+    Aggregate,
+    AggSpec,
+    BaseRel,
+    Join,
+    Relation,
+    Schema,
+    Select,
+    col,
+    evaluate,
+    set_columnar_enabled,
+)
+
+FULL_ROWS = 100_000
+QUICK_ROWS = 20_000
+#: Required speedup in full mode.  Quick (CI) mode has no timing gate:
+#: shared runners are too noisy to fail unrelated PRs on a wall-clock
+#: assertion — the row/columnar equivalence check inside run_bench is
+#: the part CI enforces; the speedup is recorded for inspection.
+FULL_SPEEDUP = 3.0
+
+
+def _workload(n_rows: int, seed: int = 11):
+    """A fact ⋈ dimension join + aggregate view query (both sides n_rows).
+
+    The dimension carries one row per item key (foreign-key shape); the
+    fact side references a 5% subset of the keys so the build table is
+    large while every probe finds matches — the worst case for the row
+    engine's per-match tuple construction.
+    """
+    rng = np.random.default_rng(seed)
+    n_items = n_rows
+    n_groups = max(50, n_rows // 1000)
+    items = rng.integers(0, max(1, n_items // 20), n_rows)
+    groups = rng.integers(0, n_groups, n_rows)
+    values = rng.exponential(30.0, n_rows)
+    fact = Relation(
+        Schema(["id", "item", "grp", "val"]),
+        [
+            (i, int(it), int(g), float(v))
+            for i, (it, g, v) in enumerate(zip(items, groups, values))
+        ],
+        key=("id",),
+        name="fact",
+    )
+    dim = Relation(
+        Schema(["item", "weight"]),
+        [(i, float(1 + i % 9)) for i in range(n_items)],
+        key=("item",),
+        name="dim",
+    )
+    expr = Aggregate(
+        Join(
+            Select(BaseRel("fact"), col("val") > 5.0),
+            BaseRel("dim"),
+            on=[("item", "item")],
+            foreign_key=True,
+        ),
+        ("grp",),
+        (
+            AggSpec("n", "count"),
+            AggSpec("total", "sum", col("val") * col("weight")),
+            AggSpec("mean", "avg", col("val")),
+        ),
+    )
+    return fact, dim, expr
+
+
+def run_bench(n_rows: int = FULL_ROWS, repeats: int = 3) -> dict:
+    """Time the join workload through both engines; returns measurements.
+
+    Fresh leaf wrappers are built (untimed) for every run, so the
+    columnar engine pays its column-array conversion cost inside the
+    timed region on each iteration — cold-cache, apples to apples.
+    """
+    from conftest import best_time, same_rows
+
+    fact, dim, expr = _workload(n_rows)
+
+    def fresh_leaves():
+        return {
+            "fact": Relation(fact.schema, fact.rows, key=fact.key, name="fact"),
+            "dim": Relation(dim.schema, dim.rows, key=dim.key, name="dim"),
+        }
+
+    def run(leaves):
+        # .rows forces the boundary materialization so both engines are
+        # charged for producing actual row tuples.
+        return evaluate(expr, leaves).rows
+
+    old = set_columnar_enabled(False)
+    try:
+        row_rows = run(fresh_leaves())
+        row_s = best_time(fresh_leaves, run, repeats)
+        set_columnar_enabled(True)
+        col_rows = run(fresh_leaves())
+        col_s = best_time(fresh_leaves, run, repeats)
+    finally:
+        set_columnar_enabled(old)
+
+    # Equivalence gate: both engines must produce the same answer before
+    # timing means anything.  This is what CI enforces.
+    assert same_rows(row_rows, col_rows), (
+        "vectorized join+aggregate diverged from the row engine"
+    )
+    return {
+        "n_rows": n_rows,
+        "row_s": row_s,
+        "columnar_s": col_s,
+        "row_rows_per_s": n_rows / row_s,
+        "columnar_rows_per_s": n_rows / col_s,
+        "speedup": row_s / col_s,
+    }
+
+
+def to_table(result: dict) -> str:
+    lines = [
+        "bench_vectorized_join — row vs vectorized join+aggregate",
+        f"rows: {result['n_rows']} x {result['n_rows']}",
+        f"row engine:      {result['row_s'] * 1e3:9.2f} ms   "
+        f"{result['row_rows_per_s']:12.0f} rows/s",
+        f"columnar engine: {result['columnar_s'] * 1e3:9.2f} ms   "
+        f"{result['columnar_rows_per_s']:12.0f} rows/s",
+        f"speedup: {result['speedup']:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def test_vectorized_join_speedup(benchmark, quick, record_text, record_json):
+    from conftest import run_once
+
+    n_rows = QUICK_ROWS if quick else FULL_ROWS
+    result = run_once(benchmark, run_bench, n_rows=n_rows)
+    record_text("bench_vectorized_join", to_table(result))
+    record_json(
+        "bench_vectorized_join",
+        result,
+        {"n_rows": n_rows, "quick": quick, "gate": None if quick else FULL_SPEEDUP},
+    )
+    if not quick:
+        assert result["speedup"] >= FULL_SPEEDUP, (
+            f"vectorized join engine only {result['speedup']:.2f}x over the "
+            f"row path (need >= {FULL_SPEEDUP}x at {n_rows} rows)"
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from conftest import write_json_result
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small workload")
+    parser.add_argument("--rows", type=int, default=None)
+    args = parser.parse_args()
+    rows = args.rows or (QUICK_ROWS if args.quick else FULL_ROWS)
+    result = run_bench(n_rows=rows)
+    write_json_result(
+        "bench_vectorized_join",
+        result,
+        {"n_rows": rows, "quick": args.quick,
+         "gate": None if args.quick else FULL_SPEEDUP},
+    )
+    print(to_table(result))

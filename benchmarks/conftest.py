@@ -4,13 +4,91 @@ Every bench regenerates one figure of the paper via the experiment
 harness, times it with pytest-benchmark, prints the reproduced series,
 and archives it under ``benchmarks/results/`` so the tables survive the
 run (pytest captures stdout by default).
+
+Besides the human-readable ``.txt`` tables, every benchmark also emits a
+machine-readable ``results/<name>.json`` (:func:`write_json_result`)
+carrying the measured metrics, the benchmark configuration, the current
+commit, and a timestamp — so the perf trajectory can be tracked
+PR-over-PR (CI uploads these files as artifacts).
 """
 
+import datetime
+import json
 import pathlib
+import subprocess
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _current_commit() -> str:
+    """The current git commit hash, or 'unknown' outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def write_json_result(name: str, metrics: dict, config: dict | None = None) -> dict:
+    """Persist one benchmark's machine-readable result file.
+
+    Writes ``results/<name>.json`` with the measured ``metrics``, the
+    benchmark ``config`` (workload sizes, modes), the current commit,
+    and an ISO timestamp.  Returns the payload.  Values that are not
+    JSON-native (numpy scalars, paths) are stringified rather than
+    dropped.
+    """
+    payload = {
+        "name": name,
+        "commit": _current_commit(),
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "config": config or {},
+        "metrics": metrics,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return payload
+
+
+def best_time(setup, fn, repeats: int) -> float:
+    """Best-of-N timing of ``fn(setup())``; setup runs outside the timer."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        arg = setup()
+        t0 = time.perf_counter()
+        fn(arg)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def same_rows(rows_a, rows_b, tol: float = 1e-9) -> bool:
+    """Float-tolerant bag equality for cross-engine result comparison.
+
+    Engines sum in different associations (~1e-15 relative differences),
+    so float cells compare with a relative tolerance; everything else
+    must match exactly.
+    """
+    if len(rows_a) != len(rows_b):
+        return False
+    for ra, rb in zip(sorted(rows_a), sorted(rows_b)):
+        for x, y in zip(ra, rb):
+            if isinstance(x, float) or isinstance(y, float):
+                if abs(x - y) > tol * max(1.0, abs(x), abs(y)):
+                    return False
+            elif x != y:
+                return False
+    return True
 
 
 def pytest_addoption(parser):
@@ -41,13 +119,24 @@ def record_text():
 
 
 @pytest.fixture
+def record_json():
+    """Persist a machine-readable JSON result (see write_json_result)."""
+    return write_json_result
+
+
+@pytest.fixture
 def record_result():
-    """Persist an ExperimentResult table and echo it to stdout."""
+    """Persist an ExperimentResult (text table + JSON) and echo it."""
 
     def _record(result):
         RESULTS_DIR.mkdir(exist_ok=True)
         table = result.to_table()
         (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(table + "\n")
+        write_json_result(
+            result.experiment_id,
+            {"rows": result.rows},
+            {"title": result.title, "notes": result.notes},
+        )
         print("\n" + table)
         return result
 

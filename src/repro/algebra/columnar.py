@@ -1,14 +1,28 @@
-"""Columnar views of row relations.
+"""Columnar batches: the exchange format of the batch-native evaluator.
 
 The SVC evaluator is row-oriented because the paper's algorithms are
 defined over row lineage and per-row hashing — but the *hot loops*
-(selection masks, η hashing, group-by reduction) are embarrassingly
-data-parallel.  This module provides the columnar execution backend:
+(selection masks, η hashing, join build/probe, group-by reduction) are
+embarrassingly data-parallel.  This module provides the columnar
+execution backend:
 
-* :class:`ColumnarRelation` — a lazy, cached column-store view over an
-  (immutable) :class:`~repro.algebra.relation.Relation`.  Columns are
-  materialized on first access as numpy arrays when the values admit a
-  uniform dtype, and as object arrays otherwise.
+* :class:`ColumnarRelation` — a lazy, cached column batch.  It can be
+  *row-backed* (a view over an immutable
+  :class:`~repro.algebra.relation.Relation`, columns extracted on first
+  access), *provider-backed* (each column produced on demand by a
+  closure — how operators chain batch-to-batch without rematerializing
+  rows: a σ output gathers its parent's columns through the selection
+  indices, a ⋈ output through the join's match indices), or
+  *array-backed* (columns handed over eagerly).
+* :func:`column_to_array` — value-faithful conversion of one column to a
+  numpy array.  "Faithful" means ``array.tolist()`` round-trips every
+  Python value unchanged: columns that numpy would silently coerce
+  (``None`` → ``nan`` under older numpy, ``True`` → ``1`` next to ints,
+  ``1`` → ``1.0`` next to floats, everything → ``str`` next to strings)
+  fall back to object dtype instead.  This is the null-aware fallback
+  that keeps :meth:`~repro.algebra.predicates.Predicate.mask` and
+  :func:`group_ids` identical to the row path even over outer-join
+  outputs whose padding drops columns to object dtype.
 * :func:`group_ids` — dense group identifiers for a group-by key, in
   first-appearance order (exactly the order the row-at-a-time dict
   grouping produces), via ``np.unique`` when the key columns are
@@ -27,11 +41,17 @@ arbitrary-precision integers define the semantics.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Dict, Sequence
 
 import numpy as np
 
-__all__ = ["ColumnarRelation", "column_to_array", "group_ids", "grouped_starts"]
+__all__ = [
+    "ColumnarRelation",
+    "as_object_array",
+    "column_to_array",
+    "group_ids",
+    "grouped_starts",
+]
 
 #: dtype kinds that vectorize for arithmetic/comparison fast paths.
 NUMERIC_KINDS = "biuf"
@@ -40,17 +60,33 @@ NUMERIC_KINDS = "biuf"
 #: precision collapse): bool, signed/unsigned int, unicode, bytes.
 GROUPABLE_KINDS = "biuUS"
 
+#: Python value types whose round trip through a typed numpy array of the
+#: matching kind is exact (``tolist`` restores an equal value of the same
+#: Python type).
+_FAITHFUL_TYPES = {
+    "b": {bool},
+    "i": {int},
+    "u": {int},
+    "f": {float},
+    "U": {str},
+    "S": {bytes},
+}
+
 
 def column_to_array(values: Sequence) -> np.ndarray:
     """One column as a 1-D numpy array, falling back to object dtype.
 
-    ``np.asarray`` infers int64/float64/bool dtypes for uniform numeric
-    columns (promotion preserves Python's ``==`` semantics).  String
-    dtypes are only accepted when *every* value really is a string —
-    ``np.asarray(['', 0])`` silently stringifies the int, which would
-    corrupt equality masks and group keys.  Ragged, oversized-int, and
-    mixed columns become object arrays so every Python value round-trips
-    unchanged.
+    The result is *value-faithful*: ``column_to_array(v).tolist() == v``
+    with every element's Python type preserved.  ``np.asarray`` infers
+    int64/float64/bool dtypes for uniform numeric columns, but silently
+    coerces mixed ones — ``[True, 2]`` flattens to int64 (dropping the
+    bool), ``[1, 2.5]`` to float64 (dropping the int), ``['', 0]``
+    stringifies the int, and older numpy turns ``[None, 1.0]`` into
+    ``[nan, 1.0]``.  Any such column — along with ragged, oversized-int,
+    and numpy-scalar-bearing ones — becomes an object array instead, so
+    every Python value round-trips unchanged.  Faithfulness is what lets
+    provider-backed batches reconstruct rows, group keys, and η hash
+    inputs that are bit-identical to the row path.
     """
     try:
         arr = np.asarray(values)
@@ -58,13 +94,13 @@ def column_to_array(values: Sequence) -> np.ndarray:
         arr = None
     if arr is not None and arr.ndim == 1:
         kind = arr.dtype.kind
-        if kind in "biuf":
-            return arr
-        if kind == "U" and all(isinstance(v, str) for v in values):
-            return arr
-        if kind == "S" and all(isinstance(v, bytes) for v in values):
-            return arr
         if kind == "O":
+            return arr
+        allowed = _FAITHFUL_TYPES.get(kind)
+        # set(map(type, ...)) is the cheapest full-column type scan: one
+        # C-level pass that also catches None (NoneType ∉ allowed) and
+        # numpy scalars (np.int64 ∉ allowed).
+        if allowed is not None and set(map(type, values)) <= allowed:
             return arr
     out = np.empty(len(values), dtype=object)
     for i, v in enumerate(values):
@@ -72,34 +108,99 @@ def column_to_array(values: Sequence) -> np.ndarray:
     return out
 
 
-class ColumnarRelation:
-    """A cached column-store view over a row :class:`Relation`.
+def as_object_array(arr: np.ndarray) -> np.ndarray:
+    """Copy ``arr`` to object dtype holding *Python* values.
 
-    Construction is O(1): columns are extracted and converted lazily, one
-    per :meth:`array`/:meth:`pycolumn` call, and cached thereafter.  The
-    view is valid because relations are treated as immutable everywhere
-    in the library (every update path builds a new ``Relation``).
+    ``arr.astype(object)`` would box numpy scalars (``np.int64`` is not a
+    Python ``int``, so η's key encoding and ``isinstance`` checks would
+    diverge from the row path); going through ``tolist`` converts each
+    element to its native Python type instead.
+    """
+    out = np.empty(len(arr), dtype=object)
+    if len(arr):
+        out[:] = arr.tolist() if arr.dtype != object else arr
+    return out
+
+
+class ColumnarRelation:
+    """A cached, lazily-populated column batch.
+
+    Three backings share one interface:
+
+    * **row-backed** — ``ColumnarRelation(relation)``: columns are
+      extracted from the relation's row tuples on first access.  Valid
+      because relations are treated as immutable everywhere in the
+      library (every update path builds a new ``Relation``).
+    * **provider-backed** — :meth:`from_providers`: each column is built
+      by a zero-argument closure when first requested.  Operators chain
+      batches this way (gathers through selection/join indices) so a
+      multi-operator plan only ever touches the columns it actually
+      reads, and only once.
+    * **array-backed** — :meth:`from_arrays`: columns handed over as
+      ready numpy arrays (vectorized projection outputs, unpickled
+      shard payloads).
+
+    Construction is O(1) in all three cases; columns are cached after
+    first materialization.  Batches may be shared between relations and
+    across evaluate() calls — caches only ever grow, never mutate.
     """
 
-    __slots__ = ("schema", "_rows", "_pycols", "_arrays")
+    __slots__ = ("schema", "_rows", "_pycols", "_arrays", "_providers", "_nrows")
 
-    def __init__(self, relation):
-        self.schema = relation.schema
-        self._rows = relation.rows
+    def __init__(self, relation=None):
         self._pycols: dict = {}
         self._arrays: dict = {}
+        self._providers = None
+        if relation is not None:
+            self.schema = relation.schema
+            self._rows = relation.rows
+            self._nrows = len(self._rows)
+        else:
+            self.schema = None
+            self._rows = None
+            self._nrows = 0
+
+    @classmethod
+    def from_providers(
+        cls, schema, providers: Dict[str, Callable[[], np.ndarray]], nrows: int
+    ) -> "ColumnarRelation":
+        """A batch whose columns are built on demand by closures."""
+        self = cls()
+        self.schema = schema
+        self._providers = providers
+        self._nrows = int(nrows)
+        return self
+
+    @classmethod
+    def from_arrays(
+        cls, schema, arrays: Dict[str, np.ndarray], nrows: int
+    ) -> "ColumnarRelation":
+        """A batch over ready-made column arrays (one per schema column)."""
+        self = cls()
+        self.schema = schema
+        self._arrays = dict(arrays)
+        self._nrows = int(nrows)
+        return self
 
     @property
     def nrows(self) -> int:
-        """Number of rows in the underlying relation."""
-        return len(self._rows)
+        """Number of rows in the batch."""
+        return self._nrows
 
     def pycolumn(self, name: str) -> list:
-        """One column as a plain Python list, in row order (cached)."""
+        """One column as a plain Python list, in row order (cached).
+
+        Row-backed batches extract straight from the row tuples; other
+        backings convert the column array via ``tolist`` — exact, because
+        :func:`column_to_array` guarantees value-faithful arrays.
+        """
         col = self._pycols.get(name)
         if col is None:
-            i = self.schema.index(name)
-            col = [row[i] for row in self._rows]
+            if self._rows is not None:
+                i = self.schema.index(name)
+                col = [row[i] for row in self._rows]
+            else:
+                col = self.array(name).tolist()
             self._pycols[name] = col
         return col
 
@@ -113,11 +214,17 @@ class ColumnarRelation:
         """
         arr = self._arrays.get(name)
         if arr is None:
-            col = self._pycols.get(name)
-            if col is None:
-                i = self.schema.index(name)
-                col = [row[i] for row in self._rows]
-            arr = column_to_array(col)
+            if self._providers is not None:
+                provider = self._providers.get(name)
+                if provider is None:
+                    raise KeyError(f"batch has no column {name!r}")
+                arr = provider()
+            else:
+                col = self._pycols.get(name)
+                if col is None:
+                    i = self.schema.index(name)
+                    col = [row[i] for row in self._rows]
+                arr = column_to_array(col)
             self._arrays[name] = arr
         return arr
 
@@ -125,10 +232,68 @@ class ColumnarRelation:
         """Arrays for several columns, in the given order."""
         return [self.array(n) for n in names]
 
+    # ------------------------------------------------------------------
+    # Batch-to-batch derivations (the operator chaining primitives)
+    # ------------------------------------------------------------------
+    def take(self, indices) -> "ColumnarRelation":
+        """A batch gathering the given row positions, columns on demand.
+
+        This is how σ and η outputs chain without rebuilding rows: the
+        child batch plus an index vector *is* the output; each column is
+        gathered (one numpy fancy-index) only if something reads it.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+
+        def gather(name):
+            def build():
+                return self.array(name)[idx]
+
+            return build
+
+        providers = {name: gather(name) for name in self.schema.columns}
+        return ColumnarRelation.from_providers(self.schema, providers, len(idx))
+
+    def select_as(self, pairs: Sequence[tuple]) -> "ColumnarRelation":
+        """A batch renaming/reordering columns: ``(out_name, src_name)``.
+
+        Pass-through projection and rename chain through this — the
+        underlying arrays are shared with the source batch, so a Π that
+        drops or renames columns costs nothing until a column is read.
+        """
+        from repro.algebra.schema import Schema
+
+        def alias(src):
+            def build():
+                return self.array(src)
+
+            return build
+
+        providers = {out: alias(src) for out, src in pairs}
+        schema = Schema([out for out, _ in pairs])
+        return ColumnarRelation.from_providers(schema, providers, self._nrows)
+
+    def materialize_rows(self) -> list:
+        """The batch as a list of row tuples (the evaluator-boundary
+        conversion — the only place columns turn back into rows)."""
+        if self._rows is not None:
+            return list(self._rows)
+        if not len(self.schema):
+            return [()] * self._nrows
+        cols = []
+        for name in self.schema.columns:
+            got = self._pycols.get(name)
+            cols.append(got if got is not None else self.array(name).tolist())
+        return list(zip(*cols))
+
     def __repr__(self) -> str:
+        backing = (
+            "rows"
+            if self._rows is not None
+            else ("providers" if self._providers is not None else "arrays")
+        )
         return (
             f"<ColumnarRelation cols={list(self.schema.columns)} "
-            f"rows={self.nrows} cached={sorted(self._arrays)}>"
+            f"rows={self.nrows} backing={backing} cached={sorted(self._arrays)}>"
         )
 
 
@@ -147,23 +312,20 @@ def group_ids(cols: ColumnarRelation, names: Sequence[str]):
     Returns ``(gid, group_keys)`` where ``gid[i]`` is the group of row
     ``i`` and ``group_keys[g]`` is the key tuple of group ``g``; groups
     are numbered in first-appearance (row) order, matching the dict
-    grouping of the row-at-a-time path.
+    grouping of the row-at-a-time path.  Because :func:`column_to_array`
+    is value-faithful, a typed array here is guaranteed free of Python
+    values that numpy would have coerced (``None``, stray bools among
+    ints), so the ``np.unique`` path emits exactly the row path's keys;
+    everything else — including ``None``-bearing columns — takes the
+    exact dict fallback.
     """
     arrays = cols.arrays(names)
     if len(arrays) == 1 and arrays[0].dtype.kind in GROUPABLE_KINDS:
-        # A single column mixing Python bools with ints flattens to an
-        # int64 array, which would emit 0/1 keys where the row path
-        # emits False/True; such columns take the exact dict path.
-        # (set(map(type, ...)) is the cheapest full-column type scan.)
-        mixed_bool = arrays[0].dtype.kind in "iu" and bool in set(
-            map(type, cols.pycolumn(names[0]))
+        uniq, first, inv = np.unique(
+            arrays[0], return_index=True, return_inverse=True
         )
-        if not mixed_bool:
-            uniq, first, inv = np.unique(
-                arrays[0], return_index=True, return_inverse=True
-            )
-            gid, ordered = _first_appearance(uniq, first, inv)
-            return gid, [(k,) for k in ordered.tolist()]
+        gid, ordered = _first_appearance(uniq, first, inv)
+        return gid, [(k,) for k in ordered.tolist()]
     kinds = {a.dtype.kind for a in arrays}
     if len(arrays) > 1 and len(kinds) == 1 and kinds <= set("biu"):
         # One kind only: np.stack on mixed bool/int columns would promote

@@ -1,4 +1,4 @@
-"""Expression evaluation: columnar fast paths over a row-at-a-time core.
+"""Expression evaluation: a batch-native columnar engine over a row core.
 
 :func:`evaluate` executes an expression tree bottom-up against a leaf
 resolver (mapping relation name -> :class:`Relation`) and returns a new
@@ -6,24 +6,37 @@ resolver (mapping relation name -> :class:`Relation`) and returns a new
 
 Every operator has a reference row-at-a-time implementation that defines
 the semantics.  The hot operators additionally have *columnar* fast
-paths — selection masks via :meth:`Predicate.mask`, batched η hashing
-via :func:`repro.stats.hashing.unit_hash_batch`, and grouped
-``reduceat``-style aggregation over
-:class:`~repro.algebra.columnar.ColumnarRelation` views — which the
-evaluator tries first and abandons (per operator, per aggregate spec)
-whenever a value does not vectorize cleanly, so results are identical to
-the row path by construction.  :func:`set_columnar_enabled` switches the
-fast paths off globally, which the equivalence tests and the
-``bench_vectorized_eval`` microbenchmark use to compare the two engines.
+paths which exchange :class:`~repro.algebra.columnar.ColumnarRelation`
+batches end-to-end: σ and η outputs are index gathers over their child's
+batch, Π passes column arrays through (or computes them vectorized),
+equality ⋈ runs a vectorized hash join (key factorization via
+``np.unique`` integer codes, grouped build offsets, fancy-indexed output
+gathers), and γ reduces grouped columns ``reduceat``-style.  Row tuples
+are only rebuilt at the evaluator boundary, when a consumer reads
+``.rows`` — a multi-operator maintenance plan never rematerializes the
+columns it already has.  Each fast path is abandoned (per operator, per
+aggregate spec) whenever a value does not vectorize cleanly, so results
+are identical to the row path by construction.
+:func:`set_columnar_enabled` switches the fast paths off globally, which
+the equivalence tests and the ``bench_vectorized_eval`` /
+``bench_vectorized_join`` microbenchmarks use to compare the engines.
 
 Implementation notes
 --------------------
-* Equality joins are hash joins (build on the right input) whose
-  build/probe keys are extracted column-wise in bulk, with an
-  empty-input fast path for inner joins.
-* Outer joins pad the missing side with ``None``; equality columns that
-  share a name on both sides collapse to a single output column which
-  always carries the key value regardless of which side matched.
+* Equality joins are hash joins (build on the right input).  The
+  columnar path factorizes both sides' keys into dense integer codes
+  (one ``np.unique`` over the concatenated key columns; multi-column
+  keys re-factorize the stacked per-column codes), sorts the build side
+  by code once, and expands each probe row's matches with pure index
+  arithmetic — the output is a provider-backed batch whose columns are
+  gathered on demand.  Object-dtype keys (``None``-bearing columns,
+  exotic values), NaN keys, and int/float key pairs beyond 2**53 fall
+  back to the reference row join; theta-only joins always use it.
+* Outer joins pad the missing side with ``None`` (padded columns drop to
+  object dtype, which downstream operators treat null-aware); equality
+  columns that share a name on both sides collapse to a single output
+  column which always carries the key value regardless of which side
+  matched.
 * The η operator filters rows whose key hash (``repro.stats.hashing``)
   falls below the sampling ratio.  The columnar path hashes all key
   columns in one batched pass; the row path memoizes per-key draws in a
@@ -39,13 +52,17 @@ Implementation notes
 
 from __future__ import annotations
 
-from itertools import compress
 from typing import Mapping
 
 import numpy as np
 
 from repro.algebra.aggregates import get_aggregate
-from repro.algebra.columnar import group_ids, grouped_starts
+from repro.algebra.columnar import (
+    ColumnarRelation,
+    as_object_array,
+    group_ids,
+    grouped_starts,
+)
 from repro.algebra.expressions import (
     Aggregate,
     BaseRel,
@@ -60,7 +77,7 @@ from repro.algebra.expressions import (
     Union,
 )
 from repro.algebra.keys import derive_key
-from repro.algebra.predicates import _FLOAT_EXACT, _INT64_SAFE
+from repro.algebra.predicates import _FLOAT_EXACT, _INT64_SAFE, _int_bound
 from repro.algebra.relation import Relation
 from repro.algebra.schema import Schema
 from repro.errors import EvaluationError, KeyDerivationError, SchemaError
@@ -168,40 +185,50 @@ def _eval_inner(expr: Expr, leaves: Mapping, memo: dict) -> Relation:
             rel = leaves[expr.name]
         except KeyError:
             raise EvaluationError(f"unknown base relation {expr.name!r}") from None
-        out = Relation(rel.schema, rel.rows, key=rel.key, name=expr.name)
         if isinstance(rel, Relation):
-            # Share the leaf's columnar cache (same rows object) so
-            # column arrays built in one evaluate() call amortize over
-            # repeated queries against the same base data.
+            if not rel.is_materialized:
+                # A columnar-backed leaf (e.g. a maintained view that was
+                # never read row-wise) stays columnar.
+                return Relation.from_columnar(
+                    rel.columnar(), key=rel.key, name=expr.name
+                )
+            # Leaf wrapping shares the (validated, immutable) rows list
+            # and the leaf's columnar cache, so neither rows nor column
+            # arrays are rebuilt across repeated queries.
+            out = Relation.trusted(rel.schema, rel.rows, key=rel.key, name=expr.name)
             out._columnar = rel.columnar()
-        return out
+            return out
+        return Relation(rel.schema, rel.rows, key=rel.key, name=expr.name)
     if isinstance(expr, Select):
         fast = _indexed_membership_select(expr, leaves)
         if fast is not None:
             return fast
         child = _eval(expr.child, leaves, memo)
-        if _COLUMNAR[0] and child.rows:
+        if _COLUMNAR[0] and len(child):
             mask = _try_mask(expr.predicate, child)
             if mask is not None:
-                out = Relation(child.schema, list(compress(child.rows, mask)))
-                _slice_columnar_cache(child, out, mask)
-                return out
+                # The output is the child batch plus a gather index; no
+                # row tuples are built here.
+                batch = child.columnar().take(np.flatnonzero(mask))
+                return Relation.from_columnar(batch)
         pred = expr.predicate.bind(child.schema)
-        return Relation(child.schema, [r for r in child.rows if pred(r)])
+        return Relation.trusted(child.schema, [r for r in child.rows if pred(r)])
     if isinstance(expr, Project):
         child = _eval(expr.child, leaves, memo)
         schema = Schema([o.name for o in expr.outputs])
-        if (
-            _COLUMNAR[0]
-            and child.rows
-            and expr.outputs
-            and all(o.is_passthrough for o in expr.outputs)
-        ):
-            cols = child.columnar()
-            rows = list(
-                zip(*(cols.pycolumn(o.source_column()) for o in expr.outputs))
-            )
-            return Relation(schema, rows)
+        if _COLUMNAR[0] and len(child) and expr.outputs:
+            if all(o.is_passthrough for o in expr.outputs):
+                sources = [o.source_column() for o in expr.outputs]
+                child.schema.indexes(sources)  # surface unknown columns now
+                batch = child.columnar().select_as(
+                    [(o.name, src) for o, src in zip(expr.outputs, sources)]
+                )
+                return Relation.from_columnar(batch)
+            arrays = _try_project_vectors(expr, child)
+            if arrays is not None:
+                return Relation.from_columnar(
+                    ColumnarRelation.from_arrays(schema, arrays, len(child))
+                )
         fns = [o.term.bind(child.schema) for o in expr.outputs]
         rows = [tuple(fn(row) for fn in fns) for row in child.rows]
         return Relation(schema, rows)
@@ -211,23 +238,23 @@ def _eval_inner(expr: Expr, leaves: Mapping, memo: dict) -> Relation:
         return _eval_aggregate(expr, leaves, memo)
     if isinstance(expr, Union):
         left, right = _eval_setop_inputs(expr, leaves, memo)
-        if not right.rows:
-            return Relation(left.schema, list(left.rows))
+        if not len(right):
+            return Relation.trusted(left.schema, list(left.rows))
         seen = set(left.rows)
         rows = list(left.rows) + [r for r in right.rows if r not in seen]
-        return Relation(left.schema, rows)
+        return Relation.trusted(left.schema, rows)
     if isinstance(expr, Intersect):
         left, right = _eval_setop_inputs(expr, leaves, memo)
         rset = set(right.rows)
         rows = [r for r in dict.fromkeys(left.rows) if r in rset]
-        return Relation(left.schema, rows)
+        return Relation.trusted(left.schema, rows)
     if isinstance(expr, Difference):
         left, right = _eval_setop_inputs(expr, leaves, memo)
-        if not right.rows:
-            return Relation(left.schema, list(left.rows))
+        if not len(right):
+            return Relation.trusted(left.schema, list(left.rows))
         rset = set(right.rows)
         rows = [r for r in dict.fromkeys(left.rows) if r not in rset]
-        return Relation(left.schema, rows)
+        return Relation.trusted(left.schema, rows)
     if isinstance(expr, Hash):
         # Hash samples of named leaves are cached on the leaf relation —
         # the in-memory analogue of a hash index over the sampling key
@@ -244,25 +271,30 @@ def _eval_inner(expr: Expr, leaves: Mapping, memo: dict) -> Relation:
                 cache_key = (expr.attrs, expr.ratio, expr.seed, get_hash_family())
                 hit = cache.get(cache_key)
                 if hit is not None:
-                    return Relation(leaf.schema, hit, key=leaf.key)
+                    if isinstance(hit, ColumnarRelation):
+                        return Relation.from_columnar(hit, key=leaf.key)
+                    return Relation.trusted(leaf.schema, hit, key=leaf.key)
         child = _eval(expr.child, leaves, memo)
         ratio, seed = expr.ratio, expr.seed
-        if _COLUMNAR[0] and child.rows:
+        if _COLUMNAR[0] and len(child):
             # Batched η over whole key columns (vectorized for the
-            # linear family, memoized per key otherwise).
+            # linear family, memoized per key otherwise); the sampled
+            # output is a gather over the child batch.
             cols = child.columnar()
             mask = eta_mask([cols.pycolumn(a) for a in expr.attrs], ratio, seed)
-            rows = list(compress(child.rows, mask))
-        else:
-            idx = child.schema.indexes(expr.attrs)
-            rows = [
-                row
-                for row in child.rows
-                if hash_draw(tuple(row[i] for i in idx), seed) < ratio
-            ]
+            batch = cols.take(np.flatnonzero(mask))
+            if cache is not None:
+                cache[cache_key] = batch
+            return Relation.from_columnar(batch, key=child.key)
+        idx = child.schema.indexes(expr.attrs)
+        rows = [
+            row
+            for row in child.rows
+            if hash_draw(tuple(row[i] for i in idx), seed) < ratio
+        ]
         if cache is not None:
             cache[cache_key] = rows
-        return Relation(child.schema, rows, key=child.key)
+        return Relation.trusted(child.schema, rows, key=child.key)
     if isinstance(expr, Merge):
         return _eval_merge(expr, leaves, memo)
     raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
@@ -301,21 +333,6 @@ def _indexed_membership_select(expr: Select, leaves) -> Relation:
     return Relation(leaf.schema, rows, key=leaf.key)
 
 
-def _slice_columnar_cache(child: Relation, out: Relation, mask) -> None:
-    """Carry a Select child's materialized column arrays into its output.
-
-    Arrays already built for the mask evaluation are sliced by the mask
-    instead of being re-extracted row-wise by downstream operators (the
-    σ→γ pipeline every SVC view query takes).
-    """
-    src = child._columnar
-    if src is None:
-        return
-    dst = out.columnar()
-    for name, arr in src._arrays.items():
-        dst._arrays[name] = arr[mask]
-
-
 def _try_mask(predicate, relation):
     """Vectorized selection mask, or None to fall back to the row path.
 
@@ -327,9 +344,47 @@ def _try_mask(predicate, relation):
         mask = predicate.mask(relation)
     except Exception:
         return None
-    if len(mask) != len(relation.rows):
+    if len(mask) != len(relation):
         return None
     return mask
+
+
+def _try_project_vectors(expr: Project, child: Relation):
+    """Vectorized generalized projection: one value array per output.
+
+    Returns ``{name: array}`` covering every output, or None to fall
+    back.  Mirrors the mask contract: float divide/invalid raise instead
+    of flowing inf/nan into projected values, and any failure defers to
+    the row loop (which produces the reference result or error).
+    """
+    cols = child.columnar()
+    n = len(child)
+    arrays = {}
+    try:
+        with np.errstate(divide="raise", invalid="raise"):
+            for o in expr.outputs:
+                val = o.term.vector(cols)
+                if isinstance(val, np.ndarray) and val.ndim == 1:
+                    if len(val) != n:
+                        return None
+                    arrays[o.name] = val
+                else:
+                    arrays[o.name] = _const_column(val, n)
+    except Exception:
+        return None
+    return arrays
+
+
+def _const_column(value, n: int) -> np.ndarray:
+    """A length-``n`` column holding one row-independent value."""
+    if isinstance(value, bool) or isinstance(value, (float, str)) or (
+        isinstance(value, int) and -(1 << 63) <= value < (1 << 63)
+    ):
+        return np.full(n, value)
+    out = np.empty(n, dtype=object)
+    for i in range(n):
+        out[i] = value
+    return out
 
 
 def _join_keys(rel, cols):
@@ -355,6 +410,9 @@ def _eval_setop_inputs(expr, leaves, memo):
     return left, right
 
 
+# ----------------------------------------------------------------------
+# Join
+# ----------------------------------------------------------------------
 def _eval_join(expr: Join, leaves, memo) -> Relation:
     left = _eval(expr.left, leaves, memo)
     right = _eval(expr.right, leaves, memo)
@@ -365,14 +423,252 @@ def _eval_join(expr: Join, leaves, memo) -> Relation:
         left.schema.indexes(lcols)
         right.schema.indexes(rcols)
 
-    collapsed = [rc for lc, rc in expr.on if lc == rc]
+    collapsed = expr.collapsed_columns()
     kept_right = [c for c in right.schema.columns if c not in collapsed]
     out_schema = left.schema.concat(right.schema, drop_right=collapsed)
+
+    if expr.how == "inner" and (not len(left) or not len(right)):
+        return Relation(out_schema, [])
+
+    if _COLUMNAR[0] and lcols:
+        fast = _join_columnar(expr, left, right, out_schema, kept_right)
+        if fast is not None:
+            return fast
+    return _join_rows(expr, left, right, out_schema, kept_right)
+
+
+def _factorize_join_keys(lbatch, rbatch, lcols, rcols):
+    """Dense integer key codes for both join sides, or None to fall back.
+
+    Each key column pair is factorized with one ``np.unique`` over the
+    concatenated left+right values; multi-column keys re-factorize the
+    stacked per-column codes.  Returns ``(lcodes, rcodes, n_keys)``.
+
+    Fallback conditions (the row path's Python ``dict`` defines the
+    matching semantics): object-dtype columns (``None`` keys join
+    row-wise via ``None == None``; the factorizer cannot see that),
+    NaN-bearing float keys (``nan`` never equals itself row-wise but
+    ``np.unique`` collapses NaNs), int/float pairs whose magnitudes
+    reach 2**53 (float64 promotion loses int exactness), and any
+    cross-kind pair numpy would coerce (int vs str, …).
+    """
+    nl, nr = lbatch.nrows, rbatch.nrows
+    code_cols = []
+    for lc, rc in zip(lcols, rcols):
+        la = lbatch.array(lc)
+        ra = rbatch.array(rc)
+        lk, rk = la.dtype.kind, ra.dtype.kind
+        if lk == "O" or rk == "O":
+            return None
+        if lk in "biuf" and rk in "biuf":
+            for arr, kind in ((la, lk), (ra, rk)):
+                if kind == "f" and arr.size and np.isnan(arr).any():
+                    return None
+            if "f" in (lk, rk) and (lk in "biu" or rk in "biu"):
+                int_side = la if lk in "biu" else ra
+                if int_side.size and _int_bound(int_side) >= _FLOAT_EXACT:
+                    return None
+        elif not (lk == rk and lk in "US"):
+            return None
+        combo = np.concatenate([la, ra])
+        if combo.dtype.kind == "f" and "f" not in (lk, rk):
+            # int64 vs uint64 promotes to float64; only exact when every
+            # key fits in 2**53 (otherwise distinct keys could collide).
+            if max(_int_bound(la), _int_bound(ra)) >= _FLOAT_EXACT:
+                return None
+        _, inv = np.unique(combo, return_inverse=True)
+        code_cols.append(np.asarray(inv).reshape(-1))
+    if len(code_cols) > 1:
+        stacked = np.column_stack(code_cols)
+        _, inv = np.unique(stacked, axis=0, return_inverse=True)
+        inv = np.asarray(inv).reshape(-1)
+    else:
+        inv = code_cols[0]
+    n_keys = int(inv.max()) + 1 if len(inv) else 0
+    return inv[:nl], inv[nl:], n_keys
+
+
+def _expand_matches(lcodes, mcounts, eff, starts, order):
+    """Expand per-probe match counts into flat output index vectors.
+
+    Returns ``(left_idx, right_idx, valid)`` where row ``k`` of the join
+    output joins left row ``left_idx[k]`` with build row ``right_idx[k]``
+    when ``valid[k]``, and is a left row padded with NULLs otherwise
+    (``eff`` reserves one output slot for padded probe rows).  Matches
+    appear in probe order and, within one probe row, in build row order —
+    exactly the nested-loop order of the reference row join.
+    """
+    total = int(eff.sum())
+    left_idx = np.repeat(np.arange(len(lcodes), dtype=np.intp), eff)
+    run_start = np.cumsum(eff) - eff
+    offs = np.arange(total, dtype=np.intp) - np.repeat(run_start, eff)
+    valid = offs < np.repeat(mcounts, eff)
+    if len(order):
+        gath = np.repeat(starts[lcodes], eff) + offs
+        right_idx = order[np.where(valid, gath, 0)]
+    else:
+        right_idx = np.zeros(total, dtype=np.intp)
+    return left_idx, right_idx, valid
+
+
+def _join_output_batch(
+    expr, left, right, out_schema, kept_right, left_idx, right_idx, valid, tail
+):
+    """The join output as a provider-backed batch of fancy-indexed gathers.
+
+    The output has a *main* region (probe matches plus NULL-padded probe
+    rows, interleaved in probe order) and a *tail* region (unmatched
+    build rows of right/full outer joins).  Every column is one or two
+    gathers, built only when read; columns that need NULL padding drop
+    to object dtype holding Python values (see ``as_object_array``), so
+    downstream null-aware fallbacks see exactly the row path's values.
+    """
+    lbatch = left.columnar()
+    rbatch = right.columnar()
+    n_main = len(left_idx)
+    n_tail = len(tail)
+    invalid = None if bool(valid.all()) else ~valid
+    collapse = expr.collapse_map()
+
+    def gather(arr, idx):
+        if len(arr) == 0 and len(idx):
+            # Gathers from an empty side only happen at padded positions;
+            # the pad overwrite below fills every entry.
+            return np.empty(len(idx), dtype=object)
+        return arr[idx]
+
+    def left_column(c):
+        def build():
+            main = gather(lbatch.array(c), left_idx)
+            if not n_tail:
+                return main
+            src = collapse.get(c)
+            if src is not None:
+                # Collapsed equality column: right-only rows carry the
+                # key value from the right side.
+                tail_vals = gather(rbatch.array(src), tail)
+            else:
+                tail_vals = np.empty(n_tail, dtype=object)  # all None
+            return _concat_columns(main, tail_vals)
+
+        return build
+
+    def right_column(c):
+        def build():
+            arr = rbatch.array(c)
+            main = gather(arr, right_idx)
+            if invalid is not None:
+                main = as_object_array(main)
+                main[invalid] = None
+            if not n_tail:
+                return main
+            return _concat_columns(main, gather(arr, tail))
+
+        return build
+
+    providers = {c: left_column(c) for c in left.schema.columns}
+    for c in kept_right:
+        providers[c] = right_column(c)
+    return ColumnarRelation.from_providers(out_schema, providers, n_main + n_tail)
+
+
+def _concat_columns(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Concatenate two column fragments without corrupting values.
+
+    Same-dtype fragments (and string pairs, where only the item size
+    differs) concatenate directly; anything else goes through an object
+    array of Python values — ``np.concatenate`` would happily promote
+    int64+float64 to float64 and turn the int fragment's values into
+    floats the row path never produced.
+    """
+    if a.dtype == b.dtype or (a.dtype.kind == b.dtype.kind and a.dtype.kind in "US"):
+        return np.concatenate([a, b])
+    out = np.empty(len(a) + len(b), dtype=object)
+    if len(a):
+        out[: len(a)] = a.tolist() if a.dtype != object else a
+    if len(b):
+        out[len(a):] = b.tolist() if b.dtype != object else b
+    return out
+
+
+def _join_columnar(expr: Join, left, right, out_schema, kept_right):
+    """Vectorized equality hash join, or None to fall back to the row path.
+
+    Build/probe works on dense integer key codes: the build (right) side
+    is stable-sorted by code once, per-code start offsets come from a
+    cumulative count, and each probe row's matches are expanded with
+    index arithmetic — no per-row tuple allocation anywhere.  Inner,
+    left, right and full outer joins all run here; an extra theta
+    predicate is applied as a vectorized mask over the match batch when
+    it has a columnar form (otherwise the whole join falls back).
+    """
+    nl, nr = len(left), len(right)
+    lbatch = left.columnar()
+    rbatch = right.columnar()
+    codes = _factorize_join_keys(lbatch, rbatch, expr.left_on(), expr.right_on())
+    if codes is None:
+        return None
+    lcodes, rcodes, n_keys = codes
+
+    counts = np.bincount(rcodes, minlength=n_keys)
+    order = np.argsort(rcodes, kind="stable")
+    starts = np.zeros(n_keys + 1, dtype=np.intp)
+    np.cumsum(counts, out=starts[1:])
+    mcounts = counts[lcodes]
+
+    pad_left = expr.how in ("left", "full")
+    if expr.theta is None:
+        eff = np.maximum(mcounts, 1) if pad_left else mcounts
+        left_idx, right_idx, valid = _expand_matches(
+            lcodes, mcounts, eff, starts, order
+        )
+    else:
+        left_idx, right_idx, valid = _expand_matches(
+            lcodes, mcounts, mcounts, starts, order
+        )
+        pair_batch = _join_output_batch(
+            expr, left, right, out_schema, kept_right,
+            left_idx, right_idx, valid, np.zeros(0, dtype=np.intp),
+        )
+        tmask = _try_mask(expr.theta, Relation.from_columnar(pair_batch))
+        if tmask is None:
+            return None
+        tmask = np.asarray(tmask, dtype=bool)
+        left_idx = left_idx[tmask]
+        right_idx = right_idx[tmask]
+        valid = np.ones(len(left_idx), dtype=bool)
+        if pad_left:
+            hit = np.zeros(nl, dtype=bool)
+            hit[left_idx] = True
+            pads = np.flatnonzero(~hit)
+            if len(pads):
+                # Interleave pad rows at their probe position (stable by
+                # left index; a padded row never shares one with a match).
+                li = np.concatenate([left_idx, pads])
+                ri = np.concatenate([right_idx, np.zeros(len(pads), dtype=np.intp)])
+                vd = np.concatenate([valid, np.zeros(len(pads), dtype=bool)])
+                perm = np.argsort(li, kind="stable")
+                left_idx, right_idx, valid = li[perm], ri[perm], vd[perm]
+
+    tail = np.zeros(0, dtype=np.intp)
+    if expr.how in ("right", "full"):
+        rhit = np.zeros(nr, dtype=bool)
+        if len(right_idx):
+            rhit[right_idx[valid]] = True
+        tail = np.flatnonzero(~rhit)
+
+    batch = _join_output_batch(
+        expr, left, right, out_schema, kept_right, left_idx, right_idx, valid, tail
+    )
+    return Relation.from_columnar(batch)
+
+
+def _join_rows(expr: Join, left, right, out_schema, kept_right) -> Relation:
+    """Reference row-at-a-time join (hash join on equality columns)."""
+    lcols = expr.left_on()
+    rcols = expr.right_on()
     kept_ridx = right.schema.indexes(kept_right)
     left_width = len(left.schema)
-
-    if expr.how == "inner" and (not left.rows or not right.rows):
-        return Relation(out_schema, [])
 
     # Positions in the output where collapsed equality columns live, paired
     # with the right-side source index — used to fill key values for rows
@@ -437,6 +733,9 @@ def _eval_join(expr: Join, leaves, memo) -> Relation:
     return Relation(out_schema, rows)
 
 
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
 def _eval_aggregate(expr: Aggregate, leaves, memo) -> Relation:
     child = _eval(expr.child, leaves, memo)
     out_schema = Schema(expr.group_by + tuple(a.name for a in expr.aggs))
@@ -476,10 +775,10 @@ def _aggregate_columnar(expr: Aggregate, child: Relation, out_schema):
     path).  Each aggregate spec vectorizes independently: specs whose
     input term or dtype does not qualify are computed per group with the
     reference ``compute`` over stably-ordered row values, so a single
-    exotic column never forces the whole γ back to the row loop.
+    exotic column never forces the whole γ back to the row loop.  The
+    child's rows are only materialized if such a per-spec fallback runs.
     """
-    rows = child.rows
-    n = len(rows)
+    n = len(child)
     if n == 0 or (not expr.group_by and not expr.aggs):
         return None
     try:
@@ -510,6 +809,7 @@ def _aggregate_columnar(expr: Aggregate, child: Relation, out_schema):
                 if order is None:
                     order, starts = grouped_starts(gid, counts)
                 split = np.split(order, np.asarray(starts[1:]))
+            rows = child.rows
             bound = a.term.bind(child.schema) if a.term is not None else None
             out = []
             for g in range(ngroups):
@@ -564,6 +864,9 @@ def _vector_values(term, cols, func_name):
     return None
 
 
+# ----------------------------------------------------------------------
+# Change-table merge
+# ----------------------------------------------------------------------
 def _eval_merge(expr: Merge, leaves, memo) -> Relation:
     stale = _eval(expr.stale, leaves, memo)
     change = _eval(expr.change, leaves, memo)

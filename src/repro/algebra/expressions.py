@@ -225,6 +225,19 @@ class Join(Expr):
         """Right-side equality columns."""
         return tuple(rc for _, rc in self.on)
 
+    def collapsed_columns(self) -> tuple:
+        """Right-side equality columns that collapse into the left copy.
+
+        When an equality pair shares one name the join output keeps a
+        single column, which always carries the key value regardless of
+        which side matched (outer joins fill it from the surviving side).
+        """
+        return tuple(rc for lc, rc in self.on if lc == rc)
+
+    def collapse_map(self) -> dict:
+        """Map collapsed output column -> right-side source column."""
+        return {lc: rc for lc, rc in self.on if lc == rc}
+
     def __repr__(self):
         tag = "fk⋈" if self.foreign_key else "⋈"
         cond = ", ".join(f"{lc}={rc}" for lc, rc in self.on)

@@ -78,6 +78,28 @@ def _guard_int_overflow(op: str, left, right) -> None:
         raise VectorizationError(f"int64 overflow risk in vectorized {op!r}")
 
 
+def _is_bool_like(value) -> bool:
+    if isinstance(value, np.ndarray):
+        return value.dtype.kind == "b"
+    return isinstance(value, bool)
+
+
+def _guard_bool_arith(op: str, left, right) -> None:
+    """Refuse bool-with-bool vector arithmetic (numpy makes it logical).
+
+    Python's ``True + True`` is ``2`` and ``True * True`` is ``1``;
+    numpy's ``+``/``*`` on two bool operands are logical OR/AND, which
+    would leak wrong values into masks and projected columns.  Mixed
+    bool/int operands are safe (numpy promotes the bool side to int).
+    """
+    if op not in ("+", "-", "*"):
+        return
+    if not (_is_bool_like(left) and _is_bool_like(right)):
+        return
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        raise VectorizationError(f"bool arithmetic {op!r} is logical in numpy")
+
+
 def _kinds_match(a: str, b: str) -> bool:
     """True when two dtype kinds compare consistently under np.isin."""
     numeric = "biuf"
@@ -119,6 +141,25 @@ def _guard_exact_compare(left, right) -> None:
         return
     if max(_int_bound(left), _int_bound(right)) >= _FLOAT_EXACT:
         raise VectorizationError("int/float comparison beyond 2**53")
+
+
+def _guard_exact_divide(op: str, left, right) -> None:
+    """Refuse int/int vector division whose operands exceed 2**53.
+
+    Python's ``int / int`` is correctly rounded from the exact rational;
+    numpy converts both sides to float64 *before* dividing, which can
+    differ once either operand loses exactness.  Such divisions fall
+    back to the row path (batch-projected values and selection masks
+    must agree with the row engine bit-for-bit).
+    """
+    if op != "/":
+        return
+    if not (_is_int_like(left) and _is_int_like(right)):
+        return
+    if not (isinstance(left, np.ndarray) or isinstance(right, np.ndarray)):
+        return  # scalar/scalar stays Python division — already exact
+    if max(_int_bound(left), _int_bound(right)) >= _FLOAT_EXACT:
+        raise VectorizationError("int/int division beyond 2**53")
 
 
 class Term:
@@ -267,6 +308,8 @@ class BinOp(Term):
         left = self.left.vector(cols)
         right = self.right.vector(cols)
         _guard_int_overflow(self.op, left, right)
+        _guard_exact_divide(self.op, left, right)
+        _guard_bool_arith(self.op, left, right)
         return _OPS[self.op](left, right)
 
     def __repr__(self):

@@ -1,19 +1,30 @@
 """In-memory relations.
 
 A :class:`Relation` is the fundamental data container of the substrate: an
-immutable schema, a list of row tuples, and (optionally) a primary key.
+immutable schema, a bag of row tuples, and (optionally) a primary key.
 The paper distinguishes *records* (tuples of base relations) from *rows*
 (tuples of derived relations); both are represented by this class.
 
-Row tuples remain the source of truth — the SVC algorithms are defined
-over row lineage and per-row hashing, which a row store expresses most
-directly — but every relation also carries a lazily-built *columnar
-view* (:meth:`Relation.columnar`): per-column numpy arrays, cached on
-the relation, that back the evaluator's vectorized selection, hashing,
-and group-by fast paths.  The cache is sound because relations are
-treated as immutable; every update path in the library builds a new
-``Relation``.  Ad-hoc statistics can still grab a single column via
-:meth:`Relation.column_array`.
+Row tuples remain the semantic source of truth — the SVC algorithms are
+defined over row lineage and per-row hashing — but a relation's *storage*
+may be columnar: :meth:`Relation.from_columnar` builds a relation backed
+by a :class:`~repro.algebra.columnar.ColumnarRelation` batch whose
+``.rows`` are materialized lazily, on first access.  The batch-native
+evaluator hands such relations between operators so a multi-operator
+plan converts columns back to row tuples exactly once, at the evaluator
+boundary (or never, when the consumer is itself columnar).  Row-backed
+relations still carry a lazily-built columnar view
+(:meth:`Relation.columnar`) caching per-column numpy arrays.  Both
+caches are sound because relations are treated as immutable; every
+update path in the library builds a new ``Relation``.
+
+Pickling is storage-aware: a columnar-backed relation whose rows were
+never materialized ships its column arrays (numpy buffers — far smaller
+and faster to serialize than a list of per-row tuples), which is what
+shrinks the per-shard payloads of
+:mod:`repro.distributed.shard`'s process backend.  Derived caches
+(sample cache, column caches of row-backed relations) are dropped on
+pickle and rebuilt on demand.
 """
 
 from __future__ import annotations
@@ -43,7 +54,7 @@ class Relation:
         Optional relation name (used by expression leaves and messages).
     """
 
-    __slots__ = ("schema", "rows", "key", "name", "_sample_cache", "_columnar")
+    __slots__ = ("schema", "_rows", "key", "name", "_sample_cache", "_columnar")
 
     def __init__(
         self,
@@ -53,9 +64,9 @@ class Relation:
         name: Optional[str] = None,
     ):
         self.schema = as_schema(schema)
-        self.rows = [tuple(r) for r in rows]
+        self._rows = [tuple(r) for r in rows]
         width = len(self.schema)
-        for r in self.rows:
+        for r in self._rows:
             if len(r) != width:
                 raise SchemaError(
                     f"row width {len(r)} does not match schema width {width}: {r!r}"
@@ -75,6 +86,70 @@ class Relation:
         # argument; built on first use by the vectorized fast paths.
         self._columnar = None
 
+    @classmethod
+    def trusted(
+        cls,
+        schema: Schema,
+        rows: list,
+        key: Optional[tuple] = None,
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """A relation over an already-validated list of row tuples.
+
+        Internal fast path: the rows list is *shared, not copied*, and
+        neither widths nor key columns are re-checked — callers pass rows
+        that came out of another relation with the same schema (leaf
+        wrapping, cache hits, row-subset operators).  Sharing is sound
+        under the library-wide immutability convention.
+        """
+        self = object.__new__(cls)
+        self.schema = schema
+        self._rows = rows
+        self.key = key
+        self.name = name
+        self._sample_cache = None
+        self._columnar = None
+        return self
+
+    @classmethod
+    def from_columnar(
+        cls,
+        batch: ColumnarRelation,
+        key: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """A relation backed by a columnar batch; ``.rows`` stays lazy.
+
+        The batch-native evaluator's construction path: operators hand
+        each other batches, and the row tuples are only built if (and
+        when) something reads ``.rows``.  The batch may be shared — its
+        column caches only ever grow, never change.
+        """
+        self = object.__new__(cls)
+        self.schema = batch.schema
+        self._rows = None
+        if key is not None:
+            key = tuple(key)
+            for k in key:
+                self.schema.index(k)
+        self.key = key
+        self.name = name
+        self._sample_cache = None
+        self._columnar = batch
+        return self
+
+    @property
+    def rows(self) -> list:
+        """The row tuples (materialized from columns on first access)."""
+        if self._rows is None:
+            self._rows = self._columnar.materialize_rows()
+        return self._rows
+
+    @property
+    def is_materialized(self) -> bool:
+        """True when the row tuples have been built (or were given)."""
+        return self._rows is not None
+
     def sample_cache(self) -> dict:
         """The (created-on-demand) hash-sample cache for this relation."""
         if self._sample_cache is None:
@@ -86,6 +161,22 @@ class Relation:
         if self._columnar is None:
             self._columnar = ColumnarRelation(self)
         return self._columnar
+
+    # ------------------------------------------------------------------
+    # Pickling (storage-aware: lazy relations ship columns, not rows)
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        if self._rows is not None:
+            return (
+                _restore_from_rows,
+                (self.schema, self._rows, self.key, self.name),
+            )
+        batch = self._columnar
+        arrays = {c: batch.array(c) for c in self.schema.columns}
+        return (
+            _restore_from_arrays,
+            (self.schema, arrays, batch.nrows, self.key, self.name),
+        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -116,7 +207,9 @@ class Relation:
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is None:
+            return self._columnar.nrows
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
@@ -125,7 +218,7 @@ class Relation:
         label = self.name or "relation"
         return (
             f"<Relation {label} cols={list(self.schema.columns)} "
-            f"key={self.key} rows={len(self.rows)}>"
+            f"key={self.key} rows={len(self)}>"
         )
 
     def __eq__(self, other: object) -> bool:
@@ -145,8 +238,10 @@ class Relation:
 
     def column(self, name: str) -> list:
         """All values of one column, in row order."""
+        if self._rows is None:
+            return list(self._columnar.pycolumn(name))
         i = self.schema.index(name)
-        return [row[i] for row in self.rows]
+        return [row[i] for row in self._rows]
 
     def column_array(self, name: str, dtype=float) -> np.ndarray:
         """One column as a numpy array (for vectorized statistics)."""
@@ -216,3 +311,15 @@ class Relation:
         idx = self.key_indexes()
         rows = sorted(self.rows, key=lambda r: tuple(repr(r[i]) for i in idx))
         return Relation(self.schema, rows, key=self.key, name=self.name)
+
+
+def _restore_from_rows(schema, rows, key, name) -> Relation:
+    """Unpickle a row-backed relation without re-validating every row."""
+    return Relation.trusted(schema, rows, key=key, name=name)
+
+
+def _restore_from_arrays(schema, arrays, nrows, key, name) -> Relation:
+    """Unpickle a columnar-backed relation (rows stay lazy)."""
+    return Relation.from_columnar(
+        ColumnarRelation.from_arrays(schema, arrays, nrows), key=key, name=name
+    )

@@ -96,8 +96,23 @@ class MaterializedView:
         return self.data
 
     def set_data(self, rel: Relation) -> Relation:
-        """Install maintained rows as the new materialized state."""
-        rel = Relation(rel.schema, rel.rows, key=self.key, name=self.name)
+        """Install maintained rows as the new materialized state.
+
+        The incoming relation's storage is kept as-is — columnar-backed
+        maintenance results stay columnar (rows materialize lazily on
+        first read), and row-backed ones share their already-validated
+        rows list — only the key/name are rebranded to the view's.
+        """
+        for k in self.key:
+            rel.schema.index(k)
+        if rel.is_materialized:
+            rel = Relation.trusted(
+                rel.schema, rel.rows, key=self.key, name=self.name
+            )
+        else:
+            rel = Relation.from_columnar(
+                rel.columnar(), key=self.key, name=self.name
+            )
         self.data = rel
         self.database.register_view_data(self.name, rel)
         return rel

@@ -157,7 +157,10 @@ def test_global_aggregate_equivalence(rows):
     assert_same_rows(fast, slow)
 
 
-@given(mixed_rows, mixed_rows, st.sampled_from(["inner", "left", "right", "full"]))
+JOIN_KINDS = ["inner", "left", "right", "full"]
+
+
+@given(mixed_rows, mixed_rows, st.sampled_from(JOIN_KINDS))
 @settings(max_examples=40, deadline=None)
 def test_join_equivalence(lrows, rrows, how):
     left = make_rel(lrows, name="L")
@@ -170,6 +173,187 @@ def test_join_equivalence(lrows, rrows, how):
     expr = Join(BaseRel("L"), BaseRel("S"), on=[("grp", "grp")], how=how)
     fast, slow = both_engines(expr, {"L": left, "S": right})
     assert_same_rows(fast, slow)
+    # Exact row order must match too (downstream first-appearance
+    # grouping depends on it).
+    assert fast.rows == slow.rows
+
+
+@given(mixed_rows, mixed_rows, st.sampled_from(JOIN_KINDS))
+@settings(max_examples=40, deadline=None)
+def test_join_equivalence_duplicate_keys(lrows, rrows, how):
+    """Both sides carry duplicate join keys (many-to-many matches)."""
+    left = make_rel(lrows, name="L")
+    right = Relation(
+        Schema(["grp", "label"]),
+        [(r[1], r[3]) for r in rrows],
+        name="S",
+    )
+    expr = Join(BaseRel("L"), BaseRel("S"), on=[("grp", "grp")], how=how)
+    fast, slow = both_engines(expr, {"L": left, "S": right})
+    assert_same_rows(fast, slow)
+    assert fast.rows == slow.rows
+
+
+@given(mixed_rows, mixed_rows, st.sampled_from(JOIN_KINDS))
+@settings(max_examples=30, deadline=None)
+def test_join_equivalence_null_keys(lrows, rrows, how):
+    """None-bearing join keys: None == None matches, like the row path."""
+    left = make_rel(lrows, name="L")
+    right = Relation(
+        Schema(["misc", "label"]),
+        [(r[4], r[3]) for r in rrows],
+        name="S",
+    )
+    expr = Join(BaseRel("L"), BaseRel("S"), on=[("misc", "misc")], how=how)
+    fast, slow = both_engines(expr, {"L": left, "S": right})
+    assert_same_rows(fast, slow)
+    assert fast.rows == slow.rows
+
+
+@given(mixed_rows, st.sampled_from(JOIN_KINDS), st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_join_equivalence_empty_side(rows, how, empty_left):
+    """One empty input: outer joins must still pad/keep the other side."""
+    data = make_rel(rows, name="D")
+    empty = Relation(Schema(["grp", "label"]), [], name="E")
+    if empty_left:
+        expr = Join(BaseRel("E"), BaseRel("D"), on=[("grp", "grp")], how=how)
+    else:
+        expr = Join(BaseRel("D"), BaseRel("E"), on=[("grp", "grp")], how=how)
+    fast, slow = both_engines(expr, {"D": data, "E": empty})
+    assert_same_rows(fast, slow)
+    assert fast.rows == slow.rows
+
+
+@given(mixed_rows, mixed_rows, st.sampled_from(JOIN_KINDS))
+@settings(max_examples=30, deadline=None)
+def test_join_equivalence_multi_column_key(lrows, rrows, how):
+    left = make_rel(lrows, name="L")
+    right = Relation(
+        Schema(["grp", "tag", "label"]),
+        [(r[1], r[3], r[0]) for r in rrows],
+        name="S",
+    )
+    expr = Join(
+        BaseRel("L"), BaseRel("S"), on=[("grp", "grp"), ("tag", "tag")], how=how
+    )
+    fast, slow = both_engines(expr, {"L": left, "S": right})
+    assert_same_rows(fast, slow)
+    assert fast.rows == slow.rows
+
+
+@given(mixed_rows, mixed_rows, st.sampled_from(JOIN_KINDS))
+@settings(max_examples=30, deadline=None)
+def test_join_equivalence_with_theta(lrows, rrows, how):
+    """Equality join plus extra theta predicate, all four join kinds."""
+    left = make_rel(lrows, name="L")
+    right = Relation(
+        Schema(["grp", "weight"]),
+        [(r[1], r[2]) for r in rrows],
+        name="S",
+    )
+    expr = Join(
+        BaseRel("L"),
+        BaseRel("S"),
+        on=[("grp", "grp")],
+        how=how,
+        theta=col("val") <= col("weight"),
+    )
+    fast, slow = both_engines(expr, {"L": left, "S": right})
+    assert_same_rows(fast, slow)
+    assert fast.rows == slow.rows
+
+
+@given(mixed_rows, st.sampled_from(["inner", "left"]))
+@settings(max_examples=20, deadline=None)
+def test_theta_only_join_equivalence(lrows, how):
+    """Pure theta joins (no equality pairs) stay on the row path."""
+    left = make_rel(lrows, name="L")
+    right = Relation(
+        Schema(["lo", "hi"]), [(0.0, 50.0), (-10.0, 0.0)], name="S"
+    )
+    expr = Join(
+        BaseRel("L"),
+        BaseRel("S"),
+        on=[],
+        how=how,
+        theta=(col("val") >= col("lo")) & (col("val") < col("hi")),
+    )
+    fast, slow = both_engines(expr, {"L": left, "S": right})
+    assert_same_rows(fast, slow)
+    assert fast.rows == slow.rows
+
+
+def test_join_string_keys_all_kinds():
+    left = Relation(
+        Schema(["tag", "v"]), [("x", 1), ("y", 2), ("zz", 3), ("x", 4)], name="L"
+    )
+    right = Relation(
+        Schema(["tag", "w"]), [("x", 10.0), ("w", 20.0), ("x", 30.0)], name="S"
+    )
+    for how in JOIN_KINDS:
+        expr = Join(BaseRel("L"), BaseRel("S"), on=[("tag", "tag")], how=how)
+        fast, slow = both_engines(expr, {"L": left, "S": right})
+        assert fast.rows == slow.rows
+
+
+def test_join_nan_keys_never_match():
+    """NaN join keys never equal themselves — np.unique must not collapse
+    them into a single matching key."""
+    nan = float("nan")
+    left = Relation(Schema(["k", "a"]), [(nan, 1), (2.0, 2)], name="L")
+    right = Relation(Schema(["k", "b"]), [(nan, 10), (2.0, 20)], name="S")
+    for how in JOIN_KINDS:
+        expr = Join(BaseRel("L"), BaseRel("S"), on=[("k", "k")], how=how)
+        fast, slow = both_engines(expr, {"L": left, "S": right})
+        assert len(fast.rows) == len(slow.rows)
+        key = lambda r: tuple(repr(v) for v in r)  # noqa: E731
+        assert sorted(fast.rows, key=key) == sorted(slow.rows, key=key)
+
+
+def test_join_mixed_int_float_keys_beyond_2_53():
+    """int/float key pairs beyond 2**53 must match with Python exactness."""
+    exact = 1 << 53
+    left = Relation(Schema(["k", "a"]), [(exact + 1, 1), (3, 2)], name="L")
+    right = Relation(
+        Schema(["k", "b"]), [(float(exact), 10), (3.0, 20)], name="S"
+    )
+    for how in JOIN_KINDS:
+        expr = Join(BaseRel("L"), BaseRel("S"), on=[("k", "k")], how=how)
+        fast, slow = both_engines(expr, {"L": left, "S": right})
+        assert fast.rows == slow.rows
+    # float(2**53) == 2**53 + 1 after float64 promotion, but not in Python:
+    # the only real match is 3 == 3.0.
+    inner = Join(BaseRel("L"), BaseRel("S"), on=[("k", "k")], how="inner")
+    fast, _ = both_engines(inner, {"L": left, "S": right})
+    assert fast.rows == [(3, 2, 20)]
+
+
+def test_join_int64_uint64_keys_beyond_2_53():
+    """int64 vs uint64 keys promote to float64 on concatenation; distinct
+    huge keys must not collapse into one np.unique code."""
+    left = Relation(Schema(["k", "a"]), [((1 << 63) - 1, 1)], name="L")
+    right = Relation(
+        Schema(["k", "b"]), [(1 << 63, 0), ((1 << 63) + 5, 10)], name="S"
+    )
+    assert right.columnar().array("k").dtype.kind == "u"  # uint64 side
+    for how in JOIN_KINDS:
+        expr = Join(BaseRel("L"), BaseRel("S"), on=[("k", "k")], how=how)
+        fast, slow = both_engines(expr, {"L": left, "S": right})
+        assert fast.rows == slow.rows
+    inner = Join(BaseRel("L"), BaseRel("S"), on=[("k", "k")], how="inner")
+    fast, _ = both_engines(inner, {"L": left, "S": right})
+    assert fast.rows == []
+
+
+def test_join_bool_int_keys_match_like_python():
+    """True == 1 and False == 0 across sides, exactly like dict lookup."""
+    left = Relation(Schema(["k", "a"]), [(True, 1), (0, 2), (2, 3)], name="L")
+    right = Relation(Schema(["k", "b"]), [(1, 10), (False, 20)], name="S")
+    for how in JOIN_KINDS:
+        expr = Join(BaseRel("L"), BaseRel("S"), on=[("k", "k")], how=how)
+        fast, slow = both_engines(expr, {"L": left, "S": right})
+        assert fast.rows == slow.rows
 
 
 @given(mixed_rows, st.floats(0.0, 1.0), st.integers(0, 3))
