@@ -1,0 +1,214 @@
+"""Microbenchmark: row vs key-factorized columnar change-table merge.
+
+Times the final step of every change-table maintenance plan — merging a
+100 000-row change table into a 200 000-row stale aggregate view
+(sum/count ``add`` combiners, avg via the hidden-sum ``ratio`` combiner,
+``drop_empty`` support checks, with matched keys, change-only inserts,
+and groups emptied by deletions all represented) — through the evaluator
+twice: once with the columnar fast paths disabled (the reference row
+engine, one Python dict lookup + combine per stale row) and once enabled
+(both key columns factorized into dense integer codes via ``np.unique``,
+matched/stale-only/change-only index sets from array arithmetic, and the
+combiners applied as vectorized column ops).  The vectorized merge must
+clear a 3× speedup on the full workload; ``--quick`` shrinks it for CI
+smoke runs, which assert only row/columnar equivalence and record the
+speedup (shared runners are too noisy for a wall-clock gate).
+
+Both engines' outputs are compared row-for-row, order included, by
+``repr`` — the columnar merge is exact, not just float-tolerant — in
+every mode; the equivalence gate is what CI enforces.
+
+Run under pytest (``pytest benchmarks/bench_columnar_merge.py``) or
+standalone (``python benchmarks/bench_columnar_merge.py [--quick]``).
+"""
+
+import numpy as np
+
+from repro.algebra import (
+    GROUP_COUNT,
+    BaseRel,
+    Combiner,
+    Merge,
+    Relation,
+    Schema,
+    evaluate,
+    set_columnar_enabled,
+)
+
+FULL_DELTA = 100_000
+QUICK_DELTA = 20_000
+#: Required speedup in full mode.  Quick (CI) mode has no timing gate:
+#: the row/columnar equivalence check inside run_bench is the part CI
+#: enforces; the speedup is recorded for inspection.
+FULL_SPEEDUP = 3.0
+
+
+def _workload(n_delta: int, seed: int = 17):
+    """A stale SPJA view plus an aggregated change table of ``n_delta`` rows.
+
+    The stale view has 2×``n_delta`` groups.  Change keys split ~70/30
+    between updates of existing groups and brand-new groups, and ~5% of
+    the matched updates carry exactly-cancelling deltas so the
+    ``drop_empty`` support check actually drops rows.
+    """
+    rng = np.random.default_rng(seed)
+    n_stale = n_delta * 2
+    schema_stale = Schema(["g", "cnt", "tot", "mean", GROUP_COUNT])
+    schema_change = Schema(["g", "cnt", "tot", GROUP_COUNT])
+
+    counts = rng.integers(1, 50, n_stale)
+    totals = rng.exponential(40.0, n_stale) + 1.0
+    stale_rows = [
+        (g, int(c), float(t), float(t) / int(c), int(c))
+        for g, (c, t) in enumerate(zip(counts, totals))
+    ]
+
+    n_matched = n_delta * 7 // 10
+    matched = rng.choice(n_stale, n_matched, replace=False)
+    fresh = np.arange(n_stale, n_stale + (n_delta - n_matched))
+    keys = np.concatenate([matched, fresh])
+    rng.shuffle(keys)
+
+    change_rows = []
+    for g in keys:
+        g = int(g)
+        if g < n_stale and rng.random() < 0.05:
+            # Delete the whole group: the support telescopes to zero.
+            c, t = stale_rows[g][1], stale_rows[g][2]
+            change_rows.append((g, -c, -t, -c))
+        else:
+            c = int(rng.integers(1, 8))
+            change_rows.append((g, c, float(rng.exponential(40.0) + 1.0), c))
+
+    stale = Relation(schema_stale, stale_rows, key=("g",), name="stale")
+    change = Relation(schema_change, change_rows, name="change")
+    expr = Merge(
+        BaseRel("stale"),
+        BaseRel("change"),
+        ("g",),
+        [
+            Combiner("g", "group"),
+            Combiner("cnt", "add"),
+            Combiner("tot", "add"),
+            Combiner(GROUP_COUNT, "add"),
+            Combiner("mean", "ratio", ("tot", GROUP_COUNT)),
+        ],
+    )
+    return stale, change, expr
+
+
+def run_bench(n_delta: int = FULL_DELTA, repeats: int = 3) -> dict:
+    """Time the merge through both engines; returns the measurements.
+
+    Methodology: the merge sits in the middle of the batch-native
+    maintenance pipeline — its stale input is the maintained view
+    (stored columnar since the shard executor ships batches), its change
+    input the output of the columnar γ upstream, and its result is
+    installed as the new view and consumed column-wise (η sampling,
+    shard pickling, aggregate queries).  Both leaf representations are
+    therefore warmed untimed, and each engine's timed region covers
+    ``evaluate`` plus realizing the output in that engine's native
+    storage: row tuples for the row engine, column arrays for the
+    columnar one.  Row-for-row equivalence (``repr``-exact, order
+    included) is asserted outside the timer.
+    """
+    import time
+
+    stale, change, expr = _workload(n_delta)
+    for rel in (stale, change):
+        rel.rows
+        for c in rel.schema.columns:
+            rel.columnar().array(c)
+    leaves = {"stale": stale, "change": change}
+
+    def run(columnar: bool):
+        best = float("inf")
+        out = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = evaluate(expr, dict(leaves))
+            if columnar and not out.is_materialized:
+                batch = out.columnar()
+                for c in out.schema.columns:
+                    batch.array(c)
+            else:
+                out.rows
+            best = min(best, time.perf_counter() - t0)
+        return best, out
+
+    old = set_columnar_enabled(False)
+    try:
+        row_s, row_out = run(columnar=False)
+        set_columnar_enabled(True)
+        col_s, col_out = run(columnar=True)
+    finally:
+        set_columnar_enabled(old)
+
+    # Equivalence gate: the columnar merge is exact — same rows, same
+    # order, same value types.  This is what CI enforces.
+    assert [tuple(map(repr, r)) for r in col_out.rows] == [
+        tuple(map(repr, r)) for r in row_out.rows
+    ], "columnar merge diverged from the row engine"
+    return {
+        "n_delta": n_delta,
+        "n_stale": len(stale),
+        "out_rows": len(row_out.rows),
+        "row_s": row_s,
+        "columnar_s": col_s,
+        "row_rows_per_s": n_delta / row_s,
+        "columnar_rows_per_s": n_delta / col_s,
+        "speedup": row_s / col_s,
+    }
+
+
+def to_table(result: dict) -> str:
+    lines = [
+        "bench_columnar_merge — row vs key-factorized columnar merge",
+        f"delta rows: {result['n_delta']}   stale rows: {result['n_stale']}   "
+        f"merged rows: {result['out_rows']}",
+        f"row engine:      {result['row_s'] * 1e3:9.2f} ms   "
+        f"{result['row_rows_per_s']:12.0f} delta rows/s",
+        f"columnar engine: {result['columnar_s'] * 1e3:9.2f} ms   "
+        f"{result['columnar_rows_per_s']:12.0f} delta rows/s",
+        f"speedup: {result['speedup']:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def test_columnar_merge_speedup(benchmark, quick, record_json):
+    from conftest import run_once
+
+    n_delta = QUICK_DELTA if quick else FULL_DELTA
+    result = run_once(benchmark, run_bench, n_delta=n_delta)
+    print("\n" + to_table(result))
+    record_json(
+        "bench_columnar_merge",
+        result,
+        {"n_delta": n_delta, "quick": quick,
+         "gate": None if quick else FULL_SPEEDUP},
+    )
+    if not quick:
+        assert result["speedup"] >= FULL_SPEEDUP, (
+            f"columnar merge only {result['speedup']:.2f}x over the row path "
+            f"(need >= {FULL_SPEEDUP}x at {n_delta} delta rows)"
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from conftest import write_json_result
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small workload")
+    parser.add_argument("--delta", type=int, default=None)
+    args = parser.parse_args()
+    delta = args.delta or (QUICK_DELTA if args.quick else FULL_DELTA)
+    result = run_bench(n_delta=delta)
+    write_json_result(
+        "bench_columnar_merge",
+        result,
+        {"n_delta": delta, "quick": args.quick,
+         "gate": None if args.quick else FULL_SPEEDUP},
+    )
+    print(to_table(result))

@@ -29,6 +29,18 @@ execution backend:
   integer/bool/string and a Python dict otherwise.
 * :func:`grouped_starts` — the stable-sorted order and per-group start
   offsets that feed ``np.ufunc.reduceat``-style grouped reductions.
+* :func:`factorize_key_codes` — dense integer key codes for a pair of
+  batches over (possibly multi-column) key attributes: one ``np.unique``
+  over the concatenated values per column pair, re-factorized for
+  multi-column keys.  The vectorized hash join builds/probes on these
+  codes and the columnar change-table merge matches stale-view rows to
+  change rows with them — both share the same fallback triggers.
+* :func:`scatter_column` / :func:`concat_columns` /
+  :func:`object_array` — value-faithful column surgery: overwrite rows
+  of a column at index positions, stitch two column fragments together,
+  and lift a Python value list to an object array without numpy scalar
+  boxing.  These are the assembly primitives of operators (⋈, Merge)
+  whose outputs mix gathered and computed fragments.
 
 The evaluator treats every columnar path as a *fast path with a row
 fallback*: any value that does not vectorize cleanly (``None``-bearing
@@ -49,8 +61,13 @@ __all__ = [
     "ColumnarRelation",
     "as_object_array",
     "column_to_array",
+    "concat_column_parts",
+    "concat_columns",
+    "factorize_key_codes",
     "group_ids",
     "grouped_starts",
+    "object_array",
+    "scatter_column",
 ]
 
 #: dtype kinds that vectorize for arithmetic/comparison fast paths.
@@ -213,19 +230,41 @@ class ColumnarRelation:
         not double the column's resident memory.
         """
         arr = self._arrays.get(name)
-        if arr is None:
-            if self._providers is not None:
-                provider = self._providers.get(name)
-                if provider is None:
-                    raise KeyError(f"batch has no column {name!r}")
+        if arr is not None:
+            return arr
+        providers = self._providers
+        if providers is not None:
+            provider = providers.get(name)
+            if provider is not None:
                 arr = provider()
-            else:
-                col = self._pycols.get(name)
-                if col is None:
-                    i = self.schema.index(name)
-                    col = [row[i] for row in self._rows]
-                arr = column_to_array(col)
-            self._arrays[name] = arr
+                # Cache first, then release the provider: the closure
+                # captures the parent batches (a σ output holds its
+                # child, a merge output the stale view and change
+                # table), so keeping it would chain every maintenance
+                # round's batch to the previous round's — an unbounded
+                # leak for long-lived views.  Batches may be shared
+                # across threads, so the release is race-tolerant: a
+                # concurrent reader at worst re-runs the provider
+                # (idempotent) — pop() never raises and the cache was
+                # written before the provider disappeared.
+                self._arrays[name] = arr
+                providers.pop(name, None)
+                if not providers:
+                    self._providers = None
+                return arr
+        # No pending provider: cached concurrently, row-backed, or a
+        # genuinely unknown column.
+        arr = self._arrays.get(name)
+        if arr is not None:
+            return arr
+        if self._rows is None:
+            raise KeyError(f"batch has no column {name!r}")
+        col = self._pycols.get(name)
+        if col is None:
+            i = self.schema.index(name)
+            col = [row[i] for row in self._rows]
+        arr = column_to_array(col)
+        self._arrays[name] = arr
         return arr
 
     def arrays(self, names: Sequence[str]) -> list:
@@ -364,3 +403,130 @@ def grouped_starts(gid: np.ndarray, counts: np.ndarray):
     starts = np.zeros(len(counts), dtype=np.intp)
     np.cumsum(counts[:-1], out=starts[1:])
     return order, starts
+
+
+def factorize_key_codes(abatch, bbatch, acols, bcols):
+    """Dense integer key codes for two batches, or None to fall back.
+
+    Each key column pair is factorized with one ``np.unique`` over the
+    concatenated values of both batches; multi-column keys re-factorize
+    the stacked per-column codes.  Returns ``(acodes, bcodes, n_keys)``
+    where equal codes mean "these rows match on the key" — the building
+    block of both the vectorized hash join and the columnar merge.
+
+    Fallback conditions (the row path's Python ``dict`` defines the
+    matching semantics): object-dtype columns (``None`` keys match
+    row-wise via ``None == None``; the factorizer cannot see that),
+    NaN-bearing float keys (``nan`` never equals itself row-wise but
+    ``np.unique`` collapses NaNs), int/float pairs whose magnitudes
+    reach 2**53 (float64 promotion loses int exactness), and any
+    cross-kind pair numpy would coerce (int vs str, …).
+    """
+    from repro.algebra.predicates import _FLOAT_EXACT, _int_bound
+
+    na, nb = abatch.nrows, bbatch.nrows
+    code_cols = []
+    for ac, bc in zip(acols, bcols):
+        aa = abatch.array(ac)
+        ba = bbatch.array(bc)
+        ak, bk = aa.dtype.kind, ba.dtype.kind
+        if ak == "O" or bk == "O":
+            return None
+        if ak in "biuf" and bk in "biuf":
+            for arr, kind in ((aa, ak), (ba, bk)):
+                if kind == "f" and arr.size and np.isnan(arr).any():
+                    return None
+            if "f" in (ak, bk) and (ak in "biu" or bk in "biu"):
+                int_side = aa if ak in "biu" else ba
+                if int_side.size and _int_bound(int_side) >= _FLOAT_EXACT:
+                    return None
+        elif not (ak == bk and ak in "US"):
+            return None
+        combo = np.concatenate([aa, ba])
+        if combo.dtype.kind == "f" and "f" not in (ak, bk):
+            # int64 vs uint64 promotes to float64; only exact when every
+            # key fits in 2**53 (otherwise distinct keys could collide).
+            if max(_int_bound(aa), _int_bound(ba)) >= _FLOAT_EXACT:
+                return None
+        _, inv = np.unique(combo, return_inverse=True)
+        code_cols.append(np.asarray(inv).reshape(-1))
+    if len(code_cols) > 1:
+        stacked = np.column_stack(code_cols)
+        _, inv = np.unique(stacked, axis=0, return_inverse=True)
+        inv = np.asarray(inv).reshape(-1)
+    else:
+        inv = code_cols[0]
+    n_keys = int(inv.max()) + 1 if len(inv) else 0
+    return inv[:na], inv[na:], n_keys
+
+
+def object_array(values: Sequence) -> np.ndarray:
+    """A Python value list as an object array (no numpy scalar boxing).
+
+    ``np.asarray(values, dtype=object)`` broadcasts sequence elements
+    (a list of tuples becomes 2-D); filling an empty object array keeps
+    every element — whatever its type — as one cell.
+    """
+    out = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        out[i] = v
+    return out
+
+
+def scatter_column(base: np.ndarray, idx: np.ndarray, values) -> np.ndarray:
+    """A copy of column ``base`` with ``values`` written at rows ``idx``.
+
+    ``values`` may be a numpy array or a list of Python values (the
+    per-combiner row fallback of the columnar merge produces lists).
+    Same-dtype scatters stay typed; anything else drops the whole column
+    to object dtype holding Python values, so mixed results (a float
+    delta replacing an int cell) round-trip exactly like the row path's.
+    """
+    if (
+        isinstance(values, np.ndarray)
+        and values.dtype == base.dtype
+        and base.dtype.kind != "O"
+    ):
+        out = base.copy()
+        out[idx] = values
+        return out
+    out = as_object_array(base)
+    if isinstance(values, np.ndarray):
+        values = values.tolist() if values.dtype != object else values
+    out[idx] = object_array(list(values))
+    return out
+
+
+def concat_columns(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Concatenate two column fragments without corrupting values.
+
+    Same-dtype fragments (and string pairs, where only the item size
+    differs) concatenate directly; anything else goes through an object
+    array of Python values — ``np.concatenate`` would happily promote
+    int64+float64 to float64 and turn the int fragment's values into
+    floats the row path never produced.
+    """
+    return concat_column_parts((a, b))
+
+
+def concat_column_parts(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate many column fragments value-faithfully, in one pass.
+
+    The multi-way form matters for sharded results: pairwise
+    concatenation of k shard columns would re-copy the growing prefix
+    k−1 times; this is one linear pass regardless of k.
+    """
+    if len(parts) == 1:
+        return parts[0]
+    first = parts[0].dtype
+    if all(p.dtype == first for p in parts) or (
+        first.kind in "US" and all(p.dtype.kind == first.kind for p in parts)
+    ):
+        return np.concatenate(parts)
+    out = np.empty(sum(len(p) for p in parts), dtype=object)
+    pos = 0
+    for p in parts:
+        if len(p):
+            out[pos:pos + len(p)] = p.tolist() if p.dtype != object else p
+        pos += len(p)
+    return out

@@ -47,7 +47,13 @@ Implementation notes
 * :class:`Merge` implements the change-table merge: a full outer equality
   join on the view key followed by per-column combination, with emptied
   groups (support count driven to zero or below) removed — exactly the
-  Π(S ⟗ change) maintenance step of paper Ex. 1.
+  Π(S ⟗ change) maintenance step of paper Ex. 1.  The columnar path
+  factorizes both keys with the join's codes machinery
+  (:func:`~repro.algebra.columnar.factorize_key_codes`), matches every
+  stale row against the change table with one gather, applies the
+  combiners as vectorized column ops (with a per-combiner row fallback),
+  and assembles the output as lazy scatter/gather providers; object,
+  NaN, and ≥2**53 keys fall back to the reference row merge wholesale.
 """
 
 from __future__ import annotations
@@ -60,8 +66,12 @@ from repro.algebra.aggregates import get_aggregate
 from repro.algebra.columnar import (
     ColumnarRelation,
     as_object_array,
+    column_to_array,
+    concat_columns,
+    factorize_key_codes,
     group_ids,
     grouped_starts,
+    scatter_column,
 )
 from repro.algebra.expressions import (
     Aggregate,
@@ -437,57 +447,6 @@ def _eval_join(expr: Join, leaves, memo) -> Relation:
     return _join_rows(expr, left, right, out_schema, kept_right)
 
 
-def _factorize_join_keys(lbatch, rbatch, lcols, rcols):
-    """Dense integer key codes for both join sides, or None to fall back.
-
-    Each key column pair is factorized with one ``np.unique`` over the
-    concatenated left+right values; multi-column keys re-factorize the
-    stacked per-column codes.  Returns ``(lcodes, rcodes, n_keys)``.
-
-    Fallback conditions (the row path's Python ``dict`` defines the
-    matching semantics): object-dtype columns (``None`` keys join
-    row-wise via ``None == None``; the factorizer cannot see that),
-    NaN-bearing float keys (``nan`` never equals itself row-wise but
-    ``np.unique`` collapses NaNs), int/float pairs whose magnitudes
-    reach 2**53 (float64 promotion loses int exactness), and any
-    cross-kind pair numpy would coerce (int vs str, …).
-    """
-    nl, nr = lbatch.nrows, rbatch.nrows
-    code_cols = []
-    for lc, rc in zip(lcols, rcols):
-        la = lbatch.array(lc)
-        ra = rbatch.array(rc)
-        lk, rk = la.dtype.kind, ra.dtype.kind
-        if lk == "O" or rk == "O":
-            return None
-        if lk in "biuf" and rk in "biuf":
-            for arr, kind in ((la, lk), (ra, rk)):
-                if kind == "f" and arr.size and np.isnan(arr).any():
-                    return None
-            if "f" in (lk, rk) and (lk in "biu" or rk in "biu"):
-                int_side = la if lk in "biu" else ra
-                if int_side.size and _int_bound(int_side) >= _FLOAT_EXACT:
-                    return None
-        elif not (lk == rk and lk in "US"):
-            return None
-        combo = np.concatenate([la, ra])
-        if combo.dtype.kind == "f" and "f" not in (lk, rk):
-            # int64 vs uint64 promotes to float64; only exact when every
-            # key fits in 2**53 (otherwise distinct keys could collide).
-            if max(_int_bound(la), _int_bound(ra)) >= _FLOAT_EXACT:
-                return None
-        _, inv = np.unique(combo, return_inverse=True)
-        code_cols.append(np.asarray(inv).reshape(-1))
-    if len(code_cols) > 1:
-        stacked = np.column_stack(code_cols)
-        _, inv = np.unique(stacked, axis=0, return_inverse=True)
-        inv = np.asarray(inv).reshape(-1)
-    else:
-        inv = code_cols[0]
-    n_keys = int(inv.max()) + 1 if len(inv) else 0
-    return inv[:nl], inv[nl:], n_keys
-
-
 def _expand_matches(lcodes, mcounts, eff, starts, order):
     """Expand per-probe match counts into flat output index vectors.
 
@@ -549,7 +508,7 @@ def _join_output_batch(
                 tail_vals = gather(rbatch.array(src), tail)
             else:
                 tail_vals = np.empty(n_tail, dtype=object)  # all None
-            return _concat_columns(main, tail_vals)
+            return concat_columns(main, tail_vals)
 
         return build
 
@@ -562,7 +521,7 @@ def _join_output_batch(
                 main[invalid] = None
             if not n_tail:
                 return main
-            return _concat_columns(main, gather(arr, tail))
+            return concat_columns(main, gather(arr, tail))
 
         return build
 
@@ -570,25 +529,6 @@ def _join_output_batch(
     for c in kept_right:
         providers[c] = right_column(c)
     return ColumnarRelation.from_providers(out_schema, providers, n_main + n_tail)
-
-
-def _concat_columns(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Concatenate two column fragments without corrupting values.
-
-    Same-dtype fragments (and string pairs, where only the item size
-    differs) concatenate directly; anything else goes through an object
-    array of Python values — ``np.concatenate`` would happily promote
-    int64+float64 to float64 and turn the int fragment's values into
-    floats the row path never produced.
-    """
-    if a.dtype == b.dtype or (a.dtype.kind == b.dtype.kind and a.dtype.kind in "US"):
-        return np.concatenate([a, b])
-    out = np.empty(len(a) + len(b), dtype=object)
-    if len(a):
-        out[: len(a)] = a.tolist() if a.dtype != object else a
-    if len(b):
-        out[len(a):] = b.tolist() if b.dtype != object else b
-    return out
 
 
 def _join_columnar(expr: Join, left, right, out_schema, kept_right):
@@ -605,7 +545,7 @@ def _join_columnar(expr: Join, left, right, out_schema, kept_right):
     nl, nr = len(left), len(right)
     lbatch = left.columnar()
     rbatch = right.columnar()
-    codes = _factorize_join_keys(lbatch, rbatch, expr.left_on(), expr.right_on())
+    codes = factorize_key_codes(lbatch, rbatch, expr.left_on(), expr.right_on())
     if codes is None:
         return None
     lcodes, rcodes, n_keys = codes
@@ -870,6 +810,22 @@ def _vector_values(term, cols, func_name):
 def _eval_merge(expr: Merge, leaves, memo) -> Relation:
     stale = _eval(expr.stale, leaves, memo)
     change = _eval(expr.change, leaves, memo)
+    if _COLUMNAR[0] and expr.key and len(stale) + len(change):
+        try:
+            fast = _merge_columnar(expr, stale, change)
+        except Exception:
+            # Anything the fast path cannot handle (exotic support
+            # values, ragged pieces) defers to the row loop, which
+            # produces the reference result or raises the reference
+            # error.
+            fast = None
+        if fast is not None:
+            return fast
+    return _merge_rows(expr, stale, change)
+
+
+def _merge_rows(expr: Merge, stale, change) -> Relation:
+    """Reference row-at-a-time merge (dict lookup per stale row)."""
     out_schema = stale.schema
     key_idx_stale = stale.schema.indexes(expr.key)
     key_idx_change = change.schema.indexes(expr.key)
@@ -883,20 +839,7 @@ def _eval_merge(expr: Merge, leaves, memo) -> Relation:
         change.schema.index(GROUP_COUNT) if GROUP_COUNT in change.schema else None
     )
 
-    # Resolve combiner plans: (out position, mode, change position).
-    plans = []
-    ratio_plans = []
-    for comb in expr.combiners:
-        out_pos = stale.schema.index(comb.column)
-        if comb.mode == "group":
-            continue
-        if comb.mode == "ratio":
-            num_pos = stale.schema.index(comb.args[0])
-            den_pos = stale.schema.index(comb.args[1])
-            ratio_plans.append((out_pos, num_pos, den_pos))
-            continue
-        change_pos = change.schema.index(comb.column)
-        plans.append((out_pos, comb.mode, change_pos))
+    plans, ratio_plans = expr.resolve_plans(stale.schema, change.schema)
 
     def combine_row(old_row, change_row):
         out = list(old_row)
@@ -966,3 +909,362 @@ def _eval_merge(expr: Merge, leaves, memo) -> Relation:
         if support is None or support > 0:
             rows.append(merged)
     return Relation(out_schema, rows, key=expr.key)
+
+
+def _merged_values(mode, old, delta):
+    """Vectorized combine of matched old/delta arrays, or None to fall back.
+
+    Each guard marks a place where numpy semantics would diverge from the
+    row path's ``combine_row``: object columns may carry ``None`` (which
+    ``add`` treats as 0 and ``replace``/``min``/``max`` skip), bool
+    addition is logical in numpy but numeric in Python, int64 sums can
+    wrap where Python's big ints don't, ``(x or 0) + (y or 0)`` yields
+    the *int* 0 when both float sides are zero, mixed-kind ``min``/
+    ``max`` would promote the int the row path returns unchanged, and
+    NaN/signed-zero comparisons are order-dependent in Python.
+    """
+    ok, dk = old.dtype.kind, delta.dtype.kind
+    if dk == "O":
+        return None
+    if mode == "replace":
+        # Typed change columns cannot hold None: the delta always wins.
+        return delta
+    if ok == "O":
+        return None
+    if mode == "add":
+        if ok not in "iuf" or dk not in "iuf":
+            return None
+        if ok in "iu" and dk in "iu":
+            if old.size and _int_bound(old) + _int_bound(delta) >= _INT64_SAFE:
+                return None
+            out = old + delta
+            # int64 ⊕ uint64 promotes to float64 — not value-faithful.
+            return out if out.dtype.kind in "iu" else None
+        # ``(x or 0)`` collapses a zero *float* to the int 0, so a float
+        # zero against an int side makes the row path produce an int sum
+        # (int + 0), and two float zeros the int 0 itself — both places
+        # where the vectorized float result would diverge in type.
+        if old.size:
+            if ok in "iu":
+                diverges = (delta == 0).any()
+            elif dk in "iu":
+                diverges = (old == 0).any()
+            else:
+                diverges = ((old == 0) & (delta == 0)).any()
+            if bool(diverges):
+                return None
+        return old + delta
+    # min / max
+    if ok != dk:
+        return None  # Python min(2, 2.5) keeps the int; numpy promotes
+    if ok == "f":
+        for arr in (old, delta):
+            if arr.size and (
+                np.isnan(arr).any() or bool((np.signbit(arr) & (arr == 0)).any())
+            ):
+                return None  # NaN/±0.0 ties are order-dependent row-wise
+    try:
+        return np.minimum(old, delta) if mode == "min" else np.maximum(old, delta)
+    except TypeError:
+        return None  # e.g. string min/max on numpy builds without str ufuncs
+
+
+def _inserted_values(mode, delta):
+    """Vectorized combine against an all-``None`` old side (insertions)."""
+    dk = delta.dtype.kind
+    if dk == "O":
+        return None
+    if mode == "add":
+        if dk not in "iuf":
+            return None
+        if dk == "f" and delta.size and bool((delta == 0).any()):
+            return None  # row path: 0 + (0.0 or 0) == int 0
+    # replace / min / max against None all reduce to the delta itself.
+    return delta
+
+
+def _combine_fallback(mode, old_vals, delta_vals):
+    """The row path's per-cell combine over Python value lists."""
+    out = []
+    if mode == "add":
+        for old, delta in zip(old_vals, delta_vals):
+            out.append((old or 0) + (delta or 0))
+    elif mode == "replace":
+        for old, delta in zip(old_vals, delta_vals):
+            out.append(delta if delta is not None else old)
+    else:
+        pick = min if mode == "min" else max
+        for old, delta in zip(old_vals, delta_vals):
+            if delta is None:
+                out.append(old)
+            else:
+                out.append(delta if old is None else pick(old, delta))
+    return out
+
+
+def _piece_values(piece, n):
+    """One merge piece as a list of Python values (``None`` = all-None)."""
+    if piece is None:
+        return [None] * n
+    if isinstance(piece, np.ndarray):
+        return piece.tolist() if piece.dtype != object else list(piece)
+    return piece
+
+
+def _ratio_values(num, den):
+    """Vectorized ``num/den if den else nan``, or None to fall back.
+
+    Python divides int/int through the exact rational (correctly
+    rounded), numpy through float64 operands — beyond 2**53 they differ,
+    so big-int ratios fall back; ``None`` operands (object pieces) do
+    too.  Zero/False denominators yield NaN exactly like the row path.
+    """
+    num = num if isinstance(num, np.ndarray) else column_to_array(num)
+    den = den if isinstance(den, np.ndarray) else column_to_array(den)
+    nk, dk = num.dtype.kind, den.dtype.kind
+    if nk not in "biuf" or dk not in "biuf":
+        return None
+    if nk in "biu" and dk in "biu":
+        if max(_int_bound(num), _int_bound(den)) >= _FLOAT_EXACT:
+            return None
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.true_divide(num, den)
+    return np.where(den == 0, np.nan, out)
+
+
+def _support_keep(piece, n):
+    """Per-row keep decisions from support values (None keeps the row)."""
+    if piece is None:
+        return np.ones(n, dtype=bool)
+    if isinstance(piece, np.ndarray) and piece.dtype.kind in "biuf":
+        return piece > 0
+    return np.fromiter(
+        (v is None or v > 0 for v in _piece_values(piece, n)),
+        dtype=bool,
+        count=n,
+    )
+
+
+def _merge_columnar(expr: Merge, stale, change):
+    """Key-factorized columnar merge, or None to fall back to the row path.
+
+    The stale-view and change-table keys are factorized into one dense
+    integer code space (:func:`~repro.algebra.columnar.
+    factorize_key_codes` — the hash join's machinery, with the same
+    object/NaN/≥2**53 fallback triggers).  Matched rows, stale-only rows
+    and change-only keys then come from pure array arithmetic:
+
+    * ``last[code]`` holds the change table's *last* row per key (the
+      row dict insertion kept), so ``last[scodes]`` matches every stale
+      row at once;
+    * change-only keys are the codes no stale row carries, emitted in
+      first-appearance order — exactly the row path's dict order;
+    * each combiner produces one merged value array per region
+      (matched / inserted) via :func:`_merged_values`, with a
+      per-combiner Python fallback when a guard trips, so a single
+      exotic column never forces the whole merge back to the row loop;
+    * ``drop_empty`` evaluates the support rule (explicit
+      ``__grpcount__``, implicit SPJ multiplicity, or always-keep) as a
+      boolean mask.
+
+    The output is a provider-backed batch: every column is a scatter of
+    the merged values into the stale column, gathered through the kept
+    positions, concatenated with the inserted rows' values — columns are
+    assembled only when something reads them.
+    """
+    out_schema = stale.schema
+    plans, ratio_plans = expr.resolve_plans(stale.schema, change.schema)
+    out_cols = stale.schema.columns
+    change_cols = change.schema.columns
+    planned = [out_pos for out_pos, _, _ in plans] + [p[0] for p in ratio_plans]
+    if len(set(planned)) != len(planned):
+        return None  # duplicate combiners chain sequentially row-wise
+    key_set = set(expr.key)
+    if any(out_cols[pos] in key_set for pos in planned):
+        # A value combiner on a key column sees the change key (not
+        # None) as the old value of inserted rows; only the row path
+        # models that.
+        return None
+
+    ns, nc = len(stale), len(change)
+    if nc == 0:
+        # Empty change table: the merge is the identity on the stale
+        # relation (unmatched rows are never dropped).
+        if stale.is_materialized:
+            return Relation.trusted(out_schema, stale.rows, key=expr.key)
+        return Relation.from_columnar(stale.columnar(), key=expr.key)
+
+    sbatch = stale.columnar()
+    cbatch = change.columnar()
+    codes = factorize_key_codes(sbatch, cbatch, expr.key, expr.key)
+    if codes is None:
+        return None
+    scodes, ccodes, n_keys = codes
+
+    # The change table's last row per key (dict overwrite semantics).
+    last = np.full(n_keys, -1, dtype=np.intp)
+    last[ccodes] = np.arange(nc, dtype=np.intp)
+    match_pos = last[scodes] if ns else np.zeros(0, dtype=np.intp)
+    matched_idx = np.flatnonzero(match_pos >= 0)
+    cmatch = match_pos[matched_idx]
+    n_match = len(matched_idx)
+
+    # Change-only keys in first-appearance order (dict insertion order).
+    stale_has = np.zeros(n_keys, dtype=bool)
+    if ns:
+        stale_has[scodes] = True
+    uniq_codes, first_occ = np.unique(ccodes, return_index=True)
+    new_first = np.sort(first_occ[~stale_has[uniq_codes]])
+    append_src = last[ccodes[new_first]]
+    n_append = len(append_src)
+
+    # ------------------------------------------------------------------
+    # Merged value pieces per combined column: (matched, inserted).
+    # ------------------------------------------------------------------
+    pieces = {}
+    for out_pos, mode, change_pos in plans:
+        name = out_cols[out_pos]
+        cname = change_cols[change_pos]
+        delta_m = cbatch.array(cname)[cmatch]
+        delta_a = cbatch.array(cname)[append_src]
+        old_m = sbatch.array(name)[matched_idx]
+        merged_m = _merged_values(mode, old_m, delta_m) if n_match else delta_m[:0]
+        if merged_m is None:
+            old_py = sbatch.pycolumn(name)
+            delta_py = cbatch.pycolumn(cname)
+            merged_m = _combine_fallback(
+                mode,
+                [old_py[i] for i in matched_idx],
+                [delta_py[j] for j in cmatch],
+            )
+        merged_a = _inserted_values(mode, delta_a) if n_append else delta_a[:0]
+        if merged_a is None:
+            delta_py = cbatch.pycolumn(cname)
+            merged_a = _combine_fallback(
+                mode, [None] * n_append, [delta_py[j] for j in append_src]
+            )
+        pieces[name] = (merged_m, merged_a)
+
+    def region_values(pos, region):
+        """Merged values of one column in one region ('m'atched/'a'ppend).
+
+        Columns without a value combiner keep the stale value when
+        matched; inserted rows carry the change key values and ``None``
+        everywhere else — exactly ``insert_row``'s synthetic old row.
+        """
+        name = out_cols[pos]
+        got = pieces.get(name)
+        if got is not None:
+            return got[0] if region == "m" else got[1]
+        if region == "m":
+            return sbatch.array(name)[matched_idx]
+        if name in key_set:
+            return cbatch.array(name)[append_src]
+        return None  # all-None
+
+    for out_pos, num_pos, den_pos in ratio_plans:
+        name = out_cols[out_pos]
+        ratio_pieces = []
+        for region, count in (("m", n_match), ("a", n_append)):
+            num = region_values(num_pos, region)
+            den = region_values(den_pos, region)
+            if num is None or den is None:
+                ratio = None
+            else:
+                ratio = _ratio_values(num, den)
+            if ratio is None:
+                nvals = _piece_values(num, count)
+                dvals = _piece_values(den, count)
+                ratio = [
+                    (n_ / d) if d else float("nan") for n_, d in zip(nvals, dvals)
+                ]
+            ratio_pieces.append(ratio)
+        pieces[name] = tuple(ratio_pieces)
+
+    # ------------------------------------------------------------------
+    # drop_empty: the support rule as keep masks over both regions.
+    # ------------------------------------------------------------------
+    if expr.drop_empty:
+        if GROUP_COUNT in stale.schema:
+            grp_pos = stale.schema.index(GROUP_COUNT)
+            keep_m = _support_keep(region_values(grp_pos, "m"), n_match)
+            keep_a = _support_keep(region_values(grp_pos, "a"), n_append)
+        elif GROUP_COUNT in change.schema:
+            # SPJ views: stale rows have implicit multiplicity one.
+            gvals = cbatch.array(GROUP_COUNT)
+            gm, ga = gvals[cmatch], gvals[append_src]
+            if gvals.dtype.kind in "iu" and (
+                not gvals.size or _int_bound(gvals) < _INT64_SAFE
+            ):
+                keep_m = (1 + gm) > 0
+                keep_a = ga > 0
+            elif gvals.dtype.kind == "f" and not (
+                gvals.size and np.isnan(gvals).any()
+            ):
+                keep_m = (1 + gm) > 0
+                keep_a = ga > 0
+            else:
+                keep_m = np.fromiter(
+                    ((1 + (v or 0)) > 0 for v in _piece_values(gm, n_match)),
+                    dtype=bool, count=n_match,
+                )
+                keep_a = np.fromiter(
+                    ((v or 0) > 0 for v in _piece_values(ga, n_append)),
+                    dtype=bool, count=n_append,
+                )
+        else:
+            keep_m = np.ones(n_match, dtype=bool)
+            keep_a = np.ones(n_append, dtype=bool)
+        keep_mask = np.ones(ns, dtype=bool)
+        keep_mask[matched_idx] = keep_m
+        keep_idx = np.flatnonzero(keep_mask)
+        app_keep = np.flatnonzero(keep_a)
+    else:
+        keep_idx = np.arange(ns, dtype=np.intp)
+        app_keep = np.arange(n_append, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # Output assembly: pure gathers/scatters, built lazily per column.
+    # ------------------------------------------------------------------
+    n_app_kept = len(app_keep)
+    all_kept = len(keep_idx) == ns  # no dropped rows: skip the gather
+
+    def piece_array(piece, gather_idx):
+        if isinstance(piece, np.ndarray):
+            return piece[gather_idx]
+        return column_to_array([piece[i] for i in gather_idx])
+
+    def make_provider(pos):
+        name = out_cols[pos]
+
+        def build():
+            got = pieces.get(name)
+            if got is not None:
+                scattered = (
+                    scatter_column(sbatch.array(name), matched_idx, got[0])
+                    if n_match
+                    else sbatch.array(name)
+                )
+                head = scattered if all_kept else scattered[keep_idx]
+                if not n_app_kept:
+                    return head
+                return concat_columns(head, piece_array(got[1], app_keep))
+            # Untouched column: share the stale array outright when every
+            # row survives (batches are immutable, sharing is the norm).
+            arr = sbatch.array(name)
+            head = arr if all_kept else arr[keep_idx]
+            if not n_app_kept:
+                return head
+            if name in key_set:
+                tail = cbatch.array(name)[append_src][app_keep]
+            else:
+                tail = np.empty(n_app_kept, dtype=object)  # all None
+            return concat_columns(head, tail)
+
+        return build
+
+    providers = {out_cols[pos]: make_provider(pos) for pos in range(len(out_cols))}
+    batch = ColumnarRelation.from_providers(
+        out_schema, providers, len(keep_idx) + n_app_kept
+    )
+    return Relation.from_columnar(batch, key=expr.key)

@@ -436,6 +436,34 @@ class Merge(Expr):
         stale, change = children
         return Merge(stale, change, self.key, self.combiners, self.drop_empty)
 
+    def resolve_plans(self, stale_schema, change_schema):
+        """Bind the combiners to column positions of both input schemas.
+
+        Returns ``(plans, ratio_plans)`` where ``plans`` is a list of
+        ``(out_pos, mode, change_pos)`` value combiners applied first and
+        ``ratio_plans`` a list of ``(out_pos, num_pos, den_pos)`` derived
+        columns computed afterwards from the merged values (avg =
+        hidden sum ÷ count).  ``group`` combiners resolve to nothing —
+        the key columns are the merge's join attributes, not combined
+        values.  Shared by the row and the columnar engines, so both
+        surface the same :class:`~repro.errors.SchemaError` for a
+        combiner naming a missing column.
+        """
+        plans = []
+        ratio_plans = []
+        for comb in self.combiners:
+            out_pos = stale_schema.index(comb.column)
+            if comb.mode == "group":
+                continue
+            if comb.mode == "ratio":
+                num_pos = stale_schema.index(comb.args[0])
+                den_pos = stale_schema.index(comb.args[1])
+                ratio_plans.append((out_pos, num_pos, den_pos))
+                continue
+            change_pos = change_schema.index(comb.column)
+            plans.append((out_pos, comb.mode, change_pos))
+        return plans, ratio_plans
+
     def __repr__(self):
         return (
             f"Merge[key={list(self.key)}; "

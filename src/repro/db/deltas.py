@@ -6,6 +6,16 @@ is *stale* exactly when ∂D is non-empty for any of its base relations.
 
 Deletions are stored as full rows (not just keys) because change-table
 maintenance must subtract the deleted records' aggregate contributions.
+
+Pending changes *telescope*: deleting a row that is itself pending
+insertion cancels the insertion (and vice versa), so the signed
+multiplicities a change table reads are always the net effect of the
+period — updating the same key repeatedly between refreshes composes
+(see :class:`Delta`).  The materialized ``R__ins``/``R__del`` leaf
+relations are memoized between mutations, which keeps their hash-sample
+and shard-partition caches warm across the maintenance round; sharded
+maintenance partitions these delta relations alongside their base
+relation (:mod:`repro.distributed.shard`).
 """
 
 from __future__ import annotations

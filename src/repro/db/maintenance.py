@@ -27,6 +27,18 @@ Two strategies are implemented:
 
 Both strategies produce S' exactly; the property tests check them against
 each other on randomized inputs.
+
+Execution is batch-native end-to-end: the strategy expression evaluates
+through the columnar engine (vectorized σ/Π/⋈/γ), the change-table fold
+across dirty relations is a chain of ``Merge`` nodes
+(``drop_empty=False``) and the final merge into the stale view a keyed
+``Merge`` — all of which run the key-factorized columnar merge of
+:mod:`repro.algebra.evaluator`, so a maintenance round needs no Python
+per-row work unless a value genuinely does not vectorize.  When the
+global shard count (:func:`repro.distributed.shard.set_shard_count`) is
+above one, :func:`maintain` partitions the leaf environment per shard
+and evaluates the same expression shard-parallel (see
+``docs/maintenance.md`` and ``docs/sharding.md``).
 """
 
 from __future__ import annotations

@@ -19,6 +19,13 @@ Three pieces live here:
 * :func:`evaluate_sharded` / :func:`_run_tasks` — run the per-shard
   evaluations serially, on a thread pool, or on a persistent fork-based
   process pool (``concurrent.futures``), and concatenate the results.
+  Shard results travel as *columnar batches*: a worker returns its
+  relation exactly as the batch-native evaluator produced it (the
+  vectorized join/merge pipeline ends in a column batch, not rows), so
+  process-backend payloads pickle as numpy buffers and the concatenated
+  view stays columnar until something reads its rows.  Shards untouched
+  by the pending delta are skipped structurally and their slice of the
+  stale view is reused as-is.
 * :func:`set_shard_count` — the global toggle.  ``set_shard_count(1)``
   (the default) is the reference single-shard path; every sharded result
   is row-for-row equal to it (property-tested in
@@ -349,10 +356,18 @@ def last_shard_report() -> Optional[ShardRunReport]:
 
 
 def _run_local_task(task):
+    """Evaluate one shard's task; returns ``(relation, seconds)``.
+
+    The relation is returned *as evaluated* — columnar-backed results
+    (vectorized joins, the columnar merge) stay columnar.  On the
+    process backend they therefore pickle as numpy column buffers
+    instead of per-row tuples, which is both smaller and skips the
+    worker-side row materialization entirely.
+    """
     expr, leaves = task[0], task[1]
     t0 = time.perf_counter()
     rel = evaluate(expr, leaves)
-    return rel.schema.columns, rel.rows, time.perf_counter() - t0
+    return rel, time.perf_counter() - t0
 
 
 def _run_worker_task(task):
@@ -438,6 +453,50 @@ def _run_tasks(tasks, config: ShardConfig):
     return list(pool.map(_run_local_task, tasks)), "thread"
 
 
+def _concat_shard_parts(schema, parts: List[Relation]) -> Relation:
+    """Concatenate per-shard results into one relation.
+
+    When every non-empty part is still columnar-backed the result stays
+    columnar: each output column is a lazy, value-faithful concatenation
+    of the shard columns, so a maintenance round whose shards all
+    produced batches (vectorized joins ending in the columnar merge)
+    never builds row tuples at the coordinator — the maintained view
+    materializes rows only if something reads them.  As soon as one part
+    is row-backed (identity slices of the stale view, row-path
+    fallbacks) the row lists are concatenated directly instead.
+    """
+    from repro.algebra.columnar import ColumnarRelation, concat_column_parts
+
+    filled = [p for p in parts if len(p)]
+    if not filled:
+        return Relation(schema, [])
+    if len(filled) == 1:
+        only = filled[0]
+        if only.is_materialized:
+            return Relation.trusted(schema, only.rows)
+        return Relation.from_columnar(only.columnar())
+    if any(p.is_materialized for p in filled):
+        rows: List[tuple] = []
+        for p in filled:
+            rows.extend(p.rows)
+        return Relation.trusted(schema, rows)
+    batches = [p.columnar() for p in filled]
+    nrows = sum(b.nrows for b in batches)
+
+    def concat(name):
+        def build():
+            # One multi-way pass: pairwise concatenation would re-copy
+            # the growing prefix once per shard.
+            return concat_column_parts([b.array(name) for b in batches])
+
+        return build
+
+    batch = ColumnarRelation.from_providers(
+        schema, {c: concat(c) for c in schema.columns}, nrows
+    )
+    return Relation.from_columnar(batch)
+
+
 def evaluate_sharded(
     expr: Expr,
     leaves: Mapping,
@@ -481,30 +540,36 @@ def evaluate_sharded(
     results, backend_used = _run_tasks(tasks, config)
 
     schema = None
-    rows: List[tuple] = []
+    parts: List = []
     timings: List[ShardTiming] = []
     by_shard = dict(zip(task_shards, results))
     for s in range(n):
         if s in by_shard:
-            cols, shard_rows, seconds = by_shard[s]
+            rel, seconds = by_shard[s]
             if schema is None:
-                schema = cols
-            rows.extend(shard_rows)
+                schema = rel.schema
+            parts.append(rel)
             timings.append(
-                ShardTiming(shard=s, rows=len(shard_rows), seconds=seconds,
+                ShardTiming(shard=s, rows=len(rel), seconds=seconds,
                             skipped=False)
             )
         else:
             shard_rows = identity_rows[s] if identity_rows else []
-            rows.extend(shard_rows)
+            parts.append(shard_rows)
             timings.append(
                 ShardTiming(shard=s, rows=len(shard_rows), seconds=0.0,
                             skipped=True)
             )
     if schema is None:
         # Every shard was skipped: the result is the reassembled input.
-        schema = derive_schema(expr, leaves).columns
-    out = Relation(schema, rows)
+        schema = derive_schema(expr, leaves)
+    # Identity slices arrive as raw (already-validated) row lists; wrap
+    # them once the schema is known.
+    parts = [
+        p if isinstance(p, Relation) else Relation.trusted(schema, p)
+        for p in parts
+    ]
+    out = _concat_shard_parts(schema, parts)
     try:
         out.key = derive_key(expr, leaves)
     except KeyDerivationError:

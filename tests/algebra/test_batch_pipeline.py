@@ -372,3 +372,144 @@ class TestFromColumnar:
         second = evaluate(expr, {"R": rel})
         assert first.rows == second.rows
         assert rel._sample_cache  # populated by the first evaluation
+
+
+class TestProviderRelease:
+    """Provider closures must not chain batches across maintenance rounds.
+
+    A provider captures its parent batches (a σ output holds its child,
+    a merge output the stale view and the change table).  Once a column
+    is cached the provider must be dropped, otherwise every maintenance
+    round's view would retain the previous round's batches — an
+    unbounded leak for long-lived views.
+    """
+
+    def test_provider_dropped_once_column_cached(self):
+        schema = Schema(["a", "b"])
+        batch = ColumnarRelation.from_providers(
+            schema,
+            {"a": lambda: np.asarray([1, 2]), "b": lambda: np.asarray([3, 4])},
+            2,
+        )
+        batch.array("a")
+        assert "a" not in (batch._providers or {})
+        assert batch._providers is not None  # "b" still pending
+        batch.array("b")
+        assert batch._providers is None  # fully drained
+        assert batch.array("a").tolist() == [1, 2]  # cache still serves
+        with pytest.raises(KeyError):
+            batch.array("missing")
+
+    def test_merge_output_releases_input_batches(self):
+        """A fully-read merge result drops its stale/change references."""
+        import gc
+        import weakref
+
+        from repro.algebra import GROUP_COUNT, Combiner, Merge
+
+        schema_s = Schema(["g", "n", GROUP_COUNT])
+        schema_c = Schema(["g", "n", GROUP_COUNT])
+        stale = Relation(schema_s, [(g, g, 1) for g in range(50)], name="S")
+        change = Relation(schema_c, [(g, 1, 1) for g in range(0, 80, 2)],
+                          name="C")
+        expr = Merge(
+            BaseRel("S"), BaseRel("C"), ("g",),
+            [Combiner("g", "group"), Combiner("n", "add"),
+             Combiner(GROUP_COUNT, "add")],
+        )
+        out = evaluate(expr, {"S": stale, "C": change})
+        assert not out.is_materialized
+        # Weakrefs to the *input* column arrays (ColumnarRelation itself
+        # has __slots__ without __weakref__): once the output is fully
+        # read and the inputs dropped, nothing may keep them alive.
+        ref_s = weakref.ref(stale.columnar().array("n"))
+        ref_c = weakref.ref(change.columnar().array("n"))
+        out.rows  # materializes every column, draining the providers
+        assert out._columnar._providers is None
+        del stale, change
+        gc.collect()
+        assert ref_s() is None and ref_c() is None
+
+    def test_concurrent_reads_of_shared_provider_batch(self):
+        """Shared batches may be read from several threads (maintained
+        views are queried concurrently); the provider release must never
+        turn a benign double-build into a KeyError/TypeError."""
+        import threading
+        import time
+
+        schema = Schema(["a", "b", "c"])
+
+        def slow_provider(value):
+            def build():
+                time.sleep(0.001)  # widen the build/release window
+                return np.asarray([value] * 10)
+
+            return build
+
+        errors = []
+        for _ in range(20):
+            batch = ColumnarRelation.from_providers(
+                schema, {n: slow_provider(i) for i, n in enumerate(schema.columns)}, 10
+            )
+            barrier = threading.Barrier(4)
+
+            def reader():
+                try:
+                    barrier.wait()
+                    for n in ("a", "b", "c"):
+                        assert batch.array(n).tolist() == [
+                            list(schema.columns).index(n)
+                        ] * 10
+                except Exception as exc:  # noqa: BLE001 - collected for assert
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors, errors
+
+    def test_nested_provider_drain(self):
+        """A provider that reads a sibling column (gather-of-gather
+        chains do this) must survive the release bookkeeping."""
+        schema = Schema(["a", "b"])
+        holder = {}
+
+        def build_a():
+            # Draining "b" while "a" is mid-build empties the dict
+            # transiently.
+            holder["batch"].array("b")
+            return np.asarray([1, 2])
+
+        batch = ColumnarRelation.from_providers(
+            schema, {"a": build_a, "b": lambda: np.asarray([3, 4])}, 2
+        )
+        holder["batch"] = batch
+        assert batch.array("a").tolist() == [1, 2]
+        assert batch.array("b").tolist() == [3, 4]
+        assert batch._providers is None
+
+
+class TestConcatColumnParts:
+    def test_single_pass_same_dtype(self):
+        from repro.algebra.columnar import concat_column_parts
+
+        parts = [np.asarray([i, i + 1]) for i in range(5)]
+        out = concat_column_parts(parts)
+        assert out.dtype.kind == "i"
+        assert out.tolist() == [0, 1, 1, 2, 2, 3, 3, 4, 4, 5]
+
+    def test_mixed_dtypes_stay_value_faithful(self):
+        from repro.algebra.columnar import concat_column_parts
+
+        parts = [
+            np.asarray([1, 2]),
+            np.asarray([0.5]),
+            column_to_array([None, "x"]),
+            np.asarray([], dtype=float),
+        ]
+        out = concat_column_parts(parts)
+        assert out.dtype == object
+        assert out.tolist() == [1, 2, 0.5, None, "x"]
+        assert type(out[0]) is int and type(out[2]) is float

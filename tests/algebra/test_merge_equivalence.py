@@ -1,0 +1,399 @@
+"""Columnar vs row ``Merge`` equivalence (property-style, hypothesis).
+
+The key-factorized columnar merge must be invisible: for every combiner
+mode (``add``, ``replace``, ``min``/``max``, ``ratio``), for
+``drop_empty`` on and off, over duplicate and missing keys, all-delete
+change tables, and keys that force the row fallback (NaN, ``None``,
+mixed-type object columns), the columnar engine must produce *exactly*
+the row engine's rows, in exactly the row engine's order.  Comparison is
+by ``repr``, which distinguishes ``0`` from ``0.0`` and ``-0.0`` and
+treats two NaNs as equal — stricter than ``==``.
+
+A second group of tests runs the merge where it actually lives: inside
+sharded change-table maintenance, checking shard counts 1/2/3/7 against
+the single-shard reference row for row.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    GROUP_COUNT,
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Combiner,
+    Join,
+    Merge,
+    Relation,
+    Schema,
+    col,
+    evaluate,
+    set_columnar_enabled,
+)
+from repro.db import Catalog, Database, maintain
+from repro.distributed import set_shard_count
+
+STALE_SCHEMA = Schema(["g", "tag", "cnt", "tot", "mean", GROUP_COUNT])
+CHANGE_SCHEMA = Schema(["g", "tag", "cnt", "tot", GROUP_COUNT])
+
+
+def both_engines(expr, leaves):
+    """Evaluate ``expr`` under the columnar and the row engine."""
+    old = set_columnar_enabled(True)
+    try:
+        fast = evaluate(expr, dict(leaves))
+        fast_rows = list(fast.rows)
+        set_columnar_enabled(False)
+        slow = evaluate(expr, dict(leaves))
+    finally:
+        set_columnar_enabled(old)
+    return (fast.schema, fast_rows), (slow.schema, list(slow.rows))
+
+
+def assert_rows_identical(fast, slow):
+    """Row-for-row, order-preserving, repr-exact equality."""
+    fast_schema, fast_rows = fast
+    slow_schema, slow_rows = slow
+    assert fast_schema == slow_schema
+    assert [tuple(map(repr, r)) for r in fast_rows] == [
+        tuple(map(repr, r)) for r in slow_rows
+    ]
+
+
+def spja_combiners():
+    return [
+        Combiner("g", "group"),
+        Combiner("cnt", "add"),
+        Combiner("tot", "add"),
+        Combiner(GROUP_COUNT, "add"),
+        Combiner("mean", "ratio", ("tot", GROUP_COUNT)),
+    ]
+
+
+# Small key spaces force duplicate, matched, and change-only keys alike.
+stale_rows = st.lists(
+    st.tuples(
+        st.integers(0, 8),
+        st.sampled_from(["x", "y"]),
+        st.integers(-5, 5),
+        st.floats(-50, 50, allow_nan=False),
+        st.floats(-50, 50, allow_nan=False),
+        st.integers(0, 4),
+    ),
+    min_size=0,
+    max_size=25,
+)
+change_rows = st.lists(
+    st.tuples(
+        st.integers(0, 12),
+        st.sampled_from(["x", "y"]),
+        st.integers(-5, 5),
+        st.floats(-50, 50, allow_nan=False),
+        st.integers(-4, 4),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+class TestMergeEquivalenceProperties:
+    @given(stale_rows, change_rows, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_add_ratio_single_key(self, srows, crows, drop):
+        """sum/count/avg combiners over duplicate and missing int keys."""
+        expr = Merge(
+            BaseRel("S"), BaseRel("C"), ("g",), spja_combiners(), drop_empty=drop
+        )
+        leaves = {
+            "S": Relation(STALE_SCHEMA, srows, name="S"),
+            "C": Relation(CHANGE_SCHEMA, crows, name="C"),
+        }
+        fast, slow = both_engines(expr, leaves)
+        assert_rows_identical(fast, slow)
+
+    @given(stale_rows, change_rows, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_column_key(self, srows, crows, drop):
+        """Composite (int, str) merge keys factorize via stacked codes."""
+        combiners = spja_combiners() + [Combiner("tag", "group")]
+        expr = Merge(
+            BaseRel("S"), BaseRel("C"), ("g", "tag"), combiners, drop_empty=drop
+        )
+        leaves = {
+            "S": Relation(STALE_SCHEMA, srows, name="S"),
+            "C": Relation(CHANGE_SCHEMA, crows, name="C"),
+        }
+        fast, slow = both_engines(expr, leaves)
+        assert_rows_identical(fast, slow)
+
+    @given(stale_rows, change_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_replace_min_max(self, srows, crows):
+        """SPJ-style upsert combiners plus insert-only extrema."""
+        combiners = [
+            Combiner("g", "group"),
+            Combiner("tag", "replace"),
+            Combiner("cnt", "max"),
+            Combiner("tot", "min"),
+            Combiner(GROUP_COUNT, "add"),
+        ]
+        expr = Merge(BaseRel("S"), BaseRel("C"), ("g",), combiners)
+        leaves = {
+            "S": Relation(STALE_SCHEMA, srows, name="S"),
+            "C": Relation(CHANGE_SCHEMA, crows, name="C"),
+        }
+        fast, slow = both_engines(expr, leaves)
+        assert_rows_identical(fast, slow)
+
+    @given(stale_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_all_delete_change_table(self, srows):
+        """A change table of pure deletions empties (some) groups."""
+        # One deletion row per distinct stale key: exactly −grpcount, so
+        # every matched group's support telescopes to zero and is
+        # dropped; unmatched keys (−1 support) stay change-only inserts
+        # that drop_empty removes too.
+        seen = {}
+        for g, tag, cnt, tot, mean, grp in srows:
+            seen.setdefault(g, (tag, cnt, tot, grp))
+        crows = [
+            (g, tag, -cnt, -tot, -grp) for g, (tag, cnt, tot, grp) in seen.items()
+        ] + [(99, "x", 0, 0.0, -1)]
+        expr = Merge(BaseRel("S"), BaseRel("C"), ("g",), spja_combiners())
+        leaves = {
+            "S": Relation(STALE_SCHEMA, srows, name="S"),
+            "C": Relation(CHANGE_SCHEMA, crows, name="C"),
+        }
+        fast, slow = both_engines(expr, leaves)
+        assert_rows_identical(fast, slow)
+
+    @given(stale_rows, change_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_spj_implicit_support(self, srows, crows):
+        """Stale side without ``__grpcount__``: implicit multiplicity 1."""
+        stale_schema = Schema(["g", "tag", "cnt", "tot", "mean"])
+        combiners = [
+            Combiner("g", "group"),
+            Combiner("tag", "replace"),
+            Combiner("cnt", "replace"),
+            Combiner("tot", "replace"),
+        ]
+        expr = Merge(BaseRel("S"), BaseRel("C"), ("g",), combiners)
+        leaves = {
+            "S": Relation(stale_schema, [r[:5] for r in srows], name="S"),
+            "C": Relation(CHANGE_SCHEMA, crows, name="C"),
+        }
+        fast, slow = both_engines(expr, leaves)
+        assert_rows_identical(fast, slow)
+
+
+# Keys drawn from values that defeat factorization: NaN (np.unique
+# collapses it, rows never match it), None and mixed int/str (object
+# dtype), and ints beyond 2**53 next to floats.
+fallback_key = st.one_of(
+    st.integers(0, 5),
+    st.floats(allow_nan=True, allow_infinity=False, width=32),
+    st.none(),
+    st.sampled_from(["a", "b"]),
+    st.integers(2**53, 2**53 + 3),
+)
+fallback_stale = st.lists(
+    st.tuples(
+        fallback_key,
+        st.sampled_from(["x", "y"]),
+        st.one_of(st.none(), st.integers(-5, 5)),
+        st.one_of(st.none(), st.floats(-50, 50, allow_nan=False)),
+        st.floats(-50, 50, allow_nan=False),
+        st.one_of(st.none(), st.integers(0, 4)),
+    ),
+    min_size=0,
+    max_size=15,
+)
+fallback_change = st.lists(
+    st.tuples(
+        fallback_key,
+        st.sampled_from(["x", "y"]),
+        st.one_of(st.none(), st.integers(-5, 5)),
+        st.one_of(st.none(), st.floats(-50, 50, allow_nan=False)),
+        st.integers(-4, 4),
+    ),
+    min_size=0,
+    max_size=15,
+)
+
+
+class TestMergeFallbacks:
+    @given(fallback_stale, fallback_change, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_fallback_keys_and_none_values(self, srows, crows, drop):
+        """NaN/None/mixed-type keys and None-bearing value columns.
+
+        These force the whole-merge fallback (object or NaN key columns)
+        or the per-combiner fallback (None among the combined values);
+        either way the result must be the row engine's, exactly.
+        """
+        expr = Merge(
+            BaseRel("S"), BaseRel("C"), ("g",), spja_combiners(), drop_empty=drop
+        )
+        leaves = {
+            "S": Relation(STALE_SCHEMA, srows, name="S"),
+            "C": Relation(CHANGE_SCHEMA, crows, name="C"),
+        }
+        fast, slow = both_engines(expr, leaves)
+        assert_rows_identical(fast, slow)
+
+    # One side int, the other float with exact zeros (±0.0) well
+    # represented: `(x or 0)` collapses a falsy float to the *int* 0, so
+    # these adds must match the row engine's value types exactly.
+    int_vals = st.integers(-3, 3)
+    zeroish_floats = st.sampled_from([-2.5, -0.0, 0.0, 1.0, 3.5])
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 6), int_vals), max_size=12),
+        st.lists(st.tuples(st.integers(0, 9), zeroish_floats), max_size=12),
+        st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mixed_int_float_add_with_zeros(self, srows, crows, flip):
+        """int ⊕ float `add` columns where the float side carries zeros."""
+        if flip:
+            srows, crows = crows, srows
+        schema = Schema(["g", "v"])
+        expr = Merge(
+            BaseRel("S"), BaseRel("C"), ("g",),
+            [Combiner("g", "group"), Combiner("v", "add")],
+        )
+        leaves = {
+            "S": Relation(schema, srows, name="S"),
+            "C": Relation(schema, crows, name="C"),
+        }
+        fast, slow = both_engines(expr, leaves)
+        assert_rows_identical(fast, slow)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 6), zeroish_floats), max_size=12),
+        st.lists(st.tuples(st.integers(0, 9), zeroish_floats), max_size=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_float_float_add_with_zeros(self, srows, crows):
+        """Both-zero float adds yield the row engine's int 0."""
+        schema = Schema(["g", "v"])
+        expr = Merge(
+            BaseRel("S"), BaseRel("C"), ("g",),
+            [Combiner("g", "group"), Combiner("v", "add")],
+        )
+        leaves = {
+            "S": Relation(schema, srows, name="S"),
+            "C": Relation(schema, crows, name="C"),
+        }
+        fast, slow = both_engines(expr, leaves)
+        assert_rows_identical(fast, slow)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 6), st.integers(2**61, 2**64)),
+                 min_size=0, max_size=10),
+        st.lists(st.tuples(st.integers(0, 9), st.integers(2**61, 2**64)),
+                 min_size=0, max_size=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_int64_overflow_add_falls_back(self, srows, crows):
+        """Sums that could wrap int64 must use Python's big ints."""
+        schema = Schema(["g", "big"])
+        expr = Merge(
+            BaseRel("S"), BaseRel("C"), ("g",),
+            [Combiner("g", "group"), Combiner("big", "add")],
+        )
+        leaves = {
+            "S": Relation(schema, srows, name="S"),
+            "C": Relation(schema, crows, name="C"),
+        }
+        fast, slow = both_engines(expr, leaves)
+        assert_rows_identical(fast, slow)
+
+    def test_empty_sides(self):
+        expr = Merge(BaseRel("S"), BaseRel("C"), ("g",), spja_combiners())
+        empty_s = Relation(STALE_SCHEMA, [], name="S")
+        empty_c = Relation(CHANGE_SCHEMA, [], name="C")
+        full_s = Relation(
+            STALE_SCHEMA, [(1, "x", 2, 4.0, 2.0, 2)], name="S"
+        )
+        full_c = Relation(CHANGE_SCHEMA, [(1, "x", 1, 2.0, 1)], name="C")
+        for leaves in (
+            {"S": empty_s, "C": empty_c},
+            {"S": empty_s, "C": full_c},
+            {"S": full_s, "C": empty_c},
+        ):
+            fast, slow = both_engines(expr, leaves)
+            assert_rows_identical(fast, slow)
+
+
+# ----------------------------------------------------------------------
+# The merge where it lives: sharded change-table maintenance.
+# ----------------------------------------------------------------------
+def _build_db(rows):
+    db = Database()
+    db.add_relation(Relation(Schema(["sessionId", "videoId"]), rows,
+                             key=("sessionId",), name="Log"))
+    db.add_relation(Relation(
+        Schema(["videoId", "ownerId"]),
+        [(v, v % 2) for v in range(8)], key=("videoId",), name="Video",
+    ))
+    return db
+
+
+def _spja_view(db):
+    join = Join(BaseRel("Log"), BaseRel("Video"),
+                on=[("videoId", "videoId")], foreign_key=True)
+    return Catalog(db).create_view(
+        "v", Aggregate(join, ["videoId", "ownerId"],
+                       [AggSpec("visits", "count"),
+                        AggSpec("ssum", "sum", col("sessionId")),
+                        AggSpec("smean", "avg", col("sessionId"))]),
+    )
+
+
+maintenance_rows = st.lists(
+    st.tuples(st.integers(0, 150), st.integers(0, 6)),
+    min_size=0, max_size=25, unique_by=lambda r: r[0],
+)
+maintenance_inserts = st.lists(
+    st.tuples(st.integers(200, 400), st.integers(0, 7)),
+    min_size=0, max_size=10, unique_by=lambda r: r[0],
+)
+
+
+class TestMergeUnderSharding:
+    @given(
+        maintenance_rows,
+        maintenance_inserts,
+        st.lists(st.integers(0, 24), min_size=0, max_size=6, unique=True),
+        st.sampled_from((1, 2, 3, 7)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sharded_columnar_merge_equals_reference(
+        self, rows, new_rows, delete_idx, shards
+    ):
+        """Shard counts 1/2/3/7: per-shard columnar merges concatenate
+        to exactly the single-shard row-engine result."""
+        results = []
+        for count, columnar in ((1, False), (shards, True)):
+            db = _build_db(rows)
+            view = _spja_view(db)
+            if new_rows:
+                db.insert("Log", new_rows)
+            base = db.relation("Log")
+            picks = [base.rows[i] for i in delete_idx if i < len(base.rows)]
+            if picks:
+                db.delete("Log", list(dict.fromkeys(picks)))
+            old_columnar = set_columnar_enabled(columnar)
+            set_shard_count(count, backend="serial")
+            try:
+                maintained = maintain(view)
+                results.append(
+                    sorted(tuple(map(repr, r)) for r in maintained.rows)
+                )
+            finally:
+                set_shard_count(1)
+                set_columnar_enabled(old_columnar)
+        assert results[0] == results[1]
