@@ -1,0 +1,280 @@
+"""Benchmark: shared-memory shard transport vs per-round pickle shipping.
+
+Maintains an SPJA join view (activity ⋈ items, grouped, count/sum/avg)
+through several consecutive delta periods on the ``process`` backend,
+once per transport:
+
+* ``pickle`` — the reference transport: every round serializes the full
+  shard environment (including the large, *static* ``items`` dimension,
+  replicated into every task) into the task payloads.
+* ``shm`` — the shared-memory columnar transport: each distinct
+  relation is exported once into a shared-memory segment of numpy
+  column buffers and stays resident in the pool workers; steady-state
+  rounds ship only the partitioned delta columns, the freshly
+  maintained view, and a manifest diff.
+
+Gates (both full and ``--quick`` CI runs):
+
+* row-for-row equivalence of every round's maintained view against the
+  single-shard reference, for both transports;
+* steady-state rounds over ``shm`` ship at least ``BYTES_RATIO_GATE``×
+  fewer serialized input bytes than over ``pickle``.
+
+The full run additionally requires the shm steady-state round to be no
+slower than the pickle one (the transport exists to *remove* work); the
+quick run records the latency ratio without gating it, since CI
+machines give 1–2 noisy cores.
+
+Run under pytest (``pytest benchmarks/bench_shard_transport.py
+[--quick]``) or standalone (``python benchmarks/bench_shard_transport.py
+[--quick] [--delta N] [--rounds N]``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Relation,
+    Schema,
+    col,
+)
+from repro.db import Catalog, Database, maintain
+from repro.distributed import last_shard_report, set_shard_count
+from repro.distributed.shard import shutdown_shard_pool
+
+FULL_DELTA = 100_000
+QUICK_DELTA = 10_000
+SHARDS = 4
+WORKERS = 4
+ROUNDS = 3  # round 0 is the cold ship; the rest are steady state
+#: Steady-state serialized input bytes: pickle transport must ship at
+#: least this many times more than shm.  Gated in every mode (CI quick
+#: included) — this is the acceptance criterion of the transport.
+BYTES_RATIO_GATE = 10.0
+#: Full mode only: the shm steady-state round must not be slower.
+FULL_LATENCY_GATE = 1.0
+
+
+def _build(n_delta: int, seed: int = 11):
+    """Small dirty fact, large static dimension — the residency shape.
+
+    ``items`` is 10× the delta and never touched, so the pickle transport
+    re-ships it (replicated, once per task) every round while the shm
+    transport ships it exactly once.  The group key lives on the fact
+    only, which keeps the dimension replicated — the worst case for the
+    pickle path and the common schema shape (facts churn, dimensions
+    do not).
+    """
+    n_fact = n_delta * 2
+    n_items = n_delta * 10
+    n_groups = max(100, n_delta // 25)
+    rng = np.random.default_rng(seed)
+
+    db = Database()
+    grp = rng.integers(0, n_groups, n_fact)
+    item = rng.integers(0, n_items, n_fact)
+    val = rng.exponential(30.0, n_fact)
+    db.add_relation(Relation(
+        Schema(["id", "grp", "item", "val"]),
+        [
+            (i, int(g), int(it), float(v))
+            for i, (g, it, v) in enumerate(zip(grp, item, val))
+        ],
+        key=("id",), name="activity",
+    ))
+    db.add_relation(Relation(
+        Schema(["item", "weight"]),
+        [(i, float(1 + i % 9)) for i in range(n_items)],
+        key=("item",), name="items",
+    ))
+    view = Catalog(db).create_view(
+        "byGroup",
+        Aggregate(
+            Join(BaseRel("activity"), BaseRel("items"),
+                 on=[("item", "item")], foreign_key=True),
+            ["grp"],
+            [
+                AggSpec("n", "count"),
+                AggSpec("total", "sum", col("val") * col("weight")),
+                AggSpec("mean", "avg", col("val")),
+            ],
+        ),
+    )
+    maintain(view)  # materialize the initial view
+    return db, view
+
+
+def _apply_period(db, n_delta: int, round_no: int, seed: int = 11):
+    """One delta period on the fact table (deterministic per round)."""
+    rng = np.random.default_rng(seed * 1000 + round_no)
+    n_groups = max(100, n_delta // 25)
+    n_items = n_delta * 10
+    n_ins = n_delta * 6 // 10
+    n_del = n_delta - n_ins
+    base = n_delta * 10 * (round_no + 1)
+    db.insert("activity", [
+        (base + i, int(g), int(it), float(v))
+        for i, (g, it, v) in enumerate(zip(
+            rng.integers(0, n_groups, n_ins),
+            rng.integers(0, n_items, n_ins),
+            rng.exponential(30.0, n_ins),
+        ))
+    ])
+    rows = db.relation("activity").rows
+    picks = rng.choice(len(rows), n_del, replace=False)
+    db.delete("activity", [rows[i] for i in picks])
+
+
+def _run_mode(n_delta: int, mode: str, rounds: int, shards: int,
+              workers: int) -> list:
+    """Maintain ``rounds`` consecutive periods; returns per-round dicts."""
+    db, view = _build(n_delta)
+    if mode == "reference":
+        set_shard_count(1)
+    else:
+        set_shard_count(shards, backend="process", max_workers=workers,
+                        transport=mode)
+    out = []
+    try:
+        for r in range(rounds):
+            _apply_period(db, n_delta, r)
+            t0 = time.perf_counter()
+            maintained = maintain(view)
+            seconds = time.perf_counter() - t0
+            report = last_shard_report() if mode != "reference" else None
+            db.apply_deltas()
+            out.append({
+                "round": r,
+                "seconds": seconds,
+                "rows": sorted(maintained.rows, key=repr),
+                "transport": report.transport.transport if report else "none",
+                "input_bytes": report.transport.input_bytes if report else 0,
+                "resident_bytes": (
+                    report.transport.shm_resident_bytes if report else 0
+                ),
+            })
+    finally:
+        set_shard_count(1)
+    return out
+
+
+def run_bench(n_delta: int = FULL_DELTA, rounds: int = ROUNDS,
+              shards: int = SHARDS, workers: int = WORKERS) -> dict:
+    """Run all three modes over identical delta sequences; compare."""
+    try:
+        reference = _run_mode(n_delta, "reference", rounds, shards, workers)
+        pickle_rounds = _run_mode(n_delta, "pickle", rounds, shards, workers)
+        shm_rounds = _run_mode(n_delta, "shm", rounds, shards, workers)
+    finally:
+        shutdown_shard_pool()
+
+    # Equivalence gate: every round, both transports, row-for-row.
+    for mode_rounds, mode in ((pickle_rounds, "pickle"), (shm_rounds, "shm")):
+        for ref, got in zip(reference, mode_rounds):
+            assert got["rows"] == ref["rows"], (
+                f"{mode} transport diverged from the single-shard reference "
+                f"in round {got['round']}"
+            )
+
+    assert all(r["transport"] == "shm" for r in shm_rounds), (
+        "shm transport was not used (shared memory unavailable?)"
+    )
+    steady_shm = shm_rounds[1:]
+    steady_pickle = pickle_rounds[1:]
+    shm_bytes = max(r["input_bytes"] for r in steady_shm)
+    pickle_bytes = min(r["input_bytes"] for r in steady_pickle)
+    result = {
+        "n_delta": n_delta,
+        "rounds": rounds,
+        "shards": shards,
+        "workers": workers,
+        "cold_shm_bytes": shm_rounds[0]["input_bytes"],
+        "steady_shm_bytes": shm_bytes,
+        "steady_pickle_bytes": pickle_bytes,
+        "bytes_ratio": pickle_bytes / shm_bytes,
+        "resident_bytes": steady_shm[-1]["resident_bytes"],
+        "steady_shm_s": min(r["seconds"] for r in steady_shm),
+        "steady_pickle_s": min(r["seconds"] for r in steady_pickle),
+        "steady_reference_s": min(r["seconds"] for r in reference[1:]),
+        "per_round_shm_bytes": [r["input_bytes"] for r in shm_rounds],
+        "per_round_pickle_bytes": [r["input_bytes"] for r in pickle_rounds],
+    }
+    result["latency_speedup"] = (
+        result["steady_pickle_s"] / result["steady_shm_s"]
+    )
+    return result
+
+
+def to_table(result: dict) -> str:
+    return "\n".join([
+        "bench_shard_transport — shm columnar transport vs pickle shipping",
+        f"delta rows: {result['n_delta']}   shards: {result['shards']}   "
+        f"workers: {result['workers']}   rounds: {result['rounds']}",
+        f"steady-state input bytes: pickle "
+        f"{result['steady_pickle_bytes'] / 1e6:9.2f} MB   shm "
+        f"{result['steady_shm_bytes'] / 1e6:9.2f} MB   "
+        f"ratio {result['bytes_ratio']:.1f}x",
+        f"cold shm ship: {result['cold_shm_bytes'] / 1e6:.2f} MB   "
+        f"resident: {result['resident_bytes'] / 1e6:.2f} MB",
+        f"steady round: pickle {result['steady_pickle_s'] * 1e3:8.1f} ms   "
+        f"shm {result['steady_shm_s'] * 1e3:8.1f} ms   "
+        f"speedup {result['latency_speedup']:.2f}x",
+    ])
+
+
+def test_shard_transport_bytes_and_equivalence(benchmark, quick, record_json):
+    from conftest import run_once
+
+    n_delta = QUICK_DELTA if quick else FULL_DELTA
+    result = run_once(benchmark, run_bench, n_delta=n_delta)
+    print("\n" + to_table(result))
+    record_json(
+        "bench_shard_transport",
+        result,
+        {
+            "n_delta": n_delta,
+            "quick": quick,
+            "bytes_gate": BYTES_RATIO_GATE,
+            "latency_gate": None if quick else FULL_LATENCY_GATE,
+        },
+    )
+    assert result["bytes_ratio"] >= BYTES_RATIO_GATE, (
+        f"steady-state shm transport shipped only "
+        f"{result['bytes_ratio']:.1f}x fewer bytes than pickle "
+        f"(need >= {BYTES_RATIO_GATE}x)"
+    )
+    if not quick:
+        assert result["latency_speedup"] >= FULL_LATENCY_GATE, (
+            f"shm steady-state round is slower than pickle "
+            f"({result['latency_speedup']:.2f}x, need >= "
+            f"{FULL_LATENCY_GATE}x)"
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small workload")
+    parser.add_argument("--delta", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument("--shards", type=int, default=SHARDS)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    args = parser.parse_args()
+    delta = args.delta or (QUICK_DELTA if args.quick else FULL_DELTA)
+    result = run_bench(n_delta=delta, rounds=args.rounds,
+                       shards=args.shards, workers=args.workers)
+    from conftest import write_json_result
+
+    write_json_result(
+        "bench_shard_transport",
+        result,
+        {"n_delta": delta, "quick": args.quick, "shards": args.shards,
+         "workers": args.workers, "bytes_gate": BYTES_RATIO_GATE},
+    )
+    print(to_table(result))

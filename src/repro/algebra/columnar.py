@@ -41,6 +41,19 @@ execution backend:
   and lift a Python value list to an object array without numpy scalar
   boxing.  These are the assembly primitives of operators (⋈, Merge)
   whose outputs mix gathered and computed fragments.
+* :func:`pack_column_buffers` / :func:`write_column_buffers` /
+  :meth:`ColumnarRelation.from_buffer` — the flat-buffer exchange
+  format of the shared-memory shard transport
+  (:mod:`repro.distributed.transport`): a batch's columns lay out as
+  contiguous, aligned numpy buffers inside one writable buffer (a
+  ``multiprocessing.shared_memory`` block), described by a tuple of
+  :class:`ColumnSpec` entries.  Columns that only exist as object
+  arrays (``None``-bearing, mixed-type, big-int) cannot be shared as
+  raw buffers and fall back to an embedded pickle of their Python
+  values — the manifest marks them ``kind="pickle"`` so attach
+  round-trips every value exactly.  Attached typed columns are
+  zero-copy views over the shared block, marked read-only so no
+  operator can scribble on memory other processes see.
 
 The evaluator treats every columnar path as a *fast path with a row
 fallback*: any value that does not vectorize cleanly (``None``-bearing
@@ -53,11 +66,14 @@ arbitrary-precision integers define the semantics.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
 __all__ = [
+    "ColumnSpec",
     "ColumnarRelation",
     "as_object_array",
     "column_to_array",
@@ -67,7 +83,9 @@ __all__ = [
     "group_ids",
     "grouped_starts",
     "object_array",
+    "pack_column_buffers",
     "scatter_column",
+    "write_column_buffers",
 ]
 
 #: dtype kinds that vectorize for arithmetic/comparison fast paths.
@@ -162,12 +180,16 @@ class ColumnarRelation:
     across evaluate() calls — caches only ever grow, never mutate.
     """
 
-    __slots__ = ("schema", "_rows", "_pycols", "_arrays", "_providers", "_nrows")
+    __slots__ = (
+        "schema", "_rows", "_pycols", "_arrays", "_providers", "_nrows",
+        "_owner",
+    )
 
     def __init__(self, relation=None):
         self._pycols: dict = {}
         self._arrays: dict = {}
         self._providers = None
+        self._owner = None
         if relation is not None:
             self.schema = relation.schema
             self._rows = relation.rows
@@ -197,6 +219,53 @@ class ColumnarRelation:
         self.schema = schema
         self._arrays = dict(arrays)
         self._nrows = int(nrows)
+        return self
+
+    @classmethod
+    def from_buffer(
+        cls, schema, buf, specs: Sequence["ColumnSpec"], nrows: int,
+        owner=None,
+    ) -> "ColumnarRelation":
+        """Attach a batch to a packed column buffer (zero-copy).
+
+        ``buf`` is the writable buffer :func:`write_column_buffers`
+        filled (typically ``SharedMemory.buf``); ``specs`` is the layout
+        :func:`pack_column_buffers` produced.  Typed columns become
+        numpy views straight over ``buf`` — no bytes are copied — and
+        are marked read-only, because the underlying memory may be
+        mapped by several processes at once.  ``kind="pickle"`` columns
+        (the object-dtype fallback) are unpickled into object arrays,
+        which is a copy by necessity.
+
+        ``owner`` (e.g. the ``SharedMemory`` handle behind ``buf``) is
+        pinned on the batch for the batch's lifetime.  This matters for
+        soundness, not just hygiene: numpy does *not* hold the buffer
+        exported after array creation, so an owner that gets
+        garbage-collected (its ``__del__`` closes the mapping) while
+        views still point into the memory would leave dangling pointers.
+        Pinning the owner here means every batch — and every derived
+        batch, whose providers capture this one — keeps the mapping
+        alive, and the handle closes via refcounting exactly when the
+        last user is gone.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for spec in specs:
+            if spec.kind == "pickle":
+                values = pickle.loads(
+                    bytes(buf[spec.offset:spec.offset + spec.nbytes])
+                )
+                arrays[spec.name] = object_array(values)
+            else:
+                arr = np.ndarray(
+                    (nrows,),
+                    dtype=np.dtype(spec.dtype),
+                    buffer=buf,
+                    offset=spec.offset,
+                )
+                arr.flags.writeable = False
+                arrays[spec.name] = arr
+        self = cls.from_arrays(schema, arrays, nrows)
+        self._owner = owner
         return self
 
     @property
@@ -507,6 +576,75 @@ def concat_columns(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     floats the row path never produced.
     """
     return concat_column_parts((a, b))
+
+
+#: Column start offsets inside a packed buffer are aligned to this many
+#: bytes so attached numpy views never straddle element boundaries.
+BUFFER_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Layout of one column inside a packed flat buffer.
+
+    ``kind`` is ``"array"`` for a raw numpy buffer (``dtype`` carries the
+    full dtype string, byte order included) or ``"pickle"`` for the
+    object-column fallback, whose bytes are a pickle of the column's
+    Python value list.
+    """
+
+    name: str
+    kind: str
+    dtype: Optional[str]
+    offset: int
+    nbytes: int
+
+
+def pack_column_buffers(batch: ColumnarRelation):
+    """Plan the flat-buffer export of a batch's columns.
+
+    Returns ``(specs, total_nbytes, chunks)``: one :class:`ColumnSpec`
+    per schema column, the buffer size that holds them all (aligned),
+    and the per-column payloads — a contiguous numpy array for typed
+    columns, pickled bytes for object columns.  The caller allocates a
+    buffer of ``total_nbytes`` (usually a ``SharedMemory`` block) and
+    fills it with :func:`write_column_buffers`; the specs alone are
+    enough for :meth:`ColumnarRelation.from_buffer` to attach.
+
+    Because :func:`column_to_array` is value-faithful, any column that
+    reaches the ``"array"`` branch round-trips exactly through its raw
+    buffer; everything numpy cannot represent losslessly is an object
+    array here and takes the pickle fallback.
+    """
+    specs = []
+    chunks = []
+    offset = 0
+    for name in batch.schema.columns:
+        arr = batch.array(name)
+        if arr.dtype.kind == "O":
+            payload = pickle.dumps(arr.tolist(), protocol=pickle.HIGHEST_PROTOCOL)
+            spec = ColumnSpec(name, "pickle", None, offset, len(payload))
+            chunks.append(payload)
+        else:
+            arr = np.ascontiguousarray(arr)
+            spec = ColumnSpec(name, "array", arr.dtype.str, offset, arr.nbytes)
+            chunks.append(arr)
+        specs.append(spec)
+        offset += spec.nbytes
+        offset += (-offset) % BUFFER_ALIGN
+    return tuple(specs), offset, chunks
+
+
+def write_column_buffers(buf, specs: Sequence[ColumnSpec], chunks) -> None:
+    """Copy packed column payloads into ``buf`` at their spec offsets."""
+    for spec, chunk in zip(specs, chunks):
+        if spec.kind == "pickle":
+            buf[spec.offset:spec.offset + spec.nbytes] = chunk
+        elif spec.nbytes:
+            dst = np.ndarray(
+                chunk.shape, dtype=chunk.dtype, buffer=buf, offset=spec.offset
+            )
+            dst[:] = chunk
 
 
 def concat_column_parts(parts: Sequence[np.ndarray]) -> np.ndarray:

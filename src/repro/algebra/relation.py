@@ -138,6 +138,37 @@ class Relation:
         self._columnar = batch
         return self
 
+    @classmethod
+    def attach_buffer(
+        cls,
+        schema,
+        buf,
+        specs,
+        nrows: int,
+        key: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+        owner=None,
+    ) -> "Relation":
+        """A relation attached to a packed column buffer (zero-copy).
+
+        The shard transport's worker-side constructor: ``buf`` is a
+        shared-memory block written by
+        :func:`~repro.algebra.columnar.write_column_buffers` and
+        ``specs`` its layout.  Typed columns are read-only numpy views
+        over ``buf``, and ``owner`` (the ``SharedMemory`` handle behind
+        it) is pinned on the batch so the mapping outlives every reader
+        and closes, via refcounting, with the last of them — see
+        :meth:`~repro.algebra.columnar.ColumnarRelation.from_buffer`.
+        Pickling such a relation copies the column data out of the
+        buffer (numpy arrays pickle by value), so a pickled copy never
+        pins the segment.
+        """
+        return cls.from_columnar(
+            ColumnarRelation.from_buffer(schema, buf, specs, nrows, owner=owner),
+            key=key,
+            name=name,
+        )
+
     @property
     def rows(self) -> list:
         """The row tuples (materialized from columns on first access)."""

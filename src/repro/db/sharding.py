@@ -133,7 +133,17 @@ def partition_relation(rel: Relation, cols: Sequence[str], n: int) -> List[Relat
     Every row lands in exactly one shard.  Partitions are memoized on the
     relation's cache (relations are immutable), so re-partitioning the
     same base data across maintenance rounds is free and the per-shard
-    relations keep their own columnar/sample caches warm.
+    relations keep their own columnar/sample caches warm.  The memo also
+    makes partitions *identity-stable*: the same base relation always
+    yields the same partition objects, which is what lets the
+    shared-memory transport (:mod:`repro.distributed.transport`) keep an
+    unchanged leaf's exported columns resident across rounds instead of
+    re-shipping them.
+
+    ``cols`` is normalized to a tuple up front: the memo key must not
+    depend on the sequence type the caller happened to pass (a list
+    would not even be hashable), and a list and tuple of the same
+    columns must hit the same memo entry.
     """
     cols = tuple(cols)
     cache = rel.sample_cache()
@@ -169,10 +179,63 @@ def partition_relation(rel: Relation, cols: Sequence[str], n: int) -> List[Relat
 
 
 def clear_partition_cache(rel: Relation) -> None:
-    """Drop memoized partitions of one relation (benchmark cold-state)."""
+    """Drop memoized partitions of one relation (benchmark cold-state).
+
+    The relation's sample cache is shared with other memo families
+    (hash-sample results keyed by arbitrary tuples), so only entries
+    tagged with the partition prefix are touched — and only tuple keys
+    are inspected at all, since a non-tuple key cannot be ours.
+    """
     cache = rel.sample_cache()
-    for key in [k for k in cache if k and k[0] == _PARTITION_CACHE]:
+    for key in [
+        k
+        for k in cache
+        if isinstance(k, tuple) and k and k[0] == _PARTITION_CACHE
+    ]:
         del cache[key]
+
+
+class GenerationTracker:
+    """Per-slot generation counters keyed on relation identity.
+
+    A *slot* names one logical position in the sharded leaf environment
+    — ``(leaf_name, shard_index, shard_count)`` — and its generation
+    bumps exactly when a *different* relation object occupies it.
+    Relations are immutable library-wide, so object identity is the
+    change detector: an untouched base leaf keeps its object (and its
+    memoized partitions, see :func:`partition_relation`) across
+    maintenance rounds, while a maintained view or a fresh delta is a
+    new object every round.  The shared-memory transport stamps each
+    export's manifest with its slot generation; the *mechanism* that
+    invalidates a worker's cached attachment is the fresh (globally
+    unique) segment name a bumped slot gets, while the generation is
+    the human-readable change count — how many times this slot has
+    actually re-shipped — surfaced for tests and accounting.
+
+    The tracker holds strong references to the current occupants —
+    intentionally: the transport keeps their exported columns resident,
+    and identity comparison is only sound while the object cannot be
+    garbage-collected and its ``id`` reused.
+    """
+
+    def __init__(self):
+        self._slots: Dict[tuple, Tuple[Relation, int]] = {}
+
+    def generation(self, slot: tuple, rel: Relation) -> Tuple[int, bool]:
+        """``(generation, changed)`` for ``rel`` occupying ``slot``."""
+        prev = self._slots.get(slot)
+        if prev is not None and prev[0] is rel:
+            return prev[1], False
+        gen = prev[1] + 1 if prev is not None else 0
+        self._slots[slot] = (rel, gen)
+        return gen, True
+
+    def forget(self, slot: tuple) -> None:
+        """Drop one slot (its next occupant restarts the count)."""
+        self._slots.pop(slot, None)
+
+    def clear(self) -> None:
+        self._slots.clear()
 
 
 def partition_delta(

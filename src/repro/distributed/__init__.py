@@ -10,19 +10,23 @@ from repro.distributed.cluster import (
 from repro.distributed.metrics import (
     ShardRunReport,
     ShardTiming,
+    TransportStats,
     UtilizationSummary,
     compare_utilization,
 )
 from repro.distributed.shard import (
     ShardConfig,
     ShardPlan,
+    clear_pool_demotion,
     evaluate_sharded,
     get_shard_config,
     get_shard_count,
     last_shard_report,
     maintain_sharded,
     plan_shards,
+    pool_demotion,
     set_shard_count,
+    shutdown_shard_pool,
 )
 from repro.distributed.minibatch import (
     ErrorModel,
@@ -44,14 +48,18 @@ __all__ = [
     "ShardRunReport",
     "ShardTiming",
     "SteadyStateConfig",
+    "TransportStats",
     "UtilizationSummary",
+    "clear_pool_demotion",
     "evaluate_sharded",
     "get_shard_config",
     "get_shard_count",
     "last_shard_report",
     "maintain_sharded",
     "plan_shards",
+    "pool_demotion",
     "set_shard_count",
+    "shutdown_shard_pool",
     "calibrate_error_model",
     "compare_utilization",
     "cpu_utilization_trace",

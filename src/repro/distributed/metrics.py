@@ -22,11 +22,38 @@ class ShardTiming:
 
 
 @dataclass
+class TransportStats:
+    """How one round's shard inputs crossed the process boundary.
+
+    ``transport`` is ``"shm"`` (shared-memory columnar transport),
+    ``"pickle"`` (everything serialized into the task payloads), or
+    ``"local"`` (serial/thread execution — nothing crossed a process
+    boundary).  ``input_bytes`` counts what was actually shipped this
+    round: task-payload pickles plus newly written shared-memory bytes.
+    ``shm_resident_bytes`` is the volume *not* shipped because workers
+    already hold it — the transport's whole point.  ``pool_rebuilt``
+    records a successful broken-pool recovery; ``demoted`` carries the
+    reason when the process backend was permanently demoted after
+    failing twice in one round.
+    """
+
+    transport: str = "local"
+    input_bytes: int = 0
+    shm_written_bytes: int = 0
+    shm_resident_bytes: int = 0
+    segments_created: int = 0
+    pool_rebuilt: bool = False
+    demoted: str = ""
+
+
+@dataclass
 class ShardRunReport:
     """Metrics of one sharded maintenance/cleaning evaluation.
 
     ``skipped`` shards were proven untouched by the pending deltas and
     reassembled from the stale view without any evaluation.
+    ``transport`` describes what the round shipped to pool workers (and
+    any broken-pool recovery/demotion that happened on the way).
     """
 
     view: str
@@ -34,6 +61,7 @@ class ShardRunReport:
     backend: str
     shards: List[ShardTiming] = field(default_factory=list)
     partitioned: Tuple[str, ...] = ()
+    transport: TransportStats = field(default_factory=TransportStats)
 
     @property
     def count(self) -> int:
@@ -52,12 +80,29 @@ class ShardRunReport:
         """Summed per-shard evaluation time (CPU cost, not wall time)."""
         return sum(s.seconds for s in self.shards)
 
+    @property
+    def input_bytes(self) -> int:
+        """Serialized bytes shipped to workers this round."""
+        return self.transport.input_bytes
+
     def summary(self) -> str:
+        t = self.transport
+        wire = ""
+        if t.transport != "local":
+            wire = (
+                f", {t.transport} transport: {t.input_bytes / 1e6:.2f} MB "
+                f"shipped / {t.shm_resident_bytes / 1e6:.2f} MB resident"
+            )
+        if t.pool_rebuilt:
+            wire += ", pool rebuilt"
+        if t.demoted:
+            wire += f", DEMOTED ({t.demoted})"
         return (
             f"{self.view}: {self.count} shard(s) on {self.backend}, "
             f"{self.skipped_count} skipped, {self.total_rows} rows, "
             f"eval {self.eval_seconds * 1e3:.1f} ms "
             f"(partitioned: {', '.join(self.partitioned) or 'none'})"
+            + wire
         )
 
 

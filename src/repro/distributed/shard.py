@@ -26,6 +26,18 @@ Three pieces live here:
   view stays columnar until something reads its rows.  Shards untouched
   by the pending delta are skipped structurally and their slice of the
   stale view is reused as-is.
+* The **shard transport** — how a round's inputs reach the process
+  pool.  The default ``"shm"`` transport
+  (:mod:`repro.distributed.transport`) exports each distinct relation
+  once into a shared-memory segment of numpy column buffers and keeps
+  it resident in the workers across rounds; a task then ships only the
+  expression, a small manifest, and whatever actually changed (delta
+  partitions, the freshly maintained view).  ``"pickle"`` is the
+  reference transport that serializes the full environment into every
+  task payload.  Broken pools are recreated once and retried; a pool
+  that fails twice in one round permanently demotes the backend to
+  threads (recorded on :class:`ShardRunReport`), so a broken sandbox is
+  paid for once, not every round.
 * :func:`set_shard_count` — the global toggle.  ``set_shard_count(1)``
   (the default) is the reference single-shard path; every sharded result
   is row-for-row equal to it (property-tested in
@@ -35,6 +47,7 @@ Three pieces live here:
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -54,7 +67,8 @@ from repro.algebra.relation import Relation
 from repro.db.deltas import deletions_name, insertions_name
 from repro.db.maintenance import is_spj
 from repro.db.sharding import partition_leaves, partition_relation
-from repro.distributed.metrics import ShardRunReport, ShardTiming
+from repro.distributed import transport as _transport
+from repro.distributed.metrics import ShardRunReport, ShardTiming, TransportStats
 from repro.errors import KeyDerivationError, MaintenanceError
 
 # ----------------------------------------------------------------------
@@ -62,11 +76,18 @@ from repro.errors import KeyDerivationError, MaintenanceError
 # ----------------------------------------------------------------------
 
 #: Executor backends.  ``process`` keeps a persistent fork-based worker
-#: pool and ships each shard's (expression, leaves) task by pickle; it
+#: pool and ships each shard's task over the configured transport; it
 #: is the default on platforms with ``os.fork``.  ``thread`` is the
 #: portable fallback (shares caches, contends on the GIL for row-path
 #: operators); ``serial`` runs shards in a loop (tests, debugging).
 BACKENDS = ("serial", "thread", "process")
+
+#: Process-backend transports.  ``shm`` keeps shard environments
+#: resident in shared-memory segments across rounds (delta-only
+#: re-ship); ``pickle`` serializes the full environment into every task
+#: payload (the reference transport, and the fallback where POSIX
+#: shared memory is unavailable).
+TRANSPORTS = ("shm", "pickle")
 
 
 @dataclass
@@ -74,12 +95,14 @@ class ShardConfig:
     """How sharded maintenance executes.
 
     ``count == 1`` is the single-shard reference path.  ``max_workers``
-    defaults to ``min(count, cpu_count)``.
+    defaults to ``min(count, cpu_count)``.  ``transport`` only matters
+    for the ``process`` backend.
     """
 
     count: int = 1
     backend: str = "process" if hasattr(os, "fork") else "thread"
     max_workers: Optional[int] = None
+    transport: str = "shm"
 
     def workers(self) -> int:
         cpus = os.cpu_count() or 1
@@ -92,15 +115,29 @@ _CONFIG = ShardConfig()
 
 
 def set_shard_count(
-    count: int, backend: Optional[str] = None, max_workers: Optional[int] = None
+    count: int,
+    backend: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    transport: Optional[str] = None,
 ) -> int:
     """Set the global shard count (1 = reference single-shard path).
 
-    ``backend`` and ``max_workers`` are sticky: omitting them keeps the
-    current setting, so a count-only override (e.g.
+    ``backend``, ``max_workers`` and ``transport`` are sticky: omitting
+    them keeps the current setting, so a count-only override (e.g.
     ``Catalog.maintain_all(shards=n)``) never drops a worker cap the
-    user configured.  Pass ``max_workers=0`` to clear the cap.  Returns
-    the previous count so callers can restore it::
+    user configured.  Pass ``max_workers=0`` to clear the cap.
+
+    Shared-memory residency deliberately *survives* count changes:
+    store slots are keyed by shard layout, so the per-period
+    ``maintain_all(shards=n)`` toggle (4 → 1 → 4 …) keeps its exports
+    warm across periods, which is where the transport's steady-state
+    win comes from.  Exports for a layout that is never used again are
+    freed by ``shutdown_shard_pool()`` (or interpreter exit).
+    Explicitly leaving the ``shm`` transport *does* unlink everything —
+    the user opted out, so keeping the segments would be pure waste —
+    and explicitly requesting ``backend="process"`` clears a permanent
+    pool demotion: the user is asking for another try.  Returns the
+    previous count so callers can restore it::
 
         old = set_shard_count(4)
         try: ...
@@ -113,15 +150,25 @@ def set_shard_count(
         raise MaintenanceError(
             f"unknown shard backend {backend!r}; expected one of {BACKENDS}"
         )
+    if transport is not None and transport not in TRANSPORTS:
+        raise MaintenanceError(
+            f"unknown shard transport {transport!r}; expected one of {TRANSPORTS}"
+        )
     if max_workers is None:
         max_workers = _CONFIG.max_workers
     elif max_workers == 0:
         max_workers = None
+    if backend == "process":
+        clear_pool_demotion()
     old = _CONFIG.count
+    new_transport = transport if transport is not None else _CONFIG.transport
+    if _CONFIG.transport == "shm" and new_transport != "shm":
+        _transport.close_store()
     _CONFIG = ShardConfig(
         count=count,
         backend=backend if backend is not None else _CONFIG.backend,
         max_workers=max_workers,
+        transport=new_transport,
     )
     return old
 
@@ -370,8 +417,8 @@ def _run_local_task(task):
     return rel, time.perf_counter() - t0
 
 
-def _run_worker_task(task):
-    """Process-pool task: apply the shipped evaluator toggles, then run.
+def _apply_worker_toggles(family, columnar: bool) -> None:
+    """Install the coordinator's evaluator toggles in a pool worker.
 
     Worker processes are long-lived (the pool persists across
     maintenance rounds), so the parent's current hash family and
@@ -381,12 +428,49 @@ def _run_worker_task(task):
     from repro.algebra.evaluator import columnar_enabled, set_columnar_enabled
     from repro.stats import hashing as _hashing
 
-    expr, leaves, family, columnar = task
     if _hashing._active_family[0] is not family:
         _hashing._active_family[0] = family
     if columnar_enabled() != columnar:
         set_columnar_enabled(columnar)
-    return _run_local_task((expr, leaves))
+
+
+def _run_worker_blob(blob: bytes):
+    """Process-pool entry point: decode one task payload and evaluate.
+
+    Payloads are pre-pickled by the coordinator (so shipped bytes can be
+    accounted exactly, and so both transports share one worker).  Two
+    shapes exist:
+
+    * ``("pickle", expr, env, family, columnar)`` — the environment
+      relations ride inside the payload.
+    * ``("shm", expr, entries, live_ids, family, columnar)`` — each
+      entry is either an :class:`~repro.distributed.transport.
+      ExportManifest` to attach (cached across rounds, zero-copy) or an
+      inlined small relation.  ``live_ids`` evicts attachments whose
+      export the coordinator retired.
+    """
+    task = pickle.loads(blob)
+    if task[0] == "shm":
+        _, expr, entries, live_ids, family, columnar = task
+        _transport.evict_stale(live_ids)
+        env = {
+            name: (
+                _transport.attach_manifest(entry)
+                if isinstance(entry, _transport.ExportManifest)
+                else entry
+            )
+            for name, entry in entries.items()
+        }
+    else:
+        _, expr, env, family, columnar = task
+        # A pickle task means no export is live (either the transport
+        # was never shm, or it fell back mid-session and the store was
+        # closed) — drop any attachments left from earlier shm rounds
+        # rather than holding the whole retired environment until the
+        # pool dies.
+        _transport.release_worker_cache()
+    _apply_worker_toggles(family, columnar)
+    return _run_local_task((expr, env))
 
 
 # Persistent worker pool, keyed by (kind, max_workers).  Keeping the pool
@@ -396,6 +480,11 @@ def _run_worker_task(task):
 # copy-on-write pages), which costs more than the evaluation itself.
 _POOL: List = [None]
 _POOL_KEY: List[Optional[tuple]] = [None]
+
+#: Reason string once the process backend has been permanently demoted
+#: (pool creation/execution failed twice in one round); None while the
+#: backend is healthy.
+_PROCESS_DEMOTED: List[Optional[str]] = [None]
 
 
 def _get_pool(kind: str, workers: int):
@@ -407,6 +496,18 @@ def _get_pool(kind: str, workers: int):
         if kind == "process":
             import multiprocessing
 
+            try:
+                # Start the resource tracker *before* forking workers so
+                # every child inherits the parent's tracker.  A worker
+                # that first touches shared memory with no inherited
+                # tracker would lazily spawn its own, whose shutdown
+                # then "cleans up" segments the coordinator still owns
+                # (spurious unlink attempts and leak warnings).
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
             _POOL[0] = ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=multiprocessing.get_context("fork"),
@@ -417,40 +518,168 @@ def _get_pool(kind: str, workers: int):
     return _POOL[0]
 
 
-def shutdown_shard_pool() -> None:
-    """Tear down the persistent worker pool (tests; end of benchmarks)."""
+def _teardown_pool() -> None:
+    """Drop the persistent pool (recovery path — residency survives)."""
     if _POOL[0] is not None:
-        _POOL[0].shutdown(wait=True, cancel_futures=True)
+        _POOL[0].shutdown(wait=False, cancel_futures=True)
         _POOL[0] = None
         _POOL_KEY[0] = None
 
 
+def shutdown_shard_pool() -> None:
+    """End the sharded session: tear down the worker pool *and* unlink
+    every shared-memory export (tests; end of benchmarks)."""
+    if _POOL[0] is not None:
+        _POOL[0].shutdown(wait=True, cancel_futures=True)
+        _POOL[0] = None
+        _POOL_KEY[0] = None
+    _transport.close_store()
+    _transport.release_worker_cache()
+
+
+def pool_demotion() -> Optional[str]:
+    """Why the process backend is demoted (None while healthy)."""
+    return _PROCESS_DEMOTED[0]
+
+
+def clear_pool_demotion() -> None:
+    """Give the process backend another chance (tests; explicit opt-in)."""
+    _PROCESS_DEMOTED[0] = None
+
+
+def _encode_process_tasks(tasks, config: ShardConfig):
+    """Pre-pickle per-shard payloads; returns ``(payloads, stats)``.
+
+    Tasks are ``(expr, env, shard_id)`` triples.  Under the ``shm``
+    transport every environment relation is exported through the
+    resident store (identity-memoized — unchanged leaves cost zero
+    bytes) and the payload carries manifests; under ``pickle`` the whole
+    environment serializes into the payload.  ``stats.input_bytes``
+    counts exactly what crosses the process boundary this round: payload
+    pickles plus newly written shared-memory bytes.
+    """
+    from repro.algebra.evaluator import columnar_enabled
+    from repro.stats.hashing import get_hash_family
+
+    family = get_hash_family()
+    columnar = columnar_enabled()
+    use_shm = config.transport == "shm" and _transport.shm_available()
+    if use_shm:
+        store = _transport.get_store()
+        store.begin_round()
+        try:
+            per_task = []
+            for expr, env, shard in tasks:
+                entries = {}
+                for name, rel in env.items():
+                    manifest = store.export((name, shard, config.count), rel)
+                    entries[name] = manifest if manifest is not None else rel
+                per_task.append((expr, entries))
+            live = store.live_ids()
+            payloads = [
+                pickle.dumps(
+                    ("shm", expr, entries, live, family, columnar),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                for expr, entries in per_task
+            ]
+        except OSError as err:
+            # /dev/shm full or missing mid-session: permanently fall
+            # back to the pickle transport rather than failing rounds.
+            _transport.disable_shm(f"shared-memory export failed: {err!r}")
+            _transport.close_store()
+            use_shm = False
+        else:
+            written, resident, segments = store.round_stats()
+            stats = TransportStats(
+                transport="shm",
+                input_bytes=sum(len(p) for p in payloads) + written,
+                shm_written_bytes=written,
+                shm_resident_bytes=resident,
+                segments_created=segments,
+            )
+            return payloads, stats
+    payloads = [
+        pickle.dumps(
+            ("pickle", expr, env, family, columnar),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        for expr, env, _ in tasks
+    ]
+    stats = TransportStats(
+        transport="pickle", input_bytes=sum(len(p) for p in payloads)
+    )
+    return payloads, stats
+
+
 def _run_tasks(tasks, config: ShardConfig):
-    """Evaluate (expr, leaves) tasks on the configured backend."""
+    """Evaluate ``(expr, leaves, shard_id)`` tasks on the configured backend.
+
+    Returns ``(results, backend_used, transport_stats)``.  A broken
+    process pool is recreated and the round retried once (workers
+    re-attach resident segments by name, so nothing is re-shipped); a
+    second failure permanently demotes the backend to threads and
+    records the reason — later rounds go straight to the demoted
+    backend instead of re-paying the failure.
+    """
     backend = config.backend
     workers = min(config.workers(), max(1, len(tasks)))
     if backend == "process" and not hasattr(os, "fork"):
         backend = "thread"
+    if backend == "process" and _PROCESS_DEMOTED[0] is not None:
+        backend = "thread"
+    stats = TransportStats(transport="local", demoted=_PROCESS_DEMOTED[0] or "")
     if backend == "serial" or workers == 1 or len(tasks) <= 1:
-        return [_run_local_task(t) for t in tasks], "serial"
+        return [_run_local_task(t) for t in tasks], "serial", stats
     if backend == "process":
-        from repro.algebra.evaluator import columnar_enabled
-        from repro.stats.hashing import get_hash_family
+        try:
+            payloads, stats = _encode_process_tasks(tasks, config)
+        except Exception:
+            # Encoding must never be able to break maintenance: an
+            # unpicklable environment value (or an allocation failure
+            # mid-export) degrades to the in-process path, exactly like
+            # a broken pool used to.
+            return [_run_local_task(t) for t in tasks], "serial", stats
+        from concurrent.futures.process import BrokenProcessPool
 
-        family = get_hash_family()
-        columnar = columnar_enabled()
-        shipped = [(expr, env, family, columnar) for expr, env in tasks]
         try:
             pool = _get_pool("process", workers)
-            results = list(pool.map(_run_worker_task, shipped))
-            return results, "process"
+            results = list(pool.map(_run_worker_blob, payloads))
+            return results, "process", stats
+        except (BrokenProcessPool, OSError):
+            # Broken pool (killed workers, fork limits): recreate once
+            # and retry — the payloads are still valid, and resident
+            # segments are attachable by name from the fresh workers.
+            _teardown_pool()
+            try:
+                pool = _get_pool("process", workers)
+                results = list(pool.map(_run_worker_blob, payloads))
+                stats.pool_rebuilt = True
+                return results, "process", stats
+            except Exception as err:
+                _teardown_pool()
+                _PROCESS_DEMOTED[0] = (
+                    f"process pool failed twice in one round ({err!r}); "
+                    f"demoted to the thread backend"
+                )
+                # Nothing reached a worker this round: the stats must
+                # not claim shipped bytes, and any segments exported for
+                # the round are useless to the demoted backend.
+                _transport.close_store()
+                stats = TransportStats(
+                    transport="local", demoted=_PROCESS_DEMOTED[0]
+                )
+                return [_run_local_task(t) for t in tasks], "serial", stats
         except Exception:
-            # Broken pools (sandboxed environments, fork limits) must not
-            # break maintenance: rerun in-process.
-            shutdown_shard_pool()
-            return [_run_local_task(t) for t in tasks], "serial"
+            # A *task-level* error (some view's evaluation raised) is a
+            # property of the work, not of the pool: rerun in-process so
+            # the real exception surfaces from the reference path, and
+            # leave the healthy pool and backend alone — demoting the
+            # whole session over one bad view would punish every other
+            # round.
+            return [_run_local_task(t) for t in tasks], "serial", stats
     pool = _get_pool("thread", workers)
-    return list(pool.map(_run_local_task, tasks)), "thread"
+    return list(pool.map(_run_local_task, tasks)), "thread", stats
 
 
 def _concat_shard_parts(schema, parts: List[Relation]) -> Relation:
@@ -526,6 +755,26 @@ def evaluate_sharded(
     }
     shard_envs = partition_leaves(dict(leaves), partitions, n)
     skip = set(skip_shards or ())
+    if skip:
+        # Skipped shards evaluate nothing, so their transport slots for
+        # the *per-round* leaves — delta slices and the stale-view
+        # partition, new objects every round by construction — pin dead
+        # data.  Free those so a permanently cold shard does not keep
+        # retired rounds resident in shared memory for the session.
+        # Static leaves are deliberately left alone: their memoized
+        # partitions are identity-stable, so the resident export is live
+        # data this shard (or another view sharing the leaf) will reuse.
+        # Replicated per-round leaves are unaffected either way: their
+        # export stays alive through the active shards' slots.
+        store = _transport.peek_store()
+        if store is not None:
+            per_round = {plan.view_name}
+            for name in plan.partitioned:
+                per_round.add(insertions_name(name))
+                per_round.add(deletions_name(name))
+            for s in skip:
+                for name in referenced & per_round:
+                    store.release_slot((name, s, n))
 
     tasks = []
     task_shards = []
@@ -534,10 +783,12 @@ def evaluate_sharded(
             continue
         # Ship only the leaves the expression reads: smaller task
         # payloads for the process backend, same result everywhere.
-        tasks.append((expr, {k: v for k, v in env.items() if k in referenced}))
+        tasks.append(
+            (expr, {k: v for k, v in env.items() if k in referenced}, s)
+        )
         task_shards.append(s)
 
-    results, backend_used = _run_tasks(tasks, config)
+    results, backend_used, transport_stats = _run_tasks(tasks, config)
 
     schema = None
     parts: List = []
@@ -580,6 +831,7 @@ def evaluate_sharded(
         backend=backend_used,
         shards=timings,
         partitioned=tuple(sorted(plan.partitioned)),
+        transport=transport_stats,
     )
     return out
 

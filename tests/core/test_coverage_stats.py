@@ -6,11 +6,19 @@ hash seeds draw independent samples of the same stale view), the CLT
 interval of each estimator must contain the true fresh answer at no
 less than the nominal rate minus a tolerance.
 
-The tolerance budgets two effects: binomial noise of the Monte-Carlo
-estimate itself (sd ≈ √(0.95·0.05/N)) and the CLT approximation error at
-moderate sample sizes.  The full ≥ 200-trial run is marked ``slow``; the
-quick variant always runs (CI included) with fewer trials and a
-correspondingly looser tolerance.
+The whole suite is deterministic: the workload is built from
+``WORKLOAD_SEED`` and trial ``i`` always uses hash seed ``i``, so a
+given (trials, tolerance) pair either always passes or always fails —
+repeated CI runs cannot flake, and the tolerances below are calibrated
+against the *measured* minimum empirical coverage rather than a safety
+margin for run-to-run noise.  Measured on this workload the weakest
+estimator covers at 94.0% over the 100 quick trials and 92.0% over the
+250 full trials, so both variants now pin coverage at nominal − 5%
+(≥ 90%) with real margin.  The tolerance still budgets the binomial
+noise of the Monte-Carlo estimate itself (sd ≈ √(0.95·0.05/N)) and the
+CLT approximation error at moderate sample sizes — it protects against
+estimator regressions, not against randomness.  The ≥ 200-trial run is
+marked ``slow``; the quick variant always runs (CI included).
 """
 
 import pytest
@@ -24,13 +32,16 @@ import numpy as np
 CONFIDENCE = 0.95
 RATIO = 0.3
 
+#: Single source of workload randomness; trial i uses hash seed i.
+WORKLOAD_SEED = 23
+
 FULL_TRIALS = 250
-FULL_TOLERANCE = 0.05  # >= 90% empirical coverage
-QUICK_TRIALS = 60
-QUICK_TOLERANCE = 0.08  # >= 87% empirical coverage
+FULL_TOLERANCE = 0.05  # >= 90% empirical coverage (measured min: 92.0%)
+QUICK_TRIALS = 100
+QUICK_TOLERANCE = 0.05  # >= 90% empirical coverage (measured min: 94.0%)
 
 
-def _workload(seed: int = 23):
+def _workload(seed: int = WORKLOAD_SEED):
     """A keyed SPJA view with enough groups for CLT-sized samples."""
     rng = np.random.default_rng(seed)
     n_rows, n_groups = 1200, 240
@@ -110,7 +121,7 @@ def _assert_coverage(trials: int, tolerance: float):
 
 
 def test_ci_coverage_quick():
-    """CI-sized variant: every estimator covers at >= nominal − 8%."""
+    """CI-sized variant: every estimator covers at >= nominal − 5%."""
     _assert_coverage(QUICK_TRIALS, QUICK_TOLERANCE)
 
 

@@ -91,6 +91,42 @@ class TestPartitionRelation:
         assert partition_relation(rel, ("grp",), 4) is first
         assert partition_relation(rel, ("grp",), 2) is not first
 
+    def test_list_cols_accepted_and_hit_tuple_memo(self, rel):
+        """Regression: the memo key must not depend on the sequence type
+        of ``cols``.  A list input used to be a hazard (an unnormalized
+        list in the cache key is not even hashable), and a list and a
+        tuple naming the same columns must share one memo entry."""
+        first = partition_relation(rel, ("grp",), 4)
+        assert partition_relation(rel, ["grp"], 4) is first
+        via_list = partition_relation(rel, ["grp", "id"], 3)
+        assert partition_relation(rel, ("grp", "id"), 3) is via_list
+        # One memo entry per (cols, n), not per sequence type.
+        partition_keys = [
+            k for k in rel.sample_cache() if isinstance(k, tuple) and k
+            and k[0] == "__shards__"
+        ]
+        assert len(partition_keys) == len(set(partition_keys)) == 2
+
+    def test_clear_partition_cache_tolerates_foreign_keys(self, rel):
+        """The sample cache is shared with other memo families; clearing
+        partitions must skip — not crash on — keys it does not own."""
+        from repro.db.sharding import clear_partition_cache
+
+        partition_relation(rel, ["grp"], 4)
+        cache = rel.sample_cache()
+        cache[("attrs", 0.5, 7)] = "sample-memo"
+        cache["plain-string-key"] = "other"
+        cache[42] = "unsubscriptable"
+        clear_partition_cache(rel)
+        assert not any(
+            isinstance(k, tuple) and k and k[0] == "__shards__" for k in cache
+        )
+        assert cache[("attrs", 0.5, 7)] == "sample-memo"
+        assert cache["plain-string-key"] == "other"
+        assert cache[42] == "unsubscriptable"
+        # Partitioning after the clear recomputes fresh objects.
+        assert partition_relation(rel, ("grp",), 4) is not None
+
     def test_empty_relation(self):
         empty = Relation(Schema(["a"]), [], key=("a",), name="E")
         parts = partition_relation(empty, ("a",), 5)
@@ -130,3 +166,28 @@ class TestPartitionDelta:
         a = Relation(Schema(["k"]), [(np.int64(i),) for i in range(20)])
         b = Relation(Schema(["k"]), [(int(i),) for i in range(20)])
         assert list(shard_ids(a, ("k",), 5)) == list(shard_ids(b, ("k",), 5))
+
+
+class TestGenerationTracker:
+    def test_identity_is_the_change_detector(self):
+        from repro.db.sharding import GenerationTracker
+
+        tracker = GenerationTracker()
+        a = Relation(Schema(["x"]), [(1,)], name="R")
+        b = Relation(Schema(["x"]), [(1,)], name="R")  # equal, not identical
+        slot = ("R", 0, 4)
+        assert tracker.generation(slot, a) == (0, True)
+        assert tracker.generation(slot, a) == (0, False)  # unchanged object
+        assert tracker.generation(slot, b) == (1, True)  # new object bumps
+        assert tracker.generation(slot, a) == (2, True)
+
+    def test_slots_are_independent(self):
+        from repro.db.sharding import GenerationTracker
+
+        tracker = GenerationTracker()
+        rel = Relation(Schema(["x"]), [(1,)], name="R")
+        assert tracker.generation(("R", 0, 2), rel) == (0, True)
+        assert tracker.generation(("R", 1, 2), rel) == (0, True)
+        tracker.forget(("R", 0, 2))
+        assert tracker.generation(("R", 0, 2), rel) == (0, True)
+        assert tracker.generation(("R", 1, 2), rel) == (0, False)

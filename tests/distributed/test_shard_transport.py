@@ -1,0 +1,683 @@
+"""Shared-memory columnar shard transport: layout, residency, lifecycle.
+
+Four layers of guarantees:
+
+* the flat-buffer pack/attach round trip is value-faithful (typed
+  columns zero-copy and read-only, object columns through the embedded
+  pickle fallback);
+* the coordinator store keeps unchanged leaves resident (same export,
+  zero bytes re-shipped), bumps generations and unlinks segments when a
+  leaf actually changes, and exports a replicated relation exactly once;
+* process-backend maintenance over the transport is row-for-row equal
+  to the single-shard reference, ships only deltas + manifest diffs in
+  steady state, and leaks no shared-memory segments — a "leaked
+  shared_memory" warning on interpreter exit is a failure;
+* a broken persistent pool is recreated and retried once (recorded on
+  the report), and a pool that cannot be recreated permanently demotes
+  the backend instead of re-paying the failure every round.
+"""
+
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Relation,
+    Schema,
+    col,
+)
+from repro.algebra.columnar import pack_column_buffers
+from repro.db import Catalog, Database, maintain
+from repro.distributed import (
+    last_shard_report,
+    pool_demotion,
+    set_shard_count,
+    shutdown_shard_pool,
+    transport,
+)
+from repro.distributed import shard as shard_mod
+from repro.errors import MaintenanceError
+
+pytestmark = pytest.mark.skipif(
+    not transport.shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_shard_runtime():
+    """Every test starts and ends with a pristine shard runtime."""
+    shard_mod.clear_pool_demotion()
+    yield
+    set_shard_count(1, max_workers=0, transport="shm")
+    shutdown_shard_pool()
+    shard_mod.clear_pool_demotion()
+
+
+def mixed_relation(n=300):
+    """Typed + string + object-fallback columns in one relation."""
+    rows = [
+        (
+            i,
+            float(i) / 3.0,
+            f"name{i % 17}",
+            i % 2 == 0,
+            None if i % 5 == 0 else (i if i % 2 else f"s{i}"),
+        )
+        for i in range(n)
+    ]
+    return Relation(
+        Schema(["id", "val", "label", "flag", "mixed"]),
+        rows,
+        key=("id",),
+        name="M",
+    )
+
+
+class TestPackAttachRoundTrip:
+    def test_buffer_round_trip_is_value_faithful(self):
+        rel = mixed_relation()
+        specs, total, chunks = pack_column_buffers(rel.columnar())
+        buf = bytearray(total)
+        from repro.algebra.columnar import ColumnarRelation, write_column_buffers
+
+        write_column_buffers(buf, specs, chunks)
+        attached = ColumnarRelation.from_buffer(rel.schema, buf, specs, len(rel))
+        assert attached.materialize_rows() == rel.rows
+        # Every restored value keeps its Python type (None, bool, str).
+        for a, b in zip(attached.materialize_rows(), rel.rows):
+            assert [type(x) for x in a] == [type(x) for x in b]
+
+    def test_object_column_uses_pickle_fallback(self):
+        rel = mixed_relation()
+        specs, _, _ = pack_column_buffers(rel.columnar())
+        kinds = {s.name: s.kind for s in specs}
+        assert kinds["mixed"] == "pickle"
+        assert kinds["id"] == "array"
+        assert kinds["label"] == "array"
+
+    def test_attached_typed_columns_are_readonly_views(self):
+        rel = mixed_relation()
+        specs, total, chunks = pack_column_buffers(rel.columnar())
+        buf = bytearray(total)
+        from repro.algebra.columnar import ColumnarRelation, write_column_buffers
+
+        write_column_buffers(buf, specs, chunks)
+        attached = ColumnarRelation.from_buffer(rel.schema, buf, specs, len(rel))
+        arr = attached.array("id")
+        assert not arr.flags.writeable
+        # Zero-copy: the array reads straight from the packed buffer.
+        buf[specs[0].offset:specs[0].offset + 8] = (12345).to_bytes(8, "little")
+        assert int(attached.array("id")[0]) == 12345
+
+
+class TestExportStore:
+    def test_unchanged_relation_stays_resident(self):
+        store = transport.ShardExportStore()
+        rel = mixed_relation(2000)
+        try:
+            store.begin_round()
+            m1 = store.export(("M", 0, 2), rel)
+            written, resident, _ = store.round_stats()
+            assert m1 is not None and written == m1.nbytes and resident == 0
+            store.begin_round()
+            m2 = store.export(("M", 0, 2), rel)
+            written, resident, _ = store.round_stats()
+            assert m2 is m1
+            assert written == 0 and resident == m1.nbytes
+        finally:
+            store.close()
+
+    def test_replicated_relation_exports_once(self):
+        store = transport.ShardExportStore()
+        rel = mixed_relation(2000)
+        try:
+            store.begin_round()
+            manifests = [store.export(("M", s, 4), rel) for s in range(4)]
+            assert len({m.export_id for m in manifests}) == 1
+            _, _, segments = store.round_stats()
+            assert segments == 1
+        finally:
+            store.close()
+
+    def test_changed_relation_bumps_generation_and_unlinks(self):
+        store = transport.ShardExportStore()
+        old = mixed_relation(2000)
+        new = mixed_relation(2001)
+        try:
+            store.begin_round()
+            m_old = store.export(("M", 0, 2), old)
+            store.begin_round()
+            m_new = store.export(("M", 0, 2), new)
+            assert m_new.export_id != m_old.export_id
+            assert m_new.generation == m_old.generation + 1
+            assert m_old.export_id not in store.live_ids()
+            # The replaced segment is gone from the system.
+            with pytest.raises(FileNotFoundError):
+                transport._attach_segment(m_old.export_id)
+        finally:
+            store.close()
+
+    def test_small_relations_ship_inline(self):
+        store = transport.ShardExportStore()
+        tiny = Relation(Schema(["a"]), [(1,), (2,)], name="tiny")
+        try:
+            store.begin_round()
+            assert store.export(("tiny", 0, 2), tiny) is None
+            assert store.live_ids() == frozenset()
+        finally:
+            store.close()
+
+    def test_reused_export_refreshes_the_generation_pin(self):
+        """A slot that reuses another slot's export must repoint its
+        generation entry — the tracker holds a strong reference, and a
+        stale one would pin a long-replaced relation on the heap."""
+        store = transport.ShardExportStore()
+        a = mixed_relation(2000)
+        b = mixed_relation(2001)
+        try:
+            store.begin_round()
+            store.export(("M", 0, 2), a)
+            store.begin_round()
+            store.export(("M", 1, 2), b)  # creates b's export
+            store.export(("M", 0, 2), b)  # reuses it — must unpin a
+            assert store._generations._slots[("M", 0, 2)][0] is b
+        finally:
+            store.close()
+
+    def test_close_unlinks_every_segment(self):
+        store = transport.ShardExportStore()
+        rel = mixed_relation(2000)
+        store.begin_round()
+        manifest = store.export(("M", 0, 2), rel)
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            transport._attach_segment(manifest.export_id)
+
+
+class TestWorkerAttachment:
+    def test_attach_is_cached_and_evictable(self):
+        store = transport.ShardExportStore()
+        rel = mixed_relation(2000)
+        try:
+            store.begin_round()
+            manifest = store.export(("M", 0, 2), rel)
+            attached = transport.attach_manifest(manifest)
+            assert transport.attach_manifest(manifest) is attached
+            assert attached.rows == rel.rows
+            assert attached.key == rel.key and attached.name == rel.name
+            transport.evict_stale(frozenset())  # nothing is live anymore
+            again = transport.attach_manifest(manifest)
+            assert again is not attached  # fresh attachment, same data
+            assert again.rows == rel.rows
+        finally:
+            transport.release_worker_cache()
+            store.close()
+
+    def test_pickled_attachment_does_not_pin_the_segment(self):
+        """Satellite audit: a pickled transport-attached relation must be
+        self-contained — usable after close() *and* unlink()."""
+        store = transport.ShardExportStore()
+        rel = mixed_relation(2000)
+        store.begin_round()
+        manifest = store.export(("M", 0, 2), rel)
+        attached = transport.attach_manifest(manifest)
+        blob = pickle.dumps(attached)
+        transport.release_worker_cache()  # drops the relation, closes the handle
+        store.close()  # unlinks the segment
+        restored = pickle.loads(blob)
+        assert restored.rows == rel.rows
+
+    def test_eviction_defers_close_to_the_last_reference(self):
+        """A caller holding the attached relation past eviction keeps the
+        mapping alive (numpy views must never dangle); the handle closes
+        via GC the moment the last reference is gone."""
+        import weakref
+
+        store = transport.ShardExportStore()
+        rel = mixed_relation(2000)
+        try:
+            store.begin_round()
+            manifest = store.export(("M", 0, 2), rel)
+            attached = transport.attach_manifest(manifest)
+            shm_ref = weakref.ref(attached.columnar()._owner)
+            arr = attached.columnar().array("id")
+            transport.evict_stale(frozenset())
+            # Evicted from the cache, but still held here: the memory
+            # stays mapped and readable.
+            assert int(arr[0]) == 0
+            assert shm_ref() is not None
+            del attached, arr
+            # Last reference gone: refcounting closed the handle.
+            assert shm_ref() is None
+        finally:
+            transport.release_worker_cache()
+            store.close()
+
+
+def build_workload(n_log=4000, n_video=20000, seed_rows=None):
+    """A join view over a small dirty fact and a big static dimension."""
+    db = Database()
+    db.add_relation(Relation(
+        Schema(["sessionId", "videoId"]),
+        seed_rows or [(i, i % n_video) for i in range(n_log)],
+        key=("sessionId",), name="Log",
+    ))
+    db.add_relation(Relation(
+        Schema(["videoId", "ownerId"]),
+        [(v, v % 113) for v in range(n_video)],
+        key=("videoId",), name="Video",
+    ))
+    view = Catalog(db).create_view(
+        "v", Aggregate(
+            Join(BaseRel("Log"), BaseRel("Video"),
+                 on=[("videoId", "videoId")], foreign_key=True),
+            ["ownerId"],
+            [AggSpec("visits", "count"), AggSpec("ssum", "sum", col("sessionId"))],
+        ),
+    )
+    return db, view
+
+
+def _worker_cache_size(_):
+    """Pool-probe: how many attachments this worker still caches."""
+    from repro.distributed import transport as t
+
+    return len(t._ATTACHED)
+
+
+def mutate(db, round_no, n_ins=600, n_del=4):
+    db.insert("Log", [
+        (1_000_000 + round_no * 10_000 + i, (i * 7 + round_no) % 20000)
+        for i in range(n_ins)
+    ])
+    db.delete("Log", [db.relation("Log").rows[i] for i in range(n_del)])
+
+
+class TestProcessShmMaintenance:
+    def test_equivalent_to_reference_and_reports_shm(self):
+        results = {}
+        for mode in ("reference", "shm"):
+            db, view = build_workload()
+            mutate(db, 0)
+            if mode == "reference":
+                set_shard_count(1)
+            else:
+                set_shard_count(4, backend="process", max_workers=2,
+                                transport="shm")
+            maintained = maintain(view)
+            results[mode] = sorted(maintained.rows, key=repr)
+            set_shard_count(1)
+        assert results["shm"] == results["reference"]
+        report = last_shard_report()
+        assert report.transport.transport == "shm"
+        assert report.transport.input_bytes > 0
+
+    def test_steady_state_ships_only_deltas(self):
+        db, view = build_workload()
+        set_shard_count(4, backend="process", max_workers=2, transport="shm")
+        per_round = []
+        for r in range(3):
+            mutate(db, r)
+            maintain(view)
+            report = last_shard_report()
+            assert report.transport.transport == "shm"
+            per_round.append(report.transport)
+            db.apply_deltas()
+        cold, steady = per_round[0], per_round[-1]
+        # The static dimension shipped once and stayed resident; later
+        # rounds move an order of magnitude less.
+        assert steady.shm_resident_bytes > 0
+        assert steady.input_bytes * 5 < cold.input_bytes
+        fresh = view.fresh_data()
+        maintained = view.require_data()
+        assert sorted(maintained.rows, key=repr) == sorted(fresh.rows, key=repr)
+
+    def test_object_columns_cross_the_transport(self):
+        """A dimension with a None-bearing object column rides the
+        embedded-pickle fallback through the process workers."""
+        results = {}
+        for mode in ("reference", "shm"):
+            db = Database()
+            db.add_relation(Relation(
+                Schema(["sessionId", "videoId"]),
+                [(i, i % 5000) for i in range(3000)],
+                key=("sessionId",), name="Log",
+            ))
+            db.add_relation(Relation(
+                Schema(["videoId", "label"]),
+                [(v, None if v % 7 == 0 else f"v{v % 23}") for v in range(5000)],
+                key=("videoId",), name="Video",
+            ))
+            view = Catalog(db).create_view(
+                "v", Aggregate(
+                    Join(BaseRel("Log"), BaseRel("Video"),
+                         on=[("videoId", "videoId")], foreign_key=True),
+                    ["label"], [AggSpec("n", "count")],
+                ),
+            )
+            db.insert("Log", [(100_000 + i, i % 5000) for i in range(400)])
+            if mode == "reference":
+                set_shard_count(1)
+            else:
+                set_shard_count(3, backend="process", max_workers=2,
+                                transport="shm")
+            maintained = maintain(view)
+            results[mode] = sorted(maintained.rows, key=repr)
+            set_shard_count(1)
+        assert results["shm"] == results["reference"]
+
+    def test_skipped_shard_slots_are_released(self):
+        """Permanently cold shards must not pin their last-active round's
+        delta/view partitions in shared memory for the session."""
+        from repro.db.deltas import insertions_name
+        from repro.distributed.transport import get_store
+
+        # Group on the fact's join key so the fact itself partitions
+        # (a dirty *replicated* relation disables skipping entirely).
+        db = Database()
+        db.add_relation(Relation(
+            Schema(["sessionId", "videoId"]),
+            [(i, i % 40) for i in range(4000)],
+            key=("sessionId",), name="Log",
+        ))
+        db.add_relation(Relation(
+            Schema(["videoId", "ownerId"]),
+            [(v, v % 7) for v in range(4000)],  # big enough to export
+            key=("videoId",), name="Video",
+        ))
+        view = Catalog(db).create_view(
+            "v", Aggregate(
+                Join(BaseRel("Log"), BaseRel("Video"),
+                     on=[("videoId", "videoId")], foreign_key=True),
+                ["videoId", "ownerId"],
+                [AggSpec("n", "count"),
+                 AggSpec("s", "sum", col("sessionId"))],
+            ),
+        )
+        set_shard_count(4, backend="process", max_workers=2, transport="shm")
+        # Round 0 touches every group: every shard exports something.
+        db.insert("Log", [(1_000_000 + i, i % 40) for i in range(800)])
+        maintain(view)
+        db.apply_deltas()
+        store = get_store()
+        # Rounds 1-2 touch a single group: most shards are skipped.
+        for r in (1, 2):
+            db.insert("Log", [(2_000_000 + r * 100 + i, 3) for i in range(40)])
+            maintain(view)
+            db.apply_deltas()
+        report = last_shard_report()
+        skipped = {t.shard for t in report.shards if t.skipped}
+        assert skipped  # the workload must actually exercise skipping
+        ins = insertions_name("Log")
+        for s in skipped:
+            assert (ins, s, 4) not in store._slot_exports, (
+                f"skipped shard {s} still pins a stale delta export"
+            )
+            # Static partitioned leaves stay resident: their memoized
+            # partitions are identity-stable, so the export is live
+            # data, not a retired round's leftovers.
+            assert ("Video", s, 4) in store._slot_exports, (
+                f"skipped shard {s} dropped its static dimension export"
+            )
+
+    def test_pickle_tasks_evict_stale_worker_attachments(self):
+        """After a mid-session shm→pickle fallback, pool workers must
+        drop their resident attachments instead of holding the retired
+        environment until the pool dies."""
+        db, view = build_workload(n_log=3000, n_video=8000)
+        set_shard_count(3, backend="process", max_workers=2, transport="shm")
+        mutate(db, 0, n_ins=300)
+        maintain(view)
+        db.apply_deltas()
+        pool = shard_mod._POOL[0]
+        assert max(pool.map(_worker_cache_size, range(8))) > 0
+        # Simulate /dev/shm failing mid-session: the executor falls back
+        # to pickle payloads and closes the store.
+        transport.disable_shm("simulated failure (test)")
+        try:
+            transport.close_store()
+            mutate(db, 1, n_ins=300)
+            maintained = maintain(view)
+            assert last_shard_report().transport.transport == "pickle"
+            assert max(pool.map(_worker_cache_size, range(8))) == 0
+            fresh = view.fresh_data()
+            assert sorted(maintained.rows, key=repr) == sorted(
+                fresh.rows, key=repr
+            )
+        finally:
+            transport._SHM_STATE[0] = ""  # re-enable shm for other tests
+
+    def test_pickle_transport_toggle(self):
+        db, view = build_workload(n_log=2000, n_video=4000)
+        mutate(db, 0, n_ins=300)
+        set_shard_count(4, backend="process", max_workers=2,
+                        transport="pickle")
+        maintained = maintain(view)
+        report = last_shard_report()
+        assert report.transport.transport == "pickle"
+        assert report.transport.shm_written_bytes == 0
+        fresh = view.fresh_data()
+        assert sorted(maintained.rows, key=repr) == sorted(fresh.rows, key=repr)
+
+    def test_residency_survives_the_per_period_count_toggle(self):
+        """``Catalog.maintain_all(shards=n)``-style toggling (n → 1 → n)
+        must keep exports warm: slots are keyed by layout, so the
+        steady-state win applies to the documented per-period API."""
+        db, view = build_workload()
+        per_round = []
+        for r in range(3):
+            mutate(db, r)
+            set_shard_count(4, backend="process", max_workers=2,
+                            transport="shm")
+            try:
+                maintain(view)
+            finally:
+                set_shard_count(1)
+            per_round.append(last_shard_report().transport)
+            db.apply_deltas()
+        assert per_round[-1].shm_resident_bytes > 0
+        assert per_round[-1].input_bytes * 5 < per_round[0].input_bytes
+
+    def test_leaving_shm_transport_unlinks_everything(self):
+        """Opting out of the shm transport must free /dev/shm — keeping
+        the exported environment pinned would be pure waste."""
+        db, view = build_workload(n_log=2000, n_video=8000)
+        set_shard_count(4, backend="process", max_workers=2, transport="shm")
+        mutate(db, 0, n_ins=300)
+        maintain(view)
+        db.apply_deltas()
+        store = transport.peek_store()
+        assert store is not None and store.resident_bytes() > 0
+        set_shard_count(4, transport="pickle")  # same count, new transport
+        assert transport.peek_store() is None
+        set_shard_count(1, transport="shm")
+
+    def test_transport_validated_and_sticky(self):
+        with pytest.raises(MaintenanceError):
+            set_shard_count(2, transport="carrier-pigeon")
+        set_shard_count(2, transport="pickle")
+        set_shard_count(3)  # transport not mentioned: must stick
+        assert shard_mod.get_shard_config().transport == "pickle"
+        set_shard_count(1, transport="shm")
+
+
+class TestNoLeakedSegments:
+    def test_interpreter_exit_is_clean(self):
+        """End-to-end sharded round in a subprocess: exiting must not
+        print resource-tracker warnings ("leaked shared_memory") or
+        tracebacks — the leak audit this PR's transport is gated on."""
+        script = textwrap.dedent("""
+            import sys
+            sys.path.insert(0, "src")
+            from repro.algebra import (AggSpec, Aggregate, BaseRel, Join,
+                                       Relation, Schema, col)
+            from repro.db import Catalog, Database, maintain
+            from repro.distributed import set_shard_count
+
+            db = Database()
+            db.add_relation(Relation(
+                Schema(["sessionId", "videoId"]),
+                [(i, i % 4000) for i in range(4000)],
+                key=("sessionId",), name="Log"))
+            db.add_relation(Relation(
+                Schema(["videoId", "ownerId"]),
+                [(v, v % 31) for v in range(4000)],
+                key=("videoId",), name="Video"))
+            view = Catalog(db).create_view(
+                "v", Aggregate(
+                    Join(BaseRel("Log"), BaseRel("Video"),
+                         on=[("videoId", "videoId")], foreign_key=True),
+                    ["ownerId"],
+                    [AggSpec("n", "count"),
+                     AggSpec("s", "sum", col("sessionId"))]))
+            # First round over the pickle transport: the pool forks
+            # BEFORE any segment exists, which is the regression shape
+            # for worker-spawned resource trackers (a worker without an
+            # inherited tracker would lazily start its own, whose exit
+            # "cleans up" the coordinator's segments with warnings).
+            set_shard_count(4, backend="process", max_workers=2,
+                            transport="pickle")
+            db.insert("Log", [(90000 + i, i % 4000) for i in range(500)])
+            maintain(view)
+            db.apply_deltas()
+            set_shard_count(4, backend="process", max_workers=2,
+                            transport="shm")
+            for r in range(2):
+                db.insert("Log", [(100000 + r * 1000 + i, i % 4000)
+                                  for i in range(500)])
+                maintain(view)
+                db.apply_deltas()
+            print("rounds-ok")
+            # Exit WITHOUT shutdown_shard_pool(): the atexit hook and the
+            # fork-shared resource tracker must clean up silently.
+        """)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=180,
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "rounds-ok" in proc.stdout
+        assert "leaked" not in proc.stderr, proc.stderr
+        assert "Traceback" not in proc.stderr, proc.stderr
+
+
+class TestPoolRecovery:
+    def test_killed_pool_is_rebuilt_and_round_succeeds(self):
+        """Satellite: kill the persistent pool mid-run; the next round
+        must recreate it, retry, and record the rebuild."""
+        db, view = build_workload(n_log=2000, n_video=4000)
+        set_shard_count(4, backend="process", max_workers=2, transport="shm")
+        mutate(db, 0, n_ins=300)
+        maintain(view)
+        db.apply_deltas()
+        assert last_shard_report().backend == "process"
+        # Murder every pool worker between rounds.
+        pool = shard_mod._POOL[0]
+        assert pool is not None
+        for proc in list(pool._processes.values()):
+            proc.kill()
+        mutate(db, 1, n_ins=300)
+        maintained = maintain(view)
+        report = last_shard_report()
+        assert report.backend == "process"
+        assert report.transport.pool_rebuilt
+        assert report.transport.demoted == ""
+        assert pool_demotion() is None
+        fresh = view.fresh_data()
+        assert sorted(maintained.rows, key=repr) == sorted(fresh.rows, key=repr)
+
+    def test_task_level_error_does_not_demote_the_backend(self):
+        """A deterministic evaluation error is the work's fault, not the
+        pool's: it must surface from the in-process rerun, leave the
+        pool alive, and never trigger a permanent demotion."""
+        from repro.algebra.expressions import BaseRel as Leaf
+
+        cfg = shard_mod.ShardConfig(count=2, backend="process",
+                                    max_workers=2, transport="pickle")
+        bad = [(Leaf("missing"), {}, 0), (Leaf("missing"), {}, 1)]
+        with pytest.raises(Exception):
+            shard_mod._run_tasks(bad, cfg)
+        assert pool_demotion() is None
+        # The pool survived: a healthy round still runs on "process".
+        rel = Relation(Schema(["x"]), [(i,) for i in range(100)], name="R")
+        good = [(Leaf("R"), {"R": rel}, 0), (Leaf("R"), {"R": rel}, 1)]
+        results, backend, _ = shard_mod._run_tasks(good, cfg)
+        assert backend == "process"
+        # Both tasks evaluated the same unpartitioned leaf in a worker.
+        assert [len(r) for r, _ in results] == [len(rel), len(rel)]
+
+    def test_unpicklable_environment_degrades_to_serial(self):
+        """Encoding failures must degrade like broken pools always have:
+        an environment value pickle cannot handle (or an export that
+        dies mid-flight) reruns the round in-process, no demotion."""
+        db = Database()
+        db.add_relation(Relation(
+            Schema(["sid", "vid"]), [(i, i % 40) for i in range(3000)],
+            key=("sid",), name="Log",
+        ))
+        db.add_relation(Relation(
+            Schema(["vid", "thunk"]),
+            [(v, (lambda v=v: v)) for v in range(40)],  # unpicklable cells
+            key=("vid",), name="Video",
+        ))
+        view = Catalog(db).create_view(
+            "v", Aggregate(
+                Join(BaseRel("Log"), BaseRel("Video"),
+                     on=[("vid", "vid")], foreign_key=True),
+                ["vid"], [AggSpec("n", "count")],
+            ),
+        )
+        db.insert("Log", [(50_000 + i, i % 40) for i in range(400)])
+        set_shard_count(2, backend="process", max_workers=2, transport="shm")
+        maintained = maintain(view)
+        report = last_shard_report()
+        assert report.backend == "serial"
+        assert pool_demotion() is None  # a bad payload is not a bad pool
+        fresh = view.fresh_data()  # view schema is (vid, n): no lambdas
+        assert sorted(maintained.rows) == sorted(fresh.rows)
+
+    def test_unrecoverable_pool_demotes_permanently(self, monkeypatch):
+        """Satellite: when the pool cannot even be recreated, the backend
+        demotes once — later rounds stop re-paying the failure."""
+        db, view = build_workload(n_log=2000, n_video=4000)
+        set_shard_count(4, backend="process", max_workers=2, transport="shm")
+
+        real_get_pool = shard_mod._get_pool
+        attempts = []
+
+        def broken_get_pool(kind, workers):
+            if kind == "process":
+                attempts.append(kind)
+                raise OSError("fork refused by sandbox")
+            return real_get_pool(kind, workers)
+
+        monkeypatch.setattr(shard_mod, "_get_pool", broken_get_pool)
+        mutate(db, 0, n_ins=300)
+        maintained = maintain(view)
+        report = last_shard_report()
+        assert report.backend == "serial"  # this round fell back in-process
+        assert "demoted" in report.transport.demoted
+        assert pool_demotion() is not None
+        assert len(attempts) == 2  # create + explicit recreate, then stop
+
+        # Later rounds go straight to threads: no further process attempts.
+        db.apply_deltas()
+        mutate(db, 1, n_ins=300)
+        maintained = maintain(view)
+        report = last_shard_report()
+        assert report.backend == "thread"
+        assert len(attempts) == 2
+        fresh = view.fresh_data()
+        assert sorted(maintained.rows, key=repr) == sorted(fresh.rows, key=repr)
+
+        # Explicitly asking for the process backend clears the demotion.
+        set_shard_count(4, backend="process", max_workers=2)
+        assert pool_demotion() is None
