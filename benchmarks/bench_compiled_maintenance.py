@@ -1,0 +1,292 @@
+"""Benchmark: interpreted vs compiled maintenance pipelines.
+
+Runs the steady-state maintenance round of an SPJA view — change-table
+maintenance of ``γ_{grp,label}(σ_{flag=1}(R) ⋈ S)`` after a 100 000-row
+delta batch against a 200 000-row base — through two execution modes:
+
+* **interpreted**: what every round paid before the plan compiler —
+  ``choose_strategy`` rebuilds the strategy expression and ``evaluate``
+  walks it top-down (columnar fast paths on), re-deriving schemas and
+  re-detecting fusable shapes each time;
+* **compiled**: ``compiled_strategy`` returns the view's cached
+  :class:`~repro.algebra.compiler.CompiledPlan` (compiled once, reused
+  every round) and ``plan.execute`` runs the fused stage list — σ/Π
+  chains folded into single gathers, the disjoint δ-union concatenated
+  without the row-level dedup set, shared subexpressions evaluated once.
+
+The gate phase runs three full maintenance periods *untimed* and checks
+every round three ways: compiled vs interpreted must match ``repr``-
+exactly (same engine, same floats), and both must match the row engine
+under the float-tolerant ``same_rows`` (engines sum in different
+associations).  Engine toggles bump the plan epoch, so the gate phase is
+kept strictly outside the timing phase.
+
+The timing phase rebuilds the workload, leaves one delta period pending,
+and times best-of-N steady-state rounds of each mode (output columns
+materialized inside the timer; the one-off compile happens before it and
+is reported separately).  Full mode must clear a 1.5× speedup; --quick
+shrinks the workload for CI smoke runs, which enforce only the
+equivalence gates and record the speedup (shared runners are too noisy
+for a wall-clock gate).
+
+Run under pytest (``pytest benchmarks/bench_compiled_maintenance.py``)
+or standalone (``python benchmarks/bench_compiled_maintenance.py
+[--quick]``).
+"""
+
+import numpy as np
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Relation,
+    Schema,
+    Select,
+    col,
+    evaluate,
+    set_columnar_enabled,
+)
+from repro.algebra.compiler import compile_count
+from repro.db import Catalog, Database
+from repro.db.maintenance import choose_strategy, compiled_strategy
+
+FULL_BASE, FULL_DELTA = 200_000, 100_000
+QUICK_BASE, QUICK_DELTA = 30_000, 20_000
+GATE_ROUNDS = 3
+#: Required steady-state speedup in full mode (quick mode records it).
+FULL_SPEEDUP = 1.5
+
+
+def _build(n_base: int, n_groups: int, seed: int = 29):
+    """The benchmark view: γ_{grp,label}(σ_{flag=1}(R) ⋈ S)."""
+    rng = np.random.default_rng(seed)
+    db = Database()
+    grps = rng.integers(0, n_groups, n_base)
+    vals = rng.exponential(40.0, n_base)
+    flags = rng.integers(0, 2, n_base)
+    rows = [
+        (i, int(g), float(v), int(f))
+        for i, (g, v, f) in enumerate(zip(grps, vals, flags))
+    ]
+    db.add_relation(
+        Relation(Schema(["id", "grp", "val", "flag"]), rows, key=("id",), name="R")
+    )
+    db.add_relation(
+        Relation(
+            Schema(["grp", "label"]),
+            [(g, g % 7) for g in range(n_groups)],
+            key=("grp",),
+            name="S",
+        )
+    )
+    view = Catalog(db).create_view(
+        "V",
+        Aggregate(
+            Join(
+                Select(BaseRel("R"), col("flag") == 1),
+                BaseRel("S"),
+                on=[("grp", "grp")],
+                foreign_key=True,
+            ),
+            ["grp", "label"],
+            [AggSpec("n", "count"), AggSpec("total", "sum", col("val"))],
+        ),
+    )
+    return db, view
+
+
+def _mutate(db, n_delta: int, n_groups: int, period: int, seed: int = 57):
+    """One update period: ~70% inserts of new ids, ~30% deletions."""
+    rng = np.random.default_rng(seed + period)
+    base = db.relation("R")
+    n_ins = n_delta * 7 // 10
+    start = 10_000_000 * (period + 1)
+    db.insert(
+        "R",
+        [
+            (start + i, int(g), float(v), int(f))
+            for i, (g, v, f) in enumerate(
+                zip(
+                    rng.integers(0, n_groups, n_ins),
+                    rng.exponential(40.0, n_ins),
+                    rng.integers(0, 2, n_ins),
+                )
+            )
+        ],
+    )
+    picks = rng.choice(len(base.rows), n_delta - n_ins, replace=False)
+    db.delete("R", [base.rows[i] for i in picks])
+
+
+def _materialize(rel):
+    """Realize the output in its native storage (timed, like consumers)."""
+    if not rel.is_materialized:
+        batch = rel.columnar()
+        for c in rel.schema.columns:
+            batch.array(c)
+    else:
+        rel.rows
+
+
+def _exact(rel):
+    return [tuple(map(repr, r)) for r in rel.rows]
+
+
+def _gate_phase(n_base: int, n_delta: int, n_groups: int) -> int:
+    """Three maintenance periods, each equivalence-gated three ways."""
+    from conftest import same_rows
+
+    db, view = _build(n_base, n_groups)
+    for period in range(GATE_ROUNDS):
+        _mutate(db, n_delta, n_groups, period)
+        leaves = db.leaves()
+        interp = evaluate(choose_strategy(view).expr, dict(leaves))
+        _, plan = compiled_strategy(view)
+        compiled = plan.execute(dict(leaves))
+        assert _exact(compiled) == _exact(interp), (
+            f"round {period}: compiled diverged from the interpreter"
+        )
+        old = set_columnar_enabled(False)
+        try:
+            row_out = evaluate(choose_strategy(view).expr, dict(db.leaves()))
+        finally:
+            set_columnar_enabled(old)
+        assert same_rows(compiled.rows, row_out.rows), (
+            f"round {period}: compiled diverged from the row engine"
+        )
+        view.set_data(compiled)
+        db.apply_deltas()
+    return GATE_ROUNDS
+
+
+def _timing_phase(n_base: int, n_delta: int, n_groups: int, repeats: int):
+    """Best-of-N steady-state round, interpreted vs cached compiled plan."""
+    import time
+
+    db, view = _build(n_base, n_groups)
+    _mutate(db, n_delta, n_groups, period=0)
+    leaves = db.leaves()
+    for rel in leaves.values():
+        rel.rows
+        for c in rel.schema.columns:
+            rel.columnar().array(c)
+
+    t0 = time.perf_counter()
+    _, plan = compiled_strategy(view)  # the one-off compile, untimed below
+    compile_s = time.perf_counter() - t0
+
+    def interp_round():
+        strategy = choose_strategy(view)
+        out = evaluate(strategy.expr, dict(leaves))
+        _materialize(out)
+        return out
+
+    def compiled_round():
+        _, cached = compiled_strategy(view)
+        out = cached.execute(dict(leaves))
+        _materialize(out)
+        return out
+
+    def best(fn):
+        best_s, out = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = fn()
+            best_s = min(best_s, time.perf_counter() - t0)
+        return best_s, out
+
+    interp_s, interp_out = best(interp_round)
+    before = compile_count()
+    compiled_s, compiled_out = best(compiled_round)
+    recompiles = compile_count() - before
+    assert recompiles == 0, "steady-state rounds must reuse the cached plan"
+    assert _exact(compiled_out) == _exact(interp_out)
+    return {
+        "compile_s": compile_s,
+        "interpreted_s": interp_s,
+        "compiled_s": compiled_s,
+        "steady_state_recompiles": recompiles,
+        "stage_kinds": ",".join(plan.stage_kinds()),
+        "out_rows": len(compiled_out.rows),
+        "speedup": interp_s / compiled_s,
+    }
+
+
+def run_bench(
+    n_base: int = FULL_BASE, n_delta: int = FULL_DELTA, repeats: int = 3
+) -> dict:
+    """Gate three maintenance rounds, then time the steady state."""
+    n_groups = max(n_base // 10, 8)
+    gated = _gate_phase(n_base, n_delta, n_groups)
+    result = _timing_phase(n_base, n_delta, n_groups, repeats)
+    result.update(
+        {
+            "n_base": n_base,
+            "n_delta": n_delta,
+            "n_groups": n_groups,
+            "gated_rounds": gated,
+            "delta_rows_per_s_interpreted": n_delta / result["interpreted_s"],
+            "delta_rows_per_s_compiled": n_delta / result["compiled_s"],
+        }
+    )
+    return result
+
+
+def to_table(result: dict) -> str:
+    lines = [
+        "bench_compiled_maintenance — interpreted vs compiled pipelines",
+        f"base rows: {result['n_base']}   delta rows: {result['n_delta']}   "
+        f"groups: {result['n_groups']}   gated rounds: {result['gated_rounds']}",
+        f"stages: {result['stage_kinds']}   "
+        f"one-off compile: {result['compile_s'] * 1e3:.2f} ms",
+        f"interpreted: {result['interpreted_s'] * 1e3:9.2f} ms   "
+        f"{result['delta_rows_per_s_interpreted']:12.0f} delta rows/s",
+        f"compiled:    {result['compiled_s'] * 1e3:9.2f} ms   "
+        f"{result['delta_rows_per_s_compiled']:12.0f} delta rows/s",
+        f"speedup: {result['speedup']:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def test_compiled_maintenance_speedup(benchmark, quick, record_json):
+    from conftest import run_once
+
+    n_base = QUICK_BASE if quick else FULL_BASE
+    n_delta = QUICK_DELTA if quick else FULL_DELTA
+    result = run_once(benchmark, run_bench, n_base=n_base, n_delta=n_delta)
+    print("\n" + to_table(result))
+    record_json(
+        "bench_compiled_maintenance",
+        result,
+        {"n_base": n_base, "n_delta": n_delta, "quick": quick,
+         "gate": None if quick else FULL_SPEEDUP},
+    )
+    if not quick:
+        assert result["speedup"] >= FULL_SPEEDUP, (
+            f"compiled plan only {result['speedup']:.2f}x over the "
+            f"interpreter (need >= {FULL_SPEEDUP}x at {n_delta} delta rows)"
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    from conftest import write_json_result
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small workload")
+    parser.add_argument("--base", type=int, default=None)
+    parser.add_argument("--delta", type=int, default=None)
+    args = parser.parse_args()
+    n_base = args.base or (QUICK_BASE if args.quick else FULL_BASE)
+    n_delta = args.delta or (QUICK_DELTA if args.quick else FULL_DELTA)
+    result = run_bench(n_base=n_base, n_delta=n_delta)
+    write_json_result(
+        "bench_compiled_maintenance",
+        result,
+        {"n_base": n_base, "n_delta": n_delta, "quick": args.quick,
+         "gate": None if args.quick else FULL_SPEEDUP},
+    )
+    print(to_table(result))

@@ -1,0 +1,146 @@
+"""Benchmark regression guard: fresh results vs committed baselines.
+
+Every benchmark writes a machine-readable ``results/<name>.json`` (see
+``conftest.write_json_result``).  CI runs the quick variants, then this
+script diffs the fresh results against the quick-mode baselines committed
+under ``baselines/`` and fails on a >25% drop in any *machine-relative*
+metric — the speedup-style ratios (``speedup``, ``latency_speedup``,
+``bytes_ratio``) that divide one engine's measurement by another's on
+the same machine, so a slow CI runner cancels out of both sides.
+Absolute wall-clock metrics (``*_s``) vary run-to-run on shared runners
+and are only compared behind ``--absolute``.
+
+A baseline whose recorded config does not match the fresh result's (for
+example a full-mode result against a quick-mode baseline) is skipped
+with a warning rather than compared apples-to-oranges; so is a baseline
+with no fresh result (partial benchmark runs stay usable).
+
+To re-baseline after an intentional perf change::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_<name>.py -q --quick
+    cp benchmarks/results/bench_<name>.json benchmarks/baselines/
+
+Exit status: 0 when every compared metric holds, 1 on any regression.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+
+#: Ratio metrics where higher is better and machine speed divides out.
+RELATIVE_METRICS = ("speedup", "latency_speedup", "bytes_ratio")
+
+#: Config keys that do not affect the measurement (provenance only).
+IGNORED_CONFIG_KEYS = ("gate",)
+
+
+def load_payload(path: pathlib.Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def comparable_config(payload: dict) -> dict:
+    return {
+        k: v
+        for k, v in payload.get("config", {}).items()
+        if k not in IGNORED_CONFIG_KEYS
+    }
+
+
+def compare(
+    baseline: dict, fresh: dict, threshold: float, absolute: bool
+) -> tuple[list, list]:
+    """(regressions, comparisons) between one baseline/fresh pair."""
+    regressions, comparisons = [], []
+    base_metrics = baseline.get("metrics", {})
+    fresh_metrics = fresh.get("metrics", {})
+    for metric in RELATIVE_METRICS:
+        if metric not in base_metrics or metric not in fresh_metrics:
+            continue
+        base, now = float(base_metrics[metric]), float(fresh_metrics[metric])
+        floor = base / (1.0 + threshold)
+        ok = now >= floor
+        comparisons.append((metric, base, now, floor, ok))
+        if not ok:
+            regressions.append((metric, base, now, floor))
+    if absolute:
+        for metric in sorted(base_metrics):
+            if not metric.endswith("_s") or metric not in fresh_metrics:
+                continue
+            base, now = float(base_metrics[metric]), float(fresh_metrics[metric])
+            ceiling = base * (1.0 + threshold)
+            ok = now <= ceiling
+            comparisons.append((metric, base, now, ceiling, ok))
+            if not ok:
+                regressions.append((metric, base, now, ceiling))
+    return regressions, comparisons
+
+
+def check(results_dir, baselines_dir, threshold, absolute) -> int:
+    baselines = sorted(baselines_dir.glob("*.json"))
+    if not baselines:
+        print(f"no baselines under {baselines_dir}; nothing to check")
+        return 0
+    failed = False
+    for baseline_path in baselines:
+        name = baseline_path.name
+        fresh_path = results_dir / name
+        if not fresh_path.exists():
+            print(f"SKIP {name}: no fresh result under {results_dir}")
+            continue
+        baseline = load_payload(baseline_path)
+        fresh = load_payload(fresh_path)
+        base_cfg = comparable_config(baseline)
+        fresh_cfg = comparable_config(fresh)
+        if base_cfg != fresh_cfg:
+            print(
+                f"SKIP {name}: config mismatch "
+                f"(baseline {base_cfg} vs fresh {fresh_cfg})"
+            )
+            continue
+        regressions, comparisons = compare(baseline, fresh, threshold, absolute)
+        if not comparisons:
+            print(f"SKIP {name}: no comparable metrics")
+            continue
+        for metric, base, now, bound, ok in comparisons:
+            verdict = "ok" if ok else "REGRESSED"
+            print(
+                f"{'PASS' if ok else 'FAIL'} {name}: {metric} "
+                f"{base:.3g} -> {now:.3g} (bound {bound:.3g}) {verdict}"
+            )
+        if regressions:
+            failed = True
+    if failed:
+        print(f"\nregression(s) beyond {threshold:.0%}; see FAIL lines above")
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results", type=pathlib.Path, default=HERE / "results",
+        help="directory of fresh result JSONs (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--baselines", type=pathlib.Path, default=HERE / "baselines",
+        help="directory of committed baselines (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed fractional drop before failing (default: 0.25)",
+    )
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="also compare absolute *_s wall-clock metrics (noisy on CI)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.results, args.baselines, args.threshold, args.absolute)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

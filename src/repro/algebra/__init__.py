@@ -11,6 +11,13 @@ reference row-at-a-time loops operator by operator; see
 
 from repro.algebra.aggregates import get_aggregate
 from repro.algebra.columnar import ColumnarRelation
+from repro.algebra.compiler import (
+    CompiledPlan,
+    compile_plan,
+    compiled_evaluate,
+    plan_epoch,
+    plan_key,
+)
 from repro.algebra.evaluator import (
     GROUP_COUNT,
     columnar_enabled,
@@ -86,8 +93,11 @@ __all__ = [
     "Select",
     "Union",
     "as_schema",
+    "CompiledPlan",
     "col",
     "columnar_enabled",
+    "compile_plan",
+    "compiled_evaluate",
     "derive_key",
     "derive_schema",
     "distinct",
@@ -95,6 +105,8 @@ __all__ = [
     "func",
     "get_aggregate",
     "lit",
+    "plan_epoch",
+    "plan_key",
     "provenance_of",
     "set_columnar_enabled",
     "trace",

@@ -107,6 +107,13 @@ def set_columnar_enabled(enabled: bool) -> bool:
     """Globally enable/disable the columnar fast paths; returns the old value."""
     old = _COLUMNAR[0]
     _COLUMNAR[0] = bool(enabled)
+    if old != _COLUMNAR[0]:
+        # Compiled plans bake fusion decisions in at compile time, so an
+        # engine toggle invalidates every cached plan (lazy import: the
+        # compiler imports this module).
+        from repro.algebra.compiler import bump_plan_epoch
+
+        bump_plan_epoch()
     return old
 
 

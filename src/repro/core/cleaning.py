@@ -150,14 +150,17 @@ class SampleView:
         delta row routes to cleans to η of its untouched stale slice —
         exactly its slice of the dirty sample).
         """
-        from repro.algebra.evaluator import evaluate
+        from repro.algebra.compiler import compiled_evaluate
         from repro.distributed.shard import run_sharded
 
         result = run_sharded(
             self.view, expr, strategy, identity_source=self.dirty_sample
         )
         if result is None:
-            result = evaluate(expr, self.view.database.leaves())
+            # Cleaning expressions repeat their shape across periods
+            # (same strategy, same pushed-down η), so the single-shard
+            # path compiles once and reuses the fused pipeline.
+            result = compiled_evaluate(expr, self.view.database.leaves())
         return result
 
     def require_clean(self) -> Relation:

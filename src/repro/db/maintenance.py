@@ -43,9 +43,10 @@ and evaluates the same expression shard-parallel (see
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.algebra.evaluator import GROUP_COUNT, evaluate
+from repro.algebra.compiler import CompiledPlan, compile_plan, compiled_evaluate
+from repro.algebra.evaluator import GROUP_COUNT
 from repro.algebra.expressions import (
     AggSpec,
     Aggregate,
@@ -344,6 +345,63 @@ def _spj_strategy(view) -> Expr:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
+
+#: Entry cap for the per-view compiled-plan cache (distinct round
+#: signatures per view are few: dirty-leaf subsets × the min/max flag).
+VIEW_PLAN_CACHE_LIMIT = 8
+
+
+def plan_signature(view) -> tuple:
+    """What the shape of this round's strategy depends on.
+
+    :func:`choose_strategy` builds one expression per (set of dirty view
+    leaves, min/max-deletions flag): change-table terms exist only for
+    dirty occurrences, and pending deletions under min/max force
+    recomputation.  Rounds with equal signatures therefore share one
+    strategy/plan pair.
+    """
+    database = view.database
+    leaf_names = {leaf.name for leaf in view.definition.leaves()}
+    dirty = frozenset(
+        name
+        for name in database.deltas.dirty_relations()
+        if name in leaf_names
+    )
+    minmax_deletions = False
+    if isinstance(view.definition, Aggregate) and any(
+        a.func in ("min", "max") for a in view.definition.aggs
+    ):
+        for name in dirty:
+            delta = database.deltas.get(name)
+            if delta is not None and delta.deleted:
+                minmax_deletions = True
+                break
+    return (dirty, minmax_deletions)
+
+
+def compiled_strategy(view) -> Tuple[MaintenanceStrategy, CompiledPlan]:
+    """The view's cached (strategy, compiled plan) for the current round.
+
+    The cache lives on the view (see ``MaterializedView.plan_cache``)
+    keyed by :func:`plan_signature`; a hit is revalidated against the
+    plan epoch and leaf schemas before reuse, so toggle flips and schema
+    changes recompile instead of serving a stale pipeline.
+    """
+    signature = plan_signature(view)
+    cache = view.plan_cache
+    hit = cache.get(signature)
+    if hit is not None:
+        strategy, plan = hit
+        if plan.valid_for(view.database.leaves()):
+            return strategy, plan
+    strategy = choose_strategy(view)
+    plan = compile_plan(strategy.expr, view.database.leaves())
+    if len(cache) >= VIEW_PLAN_CACHE_LIMIT:
+        cache.clear()
+    cache[signature] = (strategy, plan)
+    return strategy, plan
+
+
 def choose_strategy(view) -> MaintenanceStrategy:
     """Pick a strategy valid for the *current* deltas.
 
@@ -373,8 +431,9 @@ def maintain(view, strategy: Optional[MaintenanceStrategy] = None):
     call ``database.apply_deltas()`` once every registered view (and
     every SVC sample) has been maintained for the period.
     """
+    plan = None
     if strategy is None:
-        strategy = choose_strategy(view)
+        strategy, plan = compiled_strategy(view)
     result = None
     from repro.distributed.shard import get_shard_count
 
@@ -383,5 +442,11 @@ def maintain(view, strategy: Optional[MaintenanceStrategy] = None):
 
         result = maintain_sharded(view, strategy)
     if result is None:
-        result = evaluate(strategy.expr, view.database.leaves())
+        leaves = view.database.leaves()
+        if plan is not None and plan.valid_for(leaves):
+            result = plan.execute(leaves)
+        else:
+            # Caller-supplied strategies still compile (and hit the
+            # global fingerprint-keyed cache on repeats).
+            result = compiled_evaluate(strategy.expr, leaves)
     return view.set_data(result)

@@ -78,6 +78,12 @@ class MaterializedView:
                 f"view {name!r} has no derivable primary key (Def 2)"
             )
         self.data: Optional[Relation] = None
+        #: Compiled maintenance pipelines, keyed by round signature (see
+        #: :func:`repro.db.maintenance.compiled_strategy`).  Entries are
+        #: additionally gated on the plan epoch and leaf schemas at
+        #: lookup time, so this cache never needs eager invalidation —
+        #: :meth:`invalidate_plans` exists for explicit resets (tests).
+        self.plan_cache: dict = {}
 
     # ------------------------------------------------------------------
     def materialize(self) -> Relation:
@@ -116,6 +122,13 @@ class MaterializedView:
         self.data = rel
         self.database.register_view_data(self.name, rel)
         return rel
+
+    def invalidate_plans(self) -> None:
+        """Drop cached compiled maintenance plans (and the shard-plan
+        memo) for this view."""
+        self.plan_cache.clear()
+        if hasattr(self, "_shard_plan_memo"):
+            del self._shard_plan_memo
 
     # ------------------------------------------------------------------
     def fresh_data(self) -> Relation:

@@ -53,7 +53,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.algebra.evaluator import evaluate
+from repro.algebra.compiler import bump_plan_epoch, compiled_evaluate, plan_epoch
 from repro.algebra.expressions import (
     Aggregate,
     BaseRel,
@@ -170,6 +170,10 @@ def set_shard_count(
         max_workers=max_workers,
         transport=new_transport,
     )
+    if count != old:
+        # Shard layout is part of the environment a compiled plan (and
+        # the per-view shard-plan memo) was built against.
+        bump_plan_epoch()
     return old
 
 
@@ -323,7 +327,27 @@ def plan_shards(view) -> ShardPlan:
     whole merge groups co-located because the view key determines every
     routing value.  Among the candidate subsets the planner picks the
     one covering the most base/delta rows with partitioned relations.
+
+    The decision is memoized on the view, keyed by the plan epoch and
+    the database's relation inventory: the partition proof depends only
+    on the view structure and leaf schemas, so per-round replanning is
+    pure overhead — but the memo must not survive ``set_hash_family`` /
+    ``set_shard_count`` / ``set_columnar_enabled`` (all bump the epoch)
+    or a relation being added/dropped.  Any candidate plan is *correct*
+    (scores only steer performance), so memoizing across delta changes
+    is sound.
     """
+    token = (plan_epoch(), tuple(sorted(view.database.relation_names())))
+    memo = getattr(view, "_shard_plan_memo", None)
+    if memo is not None and memo[0] == token:
+        return memo[1]
+    plan = _plan_shards_fresh(view)
+    view._shard_plan_memo = (token, plan)
+    return plan
+
+
+def _plan_shards_fresh(view) -> ShardPlan:
+    """The unmemoized planning pass behind :func:`plan_shards`."""
     definition = view.definition
     database = view.database
     leaves = database.leaves()
@@ -405,6 +429,12 @@ def last_shard_report() -> Optional[ShardRunReport]:
 def _run_local_task(task):
     """Evaluate one shard's task; returns ``(relation, seconds)``.
 
+    Evaluation goes through :func:`repro.algebra.compiler.
+    compiled_evaluate`: the expression ships as a tree (closures do not
+    pickle), but the worker-side plan cache is keyed by structural
+    fingerprint, so the per-round strategy trees — rebuilt objects,
+    identical shapes — hit one plan compiled per pool lifetime.
+
     The relation is returned *as evaluated* — columnar-backed results
     (vectorized joins, the columnar merge) stay columnar.  On the
     process backend they therefore pickle as numpy column buffers
@@ -413,7 +443,7 @@ def _run_local_task(task):
     """
     expr, leaves = task[0], task[1]
     t0 = time.perf_counter()
-    rel = evaluate(expr, leaves)
+    rel = compiled_evaluate(expr, leaves)
     return rel, time.perf_counter() - t0
 
 
@@ -429,7 +459,12 @@ def _apply_worker_toggles(family, columnar: bool) -> None:
     from repro.stats import hashing as _hashing
 
     if _hashing._active_family[0] is not family:
+        # Installed directly (bypassing set_hash_family, which only
+        # accepts registered names), so the plan-epoch bump that hook
+        # performs must happen here too — a worker's cached plans must
+        # not survive the coordinator switching families.
         _hashing._active_family[0] = family
+        bump_plan_epoch()
     if columnar_enabled() != columnar:
         set_columnar_enabled(columnar)
 

@@ -93,7 +93,17 @@ def unit_hash(values: Sequence, seed: int = 0) -> float:
 def set_hash_family(name: str) -> Callable:
     """Select the active hash family ('sha1' or 'linear'); returns it."""
     fn = HASH_FAMILIES[name]
+    changed = _active_family[0] is not fn
     _active_family[0] = fn
+    if changed:
+        # η leaves key their sample caches by family, but compiled
+        # maintenance pipelines and shard-plan memos are keyed by the
+        # plan epoch — bump it so they cannot serve plans whose cached
+        # environment assumptions predate the family switch (lazy
+        # import: the compiler transitively imports this module).
+        from repro.algebra.compiler import bump_plan_epoch
+
+        bump_plan_epoch()
     return fn
 
 

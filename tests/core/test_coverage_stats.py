@@ -19,6 +19,14 @@ noise of the Monte-Carlo estimate itself (sd ≈ √(0.95·0.05/N)) and the
 CLT approximation error at moderate sample sizes — it protects against
 estimator regressions, not against randomness.  The ≥ 200-trial run is
 marked ``slow``; the quick variant always runs (CI included).
+
+The bootstrap paths (median/percentile queries routed to
+``bootstrap_corr`` / ``bootstrap_aqp`` by ``StaleViewCleaner.query``)
+get the same gate: measured minimum coverage is 97.5% over the 40
+bootstrap quick trials and 97.3% over the 150 full trials, so both
+variants also pin at nominal − 5%.  Bootstrap trials cost ~75 ms each
+(200 resample iterations × 2 queries × 2 methods), hence the smaller
+trial counts.
 """
 
 import pytest
@@ -39,6 +47,11 @@ FULL_TRIALS = 250
 FULL_TOLERANCE = 0.05  # >= 90% empirical coverage (measured min: 92.0%)
 QUICK_TRIALS = 100
 QUICK_TOLERANCE = 0.05  # >= 90% empirical coverage (measured min: 94.0%)
+
+BOOT_QUICK_TRIALS = 40  # ~75 ms/trial: 200 resamples x 2 queries x 2 methods
+BOOT_QUICK_TOLERANCE = 0.05  # >= 90% empirical coverage (measured min: 97.5%)
+BOOT_FULL_TRIALS = 150
+BOOT_FULL_TOLERANCE = 0.05  # >= 90% empirical coverage (measured min: 97.3%)
 
 
 def _workload(seed: int = WORKLOAD_SEED):
@@ -89,29 +102,38 @@ QUERIES = [
 ]
 
 
-def _coverage(trials: int):
+#: Holistic queries with no analytic CLT interval: ``svc.query`` routes
+#: them to the bootstrap estimators (``method="aqp"`` -> bootstrap_aqp,
+#: anything else -> the paper's correction bootstrap).
+BOOTSTRAP_QUERIES = [
+    AggQuery("median", "total"),
+    AggQuery("percentile_75", "total"),
+]
+
+
+def _coverage(trials: int, queries=QUERIES):
     """Empirical CI coverage per (query, method) over independent seeds."""
     db, view = _workload()
     fresh = view.fresh_data()
-    truths = {id(q): q.evaluate(fresh) for q in QUERIES}
-    hits = {(id(q), m): 0 for q in QUERIES for m in ("corr", "aqp")}
+    truths = {id(q): q.evaluate(fresh) for q in queries}
+    hits = {(id(q), m): 0 for q in queries for m in ("corr", "aqp")}
     for seed in range(trials):
         svc = StaleViewCleaner(view, ratio=RATIO, seed=seed)
         svc.refresh()
-        for q in QUERIES:
+        for q in queries:
             for method in ("corr", "aqp"):
                 est = svc.query(q, method=method, confidence=CONFIDENCE)
                 if est.contains(truths[id(q)]):
                     hits[(id(q), method)] += 1
     return {
         (q.func, q.attr, method): hits[(id(q), method)] / trials
-        for q in QUERIES
+        for q in queries
         for method in ("corr", "aqp")
     }
 
 
-def _assert_coverage(trials: int, tolerance: float):
-    rates = _coverage(trials)
+def _assert_coverage(trials: int, tolerance: float, queries=QUERIES):
+    rates = _coverage(trials, queries)
     floor = CONFIDENCE - tolerance
     failures = {k: r for k, r in rates.items() if r < floor}
     assert not failures, (
@@ -129,3 +151,14 @@ def test_ci_coverage_quick():
 def test_ci_coverage_full():
     """>= 200 seeded trials: coverage within 5% of the nominal 95%."""
     _assert_coverage(FULL_TRIALS, FULL_TOLERANCE)
+
+
+def test_bootstrap_coverage_quick():
+    """Bootstrap intervals (median/percentile) cover at >= nominal − 5%."""
+    _assert_coverage(BOOT_QUICK_TRIALS, BOOT_QUICK_TOLERANCE, BOOTSTRAP_QUERIES)
+
+
+@pytest.mark.slow
+def test_bootstrap_coverage_full():
+    """Full-trial bootstrap run: coverage within 5% of the nominal 95%."""
+    _assert_coverage(BOOT_FULL_TRIALS, BOOT_FULL_TOLERANCE, BOOTSTRAP_QUERIES)
