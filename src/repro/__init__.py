@@ -13,6 +13,8 @@ Public API highlights:
   log workloads used by the paper's evaluation.
 * ``repro.distributed`` — the mini-batch cluster simulator for the
   Spark-based experiments.
+* ``repro.serving`` — always-on serving: concurrent ingest + SVC query
+  front end with epoch-pinned reads and freshness-budget scheduling.
 * ``repro.experiments`` — harness regenerating every table and figure.
 """
 
@@ -41,6 +43,7 @@ from repro.core import (
 )
 from repro.db import Catalog, Database, MaterializedView
 from repro.distributed.shard import get_shard_count, set_shard_count
+from repro.serving import FreshnessSLA, ViewServer
 
 __version__ = "1.0.0"
 
@@ -52,6 +55,7 @@ __all__ = [
     "Catalog",
     "Database",
     "Estimate",
+    "FreshnessSLA",
     "Hash",
     "Join",
     "MaterializedView",
@@ -62,6 +66,7 @@ __all__ = [
     "Schema",
     "Select",
     "StaleViewCleaner",
+    "ViewServer",
     "__version__",
     "col",
     "evaluate",

@@ -13,6 +13,7 @@ relative-error analyses and the select-query correction (§12.1.2).
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
@@ -48,12 +49,24 @@ class StalenessReport:
         }
 
 
+#: Numeric kinds that compare with tolerance.  ``numbers.Real`` covers
+#: ``bool`` (an ``int`` subclass), ``int``, ``float``, and every numpy
+#: scalar type (numpy registers them as ``Real``), so this covers every
+#: numeric value a maintained or recomputed view can hold.
+_NUMERIC = numbers.Real
+
+
 def _values_equal(a, b, rel_tol: float) -> bool:
     if a == b:
         return True
-    if isinstance(a, float) and isinstance(b, float):
-        # Incremental maintenance adds floats in a different order than
-        # recomputation; tolerate the resulting rounding drift.
+    if isinstance(a, _NUMERIC) and isinstance(b, _NUMERIC):
+        # Incremental maintenance and recomputation disagree on both
+        # accumulation order *and* dtype: a change-table merge can keep a
+        # count as int where a recompute produces float (or numpy
+        # scalars, or bool for 0/1 flags).  All numeric pairs therefore
+        # compare numerically with the same relative tolerance — a
+        # ``1.0`` vs ``1 + ε`` pair is rounding drift, not an incorrect
+        # row.
         return abs(a - b) <= rel_tol * max(abs(a), abs(b), 1.0)
     return False
 

@@ -107,6 +107,44 @@ class ClusterModel:
             f"{max(self.throughput(g, threads) for g in candidates_gb):,.0f}"
         )
 
+    @classmethod
+    def from_shard_reports(
+        cls, reports, idle_max: float = 0.75, idle_half_gb: float = 30.0,
+    ) -> "ClusterModel":
+        """Fit ``peak_rate``/``batch_overhead`` from measured shard runs.
+
+        ``reports`` are :class:`~repro.distributed.metrics.ShardRunReport`
+        objects (or anything with ``total_rows``/``eval_seconds``) from
+        the real sharded executor — i.e. rounds that went through the
+        shared-memory transport — at two or more distinct batch sizes.
+        A least-squares line ``seconds = overhead + records / peak``
+        replaces the default constants, so the Fig 14–16 analyses can
+        run against *this* machine's measured behaviour instead of the
+        paper cluster's magnitudes.
+        """
+        points = [
+            (float(r.total_rows), float(r.eval_seconds))
+            for r in reports
+            if r.total_rows > 0 and r.eval_seconds > 0
+        ]
+        if len({p[0] for p in points}) < 2:
+            raise WorkloadError(
+                "fitting a cluster model needs measured rounds at two or "
+                f"more distinct batch sizes; got {len(points)} usable round(s)"
+            )
+        records = np.array([p[0] for p in points])
+        seconds = np.array([p[1] for p in points])
+        slope, overhead = np.polyfit(records, seconds, 1)
+        if slope <= 0:
+            # Timing noise dominated (tiny batches): fall back to the
+            # aggregate rate with no amortizable overhead.
+            return cls(peak_rate=float(records.sum() / seconds.sum()),
+                       batch_overhead=0.0,
+                       idle_max=idle_max, idle_half_gb=idle_half_gb)
+        return cls(peak_rate=float(1.0 / slope),
+                   batch_overhead=max(float(overhead), 0.0),
+                   idle_max=idle_max, idle_half_gb=idle_half_gb)
+
 
 def throughput_curve(
     model: ClusterModel, batch_sizes_gb: List[float], threads: int = 1
@@ -136,7 +174,12 @@ def cpu_utilization_trace(
     idle_frac = model.idle_fraction(batch_gb)
     out = np.empty(seconds)
     for t in range(seconds):
-        phase = (t % max(period, 1.0)) / max(period, 1.0)
+        # Each sample is the state at a uniformly jittered instant within
+        # its second.  Integer-second sampling (``t % period``) aliases
+        # whenever the period divides a second evenly — in particular any
+        # sub-second period pinned every sample to phase 0 and the trace
+        # showed no idle windows at all.
+        phase = ((t + rng.uniform()) % period) / period
         # Shuffle idle windows recur within the batch; the tail of the
         # period is the inter-batch gap.
         in_idle = (phase % 0.25) > (0.25 * (1.0 - idle_frac))

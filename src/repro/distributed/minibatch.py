@@ -19,14 +19,40 @@ The experiment couples the :class:`ClusterModel` timing behaviour with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.algebra.compiler import plan_epoch
+from repro.algebra.evaluator import columnar_enabled
 from repro.core.svc import StaleViewCleaner
 from repro.distributed.cluster import RECORDS_PER_GB, ClusterModel
+from repro.distributed.shard import get_shard_config
 from repro.errors import WorkloadError
+from repro.stats.hashing import get_hash_family
 from repro.workloads.queries import QueryGenerator, relative_error
+
+
+def engine_fingerprint() -> Tuple:
+    """Identity of the engine configuration a calibration ran under.
+
+    A measured error curve depends on how the engine actually executed
+    the workload: the hash family decides which rows land in the SVC
+    sample, the columnar toggle and shard layout decide which execution
+    path produced the maintained view.  ``plan_epoch()`` already bumps
+    on every one of those toggles; the shard backend/transport are
+    appended because they change *where* the rounds ran without bumping
+    the epoch.
+    """
+    cfg = get_shard_config()
+    return (
+        plan_epoch(),
+        columnar_enabled(),
+        get_hash_family().__name__,
+        cfg.count,
+        cfg.backend,
+        cfg.transport,
+    )
 
 
 @dataclass
@@ -45,6 +71,13 @@ class ErrorModel:
     #: (sampling ratio, max SVC estimation relative error) observations.
     estimation_points: List[tuple]
     estimation_scale: float = 1.0
+    #: :func:`engine_fingerprint` at calibration time.  Empty for
+    #: hand-built models (always considered current).
+    fingerprint: Tuple = ()
+
+    def is_current(self) -> bool:
+        """True unless an engine toggle changed since calibration."""
+        return not self.fingerprint or self.fingerprint == engine_fingerprint()
 
     def stale_error(self, pending_fraction: float) -> float:
         """Interpolated stale-query error at a pending-update fraction."""
@@ -118,7 +151,35 @@ def calibrate_error_model(
     if extrapolate_to:
         base_n = len(db.relation(gen_log_name(db)))
         scale = float(np.sqrt(base_n / extrapolate_to))
-    return ErrorModel(stale_points, estimation_points, estimation_scale=scale)
+    return ErrorModel(stale_points, estimation_points, estimation_scale=scale,
+                      fingerprint=engine_fingerprint())
+
+
+_CALIBRATION_CACHE: Dict[Tuple, ErrorModel] = {}
+
+
+def calibrated_error_model(
+    key: Tuple, build: Callable[[], ErrorModel]
+) -> ErrorModel:
+    """Memoized calibration that engine-toggle changes invalidate.
+
+    A plain ``lru_cache`` over workload parameters served stale curves
+    after ``set_columnar_enabled`` / ``set_hash_family`` /
+    ``set_shard_count`` flips mid-run: the cached model was measured
+    under an engine configuration that no longer exists.  Here a cached
+    model is reused only while its :func:`engine_fingerprint` is still
+    current; otherwise ``build`` recalibrates under the live engine.
+    """
+    model = _CALIBRATION_CACHE.get(key)
+    if model is None or not model.is_current():
+        model = build()
+        _CALIBRATION_CACHE[key] = model
+    return model
+
+
+def invalidate_calibrations() -> None:
+    """Drop every memoized calibration (test isolation hook)."""
+    _CALIBRATION_CACHE.clear()
 
 
 def gen_log_name(db) -> str:

@@ -624,6 +624,15 @@ def _encode_process_tasks(tasks, config: ShardConfig):
             _transport.disable_shm(f"shared-memory export failed: {err!r}")
             _transport.close_store()
             use_shm = False
+        except BaseException:
+            # Any other mid-encode failure (an unpicklable expression,
+            # say) aborts the round before a single payload ships.  The
+            # segments exported so far belong to a round that will never
+            # run — retire them now, or a follow-up demotion to the
+            # thread backend would orphan them in /dev/shm for the rest
+            # of the session.
+            store.rollback_round()
+            raise
         else:
             written, resident, segments = store.round_stats()
             stats = TransportStats(

@@ -68,10 +68,45 @@ __all__ = [
     "close_store",
     "evict_stale",
     "get_store",
+    "leaked_segments",
     "release_worker_cache",
     "shm_available",
     "shm_disabled_reason",
 ]
+
+#: Names of every segment this process created and has not yet unlinked.
+#: Purely an audit trail: teardown code (and the equivalence suite) can
+#: prove that no demotion/fallback path orphaned a segment in
+#: ``/dev/shm``.  Names are added on creation and discarded on unlink —
+#: including the already-gone ``OSError`` branch, where the segment
+#: demonstrably no longer exists.
+_SEGMENT_REGISTRY: set = set()
+
+
+def leaked_segments() -> FrozenSet[str]:
+    """Segments created here that nothing will ever unlink.
+
+    A name is *leaked* once it is neither unlinked nor tracked by the
+    live store — the store unlinks everything it tracks on retirement
+    and :func:`close_store`, so an untracked-but-existing segment sits
+    in ``/dev/shm`` until reboot.  This is exactly what the
+    pool-demotion and encode-abort fallbacks used to risk.  Registered
+    names whose backing file is already gone (external cleanup) are
+    pruned rather than reported.
+    """
+    import os
+
+    shm_dir = "/dev/shm"
+    if os.path.isdir(shm_dir):  # pragma: no branch - POSIX in CI
+        for name in [
+            n for n in _SEGMENT_REGISTRY
+            if not os.path.exists(os.path.join(shm_dir, n))
+        ]:
+            _SEGMENT_REGISTRY.discard(name)
+    store = _STORE[0]
+    tracked = frozenset(store._exports) if store is not None else frozenset()
+    return frozenset(_SEGMENT_REGISTRY) - tracked
+
 
 #: Relations whose packed columns fit in this many bytes ship inline
 #: (pickled inside the task payload) instead of through a segment: the
@@ -202,6 +237,7 @@ class ShardExportStore:
         self._slot_exports: Dict[tuple, str] = {}
         self._generations = GenerationTracker()
         self._seen_this_round: set = set()
+        self._created_this_round: set = set()
         self._written = 0
         self._resident = 0
         self._segments_created = 0
@@ -209,9 +245,30 @@ class ShardExportStore:
     # -- round bracketing ------------------------------------------------
     def begin_round(self) -> None:
         self._seen_this_round = set()
+        self._created_this_round = set()
         self._written = 0
         self._resident = 0
         self._segments_created = 0
+
+    def rollback_round(self) -> None:
+        """Retire every segment exported since :meth:`begin_round`.
+
+        The transactional escape hatch for an encode that aborts partway
+        (an unpicklable payload, an allocation failure between exports):
+        the round's fresh segments would otherwise sit orphaned until
+        session teardown — or forever, if the session then demotes away
+        from the process backend.  Resident exports from earlier rounds
+        are untouched.
+        """
+        for export_id in list(self._created_this_round):
+            ex = self._exports.get(export_id)
+            if ex is not None:
+                for slot in list(ex.slots):
+                    self._slot_exports.pop(slot, None)
+                    self._generations.forget(slot)
+                ex.slots.clear()
+                self._retire(ex)
+        self._created_this_round.clear()
 
     def round_stats(self) -> Tuple[int, int, int]:
         """``(bytes_written, bytes_resident, segments_created)``."""
@@ -247,11 +304,13 @@ class ShardExportStore:
             return None
         generation, _ = self._generations.generation(slot, rel)
         shm = _shared_memory().SharedMemory(create=True, size=max(total, 1))
+        _SEGMENT_REGISTRY.add(shm.name)
         try:
             write_column_buffers(shm.buf, specs, chunks)
         except BaseException:
             shm.close()
             shm.unlink()
+            _SEGMENT_REGISTRY.discard(shm.name)
             raise
         manifest = ExportManifest(
             export_id=shm.name,
@@ -268,6 +327,7 @@ class ShardExportStore:
         self._by_rel[id(rel)] = ex
         self._assign_slot(slot, ex)
         self._seen_this_round.add(manifest.export_id)
+        self._created_this_round.add(manifest.export_id)
         self._written += total
         self._segments_created += 1
         return manifest
@@ -309,6 +369,7 @@ class ShardExportStore:
 
     def _retire(self, ex: _Export) -> None:
         self._exports.pop(ex.manifest.export_id, None)
+        self._created_this_round.discard(ex.manifest.export_id)
         if self._by_rel.get(id(ex.relation)) is ex:
             del self._by_rel[id(ex.relation)]
         try:
@@ -316,6 +377,8 @@ class ShardExportStore:
             ex.shm.unlink()
         except OSError:  # pragma: no cover - already gone
             pass
+        finally:
+            _SEGMENT_REGISTRY.discard(ex.manifest.export_id)
 
     # -- introspection ---------------------------------------------------
     def live_ids(self) -> FrozenSet[str]:

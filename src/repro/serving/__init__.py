@@ -1,0 +1,42 @@
+"""Always-on serving: concurrent ingest + SVC query front end.
+
+The batch pipeline (ingest deltas → maintain → query) becomes a
+service: producers stream delta batches into a bounded queue, readers
+get SVC-corrected estimates from epoch-pinned snapshots without ever
+blocking on maintenance, and a freshness-budget scheduler decides which
+views to clean — at which sampling ratio — each tick.  See
+``docs/serving.md``.
+"""
+
+from repro.serving.epochs import EpochManager, EpochStats, ViewSnapshot
+from repro.serving.metrics import (
+    LatencyRecorder,
+    RoundLog,
+    ServerStats,
+    ServingRoundReport,
+)
+from repro.serving.scheduler import (
+    FreshnessSLA,
+    FreshnessScheduler,
+    PlannedRound,
+    TickPlan,
+    ViewLoad,
+)
+from repro.serving.server import IngestBatch, ViewServer
+
+__all__ = [
+    "EpochManager",
+    "EpochStats",
+    "FreshnessSLA",
+    "FreshnessScheduler",
+    "IngestBatch",
+    "LatencyRecorder",
+    "PlannedRound",
+    "RoundLog",
+    "ServerStats",
+    "ServingRoundReport",
+    "TickPlan",
+    "ViewLoad",
+    "ViewServer",
+    "ViewSnapshot",
+]

@@ -1,0 +1,187 @@
+"""Reader/writer epochs over double-buffered view state.
+
+Serving SVC estimates *while* maintenance runs requires that a reader
+never observes a half-swapped view.  The repository's relations are
+immutable — maintenance installs a **new** :class:`Relation` rather than
+mutating the old one — which makes a consistent read equal to "hold one
+set of references".  :class:`ViewSnapshot` freezes exactly the
+components an SVC estimate needs (stale view, dirty sample, clean
+sample, ratio, key), and :class:`EpochManager` hands them out under an
+epoch protocol:
+
+* the maintainer :meth:`~EpochManager.publish`\\ es a complete snapshot
+  atomically (one reference assignment under a lock);
+* a reader :meth:`~EpochManager.pin`\\ s the current epoch for the
+  duration of its query — the snapshot it got cannot change underneath
+  it, no matter how many maintenance rounds publish meanwhile;
+* a superseded epoch is reclaimed the moment its last reader unpins —
+  the manager drops its reference and ordinary garbage collection frees
+  the buffers.
+
+There is no copy anywhere on the read path, and a reader never blocks a
+maintenance round (or vice versa): the only lock is held for pointer
+bookkeeping, never across evaluation.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.estimators import AggQuery, svc_aqp, svc_corr
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class ViewSnapshot:
+    """Everything one epoch of a served view needs to answer queries.
+
+    A snapshot is self-contained: :meth:`estimate` computes SVC+CORR /
+    SVC+AQP straight from the frozen components and never touches the
+    live view, the database, or the cleaner — so it stays correct (and
+    torn-read-free) while maintenance replaces all of them.
+
+    ``mode`` records how the epoch was produced: ``"fresh"`` right after
+    full maintenance, ``"cleaned"`` after a scheduled cleaning round at
+    the view's target sampling ratio, ``"degraded"`` when the scheduler
+    ran out of budget and cleaned a smaller sample.
+    """
+
+    view_name: str
+    stale: object          # Relation: the (possibly stale) materialized view
+    dirty_sample: object   # Relation: Ŝ, sample of the stale view
+    clean_sample: object   # Relation: Ŝ', the cleaned sample
+    ratio: float
+    key: Tuple[str, ...]
+    epoch: int = 0
+    mode: str = "fresh"
+    #: Count of ingest batches folded into the database when this epoch
+    #: was published — a watermark for "how far behind is this answer".
+    watermark: int = 0
+
+    def estimate(
+        self,
+        query: AggQuery,
+        method: str = "corr",
+        confidence: float = 0.95,
+        stale_value: Optional[float] = None,
+    ):
+        """SVC estimate of ``query`` as of this epoch."""
+        if method == "corr":
+            return svc_corr(
+                self.stale, self.dirty_sample, self.clean_sample, query,
+                self.ratio, key=self.key, confidence=confidence,
+                stale_value=stale_value,
+            )
+        if method == "aqp":
+            return svc_aqp(self.clean_sample, query, self.ratio, confidence)
+        raise EstimationError(f"unknown method {method!r}")
+
+    def stale_answer(self, query: AggQuery) -> float:
+        """The uncorrected q(S) baseline as of this epoch."""
+        return query.evaluate(self.stale)
+
+
+@dataclass
+class EpochStats:
+    """Bookkeeping counters of one manager (tests, metrics)."""
+
+    published: int = 0
+    reclaimed: int = 0
+    live: int = 0
+    pinned_readers: int = 0
+
+
+class EpochManager:
+    """Publish/pin/reclaim protocol for one served view.
+
+    The writer side calls :meth:`publish` with a complete snapshot; the
+    manager stamps it with the next epoch number and swaps it in under
+    the lock.  The reader side brackets its work with :meth:`pin`.  A
+    superseded snapshot stays *live* (strongly referenced) while any
+    reader still pins its epoch and is reclaimed when the last one
+    leaves; the current snapshot is always live.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._current: Optional[ViewSnapshot] = None
+        self._refs: Dict[int, int] = {}
+        self._retired: Dict[int, ViewSnapshot] = {}
+        self._next_epoch = 0
+        self._published = 0
+        self._reclaimed = 0
+
+    # -- writer side -----------------------------------------------------
+    def publish(self, snapshot: ViewSnapshot) -> ViewSnapshot:
+        """Install ``snapshot`` as the new current epoch (atomic).
+
+        Returns the stamped snapshot (its ``epoch`` field is assigned
+        here — monotonically increasing per manager).
+        """
+        with self._lock:
+            snapshot = replace(snapshot, epoch=self._next_epoch)
+            self._next_epoch += 1
+            old = self._current
+            self._current = snapshot
+            self._published += 1
+            if old is not None:
+                if self._refs.get(old.epoch, 0) > 0:
+                    # Readers still pinned: park it until the last leaves.
+                    self._retired[old.epoch] = old
+                else:
+                    self._reclaimed += 1
+            return snapshot
+
+    # -- reader side -----------------------------------------------------
+    @contextmanager
+    def pin(self):
+        """Pin the current epoch; yields its :class:`ViewSnapshot`.
+
+        The snapshot is guaranteed complete and internally consistent —
+        it was published as one reference swap — and stays live until
+        this context exits, across any number of concurrent publishes.
+        """
+        with self._lock:
+            snap = self._current
+            if snap is None:
+                raise EstimationError("no epoch published yet")
+            self._refs[snap.epoch] = self._refs.get(snap.epoch, 0) + 1
+        try:
+            yield snap
+        finally:
+            with self._lock:
+                n = self._refs.get(snap.epoch, 1) - 1
+                if n <= 0:
+                    self._refs.pop(snap.epoch, None)
+                    if snap.epoch in self._retired:
+                        del self._retired[snap.epoch]
+                        self._reclaimed += 1
+                else:
+                    self._refs[snap.epoch] = n
+
+    # -- introspection ---------------------------------------------------
+    def current(self) -> Optional[ViewSnapshot]:
+        """The current snapshot (None before the first publish)."""
+        with self._lock:
+            return self._current
+
+    def live_epochs(self) -> Tuple[int, ...]:
+        """Epoch numbers still held live (current + pinned-retired)."""
+        with self._lock:
+            live = set(self._retired)
+            if self._current is not None:
+                live.add(self._current.epoch)
+            return tuple(sorted(live))
+
+    def stats(self) -> EpochStats:
+        with self._lock:
+            live = len(self._retired) + (1 if self._current is not None else 0)
+            return EpochStats(
+                published=self._published,
+                reclaimed=self._reclaimed,
+                live=live,
+                pinned_readers=sum(self._refs.values()),
+            )

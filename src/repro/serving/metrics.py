@@ -1,0 +1,136 @@
+"""Serving-side metrics: read latencies and per-round reports.
+
+The sharded executor reports each maintenance round through
+:class:`~repro.distributed.metrics.ShardRunReport`; the serving layer
+mirrors that shape with :class:`ServingRoundReport` (one per cleaning or
+maintenance round) and adds the read path: a thread-safe, bounded
+:class:`LatencyRecorder` whose percentiles gate the throughput
+benchmark ("no reader ever blocks for a full maintenance round").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class LatencyRecorder:
+    """Bounded, thread-safe sample of observed latencies (seconds).
+
+    Keeps the most recent ``capacity`` observations in a ring buffer —
+    enough for stable tail percentiles without unbounded growth under a
+    long-running server.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        self._lock = threading.Lock()
+        self._buf = np.zeros(capacity, dtype=np.float64)
+        self._capacity = capacity
+        self._next = 0
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._buf[self._next] = seconds
+            self._next = (self._next + 1) % self._capacity
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def _samples(self) -> np.ndarray:
+        with self._lock:
+            n = min(self._count, self._capacity)
+            return self._buf[:n].copy()
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile latency in seconds (0 when empty)."""
+        samples = self._samples()
+        if samples.size == 0:
+            return 0.0
+        return float(np.percentile(samples, p))
+
+    def mean(self) -> float:
+        samples = self._samples()
+        return float(samples.mean()) if samples.size else 0.0
+
+
+@dataclass
+class ServingRoundReport:
+    """One cleaning/maintenance round of the serving layer.
+
+    ``kind`` is ``"cleaned"`` (scheduled sampled cleaning),
+    ``"degraded"`` (budget-shrunk ratio), or ``"maintained"`` (full
+    maintenance — the period closed and deltas were applied).
+    """
+
+    view: str
+    kind: str
+    ratio: float
+    seconds: float
+    epoch: int
+    pending_rows: int = 0
+    queries_since_last: int = 0
+    #: The sharded executor's report when the round ran sharded.
+    shard_backend: str = ""
+
+    def summary(self) -> str:
+        shard = f" via {self.shard_backend}" if self.shard_backend else ""
+        return (
+            f"{self.view}: {self.kind} round at m={self.ratio:g} in "
+            f"{self.seconds * 1e3:.1f} ms -> epoch {self.epoch} "
+            f"({self.pending_rows} pending rows, "
+            f"{self.queries_since_last} reads since last){shard}"
+        )
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters of one :class:`~repro.serving.ViewServer`."""
+
+    reads: int = 0
+    ingested_batches: int = 0
+    ingested_rows: int = 0
+    rounds: int = 0
+    degraded_rounds: int = 0
+    full_maintenance_rounds: int = 0
+    read_p50_s: float = 0.0
+    read_p99_s: float = 0.0
+    per_view_reads: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.reads} reads (p50 {self.read_p50_s * 1e6:.0f} us, "
+            f"p99 {self.read_p99_s * 1e6:.0f} us), "
+            f"{self.ingested_rows} rows in {self.ingested_batches} batches, "
+            f"{self.rounds} rounds ({self.degraded_rounds} degraded, "
+            f"{self.full_maintenance_rounds} full)"
+        )
+
+
+class RoundLog:
+    """Bounded, thread-safe history of serving rounds."""
+
+    def __init__(self, capacity: int = 1024):
+        self._lock = threading.Lock()
+        self._rounds: List[ServingRoundReport] = []
+        self._capacity = capacity
+
+    def append(self, report: ServingRoundReport) -> None:
+        with self._lock:
+            self._rounds.append(report)
+            if len(self._rounds) > self._capacity:
+                del self._rounds[: len(self._rounds) - self._capacity]
+
+    def all(self) -> List[ServingRoundReport]:
+        with self._lock:
+            return list(self._rounds)
+
+    def last(self) -> Optional[ServingRoundReport]:
+        with self._lock:
+            return self._rounds[-1] if self._rounds else None

@@ -1,0 +1,507 @@
+"""The always-on SVC serving layer.
+
+:class:`ViewServer` turns the repository's batch pipeline — ingest
+deltas, maintain views, query — into a concurrent service:
+
+* **Ingest** — producers enqueue delta batches into a bounded queue and
+  return immediately; only the maintainer folds them into the database.
+  Backpressure is the queue bound: when maintenance cannot keep up,
+  producers block (or time out) instead of growing memory without
+  limit.
+* **Serve** — :meth:`query` answers SVC point estimates from the
+  current :class:`~repro.serving.epochs.ViewSnapshot`, pinned for the
+  duration of the read.  Reads never take the maintenance lock and
+  never touch live mutable state, so a query in flight is unaffected by
+  a concurrent maintenance round publishing the next epoch.
+* **Maintain** — each tick drains the ingest queue, asks the
+  :class:`~repro.serving.scheduler.FreshnessScheduler` which views to
+  clean within the tick's time budget, runs the cleaning rounds through
+  the normal engine (compiled plans, sharded execution — whatever the
+  global toggles say), and publishes one new epoch per cleaned view.
+  When pending updates outgrow sampled cleaning, the tick escalates to
+  a full maintenance period: every catalog view is maintained, the
+  global deltas are applied, and every served view re-anchors.
+
+The server can run its maintainer inline (call :meth:`run_tick` from
+your own loop — deterministic, used by the tests) or in a background
+thread (:meth:`start` / :meth:`stop`).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimators import AggQuery
+from repro.core.svc import StaleViewCleaner
+from repro.db.catalog import Catalog
+from repro.errors import EstimationError, MaintenanceError
+from repro.serving.epochs import EpochManager, ViewSnapshot
+from repro.serving.metrics import (
+    LatencyRecorder,
+    RoundLog,
+    ServerStats,
+    ServingRoundReport,
+)
+from repro.serving.scheduler import FreshnessScheduler, FreshnessSLA, ViewLoad
+
+
+@dataclass
+class IngestBatch:
+    """One producer-submitted delta batch."""
+
+    relation: str
+    inserts: Tuple[tuple, ...] = ()
+    deletes: Tuple[tuple, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+@dataclass
+class _ServedView:
+    """Maintainer-side state of one registered view."""
+
+    view: object
+    sla: FreshnessSLA
+    seed: int
+    epochs: EpochManager = field(default_factory=EpochManager)
+    #: Cleaners cached per (quantized) sampling ratio: the degraded
+    #: rounds reuse them so a repeat degradation costs no re-anchor.
+    cleaners: Dict[float, StaleViewCleaner] = field(default_factory=dict)
+    last_round_t: float = 0.0
+    #: Smoothed seconds per cleaning round at the SLA's target ratio.
+    cost_ewma_s: float = 0.0
+    traffic_ewma: float = 0.0
+    reads_since_round: int = 0
+
+    def cleaner(self, ratio: float) -> StaleViewCleaner:
+        ratio = max(round(ratio, 4), 1e-4)
+        svc = self.cleaners.get(ratio)
+        if svc is None:
+            svc = StaleViewCleaner(self.view, ratio=ratio, seed=self.seed)
+            self.cleaners[ratio] = svc
+        return svc
+
+
+class ViewServer:
+    """Concurrent ingest + SVC query front end over a :class:`Catalog`.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog whose views are served.  Full-maintenance rounds go
+        through ``catalog.maintain_all`` so *every* catalog view stays
+        maintainable (deltas are database-global).
+    scheduler:
+        Budget policy; defaults to ``FreshnessScheduler(budget_s=0.25)``.
+    queue_capacity:
+        Ingest queue bound (producer backpressure point).
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        scheduler: Optional[FreshnessScheduler] = None,
+        queue_capacity: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.catalog = catalog
+        self.db = catalog.database
+        self.scheduler = scheduler or FreshnessScheduler()
+        self._clock = clock
+        self._queue: "queue.Queue[IngestBatch]" = queue.Queue(queue_capacity)
+        self._served: Dict[str, _ServedView] = {}
+        #: Guards the database, the catalog, and round execution.  The
+        #: read path never takes it.
+        self._maintenance_lock = threading.RLock()
+        self._wake = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self.read_latency = LatencyRecorder()
+        self.rounds = RoundLog()
+        self._stats_lock = threading.Lock()
+        self._reads = 0
+        self._per_view_reads: Dict[str, int] = {}
+        self._ingested_batches = 0
+        self._ingested_rows = 0
+        self._round_count = 0
+        self._degraded_count = 0
+        self._full_count = 0
+        self._watermark = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        view_name: str,
+        ratio: float = 0.1,
+        sla: Optional[FreshnessSLA] = None,
+        seed: int = 0,
+    ) -> ViewSnapshot:
+        """Serve a catalog view; publishes its first epoch immediately.
+
+        ``ratio`` becomes the SLA's target sampling ratio when ``sla``
+        is not given.
+        """
+        if view_name in self._served:
+            raise MaintenanceError(f"view {view_name!r} is already served")
+        view = self.catalog.view(view_name)
+        if sla is None:
+            sla = FreshnessSLA(target_ratio=ratio,
+                               min_ratio=min(0.01, ratio))
+        served = _ServedView(view=view, sla=sla, seed=seed)
+        served.last_round_t = self._clock()
+        with self._maintenance_lock:
+            svc = served.cleaner(sla.target_ratio)
+            svc.refresh()
+            self._served[view_name] = served
+            self._publish(served, svc, "fresh")
+        return served.epochs.current()
+
+    def served_views(self) -> List[str]:
+        return list(self._served)
+
+    def epoch_manager(self, view_name: str) -> EpochManager:
+        """The epoch manager of one served view (tests, introspection)."""
+        return self._require(view_name).epochs
+
+    def _require(self, view_name: str) -> _ServedView:
+        try:
+            return self._served[view_name]
+        except KeyError:
+            raise MaintenanceError(
+                f"view {view_name!r} is not served; register() it first"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Ingest (producer side)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        relation: str,
+        inserts: Sequence[tuple] = (),
+        deletes: Sequence[tuple] = (),
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Enqueue one delta batch against a base relation.
+
+        Producers never touch the database — the maintainer folds the
+        batch in at the start of its next tick, which is what makes
+        concurrent ingest safe without a producer-side lock.  Raises
+        ``queue.Full`` when the bounded queue stays full past
+        ``timeout`` (backpressure).
+        """
+        self.db.relation(relation)  # validate the name eagerly
+        batch = IngestBatch(
+            relation=relation,
+            inserts=tuple(tuple(r) for r in inserts),
+            deletes=tuple(tuple(r) for r in deletes),
+        )
+        self._queue.put(batch, block=block, timeout=timeout)
+        self._wake.set()
+
+    def pending_batches(self) -> int:
+        """Batches enqueued but not yet folded into the database."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Query (reader side)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        view_name: str,
+        agg_query: AggQuery,
+        method: str = "corr",
+        confidence: float = 0.95,
+    ):
+        """SVC estimate against the view's current epoch.
+
+        Lock-free with respect to maintenance: the epoch pin guarantees
+        a complete, internally consistent snapshot for the whole
+        evaluation, while any number of maintenance rounds publish new
+        epochs concurrently.
+        """
+        served = self._require(view_name)
+        start = time.perf_counter()
+        with served.epochs.pin() as snap:
+            est = snap.estimate(agg_query, method=method,
+                                confidence=confidence)
+        self.read_latency.record(time.perf_counter() - start)
+        with self._stats_lock:
+            self._reads += 1
+            self._per_view_reads[view_name] = (
+                self._per_view_reads.get(view_name, 0) + 1
+            )
+        served.reads_since_round += 1
+        return est
+
+    def snapshot(self, view_name: str) -> ViewSnapshot:
+        """The current epoch's snapshot (no pin — for inspection)."""
+        snap = self._require(view_name).epochs.current()
+        if snap is None:  # pragma: no cover - register() always publishes
+            raise EstimationError(f"view {view_name!r} has no epoch yet")
+        return snap
+
+    # ------------------------------------------------------------------
+    # Maintenance (writer side)
+    # ------------------------------------------------------------------
+    def run_tick(self, budget_s: Optional[float] = None) -> List[ServingRoundReport]:
+        """One synchronous maintainer tick.
+
+        Drains the ingest queue, plans cleaning rounds within the time
+        budget, executes them, and escalates to full maintenance when
+        the scheduler requests it.  Returns the reports of the rounds
+        that ran.
+        """
+        with self._maintenance_lock:
+            self._drain_queue()
+            plan = self.scheduler.plan(self._loads(), budget_s)
+            reports: List[ServingRoundReport] = []
+            if plan.full_maintenance:
+                reports.extend(self.maintain_now())
+                # The period closed: every served view is fresh, the
+                # planned sampled rounds would clean empty deltas.
+                return reports
+            for planned in plan.rounds:
+                served = self._served.get(planned.view)
+                if served is None:  # pragma: no cover - dropped mid-plan
+                    continue
+                reports.append(self._clean_round(
+                    served, planned.ratio, degraded=planned.degraded
+                ))
+            return reports
+
+    def maintain_now(self) -> List[ServingRoundReport]:
+        """Run a full maintenance period and republish every view.
+
+        Every *catalog* view is maintained (deltas are global — applying
+        them after maintaining only the served subset would strand the
+        rest), deltas fold into the bases, and each served view's
+        cleaners re-anchor on the fresh state.
+        """
+        with self._maintenance_lock:
+            self._drain_queue()
+            start = time.perf_counter()
+            self.catalog.maintain_all()
+            reports = []
+            for served in self._served.values():
+                for svc in served.cleaners.values():
+                    svc.advance()
+                svc = served.cleaner(served.sla.target_ratio)
+                svc.refresh()  # no deltas pending: re-samples the fresh view
+                snap = self._publish(served, svc, "fresh")
+                report = ServingRoundReport(
+                    view=served.view.name,
+                    kind="maintained",
+                    ratio=svc.ratio,
+                    seconds=time.perf_counter() - start,
+                    epoch=snap.epoch,
+                    pending_rows=0,
+                    queries_since_last=served.reads_since_round,
+                    shard_backend=self._last_backend(),
+                )
+                self._finish_round(served, report, degraded=False,
+                                   update_cost=False)
+                reports.append(report)
+            with self._stats_lock:
+                self._full_count += 1
+            return reports
+
+    def _clean_round(
+        self, served: _ServedView, ratio: float, degraded: bool
+    ) -> ServingRoundReport:
+        """One sampled-cleaning round: refresh Ŝ' and publish an epoch."""
+        pending = self._pending_rows(served.view)
+        svc = served.cleaner(ratio)
+        start = time.perf_counter()
+        svc.refresh()
+        seconds = time.perf_counter() - start
+        snap = self._publish(
+            served, svc, "degraded" if degraded else "cleaned"
+        )
+        report = ServingRoundReport(
+            view=served.view.name,
+            kind="degraded" if degraded else "cleaned",
+            ratio=svc.ratio,
+            seconds=seconds,
+            epoch=snap.epoch,
+            pending_rows=pending,
+            queries_since_last=served.reads_since_round,
+            shard_backend=self._last_backend(),
+        )
+        # Predict future full-ratio rounds from this one: cleaning cost
+        # is ~linear in the ratio, so normalize before smoothing.
+        target = served.sla.target_ratio
+        normalized = seconds * (target / max(svc.ratio, 1e-9))
+        self._finish_round(served, report, degraded=degraded,
+                           update_cost=True, normalized_cost=normalized)
+        return report
+
+    def _finish_round(
+        self,
+        served: _ServedView,
+        report: ServingRoundReport,
+        degraded: bool,
+        update_cost: bool,
+        normalized_cost: float = 0.0,
+    ) -> None:
+        if update_cost:
+            if served.cost_ewma_s == 0.0:
+                served.cost_ewma_s = normalized_cost
+            else:
+                served.cost_ewma_s = (
+                    0.7 * served.cost_ewma_s + 0.3 * normalized_cost
+                )
+        served.traffic_ewma = (
+            0.5 * served.traffic_ewma + 0.5 * served.reads_since_round
+        )
+        served.reads_since_round = 0
+        served.last_round_t = self._clock()
+        self.rounds.append(report)
+        with self._stats_lock:
+            self._round_count += 1
+            if degraded:
+                self._degraded_count += 1
+
+    def _publish(
+        self, served: _ServedView, svc: StaleViewCleaner, mode: str
+    ) -> ViewSnapshot:
+        view = served.view
+        snap = ViewSnapshot(
+            view_name=view.name,
+            stale=view.require_data(),
+            dirty_sample=svc.dirty_sample,
+            clean_sample=svc.clean_sample,
+            ratio=svc.ratio,
+            key=view.key,
+            mode=mode,
+            watermark=self._watermark,
+        )
+        return served.epochs.publish(snap)
+
+    def _drain_queue(self) -> None:
+        """Fold every enqueued batch into the database (maintainer only)."""
+        while True:
+            try:
+                batch = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if batch.inserts:
+                self.db.insert(batch.relation, batch.inserts)
+            if batch.deletes:
+                self.db.delete(batch.relation, batch.deletes)
+            self._watermark += 1
+            with self._stats_lock:
+                self._ingested_batches += 1
+                self._ingested_rows += len(batch)
+
+    def _loads(self) -> List[ViewLoad]:
+        now = self._clock()
+        loads = []
+        for served in self._served.values():
+            view = served.view
+            pending, base = self._pending_counts(view)
+            loads.append(ViewLoad(
+                name=view.name,
+                sla=served.sla,
+                staleness_s=max(now - served.last_round_t, 0.0),
+                pending_fraction=pending / max(base, 1),
+                traffic=served.traffic_ewma,
+                predicted_cost_s=served.cost_ewma_s,
+            ))
+        return loads
+
+    def _pending_counts(self, view) -> Tuple[int, int]:
+        """(pending delta rows, base rows) over the view's base leaves.
+
+        The escalation threshold compares against the *base* data volume
+        — the paper's pending-update fraction — not the (much smaller)
+        aggregated view, which would trip full maintenance on every
+        batch.
+        """
+        names = {leaf.name for leaf in view.definition.leaves()}
+        pending = base = 0
+        for name in names:
+            try:
+                rel = self.db.relation(name)
+            except MaintenanceError:
+                continue  # a view-over-view leaf: not delta-bearing
+            base += len(rel)
+            delta = self.db.deltas.get(name)
+            if delta is not None:
+                pending += len(delta.inserted) + len(delta.deleted)
+        return pending, base
+
+    def _pending_rows(self, view) -> int:
+        """Pending delta rows touching any base leaf of ``view``."""
+        return self._pending_counts(view)[0]
+
+    def _last_backend(self) -> str:
+        from repro.distributed.shard import last_shard_report
+
+        report = last_shard_report()
+        return report.backend if report is not None else ""
+
+    # ------------------------------------------------------------------
+    # Background maintainer
+    # ------------------------------------------------------------------
+    def start(self, tick_interval: float = 0.05) -> None:
+        """Run the maintainer loop in a background thread."""
+        if self._thread is not None:
+            raise MaintenanceError("server already started")
+        self._stopping.clear()
+
+        def loop():
+            while not self._stopping.is_set():
+                self._wake.wait(timeout=tick_interval)
+                self._wake.clear()
+                if self._stopping.is_set():
+                    return
+                self.run_tick()
+
+        self._thread = threading.Thread(
+            target=loop, name="svc-view-server", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_tick: bool = True) -> None:
+        """Stop the maintainer thread (drains the queue once by default)."""
+        if self._thread is None:
+            return
+        self._stopping.set()
+        self._wake.set()
+        self._thread.join(timeout=30.0)
+        self._thread = None
+        if final_tick:
+            self.run_tick()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        with self._stats_lock:
+            return ServerStats(
+                reads=self._reads,
+                ingested_batches=self._ingested_batches,
+                ingested_rows=self._ingested_rows,
+                rounds=self._round_count,
+                degraded_rounds=self._degraded_count,
+                full_maintenance_rounds=self._full_count,
+                read_p50_s=self.read_latency.percentile(50),
+                read_p99_s=self.read_latency.percentile(99),
+                per_view_reads=dict(self._per_view_reads),
+            )
+
+    def __repr__(self):
+        return (
+            f"<ViewServer views={sorted(self._served)} "
+            f"pending={self.pending_batches()} rounds={self._round_count}>"
+        )

@@ -104,6 +104,59 @@ class TestStalenessClassification:
             classify(stale, Relation(fresh.schema, fresh.rows, key=("v",)))
 
 
+class TestMixedDtypeValueEquality:
+    """Regression: incremental maintenance and recomputation can produce
+    the same numeric value with different Python types (int vs float vs
+    numpy scalar vs bool).  Those pairs must compare numerically with
+    the float tolerance instead of inflating ``total_errors``."""
+
+    def test_int_float_drift_within_tolerance(self):
+        from repro.db.staleness import _values_equal
+
+        assert _values_equal(10.000000000000002, 10, 1e-9)
+        assert _values_equal(10, 10.000000000000002, 1e-9)
+        assert _values_equal(1.0, 1, 1e-9)
+
+    def test_bool_and_numpy_scalars_compare_numerically(self):
+        import numpy as np
+
+        from repro.db.staleness import _values_equal
+
+        assert _values_equal(True, 1.0000000000000002, 1e-9)
+        assert _values_equal(np.float64(10.000000000000002), 10, 1e-9)
+        assert _values_equal(np.int64(10), 10.000000000000002, 1e-9)
+
+    def test_genuinely_different_values_still_flagged(self):
+        from repro.db.staleness import _values_equal
+
+        assert not _values_equal(10.1, 10, 1e-9)
+        assert not _values_equal(True, 0, 1e-9)
+        assert not _values_equal("10", 10, 1e-9)
+        assert not _values_equal(None, 0, 1e-9)
+
+    def test_mixed_dtype_view_classifies_as_fresh(self):
+        """An incrementally maintained row holding int counts must equal
+        the recomputed row holding float counts with summation drift."""
+        schema = Schema(["k", "n", "total"])
+        incremental = Relation(
+            schema, [(1, 3, 30), (2, 2, 7.5)], key=("k",)
+        )
+        recomputed = Relation(
+            schema,
+            [(1, 3.0, 30.000000000000004), (2, 2.0, 7.499999999999999)],
+            key=("k",),
+        )
+        report = classify(incremental, recomputed)
+        assert report.is_fresh(), report.summary()
+
+    def test_mixed_dtype_real_error_still_counts(self):
+        schema = Schema(["k", "n"])
+        stale = Relation(schema, [(1, 3)], key=("k",))
+        fresh = Relation(schema, [(1, 4.0)], key=("k",))
+        report = classify(stale, fresh)
+        assert report.incorrect == {(1,)}
+
+
 class TestCatalog:
     def test_create_and_lookup(self, log_video_db):
         catalog = Catalog(log_video_db)

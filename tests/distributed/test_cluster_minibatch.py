@@ -1,17 +1,25 @@
 """Tests for the mini-batch cluster simulator (§7.6.2)."""
 
+import typing
+
 import numpy as np
 import pytest
 
 from repro.distributed import (
     ClusterModel,
     ErrorModel,
+    ShardRunReport,
+    ShardTiming,
     SteadyStateConfig,
     UtilizationSummary,
+    calibrated_error_model,
     compare_utilization,
     cpu_utilization_trace,
+    engine_fingerprint,
+    invalidate_calibrations,
     ivm_max_error,
     optimal_ratio,
+    set_shard_count,
     svc_ivm_max_error,
     svc_refresh_period,
     sweep_sampling_ratios,
@@ -127,3 +135,129 @@ class TestUtilization:
         s = UtilizationSummary.from_trace(np.array([10.0, 50.0, 90.0]))
         assert s.mean == pytest.approx(50.0)
         assert s.idle_seconds_below_25 == 1
+
+    def test_sub_second_period_still_shows_idle_windows(self):
+        """Regression: integer-second sampling aliased sub-second batch
+        periods to phase 0, producing a trace with no idle troughs."""
+        model = ClusterModel(peak_rate=1e9, batch_overhead=0.3,
+                             idle_max=0.75, idle_half_gb=0.001)
+        trace = cpu_utilization_trace(model, 0.01, 200, with_svc=False,
+                                      seed=3)
+        assert (trace < 25).any(), "no idle windows in a mostly-idle trace"
+        assert (trace > 80).any()
+
+
+class TestFittedClusterModel:
+    def _report(self, rows, seconds):
+        return ShardRunReport(
+            view="V", attrs=("k",), backend="process",
+            shards=[ShardTiming(shard=0, rows=rows, seconds=seconds)],
+        )
+
+    def test_fit_recovers_line(self):
+        # seconds = 2.0 + records / 1e6, measured at three batch sizes.
+        reports = [
+            self._report(n, 2.0 + n / 1e6)
+            for n in (100_000, 400_000, 1_600_000)
+        ]
+        model = ClusterModel.from_shard_reports(reports)
+        assert model.peak_rate == pytest.approx(1e6, rel=1e-6)
+        assert model.batch_overhead == pytest.approx(2.0, rel=1e-6)
+
+    def test_single_batch_size_rejected(self):
+        reports = [self._report(100_000, 1.0), self._report(100_000, 1.1)]
+        with pytest.raises(WorkloadError):
+            ClusterModel.from_shard_reports(reports)
+
+    def test_noise_dominated_falls_back_to_aggregate_rate(self):
+        # Bigger batch measured *faster* — negative slope.
+        reports = [self._report(100, 2.0), self._report(10_000, 1.0)]
+        model = ClusterModel.from_shard_reports(reports)
+        assert model.batch_overhead == 0.0
+        assert model.peak_rate == pytest.approx(10_100 / 3.0)
+
+
+class TestEngineFingerprintCalibration:
+    """Regression: calibrated error models must not survive engine-toggle
+    flips (`set_columnar_enabled` / `set_hash_family` / `set_shard_count`)
+    between rounds."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_engine(self):
+        from repro.algebra.evaluator import columnar_enabled, set_columnar_enabled
+        from repro.distributed import get_shard_config
+        from repro.stats.hashing import HASH_FAMILIES, get_hash_family, set_hash_family
+
+        columnar = columnar_enabled()
+        family = next(name for name, fn in HASH_FAMILIES.items()
+                      if fn is get_hash_family())
+        cfg = get_shard_config()
+        invalidate_calibrations()
+        yield
+        set_columnar_enabled(columnar)
+        set_hash_family(family)
+        set_shard_count(cfg.count, backend=cfg.backend,
+                        max_workers=cfg.max_workers or 0,
+                        transport=cfg.transport)
+        invalidate_calibrations()
+
+    def _fake_model(self):
+        return ErrorModel([(0.0, 0.0), (0.1, 0.1)], [(0.1, 0.2)],
+                          fingerprint=engine_fingerprint())
+
+    def test_annotations_resolve(self):
+        # `Optional` was referenced in calibrate_error_model's signature
+        # without being imported; `from __future__ import annotations`
+        # masked the NameError until the hints were materialized.
+        from repro.distributed.minibatch import calibrate_error_model
+
+        hints = typing.get_type_hints(calibrate_error_model)
+        assert hints["extrapolate_to"] == typing.Optional[float]
+
+    def test_cache_hit_while_engine_unchanged(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return self._fake_model()
+
+        a = calibrated_error_model(("k",), build)
+        b = calibrated_error_model(("k",), build)
+        assert a is b and len(calls) == 1
+
+    def test_each_toggle_invalidates_calibration(self):
+        from repro.algebra.evaluator import columnar_enabled, set_columnar_enabled
+        from repro.distributed import get_shard_config
+        from repro.stats.hashing import get_hash_family, set_hash_family
+
+        calls = []
+
+        def build():
+            calls.append(1)
+            return self._fake_model()
+
+        def flip_columnar():
+            set_columnar_enabled(not columnar_enabled())
+
+        def flip_family():
+            other = ("linear" if get_hash_family().__name__ == "sha1_unit"
+                     else "sha1")
+            set_hash_family(other)
+
+        def flip_shards():
+            set_shard_count(3 if get_shard_config().count != 3 else 2,
+                            backend="serial")
+
+        calibrated_error_model(("k",), build)
+        for i, flip in enumerate([flip_columnar, flip_family, flip_shards],
+                                 start=2):
+            before = engine_fingerprint()
+            flip()
+            assert engine_fingerprint() != before
+            model = calibrated_error_model(("k",), build)
+            assert len(calls) == i, f"flip {flip.__name__} served stale model"
+            assert model.is_current()
+
+    def test_hand_built_model_always_current(self):
+        em = ErrorModel([(0.0, 0.0)], [(0.1, 0.2)])
+        assert em.is_current()

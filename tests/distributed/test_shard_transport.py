@@ -58,6 +58,9 @@ def _clean_shard_runtime():
     set_shard_count(1, max_workers=0, transport="shm")
     shutdown_shard_pool()
     shard_mod.clear_pool_demotion()
+    # No test may orphan a shared-memory segment — not even through the
+    # broken-pool demotion and encode-abort fallbacks exercised below.
+    assert transport.leaked_segments() == frozenset()
 
 
 def mixed_relation(n=300):
@@ -681,3 +684,61 @@ class TestPoolRecovery:
         # Explicitly asking for the process backend clears the demotion.
         set_shard_count(4, backend="process", max_workers=2)
         assert pool_demotion() is None
+
+
+class TestSegmentLeaks:
+    """Regression: no fallback path may orphan a shared-memory segment.
+
+    The round's exports happen *before* anything ships, so both the
+    broken-pool demotion and a mid-encode abort used to be able to leave
+    freshly created segments behind for code that would never run again.
+    """
+
+    def test_demotion_unlinks_every_segment(self, monkeypatch):
+        db, view = build_workload(n_log=2000, n_video=4000)
+        set_shard_count(4, backend="process", max_workers=2, transport="shm")
+
+        real_get_pool = shard_mod._get_pool
+
+        def broken_get_pool(kind, workers):
+            if kind == "process":
+                raise OSError("fork refused by sandbox")
+            return real_get_pool(kind, workers)
+
+        monkeypatch.setattr(shard_mod, "_get_pool", broken_get_pool)
+        mutate(db, 0, n_ins=300)
+        maintain(view)
+        assert pool_demotion() is not None
+        # Demotion closed the store and unlinked the round's segments —
+        # nothing waits for session teardown to be reclaimed.
+        assert transport.peek_store() is None
+        assert transport.leaked_segments() == frozenset()
+
+    def test_encode_abort_rolls_back_only_this_rounds_exports(self):
+        resident = Relation(
+            Schema(["x", "y"]), [(i, float(i)) for i in range(2000)],
+            key=("x",), name="R",
+        )
+        fresh = Relation(
+            Schema(["x", "y"]), [(i, float(i)) for i in range(2000, 4000)],
+            key=("x",), name="F",
+        )
+        from repro.algebra.expressions import BaseRel as Leaf
+
+        cfg = shard_mod.ShardConfig(count=2, backend="process",
+                                    max_workers=2, transport="shm")
+        # Round 1 exports `resident` and ships fine.
+        shard_mod._encode_process_tasks([(Leaf("R"), {"R": resident}, 0)], cfg)
+        store = transport.get_store()
+        kept = store.live_ids()
+        assert len(kept) == 1
+        # Round 2 exports `fresh`, then dies pickling an unpicklable
+        # expression.  Its export must be rolled back; the resident one
+        # must survive untouched.
+        bad_expr = lambda: None  # noqa: E731 - deliberately unpicklable
+        with pytest.raises(Exception):
+            shard_mod._encode_process_tasks(
+                [(bad_expr, {"F": fresh}, 0)], cfg
+            )
+        assert store.live_ids() == kept
+        assert transport.leaked_segments() == frozenset()

@@ -1,0 +1,238 @@
+"""Unit tests: epoch publish/pin/reclaim and the freshness scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import AggSpec, Aggregate, BaseRel, Relation, Schema, col
+from repro.core import AggQuery, StaleViewCleaner, svc_aqp, svc_corr
+from repro.db import Catalog, Database
+from repro.errors import EstimationError
+from repro.serving import (
+    EpochManager,
+    FreshnessScheduler,
+    FreshnessSLA,
+    ViewLoad,
+    ViewSnapshot,
+)
+
+
+def _snap(name="v", **kwargs):
+    """A minimal snapshot; estimation tests build a real one instead."""
+    rel = Relation(Schema(["k", "n"]), [(0, 1)], key=("k",), name=name)
+    defaults = dict(view_name=name, stale=rel, dirty_sample=rel,
+                    clean_sample=rel, ratio=0.5, key=("k",))
+    defaults.update(kwargs)
+    return ViewSnapshot(**defaults)
+
+
+class TestEpochManager:
+    def test_publish_stamps_monotonic_epochs(self):
+        mgr = EpochManager()
+        first = mgr.publish(_snap())
+        second = mgr.publish(_snap())
+        assert (first.epoch, second.epoch) == (0, 1)
+        assert mgr.current() is second
+        assert mgr.stats().published == 2
+
+    def test_pin_before_any_publish_raises(self):
+        with pytest.raises(EstimationError, match="no epoch"):
+            with EpochManager().pin():
+                pass  # pragma: no cover
+
+    def test_unpinned_superseded_epoch_reclaims_immediately(self):
+        mgr = EpochManager()
+        mgr.publish(_snap())
+        mgr.publish(_snap())
+        stats = mgr.stats()
+        assert stats.reclaimed == 1
+        assert stats.live == 1
+        assert mgr.live_epochs() == (1,)
+
+    def test_pinned_epoch_survives_publish_until_last_reader_leaves(self):
+        mgr = EpochManager()
+        mgr.publish(_snap())
+        with mgr.pin() as outer:
+            with mgr.pin() as inner:
+                assert inner is outer
+                mgr.publish(_snap())
+                # Epoch 0 has two readers: parked, not reclaimed.
+                assert mgr.live_epochs() == (0, 1)
+                assert mgr.stats().pinned_readers == 2
+                assert mgr.stats().reclaimed == 0
+            # One reader left; the other still holds epoch 0 live.
+            assert mgr.live_epochs() == (0, 1)
+        stats = mgr.stats()
+        assert mgr.live_epochs() == (1,)
+        assert stats.reclaimed == 1
+        assert stats.pinned_readers == 0
+
+    def test_pin_returns_the_epoch_current_at_entry(self):
+        mgr = EpochManager()
+        first = mgr.publish(_snap(watermark=1))
+        with mgr.pin() as snap:
+            mgr.publish(_snap(watermark=2))
+            assert snap is first
+            assert snap.watermark == 1
+        assert mgr.current().watermark == 2
+
+    def test_pin_of_current_epoch_never_reclaims_it(self):
+        mgr = EpochManager()
+        mgr.publish(_snap())
+        with mgr.pin():
+            pass
+        assert mgr.live_epochs() == (0,)
+        assert mgr.stats().reclaimed == 0
+
+
+class TestViewSnapshotEstimate:
+    @pytest.fixture
+    def cleaned(self):
+        """A real stale view + refreshed cleaner to freeze into a snapshot."""
+        rng = np.random.default_rng(3)
+        db = Database()
+        db.add_relation(Relation(
+            Schema(["id", "grp", "val"]),
+            [(i, int(rng.integers(0, 40)), float(rng.exponential(10.0)))
+             for i in range(400)],
+            key=("id",), name="R",
+        ))
+        view = Catalog(db).create_view("v", Aggregate(
+            BaseRel("R"), ["grp"],
+            [AggSpec("n", "count"), AggSpec("total", "sum", col("val"))],
+        ))
+        db.insert("R", [
+            (400 + i, int(rng.integers(0, 40)), float(rng.exponential(10.0)))
+            for i in range(60)
+        ])
+        svc = StaleViewCleaner(view, ratio=0.4, seed=1)
+        svc.refresh()
+        return view, svc
+
+    def test_estimate_matches_direct_svc_corr_and_aqp(self, cleaned):
+        view, svc = cleaned
+        snap = ViewSnapshot(
+            view_name="v", stale=view.require_data(),
+            dirty_sample=svc.dirty_sample, clean_sample=svc.clean_sample,
+            ratio=svc.ratio, key=view.key,
+        )
+        q = AggQuery("sum", "total", col("grp") < 20)
+        corr = svc_corr(view.require_data(), svc.dirty_sample,
+                        svc.clean_sample, q, svc.ratio, key=view.key)
+        aqp = svc_aqp(svc.clean_sample, q, svc.ratio, 0.95)
+        got_corr = snap.estimate(q)
+        got_aqp = snap.estimate(q, method="aqp")
+        assert got_corr.value == pytest.approx(corr.value)
+        assert got_corr.se == pytest.approx(corr.se)
+        assert got_aqp.value == pytest.approx(aqp.value)
+        assert snap.stale_answer(q) == pytest.approx(
+            q.evaluate(view.require_data())
+        )
+
+    def test_unknown_method_rejected(self, cleaned):
+        view, svc = cleaned
+        snap = ViewSnapshot(
+            view_name="v", stale=view.require_data(),
+            dirty_sample=svc.dirty_sample, clean_sample=svc.clean_sample,
+            ratio=svc.ratio, key=view.key,
+        )
+        with pytest.raises(EstimationError, match="unknown method"):
+            snap.estimate(AggQuery("sum", "total"), method="exact")
+
+
+def _load(name, staleness=2.0, cost=0.1, traffic=0.0, pending=0.0,
+          **sla_kwargs):
+    sla = FreshnessSLA(**{
+        "max_staleness_s": 1.0, "target_ratio": 0.2, "min_ratio": 0.05,
+        **sla_kwargs,
+    })
+    return ViewLoad(name=name, sla=sla, staleness_s=staleness,
+                    pending_fraction=pending, traffic=traffic,
+                    predicted_cost_s=cost)
+
+
+class TestFreshnessSLA:
+    def test_ratio_bracket_validated(self):
+        with pytest.raises(EstimationError, match="min_ratio"):
+            FreshnessSLA(target_ratio=0.1, min_ratio=0.2)
+        with pytest.raises(EstimationError, match="min_ratio"):
+            FreshnessSLA(target_ratio=1.5, min_ratio=0.1)
+
+    def test_positive_staleness_and_weight(self):
+        with pytest.raises(EstimationError, match="positive"):
+            FreshnessSLA(max_staleness_s=0.0)
+        with pytest.raises(EstimationError, match="positive"):
+            FreshnessSLA(weight=-1.0)
+
+    def test_scheduler_rejects_nonpositive_budget(self):
+        with pytest.raises(EstimationError, match="budget"):
+            FreshnessScheduler(budget_s=0.0)
+
+
+class TestFreshnessScheduler:
+    def test_views_within_sla_are_not_scheduled(self):
+        plan = FreshnessScheduler(budget_s=1.0).plan(
+            [_load("fresh", staleness=0.5), _load("stale", staleness=2.0)]
+        )
+        assert [r.view for r in plan.rounds] == ["stale"]
+        assert not plan.skipped
+
+    def test_priority_orders_by_staleness_and_traffic(self):
+        plan = FreshnessScheduler(budget_s=10.0).plan([
+            _load("cold", staleness=1.5, traffic=0.0),
+            _load("hot", staleness=1.5, traffic=9.0),
+            _load("ancient", staleness=40.0, traffic=0.0),
+        ])
+        assert [r.view for r in plan.rounds] == ["ancient", "hot", "cold"]
+
+    def test_admits_at_target_ratio_while_budget_lasts(self):
+        plan = FreshnessScheduler(budget_s=0.25).plan(
+            [_load("a", cost=0.1), _load("b", cost=0.1)]
+        )
+        assert all(r.ratio == 0.2 and not r.degraded for r in plan.rounds)
+        assert plan.spent_s == pytest.approx(0.2)
+        assert plan.remaining_s == pytest.approx(0.05)
+
+    def test_degrades_ratio_to_fit_remaining_budget(self):
+        # First round charges 0.1, leaving 0.05 against a 0.1-cost view:
+        # the ratio halves (0.2 -> 0.1) instead of skipping.
+        plan = FreshnessScheduler(budget_s=0.15).plan([
+            _load("first", staleness=5.0, cost=0.1),
+            _load("second", staleness=2.0, cost=0.1),
+        ])
+        assert len(plan.rounds) == 2
+        degraded = plan.rounds[1]
+        assert degraded.view == "second"
+        assert degraded.degraded
+        assert degraded.ratio == pytest.approx(0.1)
+        assert degraded.charged_s == pytest.approx(0.05)
+
+    def test_skips_when_even_min_ratio_does_not_fit(self):
+        # 0.01 remaining against cost 0.1 -> ratio 0.02 < min 0.05.
+        plan = FreshnessScheduler(budget_s=0.11).plan([
+            _load("first", staleness=5.0, cost=0.1),
+            _load("second", staleness=2.0, cost=0.1),
+        ])
+        assert [r.view for r in plan.rounds] == ["first"]
+        assert plan.skipped == [("second", "budget exhausted")]
+
+    def test_unknown_cost_rounds_are_free(self):
+        # Before the first round there is no cost estimate; admit at
+        # target so the EWMA gets its first observation.
+        plan = FreshnessScheduler(budget_s=0.01).plan(
+            [_load(f"v{i}", cost=0.0) for i in range(5)]
+        )
+        assert len(plan.rounds) == 5
+        assert not plan.skipped
+
+    def test_pending_fraction_escalates_to_full_maintenance(self):
+        plan = FreshnessScheduler(budget_s=1.0).plan([
+            _load("quiet", pending=0.0),
+            _load("flooded", pending=0.4, max_pending_fraction=0.25),
+        ])
+        assert plan.full_maintenance
+
+    def test_explicit_budget_overrides_default(self):
+        sched = FreshnessScheduler(budget_s=10.0)
+        plan = sched.plan([_load("a", cost=1.0)], budget_s=0.5)
+        assert plan.budget_s == 0.5
+        assert plan.rounds[0].degraded
