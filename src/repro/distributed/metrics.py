@@ -9,6 +9,11 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.distributed.cluster import ClusterModel, cpu_utilization_trace
+from repro.reliability.telemetry import (
+    DemotionEvent,
+    FailureEvent,
+    FailureReason,
+)
 
 
 @dataclass
@@ -47,13 +52,55 @@ class TransportStats:
 
 
 @dataclass
+class RoundTelemetry:
+    """Mutable accumulator of one round's failure/recovery telemetry.
+
+    The executor appends to it as the round unfolds; the finished,
+    immutable view rides on :class:`ShardRunReport` (events as tuples so
+    the report stays hashable-field-stable and pickle-safe).
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    failures: List[FailureEvent] = field(default_factory=list)
+    demotions: List[DemotionEvent] = field(default_factory=list)
+    recovered: List[int] = field(default_factory=list)
+
+    def record(self, reason: FailureReason, shard: int = -1,
+               attempt: int = 0, detail: str = "") -> None:
+        self.failures.append(
+            FailureEvent(reason=reason, shard=shard, attempt=attempt,
+                         detail=detail)
+        )
+        if reason is FailureReason.SHARD_TIMEOUT:
+            self.timeouts += 1
+
+    def demote(self, domain: str, from_path: str, to_path: str,
+               reason: FailureReason, detail: str = "") -> None:
+        self.demotions.append(
+            DemotionEvent(domain=domain, from_path=from_path,
+                          to_path=to_path, reason=reason, detail=detail)
+        )
+
+
+@dataclass
 class ShardRunReport:
     """Metrics of one sharded maintenance/cleaning evaluation.
 
     ``skipped`` shards were proven untouched by the pending deltas and
     reassembled from the stale view without any evaluation.
-    ``transport`` describes what the round shipped to pool workers (and
-    any broken-pool recovery/demotion that happened on the way).
+    ``transport`` describes what the round shipped to pool workers.
+
+    Failure telemetry is structured and machine-readable: ``failures``
+    (every observed failure with a :class:`~repro.reliability.telemetry.
+    FailureReason`, the shard it hit, and the attempt), ``demotions``
+    (fast paths abandoned for a fallback this round), ``retries`` /
+    ``timeouts`` counters, ``recovered`` (shards whose results came
+    from the serial fallback after the pool gave up on them — the round
+    still produced the exact answer), and ``breaker`` (the process
+    backend's circuit-breaker state after the round).  All field types
+    pickle stably across backends and Python versions (``FailureReason``
+    is a str-enum).
     """
 
     view: str
@@ -62,6 +109,12 @@ class ShardRunReport:
     shards: List[ShardTiming] = field(default_factory=list)
     partitioned: Tuple[str, ...] = ()
     transport: TransportStats = field(default_factory=TransportStats)
+    retries: int = 0
+    timeouts: int = 0
+    failures: Tuple[FailureEvent, ...] = ()
+    demotions: Tuple[DemotionEvent, ...] = ()
+    recovered: Tuple[int, ...] = ()
+    breaker: str = "closed"
 
     @property
     def count(self) -> int:
@@ -85,6 +138,14 @@ class ShardRunReport:
         """Serialized bytes shipped to workers this round."""
         return self.transport.input_bytes
 
+    def failure_reasons(self) -> Tuple[FailureReason, ...]:
+        """The distinct reasons observed this round, in first-seen order."""
+        seen: List[FailureReason] = []
+        for event in self.failures:
+            if event.reason not in seen:
+                seen.append(event.reason)
+        return tuple(seen)
+
     def summary(self) -> str:
         t = self.transport
         wire = ""
@@ -95,6 +156,16 @@ class ShardRunReport:
             )
         if t.pool_rebuilt:
             wire += ", pool rebuilt"
+        if self.retries:
+            wire += f", {self.retries} retr{'y' if self.retries == 1 else 'ies'}"
+        if self.timeouts:
+            wire += f", {self.timeouts} timeout(s)"
+        if self.recovered:
+            wire += (f", shards {list(self.recovered)} recovered on the "
+                     f"serial fallback")
+        for d in self.demotions:
+            wire += (f", {d.domain} {d.from_path}->{d.to_path} "
+                     f"({d.reason})")
         if t.demoted:
             wire += f", DEMOTED ({t.demoted})"
         return (

@@ -34,10 +34,24 @@ Three pieces live here:
   expression, a small manifest, and whatever actually changed (delta
   partitions, the freshly maintained view).  ``"pickle"`` is the
   reference transport that serializes the full environment into every
-  task payload.  Broken pools are recreated once and retried; a pool
-  that fails twice in one round permanently demotes the backend to
-  threads (recorded on :class:`ShardRunReport`), so a broken sandbox is
-  paid for once, not every round.
+  task payload.
+* **Hardened failure domains.**  Shards run as individual futures with
+  a per-round deadline (``shard_timeout_s``); infrastructure failures —
+  a broken pool, a timed-out or killed worker, a segment attach/
+  checksum error — are retried with jittered exponential backoff
+  (``max_retries``), re-encoding only the failed shards (resident
+  exports make the re-encode nearly free).  Shards that fail every
+  retry fall back to in-process serial execution while the completed
+  shards' results are kept — partial-round recovery with the exact
+  single-shard answer.  A health-probed circuit breaker
+  (:mod:`repro.reliability.breaker`) replaces the old *permanent*
+  demotion: a round that abandons the process backend opens the
+  breaker, later rounds take the thread fallback, and a half-open probe
+  restores the fast path once the fault clears.  Deterministic task
+  errors (the work's own exceptions) skip the retry machinery and
+  surface from the serial reference path, exactly as before.  All of it
+  is exercisable on demand through :mod:`repro.reliability.faults` and
+  reported on :class:`ShardRunReport` as machine-readable telemetry.
 * :func:`set_shard_count` — the global toggle.  ``set_shard_count(1)``
   (the default) is the reference single-shard path; every sharded result
   is row-for-row equal to it (property-tested in
@@ -48,8 +62,13 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait as _futures_wait,
+)
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -68,8 +87,25 @@ from repro.db.deltas import deletions_name, insertions_name
 from repro.db.maintenance import is_spj
 from repro.db.sharding import partition_leaves, partition_relation
 from repro.distributed import transport as _transport
-from repro.distributed.metrics import ShardRunReport, ShardTiming, TransportStats
+from repro.distributed.metrics import (
+    RoundTelemetry,
+    ShardRunReport,
+    ShardTiming,
+    TransportStats,
+)
 from repro.errors import KeyDerivationError, MaintenanceError
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import (
+    SHM_ATTACH,
+    SHM_CORRUPT,
+    WORKER_KILL,
+    WORKER_RAISE,
+    WORKER_STALL,
+    InjectedFault,
+    active_fault_plan,
+    execute_worker_directive,
+)
+from repro.reliability.telemetry import FailureReason
 
 # ----------------------------------------------------------------------
 # Global shard configuration (the set_shard_count toggle)
@@ -97,12 +133,24 @@ class ShardConfig:
     ``count == 1`` is the single-shard reference path.  ``max_workers``
     defaults to ``min(count, cpu_count)``.  ``transport`` only matters
     for the ``process`` backend.
+
+    The reliability knobs: ``shard_timeout_s`` is the per-round deadline
+    one attempt's shards must all meet (None = wait forever, the
+    pre-hardening behavior); ``max_retries`` bounds how many times
+    infrastructure failures are retried before the failed shards fall
+    back to serial in-process execution; the backoff between attempts is
+    exponential from ``backoff_base_s`` (capped at ``backoff_cap_s``)
+    with multiplicative jitter in [0.5, 1.5).
     """
 
     count: int = 1
     backend: str = "process" if hasattr(os, "fork") else "thread"
     max_workers: Optional[int] = None
     transport: str = "shm"
+    shard_timeout_s: Optional[float] = None
+    max_retries: int = 1
+    backoff_base_s: float = 0.02
+    backoff_cap_s: float = 2.0
 
     def workers(self) -> int:
         cpus = os.cpu_count() or 1
@@ -113,19 +161,26 @@ class ShardConfig:
 
 _CONFIG = ShardConfig()
 
+#: Sentinel distinguishing "parameter not passed" from explicit None.
+_UNSET = object()
+
 
 def set_shard_count(
     count: int,
     backend: Optional[str] = None,
     max_workers: Optional[int] = None,
     transport: Optional[str] = None,
+    shard_timeout_s=_UNSET,
+    max_retries: Optional[int] = None,
 ) -> int:
     """Set the global shard count (1 = reference single-shard path).
 
-    ``backend``, ``max_workers`` and ``transport`` are sticky: omitting
-    them keeps the current setting, so a count-only override (e.g.
+    ``backend``, ``max_workers``, ``transport``, ``shard_timeout_s``
+    and ``max_retries`` are sticky: omitting them keeps the current
+    setting, so a count-only override (e.g.
     ``Catalog.maintain_all(shards=n)``) never drops a worker cap the
-    user configured.  Pass ``max_workers=0`` to clear the cap.
+    user configured.  Pass ``max_workers=0`` to clear the cap and
+    ``shard_timeout_s=0`` to clear the per-round shard deadline.
 
     Shared-memory residency deliberately *survives* count changes:
     store slots are keyed by shard layout, so the per-period
@@ -135,8 +190,9 @@ def set_shard_count(
     freed by ``shutdown_shard_pool()`` (or interpreter exit).
     Explicitly leaving the ``shm`` transport *does* unlink everything —
     the user opted out, so keeping the segments would be pure waste —
-    and explicitly requesting ``backend="process"`` clears a permanent
-    pool demotion: the user is asking for another try.  Returns the
+    and explicitly requesting ``backend="process"`` resets the process
+    backend's circuit breaker: the user is asking for another try right
+    now, not after the cooldown.  Returns the
     previous count so callers can restore it::
 
         old = set_shard_count(4)
@@ -158,6 +214,18 @@ def set_shard_count(
         max_workers = _CONFIG.max_workers
     elif max_workers == 0:
         max_workers = None
+    if shard_timeout_s is _UNSET:
+        shard_timeout_s = _CONFIG.shard_timeout_s
+    elif shard_timeout_s == 0:
+        shard_timeout_s = None
+    elif shard_timeout_s is not None and shard_timeout_s < 0:
+        raise MaintenanceError(
+            f"shard_timeout_s must be >= 0: {shard_timeout_s}"
+        )
+    if max_retries is None:
+        max_retries = _CONFIG.max_retries
+    elif max_retries < 0:
+        raise MaintenanceError(f"max_retries must be >= 0: {max_retries}")
     if backend == "process":
         clear_pool_demotion()
     old = _CONFIG.count
@@ -169,6 +237,10 @@ def set_shard_count(
         backend=backend if backend is not None else _CONFIG.backend,
         max_workers=max_workers,
         transport=new_transport,
+        shard_timeout_s=shard_timeout_s,
+        max_retries=max_retries,
+        backoff_base_s=_CONFIG.backoff_base_s,
+        backoff_cap_s=_CONFIG.backoff_cap_s,
     )
     if count != old:
         # Shard layout is part of the environment a compiled plan (and
@@ -440,8 +512,26 @@ def _run_local_task(task):
     process backend they therefore pickle as numpy column buffers
     instead of per-row tuples, which is both smaller and skips the
     worker-side row materialization entirely.
+
+    When a fault plan is installed and the task carries its shard id
+    (thread/serial execution — process workers get their faults as
+    payload directives instead), the ``worker.raise`` / ``worker.stall``
+    sites fire here, inside the shard evaluation.
     """
     expr, leaves = task[0], task[1]
+    shard = task[2] if len(task) > 2 else None
+    if shard is not None:
+        plan = active_fault_plan()
+        if plan is not None:
+            spec = plan.check(WORKER_RAISE, shard)
+            if spec is not None:
+                raise InjectedFault(
+                    WORKER_RAISE, shard,
+                    spec.detail or "injected worker failure",
+                )
+            spec = plan.check(WORKER_STALL, shard)
+            if spec is not None:
+                time.sleep(max(spec.stall_s, 0.0))
     t0 = time.perf_counter()
     rel = compiled_evaluate(expr, leaves)
     return rel, time.perf_counter() - t0
@@ -476,28 +566,55 @@ def _run_worker_blob(blob: bytes):
     accounted exactly, and so both transports share one worker).  Two
     shapes exist:
 
-    * ``("pickle", expr, env, family, columnar)`` — the environment
-      relations ride inside the payload.
-    * ``("shm", expr, entries, live_ids, family, columnar)`` — each
-      entry is either an :class:`~repro.distributed.transport.
-      ExportManifest` to attach (cached across rounds, zero-copy) or an
-      inlined small relation.  ``live_ids`` evicts attachments whose
-      export the coordinator retired.
+    * ``("pickle", expr, env, family, columnar, shard, directive)`` —
+      the environment relations ride inside the payload.
+    * ``("shm", expr, entries, live_ids, family, columnar, shard,
+      directive)`` — each entry is either an
+      :class:`~repro.distributed.transport.ExportManifest` to attach
+      (cached across rounds, zero-copy) or an inlined small relation.
+      ``live_ids`` evicts attachments whose export the coordinator
+      retired.
+
+    ``directive`` is the coordinator-decided chaos fault for this shard
+    (None outside fault-injection runs): a ``(site, param)`` pair
+    executed here so worker-side faults take exactly the paths real
+    failures would — the fork child never consults the fault plan
+    itself.
     """
     task = pickle.loads(blob)
     if task[0] == "shm":
-        _, expr, entries, live_ids, family, columnar = task
+        _, expr, entries, live_ids, family, columnar, shard, directive = task
+        inject_attach = False
+        if directive is not None:
+            if directive[0] == SHM_ATTACH:
+                inject_attach = True
+            else:
+                execute_worker_directive(directive[0], shard,
+                                         directive[1] or 0.0)
         _transport.evict_stale(live_ids)
-        env = {
-            name: (
-                _transport.attach_manifest(entry)
-                if isinstance(entry, _transport.ExportManifest)
-                else entry
+        env = {}
+        for name, entry in entries.items():
+            if isinstance(entry, _transport.ExportManifest):
+                env[name] = _transport.attach_manifest(
+                    entry, inject_failure=inject_attach
+                )
+                inject_attach = False  # one failure per directive
+            else:
+                env[name] = entry
+        if inject_attach:
+            # All-inline environment: fire the directive anyway so the
+            # injected fault is always observable.
+            raise _transport.SegmentAttachError(
+                "<inline>", "injected segment attach failure"
             )
-            for name, entry in entries.items()
-        }
     else:
-        _, expr, env, family, columnar = task
+        _, expr, env, family, columnar, shard, directive = task
+        if directive is not None:
+            if directive[0] == SHM_ATTACH:
+                raise _transport.SegmentAttachError(
+                    "<pickle>", "injected segment attach failure"
+                )
+            execute_worker_directive(directive[0], shard, directive[1] or 0.0)
         # A pickle task means no export is live (either the transport
         # was never shm, or it fell back mid-session and the store was
         # closed) — drop any attachments left from earlier shm rounds
@@ -515,11 +632,22 @@ def _run_worker_blob(blob: bytes):
 # copy-on-write pages), which costs more than the evaluation itself.
 _POOL: List = [None]
 _POOL_KEY: List[Optional[tuple]] = [None]
+_POOL_ATEXIT: List[bool] = [False]
 
-#: Reason string once the process backend has been permanently demoted
-#: (pool creation/execution failed twice in one round); None while the
-#: backend is healthy.
-_PROCESS_DEMOTED: List[Optional[str]] = [None]
+#: Circuit breaker guarding the process backend.  One round-level
+#: failure (the pool was unusable through every retry and the round had
+#: to finish on the serial fallback) opens it; while open, rounds take
+#: the thread backend; a half-open probe after the cooldown restores
+#: the process fast path once the fault clears.  Replaces the old
+#: *permanent* ``_PROCESS_DEMOTED`` flag.
+_PROCESS_BREAKER = CircuitBreaker(
+    "process-backend", failure_threshold=1, cooldown_s=30.0
+)
+
+
+def process_breaker() -> CircuitBreaker:
+    """The breaker guarding the process backend (tests, introspection)."""
+    return _PROCESS_BREAKER
 
 
 def _get_pool(kind: str, workers: int):
@@ -550,39 +678,65 @@ def _get_pool(kind: str, workers: int):
         else:
             _POOL[0] = ThreadPoolExecutor(max_workers=workers)
         _POOL_KEY[0] = key
+        if not _POOL_ATEXIT[0]:
+            # Registered exactly once per process: shutdown is fully
+            # idempotent, so the user calling it and atexit re-entering
+            # it (in either order relative to the transport's own
+            # close_store hook) is safe.
+            _POOL_ATEXIT[0] = True
+            import atexit
+
+            atexit.register(shutdown_shard_pool)
     return _POOL[0]
 
 
 def _teardown_pool() -> None:
     """Drop the persistent pool (recovery path — residency survives)."""
-    if _POOL[0] is not None:
-        _POOL[0].shutdown(wait=False, cancel_futures=True)
-        _POOL[0] = None
-        _POOL_KEY[0] = None
+    pool, _POOL[0], _POOL_KEY[0] = _POOL[0], None, None
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken executor internals
+            pass
 
 
 def shutdown_shard_pool() -> None:
     """End the sharded session: tear down the worker pool *and* unlink
-    every shared-memory export (tests; end of benchmarks)."""
-    if _POOL[0] is not None:
-        _POOL[0].shutdown(wait=True, cancel_futures=True)
-        _POOL[0] = None
-        _POOL_KEY[0] = None
+    every shared-memory export (tests; end of benchmarks).
+
+    Idempotent and order-independent: safe to call any number of times,
+    before or after the transport's ``close_store`` atexit hook — the
+    pool slot is cleared before the (possibly failing) shutdown call,
+    and segment retirement guards against double-unlink.
+    """
+    pool, _POOL[0], _POOL_KEY[0] = _POOL[0], None, None
+    if pool is not None:
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken executor internals
+            pass
     _transport.close_store()
     _transport.release_worker_cache()
 
 
 def pool_demotion() -> Optional[str]:
-    """Why the process backend is demoted (None while healthy)."""
-    return _PROCESS_DEMOTED[0]
+    """Why the process backend is currently demoted (None while healthy).
+
+    Backed by the circuit breaker: non-None while the breaker is open
+    or probing (half-open); clears automatically once a probe round
+    succeeds — demotion is no longer permanent.
+    """
+    return _PROCESS_BREAKER.describe() or None
 
 
 def clear_pool_demotion() -> None:
-    """Give the process backend another chance (tests; explicit opt-in)."""
-    _PROCESS_DEMOTED[0] = None
+    """Reset the process-backend breaker (tests; explicit opt-in)."""
+    _PROCESS_BREAKER.reset()
 
 
-def _encode_process_tasks(tasks, config: ShardConfig):
+def _encode_process_tasks(tasks, config: ShardConfig,
+                          telemetry: Optional[RoundTelemetry] = None,
+                          attempt: int = 0):
     """Pre-pickle per-shard payloads; returns ``(payloads, stats)``.
 
     Tasks are ``(expr, env, shard_id)`` triples.  Under the ``shm``
@@ -592,13 +746,38 @@ def _encode_process_tasks(tasks, config: ShardConfig):
     environment serializes into the payload.  ``stats.input_bytes``
     counts exactly what crosses the process boundary this round: payload
     pickles plus newly written shared-memory bytes.
+
+    Fault-plan integration: worker-side faults (kill/raise/stall/attach)
+    are decided here, one decision per shard, and shipped as payload
+    directives; the ``shm.corrupt`` site flips bytes in one of the
+    shard's freshly created segments.  A shared-memory *export* failure
+    (real or injected at ``shm.export``) no longer disables shm for
+    good: it records a failure on the transport's circuit breaker and
+    falls back to pickle for this round — the breaker's half-open probe
+    restores residency once the fault clears.
     """
     from repro.algebra.evaluator import columnar_enabled
     from repro.stats.hashing import get_hash_family
 
+    if telemetry is None:
+        telemetry = RoundTelemetry()
     family = get_hash_family()
     columnar = columnar_enabled()
+    plan = active_fault_plan()
+    directives: Dict[int, tuple] = {}
+    if plan is not None:
+        for _, _, shard in tasks:
+            for site in (WORKER_KILL, WORKER_RAISE, WORKER_STALL, SHM_ATTACH):
+                spec = plan.check(site, shard)
+                if spec is not None:
+                    directives[shard] = (site, spec.stall_s)
+                    break
+    breaker = _transport.shm_breaker()
     use_shm = config.transport == "shm" and _transport.shm_available()
+    if use_shm and not breaker.allow():
+        telemetry.demote("transport", "shm", "pickle",
+                         FailureReason.BREAKER_OPEN, breaker.describe())
+        use_shm = False
     if use_shm:
         store = _transport.get_store()
         store.begin_round()
@@ -606,23 +785,42 @@ def _encode_process_tasks(tasks, config: ShardConfig):
             per_task = []
             for expr, env, shard in tasks:
                 entries = {}
+                exported = []
                 for name, rel in env.items():
                     manifest = store.export((name, shard, config.count), rel)
                     entries[name] = manifest if manifest is not None else rel
-                per_task.append((expr, entries))
+                    if manifest is not None:
+                        exported.append(manifest.export_id)
+                if plan is not None:
+                    # Corrupt only segments created *this* round: a
+                    # resident segment may already be attached (cache
+                    # hit skips verification), so corrupting it would
+                    # produce garbage instead of a detected fault.
+                    fresh = [e for e in exported if e in store.fresh_ids()]
+                    if fresh and plan.check(SHM_CORRUPT, shard) is not None:
+                        store.corrupt_export(fresh[0])
+                per_task.append((expr, entries, shard))
             live = store.live_ids()
             payloads = [
                 pickle.dumps(
-                    ("shm", expr, entries, live, family, columnar),
+                    ("shm", expr, entries, live, family, columnar, shard,
+                     directives.get(shard)),
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
-                for expr, entries in per_task
+                for expr, entries, shard in per_task
             ]
         except OSError as err:
-            # /dev/shm full or missing mid-session: permanently fall
-            # back to the pickle transport rather than failing rounds.
-            _transport.disable_shm(f"shared-memory export failed: {err!r}")
-            _transport.close_store()
+            # /dev/shm full or missing mid-session: fall back to the
+            # pickle transport for this round and open the transport
+            # breaker — its half-open probe re-exports after the
+            # cooldown instead of demoting for the rest of the session.
+            store.rollback_round()
+            breaker.record_failure(str(FailureReason.SHM_EXPORT_FAILED),
+                                   repr(err))
+            telemetry.record(FailureReason.SHM_EXPORT_FAILED,
+                             attempt=attempt, detail=repr(err))
+            telemetry.demote("transport", "shm", "pickle",
+                             FailureReason.SHM_EXPORT_FAILED, repr(err))
             use_shm = False
         except BaseException:
             # Any other mid-encode failure (an unpicklable expression,
@@ -634,6 +832,7 @@ def _encode_process_tasks(tasks, config: ShardConfig):
             store.rollback_round()
             raise
         else:
+            breaker.record_success()
             written, resident, segments = store.round_stats()
             stats = TransportStats(
                 transport="shm",
@@ -645,10 +844,11 @@ def _encode_process_tasks(tasks, config: ShardConfig):
             return payloads, stats
     payloads = [
         pickle.dumps(
-            ("pickle", expr, env, family, columnar),
+            ("pickle", expr, env, family, columnar, shard,
+             directives.get(shard)),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        for expr, env, _ in tasks
+        for expr, env, shard in tasks
     ]
     stats = TransportStats(
         transport="pickle", input_bytes=sum(len(p) for p in payloads)
@@ -656,74 +856,306 @@ def _encode_process_tasks(tasks, config: ShardConfig):
     return payloads, stats
 
 
+#: Failure reasons worth retrying: infrastructure faults that a fresh
+#: pool / re-attach / re-export can clear.  Everything else is the
+#: work's own error — retrying cannot help, the serial reference path
+#: should surface it.
+_RETRYABLE = frozenset({
+    FailureReason.POOL_BROKEN,
+    FailureReason.POOL_UNAVAILABLE,
+    FailureReason.SHARD_TIMEOUT,
+    FailureReason.WORKER_FAULT,
+    FailureReason.SEGMENT_ATTACH,
+    FailureReason.SEGMENT_CORRUPT,
+})
+
+
+def _classify_failure(err: BaseException) -> FailureReason:
+    """Map one shard failure to its machine-readable reason."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    if isinstance(err, _transport.SegmentIntegrityError):
+        return FailureReason.SEGMENT_CORRUPT
+    if isinstance(err, _transport.SegmentAttachError):
+        return FailureReason.SEGMENT_ATTACH
+    if isinstance(err, InjectedFault):
+        return FailureReason.WORKER_FAULT
+    if isinstance(err, (BrokenProcessPool, OSError)):
+        return FailureReason.POOL_BROKEN
+    return FailureReason.TASK_ERROR
+
+
+def _backoff_sleep(attempt: int, config: ShardConfig) -> None:
+    """Jittered exponential backoff before retry ``attempt`` (>= 1).
+
+    Deterministic under an installed fault plan (the jitter derives
+    from the plan's seed) so chaos runs reproduce exactly; otherwise
+    the jitter is ordinary randomness in [0.5, 1.5) of the base delay.
+    """
+    base = min(config.backoff_base_s * (2 ** (attempt - 1)),
+               config.backoff_cap_s)
+    if base <= 0:
+        return
+    plan = active_fault_plan()
+    unit = plan.jitter("backoff", attempt) if plan is not None \
+        else random.random()
+    time.sleep(base * (0.5 + unit))
+
+
+def _run_process_round(tasks, config: ShardConfig, workers: int,
+                       telemetry: RoundTelemetry):
+    """Run one round on the process pool with retries and recovery.
+
+    Per-shard futures with a shared per-attempt deadline; infrastructure
+    failures (broken pool, timeout, worker fault, segment attach/
+    checksum errors) are retried with backoff — only the failed shards
+    re-encode and re-submit, completed shard results are kept.  Shards
+    that fail every retry run on the serial in-process fallback
+    (partial-round recovery, exact result).  Deterministic task errors
+    skip retries and go straight to the fallback so the real exception
+    surfaces from the reference path.
+    """
+    attempts = max(1, config.max_retries + 1)
+    pending = set(range(len(tasks)))
+    task_fallback: set = set()
+    infra_fallback: set = set()
+    results: Dict[int, tuple] = {}
+    agg_stats: Optional[TransportStats] = None
+    pool_results = 0
+    torn_down = False
+    rebuilt = False
+    last_infra: Optional[Tuple[FailureReason, str]] = None
+
+    for attempt in range(attempts):
+        if not pending:
+            break
+        if attempt:
+            telemetry.retries += 1
+            _backoff_sleep(attempt, config)
+        order = sorted(pending)
+        try:
+            payloads, stats = _encode_process_tasks(
+                [tasks[i] for i in order], config, telemetry, attempt
+            )
+        except Exception as err:
+            # Encoding must never be able to break maintenance: an
+            # unpicklable environment value degrades to the in-process
+            # path.  The work's fault, not the pool's — no retry, no
+            # breaker penalty.
+            telemetry.record(FailureReason.ENCODE_FAILED, attempt=attempt,
+                             detail=repr(err))
+            task_fallback |= pending
+            pending = set()
+            break
+        agg_stats = _merge_transport_stats(agg_stats, stats)
+        recovered_attempt = torn_down
+        try:
+            pool = _get_pool("process", min(workers, len(order)))
+            futures = {
+                i: pool.submit(_run_worker_blob, payload)
+                for i, payload in zip(order, payloads)
+            }
+        except Exception as err:
+            _teardown_pool()
+            torn_down = True
+            last_infra = (FailureReason.POOL_UNAVAILABLE, repr(err))
+            telemetry.record(FailureReason.POOL_UNAVAILABLE,
+                             attempt=attempt, detail=repr(err))
+            continue
+        _futures_wait(futures.values(), timeout=config.shard_timeout_s)
+        pool_broken = False
+        for i in order:
+            fut = futures[i]
+            shard = tasks[i][2]
+            if not fut.done():
+                fut.cancel()
+                telemetry.record(
+                    FailureReason.SHARD_TIMEOUT, shard=shard,
+                    attempt=attempt,
+                    detail=f"no result within {config.shard_timeout_s}s",
+                )
+                last_infra = (FailureReason.SHARD_TIMEOUT,
+                              f"shard {shard} missed its deadline")
+                # A stalled worker still occupies a pool slot — recycle
+                # the pool so the retry gets fresh workers.
+                pool_broken = True
+                continue
+            err = fut.exception()
+            if err is None:
+                results[i] = fut.result()
+                pending.discard(i)
+                pool_results += 1
+                if recovered_attempt:
+                    rebuilt = True
+                continue
+            reason = _classify_failure(err)
+            telemetry.record(reason, shard=shard, attempt=attempt,
+                             detail=repr(err))
+            if reason not in _RETRYABLE:
+                # The shard's own evaluation raised: hand it to the
+                # serial reference path, which will surface the real
+                # exception (or, for a transient miracle, the result).
+                pending.discard(i)
+                task_fallback.add(i)
+                continue
+            last_infra = (reason, repr(err))
+            if reason is FailureReason.SEGMENT_CORRUPT:
+                # Retire the corrupt export so the retry re-exports a
+                # clean segment instead of re-attaching the bad one.
+                store = _transport.peek_store()
+                export_id = getattr(err, "export_id", "")
+                if store is not None and export_id:
+                    store.retire_export(export_id)
+            if reason is FailureReason.POOL_BROKEN:
+                pool_broken = True
+        if pool_broken:
+            _teardown_pool()
+            torn_down = True
+
+    if pending:
+        # Infrastructure failures survived every retry: partial-round
+        # recovery — the completed shards' results are kept, only the
+        # failed ones run on the serial in-process fallback.
+        infra_fallback = set(pending)
+        pending = set()
+
+    # Breaker bookkeeping *before* the fallback executes: the process
+    # backend's health is decided by whether the pool did its job, not
+    # by whether the work itself raises on the fallback path.
+    if infra_fallback:
+        reason, detail = last_infra or (FailureReason.POOL_BROKEN, "")
+        _PROCESS_BREAKER.record_failure(str(reason), detail)
+        telemetry.demote("backend", "process", "serial", reason, detail)
+    elif pool_results:
+        _PROCESS_BREAKER.record_success()
+
+    for i in sorted(task_fallback | infra_fallback):
+        results[i] = _run_local_task(tasks[i])
+        if i in infra_fallback:
+            telemetry.recovered.append(tasks[i][2])
+
+    backend_used = "process" if pool_results else "serial"
+    stats = agg_stats if (agg_stats is not None and pool_results) \
+        else TransportStats(transport="local")
+    stats.pool_rebuilt = rebuilt
+    stats.demoted = _PROCESS_BREAKER.describe()
+    ordered = [results[i] for i in range(len(tasks))]
+    return ordered, backend_used, stats
+
+
+def _run_thread_round(tasks, config: ShardConfig, workers: int,
+                      telemetry: RoundTelemetry):
+    """Run one round on the thread pool with the same hardening.
+
+    Thread workers cannot be killed, but they can stall past the
+    deadline (the pool is replaced — the stalled thread finishes into
+    a discarded executor) and their evaluation can raise; both recover
+    exactly like the process backend: retry infrastructure failures,
+    fall back serially for whatever remains, keep completed results.
+    """
+    attempts = max(1, config.max_retries + 1)
+    pending = set(range(len(tasks)))
+    task_fallback: set = set()
+    results: Dict[int, tuple] = {}
+    pool_results = 0
+
+    for attempt in range(attempts):
+        if not pending:
+            break
+        if attempt:
+            telemetry.retries += 1
+            _backoff_sleep(attempt, config)
+        order = sorted(pending)
+        pool = _get_pool("thread", min(workers, len(order)))
+        futures = {i: pool.submit(_run_local_task, tasks[i]) for i in order}
+        _futures_wait(futures.values(), timeout=config.shard_timeout_s)
+        stalled = False
+        for i in order:
+            fut = futures[i]
+            shard = tasks[i][2]
+            if not fut.done():
+                fut.cancel()
+                telemetry.record(
+                    FailureReason.SHARD_TIMEOUT, shard=shard,
+                    attempt=attempt,
+                    detail=f"no result within {config.shard_timeout_s}s",
+                )
+                stalled = True
+                continue
+            err = fut.exception()
+            if err is None:
+                results[i] = fut.result()
+                pending.discard(i)
+                pool_results += 1
+                continue
+            reason = _classify_failure(err)
+            telemetry.record(reason, shard=shard, attempt=attempt,
+                             detail=repr(err))
+            if reason not in _RETRYABLE:
+                pending.discard(i)
+                task_fallback.add(i)
+        if stalled:
+            _teardown_pool()
+
+    infra_fallback = set(pending)
+    for i in sorted(task_fallback | infra_fallback):
+        results[i] = _run_local_task(tasks[i])
+        if i in infra_fallback:
+            telemetry.recovered.append(tasks[i][2])
+
+    backend_used = "thread" if pool_results else "serial"
+    stats = TransportStats(transport="local",
+                           demoted=_PROCESS_BREAKER.describe())
+    ordered = [results[i] for i in range(len(tasks))]
+    return ordered, backend_used, stats
+
+
+def _merge_transport_stats(
+    agg: Optional[TransportStats], stats: TransportStats
+) -> TransportStats:
+    """Accumulate per-attempt transport stats into one round total."""
+    if agg is None:
+        return stats
+    agg.transport = stats.transport
+    agg.input_bytes += stats.input_bytes
+    agg.shm_written_bytes += stats.shm_written_bytes
+    agg.shm_resident_bytes = max(agg.shm_resident_bytes,
+                                 stats.shm_resident_bytes)
+    agg.segments_created += stats.segments_created
+    return agg
+
+
 def _run_tasks(tasks, config: ShardConfig):
     """Evaluate ``(expr, leaves, shard_id)`` tasks on the configured backend.
 
-    Returns ``(results, backend_used, transport_stats)``.  A broken
-    process pool is recreated and the round retried once (workers
-    re-attach resident segments by name, so nothing is re-shipped); a
-    second failure permanently demotes the backend to threads and
-    records the reason — later rounds go straight to the demoted
-    backend instead of re-paying the failure.
+    Returns ``(results, backend_used, transport_stats, telemetry)``.
+    Dispatches to the hardened process/thread round runners; while the
+    process backend's circuit breaker is open (a recent round had to
+    abandon the pool), rounds take the thread backend — the breaker's
+    half-open probe sends one round back to the pool after the cooldown
+    and a success restores the fast path.
     """
+    telemetry = RoundTelemetry()
     backend = config.backend
     workers = min(config.workers(), max(1, len(tasks)))
     if backend == "process" and not hasattr(os, "fork"):
         backend = "thread"
-    if backend == "process" and _PROCESS_DEMOTED[0] is not None:
+    if backend == "process" and not _PROCESS_BREAKER.allow():
+        telemetry.demote("backend", "process", "thread",
+                         FailureReason.BREAKER_OPEN,
+                         _PROCESS_BREAKER.describe())
         backend = "thread"
-    stats = TransportStats(transport="local", demoted=_PROCESS_DEMOTED[0] or "")
     if backend == "serial" or workers == 1 or len(tasks) <= 1:
-        return [_run_local_task(t) for t in tasks], "serial", stats
+        stats = TransportStats(transport="local",
+                               demoted=_PROCESS_BREAKER.describe())
+        return [_run_local_task(t) for t in tasks], "serial", stats, telemetry
     if backend == "process":
-        try:
-            payloads, stats = _encode_process_tasks(tasks, config)
-        except Exception:
-            # Encoding must never be able to break maintenance: an
-            # unpicklable environment value (or an allocation failure
-            # mid-export) degrades to the in-process path, exactly like
-            # a broken pool used to.
-            return [_run_local_task(t) for t in tasks], "serial", stats
-        from concurrent.futures.process import BrokenProcessPool
-
-        try:
-            pool = _get_pool("process", workers)
-            results = list(pool.map(_run_worker_blob, payloads))
-            return results, "process", stats
-        except (BrokenProcessPool, OSError):
-            # Broken pool (killed workers, fork limits): recreate once
-            # and retry — the payloads are still valid, and resident
-            # segments are attachable by name from the fresh workers.
-            _teardown_pool()
-            try:
-                pool = _get_pool("process", workers)
-                results = list(pool.map(_run_worker_blob, payloads))
-                stats.pool_rebuilt = True
-                return results, "process", stats
-            except Exception as err:
-                _teardown_pool()
-                _PROCESS_DEMOTED[0] = (
-                    f"process pool failed twice in one round ({err!r}); "
-                    f"demoted to the thread backend"
-                )
-                # Nothing reached a worker this round: the stats must
-                # not claim shipped bytes, and any segments exported for
-                # the round are useless to the demoted backend.
-                _transport.close_store()
-                stats = TransportStats(
-                    transport="local", demoted=_PROCESS_DEMOTED[0]
-                )
-                return [_run_local_task(t) for t in tasks], "serial", stats
-        except Exception:
-            # A *task-level* error (some view's evaluation raised) is a
-            # property of the work, not of the pool: rerun in-process so
-            # the real exception surfaces from the reference path, and
-            # leave the healthy pool and backend alone — demoting the
-            # whole session over one bad view would punish every other
-            # round.
-            return [_run_local_task(t) for t in tasks], "serial", stats
-    pool = _get_pool("thread", workers)
-    return list(pool.map(_run_local_task, tasks)), "thread", stats
+        results, used, stats = _run_process_round(
+            tasks, config, workers, telemetry
+        )
+        return results, used, stats, telemetry
+    results, used, stats = _run_thread_round(tasks, config, workers, telemetry)
+    return results, used, stats, telemetry
 
 
 def _concat_shard_parts(schema, parts: List[Relation]) -> Relation:
@@ -832,7 +1264,9 @@ def evaluate_sharded(
         )
         task_shards.append(s)
 
-    results, backend_used, transport_stats = _run_tasks(tasks, config)
+    results, backend_used, transport_stats, telemetry = _run_tasks(
+        tasks, config
+    )
 
     schema = None
     parts: List = []
@@ -876,6 +1310,12 @@ def evaluate_sharded(
         shards=timings,
         partitioned=tuple(sorted(plan.partitioned)),
         transport=transport_stats,
+        retries=telemetry.retries,
+        timeouts=telemetry.timeouts,
+        failures=tuple(telemetry.failures),
+        demotions=tuple(telemetry.demotions),
+        recovered=tuple(telemetry.recovered),
+        breaker=_PROCESS_BREAKER.state,
     )
     return out
 

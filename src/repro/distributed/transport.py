@@ -54,15 +54,21 @@ attached batch and closes via garbage collection with its last reader.
 from __future__ import annotations
 
 import atexit
+import zlib
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.algebra.columnar import pack_column_buffers, write_column_buffers
 from repro.algebra.relation import Relation
 from repro.db.sharding import GenerationTracker
+from repro.errors import ReproError
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import SHM_EXPORT, fault_check
 
 __all__ = [
     "ExportManifest",
+    "SegmentAttachError",
+    "SegmentIntegrityError",
     "ShardExportStore",
     "attach_manifest",
     "close_store",
@@ -71,8 +77,44 @@ __all__ = [
     "leaked_segments",
     "release_worker_cache",
     "shm_available",
+    "shm_breaker",
     "shm_disabled_reason",
 ]
+
+
+class SegmentAttachError(ReproError):
+    """A worker could not attach a shared-memory segment.
+
+    Wraps the raw ``OSError`` so the coordinator can classify the
+    failure as transport infrastructure (retryable) rather than a task
+    error.  Pickles across the process boundary via ``args``.
+    """
+
+    def __init__(self, export_id: str, detail: str = ""):
+        super().__init__(export_id, detail)
+        self.export_id = export_id
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return (f"failed to attach segment {self.export_id}"
+                f"{': ' + self.detail if self.detail else ''}")
+
+
+class SegmentIntegrityError(ReproError):
+    """An attached segment failed its manifest checksum (corruption).
+
+    Carries the export id so the coordinator can retire exactly the
+    corrupt export (forcing a clean re-export) before retrying.
+    """
+
+    def __init__(self, export_id: str, detail: str = ""):
+        super().__init__(export_id, detail)
+        self.export_id = export_id
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return (f"segment {self.export_id} failed checksum verification"
+                f"{': ' + self.detail if self.detail else ''}")
 
 #: Names of every segment this process created and has not yet unlinked.
 #: Purely an audit trail: teardown code (and the equivalence suite) can
@@ -154,8 +196,29 @@ def shm_disabled_reason() -> Optional[str]:
 
 
 def disable_shm(reason: str) -> None:
-    """Permanently fall back to the pickle transport (sticky)."""
+    """Permanently fall back to the pickle transport (sticky).
+
+    Reserved for *platform* unavailability (no POSIX shared memory at
+    all).  Transient mid-session failures — a full ``/dev/shm``, an
+    export error — go through :func:`shm_breaker` instead, whose
+    half-open probes restore the shm fast path once the fault clears.
+    """
     _SHM_STATE[0] = reason
+
+
+#: Circuit breaker gating the shm transport against mid-session export
+#: failures.  One failure opens it (the round already fell back to
+#: pickle — re-paying the export error every round has no upside); a
+#: half-open probe re-exports after the cooldown and a success restores
+#: shm residency for good.
+_SHM_BREAKER = CircuitBreaker(
+    "shm-transport", failure_threshold=1, cooldown_s=30.0
+)
+
+
+def shm_breaker() -> CircuitBreaker:
+    """The breaker guarding the shm transport (tests, introspection)."""
+    return _SHM_BREAKER
 
 
 def _attach_segment(name: str):
@@ -206,18 +269,23 @@ class ExportManifest:
     key: Optional[tuple]
     rel_name: Optional[str]
     generation: int
+    #: adler32 of the segment's first ``nbytes`` at export time; workers
+    #: verify it on first attach so a corrupted segment surfaces as a
+    #: :class:`SegmentIntegrityError` instead of garbage rows.
+    checksum: int = 0
 
 
 class _Export:
     """One live segment: the exported relation plus its bookkeeping."""
 
-    __slots__ = ("relation", "manifest", "shm", "slots")
+    __slots__ = ("relation", "manifest", "shm", "slots", "retired")
 
     def __init__(self, relation, manifest, shm):
         self.relation = relation
         self.manifest = manifest
         self.shm = shm
         self.slots = set()
+        self.retired = False
 
 
 class ShardExportStore:
@@ -302,6 +370,10 @@ class ShardExportStore:
             self._release_slot(slot)
             self._generations.generation(slot, rel)  # still bumps the count
             return None
+        fault = fault_check(SHM_EXPORT)
+        if fault is not None:
+            raise OSError(f"injected shm export failure ({fault.detail})"
+                          if fault.detail else "injected shm export failure")
         generation, _ = self._generations.generation(slot, rel)
         shm = _shared_memory().SharedMemory(create=True, size=max(total, 1))
         _SEGMENT_REGISTRY.add(shm.name)
@@ -321,6 +393,7 @@ class ShardExportStore:
             key=rel.key,
             rel_name=rel.name,
             generation=generation,
+            checksum=zlib.adler32(shm.buf[:total]),
         )
         ex = _Export(rel, manifest, shm)
         self._exports[manifest.export_id] = ex
@@ -368,6 +441,13 @@ class ShardExportStore:
             self._retire(old)
 
     def _retire(self, ex: _Export) -> None:
+        if ex.retired:
+            # Idempotent under re-entry: shutdown paths overlap (a user
+            # calling close_store after shutdown_shard_pool, atexit
+            # firing after both), and a double-unlink of a name another
+            # process may have reused would be destructive.
+            return
+        ex.retired = True
         self._exports.pop(ex.manifest.export_id, None)
         self._created_this_round.discard(ex.manifest.export_id)
         if self._by_rel.get(id(ex.relation)) is ex:
@@ -380,10 +460,54 @@ class ShardExportStore:
         finally:
             _SEGMENT_REGISTRY.discard(ex.manifest.export_id)
 
+    def retire_export(self, export_id: str) -> bool:
+        """Retire one export by id, freeing every slot that references it.
+
+        The corruption-recovery hook: when a worker reports a
+        :class:`SegmentIntegrityError`, the coordinator retires the
+        named export so the retry re-exports the relation into a fresh
+        segment instead of re-attaching the corrupt one forever.
+        """
+        ex = self._exports.get(export_id)
+        if ex is None:
+            return False
+        for slot in list(ex.slots):
+            self._slot_exports.pop(slot, None)
+            self._generations.forget(slot)
+        ex.slots.clear()
+        self._retire(ex)
+        return True
+
+    def corrupt_export(self, export_id: str) -> bool:
+        """Flip one byte mid-segment (the ``shm.corrupt`` fault action).
+
+        Exists for the chaos harness only: the manifest's checksum no
+        longer matches, so the next fresh attach raises
+        :class:`SegmentIntegrityError` exactly like real corruption.
+        """
+        ex = self._exports.get(export_id)
+        if ex is None or ex.manifest.nbytes == 0:
+            return False
+        pos = ex.manifest.nbytes // 2
+        ex.shm.buf[pos] ^= 0xFF
+        return True
+
     # -- introspection ---------------------------------------------------
     def live_ids(self) -> FrozenSet[str]:
         """Ids of every live export (workers evict anything else)."""
         return frozenset(self._exports)
+
+    def fresh_ids(self) -> FrozenSet[str]:
+        """Ids of exports created since :meth:`begin_round`.
+
+        The ``shm.corrupt`` fault targets these exclusively: a resident
+        export may already sit in a worker's attach cache (cache hits
+        skip checksum verification by design), so corrupting one would
+        silently feed garbage rows to the evaluation instead of the
+        detectable :class:`SegmentIntegrityError` the chaos harness is
+        exercising.
+        """
+        return frozenset(self._created_this_round)
 
     def resident_bytes(self) -> int:
         """Total bytes currently held in shared-memory segments."""
@@ -407,13 +531,22 @@ class ShardExportStore:
 
 
 _STORE: List[Optional[ShardExportStore]] = [None]
+_ATEXIT_REGISTERED: List[bool] = [False]
 
 
 def get_store() -> ShardExportStore:
-    """The process-wide export store (created on first use)."""
+    """The process-wide export store (created on first use).
+
+    The atexit hook is registered exactly once per process, no matter
+    how many close/recreate cycles the store goes through — repeated
+    registration would stack N shutdown callbacks whose interleaving
+    with the pool's own exit handlers depended on creation order.
+    """
     if _STORE[0] is None:
         _STORE[0] = ShardExportStore()
-        atexit.register(close_store)
+        if not _ATEXIT_REGISTERED[0]:
+            _ATEXIT_REGISTERED[0] = True
+            atexit.register(close_store)
     return _STORE[0]
 
 
@@ -439,7 +572,8 @@ def close_store() -> None:
 _ATTACHED: Dict[str, Relation] = {}
 
 
-def attach_manifest(manifest: ExportManifest) -> Relation:
+def attach_manifest(manifest: ExportManifest,
+                    inject_failure: bool = False) -> Relation:
     """The relation for one manifest, attached zero-copy and cached.
 
     The ``SharedMemory`` handle is pinned on the relation's columnar
@@ -449,11 +583,33 @@ def attach_manifest(manifest: ExportManifest) -> Relation:
     the batch makes the mapping's lifetime exactly the data's —
     :func:`evict_stale` merely drops the cache reference and CPython
     refcounting closes the handle the moment the last reader is gone.
+
+    A fresh attach verifies the manifest's adler32 checksum before any
+    array views the buffer — a corrupted segment raises
+    :class:`SegmentIntegrityError` (carrying the export id so the
+    coordinator can retire it) instead of producing garbage rows.
+    ``inject_failure`` is the ``shm.attach`` chaos directive: the
+    coordinator decides it, the worker executes it here so the failure
+    takes the exact path a real attach error would.
     """
+    if inject_failure:
+        raise SegmentAttachError(manifest.export_id,
+                                 "injected segment attach failure")
     hit = _ATTACHED.get(manifest.export_id)
     if hit is not None:
         return hit
-    shm = _attach_segment(manifest.export_id)
+    try:
+        shm = _attach_segment(manifest.export_id)
+    except OSError as err:
+        raise SegmentAttachError(manifest.export_id, repr(err)) from err
+    if manifest.checksum:
+        found = zlib.adler32(shm.buf[:manifest.nbytes])
+        if found != manifest.checksum:
+            shm.close()  # no array views yet: closing here is safe
+            raise SegmentIntegrityError(
+                manifest.export_id,
+                f"adler32 {found:#010x} != manifest {manifest.checksum:#010x}",
+            )
     rel = Relation.attach_buffer(
         manifest.schema,
         shm.buf,

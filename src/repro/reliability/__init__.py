@@ -1,0 +1,64 @@
+"""Reliability: fault injection, circuit breakers, failure telemetry.
+
+The chaos-engineering face of the reproduction: every failure-handling
+path in the sharded executor, the shared-memory transport, and the
+serving layer is exercisable on demand through a seeded, deterministic
+:class:`FaultPlan`, and every recovery decision is reported through the
+machine-readable telemetry types here.  See ``docs/reliability.md``.
+"""
+
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import (
+    FAULT_SITES,
+    SERVING_MAINTENANCE,
+    SERVING_SCHEDULE,
+    SHM_ATTACH,
+    SHM_CORRUPT,
+    SHM_EXPORT,
+    WORKER_KILL,
+    WORKER_RAISE,
+    WORKER_SITES,
+    WORKER_STALL,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_fault_plan,
+    clear_fault_plan,
+    execute_worker_directive,
+    fault_check,
+    inject_faults,
+    install_fault_plan,
+)
+from repro.reliability.telemetry import (
+    DemotionEvent,
+    FailureEvent,
+    FailureReason,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "DemotionEvent",
+    "FAULT_SITES",
+    "FailureEvent",
+    "FailureReason",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "SERVING_MAINTENANCE",
+    "SERVING_SCHEDULE",
+    "SHM_ATTACH",
+    "SHM_CORRUPT",
+    "SHM_EXPORT",
+    "WORKER_KILL",
+    "WORKER_RAISE",
+    "WORKER_SITES",
+    "WORKER_STALL",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "execute_worker_directive",
+    "fault_check",
+    "inject_faults",
+    "install_fault_plan",
+]

@@ -1,0 +1,175 @@
+"""Health-probed circuit breakers for the execution fast paths.
+
+The executor used to punish infrastructure failures *permanently*: a
+process pool that failed twice demoted the backend to threads for the
+rest of the session, and a shared-memory export error disabled the shm
+transport for good.  Permanent demotion is the wrong trade for
+transient faults (a fork limit during a memory spike, a briefly full
+``/dev/shm``): the fast path never comes back even after the fault
+clears.
+
+:class:`CircuitBreaker` replaces both with the classic three-state
+automaton:
+
+* **closed** — the fast path is healthy; failures are counted, and
+  ``failure_threshold`` consecutive ones open the breaker.
+* **open** — the fast path is skipped outright (callers take the
+  fallback) until ``cooldown_s`` elapses.
+* **half-open** — after the cooldown, exactly one caller is let through
+  as a *probe*.  A successful probe closes the breaker (fast path fully
+  restored, cooldown reset); a failed probe re-opens it with the
+  cooldown scaled by ``cooldown_factor`` (capped at ``max_cooldown_s``),
+  so a persistent fault costs one probe per growing window rather than
+  a failure per round.
+
+The clock is injectable (``clock`` attribute) so tests can step through
+cooldowns deterministically.  All transitions are lock-protected; the
+single-probe guarantee holds under concurrent callers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Gate one fast path behind consecutive-failure health tracking."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 2,
+        cooldown_s: float = 30.0,
+        cooldown_factor: float = 2.0,
+        max_cooldown_s: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1: "
+                             f"{failure_threshold}")
+        if cooldown_s <= 0 or cooldown_factor < 1.0:
+            raise ValueError("cooldown_s must be positive and "
+                             "cooldown_factor >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.base_cooldown_s = float(cooldown_s)
+        self.cooldown_factor = float(cooldown_factor)
+        self.max_cooldown_s = float(max_cooldown_s)
+        #: Injectable for deterministic tests (assign a fake).
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive = 0
+        self._cooldown_s = float(cooldown_s)
+        self._opened_at: Optional[float] = None
+        self._probe_out = False
+        self.last_reason: str = ""
+        self.last_detail: str = ""
+        self.open_count = 0
+        self.recovered_count = 0
+
+    # -- state -----------------------------------------------------------
+    def _refresh_locked(self) -> None:
+        if (self._state == OPEN and self._opened_at is not None
+                and self.clock() - self._opened_at >= self._cooldown_s):
+            self._state = HALF_OPEN
+            self._probe_out = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` (cooldown-aware)."""
+        with self._lock:
+            self._refresh_locked()
+            return self._state
+
+    @property
+    def cooldown_s(self) -> float:
+        """The currently scheduled cooldown (escalates on failed probes)."""
+        with self._lock:
+            return self._cooldown_s
+
+    def allow(self) -> bool:
+        """May the caller take the fast path right now?
+
+        Closed: always.  Open: never.  Half-open: exactly one caller
+        gets True (the probe) until its outcome is recorded.
+        """
+        with self._lock:
+            self._refresh_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_out:
+                self._probe_out = True
+                return True
+            return False
+
+    # -- outcomes --------------------------------------------------------
+    def record_success(self) -> None:
+        """The fast path worked: close fully and reset the cooldown."""
+        with self._lock:
+            if self._state != CLOSED:
+                self.recovered_count += 1
+            self._state = CLOSED
+            self._consecutive = 0
+            self._cooldown_s = self.base_cooldown_s
+            self._opened_at = None
+            self._probe_out = False
+
+    def record_failure(self, reason: str, detail: str = "") -> None:
+        """The fast path failed; open (or re-open, escalated) if due."""
+        with self._lock:
+            self._refresh_locked()
+            self.last_reason = str(reason)
+            self.last_detail = detail
+            if self._state == HALF_OPEN:
+                # The probe failed: back to open with a longer window.
+                self._cooldown_s = min(
+                    self._cooldown_s * self.cooldown_factor,
+                    self.max_cooldown_s,
+                )
+                self._state = OPEN
+                self._opened_at = self.clock()
+                self._probe_out = False
+                self.open_count += 1
+                return
+            self._consecutive += 1
+            if (self._state == CLOSED
+                    and self._consecutive >= self.failure_threshold):
+                self._state = OPEN
+                self._opened_at = self.clock()
+                self.open_count += 1
+
+    def reset(self) -> None:
+        """Forget all history (tests; explicit operator opt-in)."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive = 0
+            self._cooldown_s = self.base_cooldown_s
+            self._opened_at = None
+            self._probe_out = False
+            self.last_reason = ""
+            self.last_detail = ""
+
+    # -- introspection ---------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable status ("" while closed and healthy)."""
+        state = self.state  # cooldown-aware
+        if state == CLOSED:
+            return ""
+        return (
+            f"{self.name} breaker {state} ({self.last_reason}"
+            f"{': ' + self.last_detail if self.last_detail else ''}); "
+            f"probe window {self._cooldown_s:g}s"
+        )
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self.name!r} state={self.state} "
+                f"failures={self._consecutive}>")

@@ -1,0 +1,322 @@
+"""Deterministic, seeded fault injection for the maintenance pipeline.
+
+The sharded executor, the shared-memory transport, and the serving layer
+all have failure-handling paths — retries, circuit breakers, partial
+round recovery, graceful degradation — that are worthless unless they
+can be *exercised on demand*.  This module is the chaos harness that
+exercises them:
+
+* A :class:`FaultPlan` is a seed plus a list of :class:`FaultSpec`
+  declarations ("kill the worker of shard 2 once", "fail every shm
+  attach with probability 0.3").  Installed via
+  :func:`install_fault_plan` (or the :func:`inject_faults` context
+  manager), it is consulted at fixed *injection sites* threaded through
+  ``distributed/transport.py``, ``distributed/shard.py`` and
+  ``serving/server.py`` / ``serving/scheduler.py``.
+* Every decision is **deterministic in the seed**: whether a fault fires
+  at decision ``k`` of site ``s`` for shard ``d`` depends only on
+  ``(seed, s, d, k)`` — never on thread interleaving, wall clock, or
+  Python hash randomization (the per-decision RNG is keyed through
+  blake2b, not ``hash()``).  A chaos run that fails in CI reproduces
+  exactly from its logged seed.
+* Fault *decisions* are only ever made in the process that installed the
+  plan (the coordinator); pool workers are fork children that inherit
+  the plan object but must not consult it, or a decision would fire in
+  both places.  Worker-side faults (:data:`WORKER_SITES`) are decided at
+  encode time and shipped to the worker as a payload directive, executed
+  by :func:`execute_worker_directive`.
+
+The sites::
+
+    worker.kill          SIGKILL the pool worker mid-task (process backend)
+    worker.raise         raise InjectedFault inside the shard evaluation
+    worker.stall         sleep a shard past the coordinator's deadline
+    shm.attach           fail the worker's segment attach with an OSError
+    shm.corrupt          flip bytes in an exported segment (checksum trips)
+    shm.export           fail the coordinator-side segment export
+    serving.maintenance  raise inside the serving maintenance step
+    serving.schedule     raise inside FreshnessScheduler.plan
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "FAULT_SITES",
+    "WORKER_SITES",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "SERVING_MAINTENANCE",
+    "SERVING_SCHEDULE",
+    "SHM_ATTACH",
+    "SHM_CORRUPT",
+    "SHM_EXPORT",
+    "WORKER_KILL",
+    "WORKER_RAISE",
+    "WORKER_STALL",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "execute_worker_directive",
+    "fault_check",
+    "inject_faults",
+    "install_fault_plan",
+]
+
+WORKER_KILL = "worker.kill"
+WORKER_RAISE = "worker.raise"
+WORKER_STALL = "worker.stall"
+SHM_ATTACH = "shm.attach"
+SHM_CORRUPT = "shm.corrupt"
+SHM_EXPORT = "shm.export"
+SERVING_MAINTENANCE = "serving.maintenance"
+SERVING_SCHEDULE = "serving.schedule"
+
+#: Every site a :class:`FaultSpec` may target.
+FAULT_SITES = frozenset({
+    WORKER_KILL,
+    WORKER_RAISE,
+    WORKER_STALL,
+    SHM_ATTACH,
+    SHM_CORRUPT,
+    SHM_EXPORT,
+    SERVING_MAINTENANCE,
+    SERVING_SCHEDULE,
+})
+
+#: Sites whose fault executes *inside a pool worker*.  The coordinator
+#: decides them at payload-encode time (one decision per shard per
+#: round) and ships the decision as a directive inside the task payload;
+#: the worker executes it without ever consulting the plan.
+WORKER_SITES = frozenset({WORKER_KILL, WORKER_RAISE, WORKER_STALL, SHM_ATTACH})
+
+
+class InjectedFault(ReproError):
+    """An error raised on purpose by the fault-injection harness.
+
+    Classified as *infrastructure* by the executor (retryable), exactly
+    like the real failures it stands in for.  Pickles across the process
+    boundary via ``args``.
+    """
+
+    def __init__(self, site: str, shard: Optional[int] = None,
+                 detail: str = ""):
+        super().__init__(site, shard, detail)
+        self.site = site
+        self.shard = shard
+        self.detail = detail
+
+    def __str__(self) -> str:
+        where = f" (shard {self.shard})" if self.shard is not None else ""
+        extra = f": {self.detail}" if self.detail else ""
+        return f"injected fault at {self.site}{where}{extra}"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declared fault: where, how often, and at most how many times.
+
+    ``probability`` is the chance each *decision* at the site fires
+    (1.0 = always); ``max_fires`` bounds total firings (None =
+    unbounded); ``shards`` restricts the spec to specific shard ids
+    (None matches any, including site checks with no shard).
+    ``stall_s`` is the sleep duration for ``worker.stall``.
+    """
+
+    site: str
+    probability: float = 1.0
+    max_fires: Optional[int] = 1
+    shards: Optional[FrozenSet[int]] = None
+    stall_s: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise ReproError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{sorted(FAULT_SITES)}"
+            )
+        if not (0.0 <= self.probability <= 1.0):
+            raise ReproError(
+                f"fault probability must be in [0, 1]: {self.probability}"
+            )
+        if self.shards is not None:
+            object.__setattr__(self, "shards", frozenset(self.shards))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (the plan's reproducibility log)."""
+
+    site: str
+    shard: Optional[int]
+    #: Index of the (site, shard) decision at which the fault fired —
+    #: together with the seed, enough to replay the exact firing.
+    sequence: int
+
+
+def _derive_unit(seed: int, *parts) -> float:
+    """Uniform [0, 1) derived stably from ``(seed, *parts)``.
+
+    Keyed through blake2b rather than ``hash()`` so the value is
+    identical across processes and interpreter runs regardless of
+    ``PYTHONHASHSEED`` — the whole point of a seeded chaos run.
+    """
+    text = "\x1f".join(str(p) for p in (seed,) + parts)
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+class FaultPlan:
+    """A seeded set of faults plus the log of what actually fired.
+
+    Thread-safe: decisions are sequenced per ``(site, shard)`` under a
+    lock, and the decision value depends only on the seed and that
+    sequence number — concurrent shards reaching their sites in any
+    order always see the same per-shard outcomes.
+    """
+
+    def __init__(self, seed: int, specs: Sequence[FaultSpec]):
+        self.seed = int(seed)
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self._lock = threading.Lock()
+        self._sequences = {}
+        self._fires = {}
+        self._fired: List[FaultEvent] = []
+        #: Decisions only happen in the installing process; fork children
+        #: inherit the object but their checks are no-ops (their faults
+        #: arrive as payload directives instead).
+        self._owner_pid = os.getpid()
+
+    def check(self, site: str, shard: Optional[int] = None
+              ) -> Optional[FaultSpec]:
+        """Should a fault fire at this site now?  Returns the spec if so.
+
+        Every call advances the (site, shard) decision sequence, fired
+        or not, which is what keeps replays aligned.
+        """
+        if os.getpid() != self._owner_pid:
+            return None
+        with self._lock:
+            key = (site, shard)
+            seq = self._sequences.get(key, 0)
+            self._sequences[key] = seq + 1
+            for idx, spec in enumerate(self.specs):
+                if spec.site != site:
+                    continue
+                if spec.shards is not None and shard not in spec.shards:
+                    continue
+                if (spec.max_fires is not None
+                        and self._fires.get(idx, 0) >= spec.max_fires):
+                    continue
+                if (spec.probability < 1.0
+                        and _derive_unit(self.seed, site, shard, seq)
+                        >= spec.probability):
+                    continue
+                self._fires[idx] = self._fires.get(idx, 0) + 1
+                self._fired.append(FaultEvent(site, shard, seq))
+                return spec
+            return None
+
+    def jitter(self, *key) -> float:
+        """Deterministic uniform [0, 1) for the given key (backoff etc.)."""
+        return _derive_unit(self.seed, "jitter", *key)
+
+    def fired(self) -> Tuple[FaultEvent, ...]:
+        """Every fault that fired so far, in firing order."""
+        with self._lock:
+            return tuple(self._fired)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultPlan seed={self.seed} specs={len(self.specs)} "
+            f"fired={len(self._fired)}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# The globally installed plan
+# ----------------------------------------------------------------------
+_ACTIVE: List[Optional[FaultPlan]] = [None]
+
+
+def install_fault_plan(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-wide active fault plan."""
+    _ACTIVE[0] = plan
+    return plan
+
+
+def clear_fault_plan() -> None:
+    """Remove the active fault plan (injection sites become no-ops)."""
+    _ACTIVE[0] = None
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The installed plan, or None when no chaos is running."""
+    return _ACTIVE[0]
+
+
+def fault_check(site: str, shard: Optional[int] = None
+                ) -> Optional[FaultSpec]:
+    """Consult the active plan at one injection site (None = no fault).
+
+    This is the hook the production code calls; with no plan installed
+    it is a single list-index and compare — cheap enough to leave in the
+    hot paths permanently.
+    """
+    plan = _ACTIVE[0]
+    if plan is None:
+        return None
+    return plan.check(site, shard)
+
+
+@contextmanager
+def inject_faults(specs: Sequence[FaultSpec], seed: int = 0):
+    """Context manager installing a fresh plan; yields it for its log.
+
+    ::
+
+        with inject_faults([FaultSpec("worker.kill")], seed=7) as plan:
+            catalog.maintain_all()
+        assert plan.fired()
+    """
+    plan = install_fault_plan(FaultPlan(seed, specs))
+    try:
+        yield plan
+    finally:
+        clear_fault_plan()
+
+
+# ----------------------------------------------------------------------
+# Worker-side directive execution (process backend)
+# ----------------------------------------------------------------------
+def execute_worker_directive(site: str, shard: Optional[int],
+                             param: float) -> None:
+    """Execute one coordinator-decided fault inside a pool worker.
+
+    ``worker.stall`` returns after sleeping (the task then proceeds —
+    the *coordinator's* deadline is what turns the stall into a
+    failure); the other sites do not return.  ``shm.attach`` is handled
+    by the caller before attaching (it must fire as the transport
+    error), so it is rejected here.
+    """
+    if site == WORKER_STALL:
+        time.sleep(max(param, 0.0))
+        return
+    if site == WORKER_KILL:
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    if site == WORKER_RAISE:
+        raise InjectedFault(site, shard, "injected worker failure")
+    raise ReproError(f"not a worker-executable fault site: {site!r}")

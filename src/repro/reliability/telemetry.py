@@ -1,0 +1,75 @@
+"""Machine-readable failure telemetry shared by the failure domains.
+
+Free-form reason strings made failure reporting unverifiable: a test
+(or an operator's alert rule) had to substring-match prose.  Every
+recovery path now reports through these types instead —
+:class:`FailureReason` is a ``str``-valued enum (pickle-stable across
+processes and Python versions, JSON-friendly, and still readable when
+printed), and :class:`FailureEvent` / :class:`DemotionEvent` are frozen
+records that ride on :class:`~repro.distributed.metrics.ShardRunReport`
+and the serving round reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["DemotionEvent", "FailureEvent", "FailureReason"]
+
+
+class FailureReason(str, Enum):
+    """Why one recovery action happened (machine-readable)."""
+
+    #: The process pool broke mid-round (worker killed, fork failure).
+    POOL_BROKEN = "pool_broken"
+    #: The pool could not be created at all.
+    POOL_UNAVAILABLE = "pool_unavailable"
+    #: A shard missed its per-round deadline.
+    SHARD_TIMEOUT = "shard_timeout"
+    #: A worker raised an infrastructure-class error (incl. injected).
+    WORKER_FAULT = "worker_fault"
+    #: A worker could not attach a shared-memory segment.
+    SEGMENT_ATTACH = "segment_attach"
+    #: An attached segment failed its checksum (corruption).
+    SEGMENT_CORRUPT = "segment_corrupt"
+    #: The coordinator-side payload encode failed (unpicklable value...).
+    ENCODE_FAILED = "encode_failed"
+    #: The coordinator-side shared-memory export failed (/dev/shm full).
+    SHM_EXPORT_FAILED = "shm_export_failed"
+    #: The shard evaluation itself raised — the work's fault, not infra.
+    TASK_ERROR = "task_error"
+    #: A fast path was skipped because its circuit breaker is open.
+    BREAKER_OPEN = "breaker_open"
+    #: The serving maintenance step raised.
+    MAINTENANCE_FAILED = "maintenance_failed"
+    #: The freshness scheduler raised while planning a tick.
+    SCHEDULER_ERROR = "scheduler_error"
+
+    def __str__(self) -> str:  # "pool_broken", not "FailureReason.POOL..."
+        return self.value
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One observed failure during a round (before or after recovery)."""
+
+    reason: FailureReason
+    #: Shard id, or -1 when the failure was not shard-specific.
+    shard: int = -1
+    #: 0-based attempt at which the failure was observed.
+    attempt: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class DemotionEvent:
+    """One fast path temporarily abandoned in favor of a fallback."""
+
+    #: ``"backend"`` (process → thread/serial) or ``"transport"``
+    #: (shm → pickle).
+    domain: str
+    from_path: str
+    to_path: str
+    reason: FailureReason
+    detail: str = ""

@@ -65,8 +65,11 @@ class ServingRoundReport:
     """One cleaning/maintenance round of the serving layer.
 
     ``kind`` is ``"cleaned"`` (scheduled sampled cleaning),
-    ``"degraded"`` (budget-shrunk ratio), or ``"maintained"`` (full
-    maintenance — the period closed and deltas were applied).
+    ``"degraded"`` (budget-shrunk ratio), ``"maintained"`` (full
+    maintenance — the period closed and deltas were applied), or
+    ``"failed"`` (the round raised; ``failure`` carries the error and
+    ``epoch`` is the *held* epoch readers keep answering from —
+    graceful degradation, not an outage).
     """
 
     view: str
@@ -78,9 +81,17 @@ class ServingRoundReport:
     queries_since_last: int = 0
     #: The sharded executor's report when the round ran sharded.
     shard_backend: str = ""
+    #: repr of the error when ``kind == "failed"`` ("" otherwise).
+    failure: str = ""
 
     def summary(self) -> str:
         shard = f" via {self.shard_backend}" if self.shard_backend else ""
+        if self.kind == "failed":
+            return (
+                f"{self.view}: FAILED round at m={self.ratio:g} in "
+                f"{self.seconds * 1e3:.1f} ms -> holding epoch "
+                f"{self.epoch} ({self.failure}){shard}"
+            )
         return (
             f"{self.view}: {self.kind} round at m={self.ratio:g} in "
             f"{self.seconds * 1e3:.1f} ms -> epoch {self.epoch} "
@@ -99,17 +110,27 @@ class ServerStats:
     rounds: int = 0
     degraded_rounds: int = 0
     full_maintenance_rounds: int = 0
+    #: Cleaning/maintenance rounds that raised (the view held its epoch).
+    maintenance_failures: int = 0
+    #: Ticks whose scheduler plan raised (treated as an empty plan).
+    scheduler_failures: int = 0
     read_p50_s: float = 0.0
     read_p99_s: float = 0.0
     per_view_reads: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
+        failures = ""
+        if self.maintenance_failures or self.scheduler_failures:
+            failures = (
+                f", {self.maintenance_failures} failed round(s), "
+                f"{self.scheduler_failures} scheduler failure(s)"
+            )
         return (
             f"{self.reads} reads (p50 {self.read_p50_s * 1e6:.0f} us, "
             f"p99 {self.read_p99_s * 1e6:.0f} us), "
             f"{self.ingested_rows} rows in {self.ingested_batches} batches, "
             f"{self.rounds} rounds ({self.degraded_rounds} degraded, "
-            f"{self.full_maintenance_rounds} full)"
+            f"{self.full_maintenance_rounds} full)" + failures
         )
 
 

@@ -25,7 +25,10 @@ at what sampling ratio:
   relations, so pending updates accumulate until a *full* maintenance
   round runs.  When any view's pending-row fraction exceeds its SLA's
   ``max_pending_fraction``, the plan requests full maintenance (which
-  maintains every view and applies the global deltas).
+  maintains every view and applies the global deltas).  Failure
+  escalates the same way: a view whose cleaning rounds have failed
+  ``max_round_failures`` consecutive times stops burning its retry
+  budget on the same fault and gets a full re-anchoring period instead.
 """
 
 from __future__ import annotations
@@ -34,6 +37,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import EstimationError
+from repro.reliability.faults import (
+    SERVING_SCHEDULE,
+    InjectedFault,
+    fault_check,
+)
 
 
 @dataclass(frozen=True)
@@ -45,7 +53,11 @@ class FreshnessSLA:
     epoch).  ``target_ratio`` / ``min_ratio`` bracket the accuracy SLA:
     the scheduler cleans at ``target_ratio`` when the budget allows and
     never degrades below ``min_ratio``.  ``max_pending_fraction`` is the
-    escalation threshold for full maintenance.
+    escalation threshold for full maintenance; ``max_round_failures``
+    is the failure-escalation threshold — after this many *consecutive*
+    failed cleaning rounds the scheduler requests a full maintenance
+    period (a re-anchor from scratch) instead of retrying sampled
+    cleaning against possibly corrupt round state forever.
     """
 
     max_staleness_s: float = 1.0
@@ -53,6 +65,7 @@ class FreshnessSLA:
     min_ratio: float = 0.01
     weight: float = 1.0
     max_pending_fraction: float = 0.25
+    max_round_failures: int = 3
 
     def __post_init__(self):
         if not (0.0 < self.min_ratio <= self.target_ratio <= 1.0):
@@ -63,6 +76,10 @@ class FreshnessSLA:
         if self.max_staleness_s <= 0 or self.weight <= 0:
             raise EstimationError(
                 "max_staleness_s and weight must be positive"
+            )
+        if self.max_round_failures < 1:
+            raise EstimationError(
+                f"max_round_failures must be >= 1: {self.max_round_failures}"
             )
 
 
@@ -80,11 +97,20 @@ class ViewLoad:
     traffic: float
     #: Smoothed cost (seconds) of one cleaning round at ``target_ratio``.
     predicted_cost_s: float
+    #: Consecutive failed cleaning rounds (0 while healthy).
+    failures: int = 0
 
     def priority(self) -> float:
-        """Staleness × traffic urgency, SLA-weighted."""
+        """Staleness × traffic urgency, SLA-weighted.
+
+        A failing view gets a boost per consecutive failure: its epoch
+        is aging faster than its ``last_round_t`` suggests, and retrying
+        it ahead of healthy views is what keeps the failure bounded.
+        """
         urgency = self.staleness_s / self.sla.max_staleness_s
-        return self.sla.weight * urgency * (1.0 + max(self.traffic, 0.0))
+        boost = 1.0 + max(self.failures, 0)
+        return (self.sla.weight * urgency * boost
+                * (1.0 + max(self.traffic, 0.0)))
 
 
 @dataclass(frozen=True)
@@ -130,6 +156,11 @@ class FreshnessScheduler:
         self, loads: Sequence[ViewLoad], budget_s: Optional[float] = None
     ) -> TickPlan:
         """Decide this tick's rounds given per-view observations."""
+        fault = fault_check(SERVING_SCHEDULE)
+        if fault is not None:
+            raise InjectedFault(SERVING_SCHEDULE,
+                                detail=fault.detail or "injected scheduler "
+                                                       "failure")
         budget = float(budget_s) if budget_s is not None else self.budget_s
         plan = TickPlan(budget_s=budget)
 
@@ -137,6 +168,10 @@ class FreshnessScheduler:
             if load.pending_fraction > load.sla.max_pending_fraction:
                 # Sampled cleaning can no longer keep the error bounded
                 # at an acceptable ratio — the period must be closed.
+                plan.full_maintenance = True
+            if load.failures >= load.sla.max_round_failures:
+                # Bounded retries exhausted: stop re-running sampled
+                # cleaning into the same fault and re-anchor fully.
                 plan.full_maintenance = True
 
         due = [ld for ld in loads if ld.staleness_s >= ld.sla.max_staleness_s]

@@ -21,6 +21,16 @@ deltas, maintain views, query — into a concurrent service:
   When pending updates outgrow sampled cleaning, the tick escalates to
   a full maintenance period: every catalog view is maintained, the
   global deltas are applied, and every served view re-anchors.
+* **Degrade, never die** — a cleaning round that raises (an engine bug,
+  an injected chaos fault) leaves the view's last published epoch in
+  place: readers keep getting answers, the failure is surfaced as a
+  ``kind="failed"`` round report and counted in :class:`ServerStats`,
+  and the view's staleness keeps growing so the scheduler re-prioritizes
+  it.  After ``FreshnessSLA.max_round_failures`` consecutive failures
+  the scheduler escalates to a full re-anchoring maintenance period.
+  A full period that fails mid-way rolls every view back to its
+  pre-period state (deltas stay pending — nothing is half-applied), and
+  a scheduler crash is absorbed as an empty tick.
 
 The server can run its maintainer inline (call :meth:`run_tick` from
 your own loop — deterministic, used by the tests) or in a background
@@ -46,7 +56,14 @@ from repro.serving.metrics import (
     ServerStats,
     ServingRoundReport,
 )
-from repro.serving.scheduler import FreshnessScheduler, FreshnessSLA, ViewLoad
+from repro.serving.scheduler import (
+    FreshnessScheduler,
+    FreshnessSLA,
+    TickPlan,
+    ViewLoad,
+)
+from repro.reliability.faults import SERVING_MAINTENANCE, fault_check
+from repro.reliability.telemetry import FailureReason
 
 
 @dataclass
@@ -77,6 +94,10 @@ class _ServedView:
     cost_ewma_s: float = 0.0
     traffic_ewma: float = 0.0
     reads_since_round: int = 0
+    #: Consecutive failed rounds (reset by any successful publish).
+    consecutive_failures: int = 0
+    #: repr of the most recent round failure ("" while healthy).
+    last_failure: str = ""
 
     def cleaner(self, ratio: float) -> StaleViewCleaner:
         ratio = max(round(ratio, 4), 1e-4)
@@ -133,6 +154,8 @@ class ViewServer:
         self._round_count = 0
         self._degraded_count = 0
         self._full_count = 0
+        self._failed_count = 0
+        self._scheduler_failures = 0
         self._watermark = 0
 
     # ------------------------------------------------------------------
@@ -260,10 +283,20 @@ class ViewServer:
         budget, executes them, and escalates to full maintenance when
         the scheduler requests it.  Returns the reports of the rounds
         that ran.
+
+        A scheduler that raises does not take the server down: the tick
+        degrades to an empty plan (no rounds, every view holds its
+        epoch), the failure is counted, and the next tick replans from
+        scratch.
         """
         with self._maintenance_lock:
             self._drain_queue()
-            plan = self.scheduler.plan(self._loads(), budget_s)
+            try:
+                plan = self.scheduler.plan(self._loads(), budget_s)
+            except Exception:
+                with self._stats_lock:
+                    self._scheduler_failures += 1
+                plan = TickPlan()
             reports: List[ServingRoundReport] = []
             if plan.full_maintenance:
                 reports.extend(self.maintain_now())
@@ -286,17 +319,58 @@ class ViewServer:
         them after maintaining only the served subset would strand the
         rest), deltas fold into the bases, and each served view's
         cleaners re-anchor on the fresh state.
+
+        Failure domain: ``maintain_all`` maintains views one by one and
+        folds the deltas only at the end, so an exception mid-period
+        would leave some views maintained and the deltas still pending —
+        the next successful period would then apply those views' changes
+        *twice*.  The rollback prevents that: every catalog view's data
+        is restored to its pre-period relation (a cheap reference swap —
+        relations are immutable), the deltas stay pending, and each
+        served view keeps answering from its held epoch with a
+        ``kind="failed"`` report.
         """
         with self._maintenance_lock:
             self._drain_queue()
             start = time.perf_counter()
-            self.catalog.maintain_all()
+            saved = {v.name: v.data for v in self.catalog}
+            try:
+                fault = fault_check(SERVING_MAINTENANCE)
+                if fault is not None:
+                    raise MaintenanceError(
+                        fault.detail or "injected maintenance failure"
+                    )
+                self.catalog.maintain_all()
+            except Exception as err:
+                for view in self.catalog:
+                    prev = saved.get(view.name)
+                    if prev is not None and view.data is not prev:
+                        view.data = prev
+                        self.db.register_view_data(view.name, prev)
+                seconds = time.perf_counter() - start
+                return [
+                    self._failed_round(served, err, served.sla.target_ratio,
+                                       seconds)
+                    for served in self._served.values()
+                ]
             reports = []
             for served in self._served.values():
-                for svc in served.cleaners.values():
-                    svc.advance()
-                svc = served.cleaner(served.sla.target_ratio)
-                svc.refresh()  # no deltas pending: re-samples the fresh view
+                try:
+                    for svc in served.cleaners.values():
+                        svc.advance()
+                    svc = served.cleaner(served.sla.target_ratio)
+                    # No deltas pending: re-samples the fresh view.
+                    svc.refresh()
+                except Exception as err:
+                    # This view's re-anchor failed; the others proceed.
+                    # Its cleaners' sample state is suspect — drop them
+                    # so the next round rebuilds from scratch.
+                    served.cleaners.clear()
+                    reports.append(self._failed_round(
+                        served, err, served.sla.target_ratio,
+                        time.perf_counter() - start,
+                    ))
+                    continue
                 snap = self._publish(served, svc, "fresh")
                 report = ServingRoundReport(
                     view=served.view.name,
@@ -318,11 +392,33 @@ class ViewServer:
     def _clean_round(
         self, served: _ServedView, ratio: float, degraded: bool
     ) -> ServingRoundReport:
-        """One sampled-cleaning round: refresh Ŝ' and publish an epoch."""
+        """One sampled-cleaning round: refresh Ŝ' and publish an epoch.
+
+        A refresh that raises publishes nothing: the last epoch stays
+        current (readers are untouched), the cleaner whose mid-refresh
+        state is now suspect is dropped, and the failure is surfaced as
+        a ``kind="failed"`` report.
+        """
         pending = self._pending_rows(served.view)
         svc = served.cleaner(ratio)
         start = time.perf_counter()
-        svc.refresh()
+        try:
+            fault = fault_check(SERVING_MAINTENANCE)
+            if fault is not None:
+                raise MaintenanceError(
+                    fault.detail or "injected maintenance failure"
+                )
+            svc.refresh()
+        except Exception as err:
+            # Drop the (possibly half-refreshed) cleaner so the retry
+            # builds clean sample state instead of compounding the
+            # damage.
+            served.cleaners = {
+                r: c for r, c in served.cleaners.items() if c is not svc
+            }
+            return self._failed_round(served, err, ratio,
+                                      time.perf_counter() - start,
+                                      pending=pending)
         seconds = time.perf_counter() - start
         snap = self._publish(
             served, svc, "degraded" if degraded else "cleaned"
@@ -345,6 +441,45 @@ class ViewServer:
                            update_cost=True, normalized_cost=normalized)
         return report
 
+    def _failed_round(
+        self,
+        served: _ServedView,
+        err: Exception,
+        ratio: float,
+        seconds: float,
+        pending: Optional[int] = None,
+    ) -> ServingRoundReport:
+        """Record one failed round; the view keeps its current epoch.
+
+        Deliberately does *not* touch ``last_round_t``: the view's
+        staleness keeps growing through failures, which is what makes
+        the scheduler re-prioritize it (and, past the SLA's
+        ``max_round_failures``, escalate to full maintenance).
+        """
+        served.consecutive_failures += 1
+        served.last_failure = repr(err)
+        current = served.epochs.current()
+        report = ServingRoundReport(
+            view=served.view.name,
+            kind="failed",
+            ratio=ratio,
+            seconds=seconds,
+            epoch=current.epoch if current is not None else -1,
+            pending_rows=(pending if pending is not None
+                          else self._pending_rows(served.view)),
+            queries_since_last=served.reads_since_round,
+            failure=f"{FailureReason.MAINTENANCE_FAILED}: {err!r}",
+        )
+        self.rounds.append(report)
+        with self._stats_lock:
+            self._failed_count += 1
+        return report
+
+    def view_health(self, view_name: str) -> Tuple[int, str]:
+        """``(consecutive_failures, last_failure)`` of one served view."""
+        served = self._require(view_name)
+        return served.consecutive_failures, served.last_failure
+
     def _finish_round(
         self,
         served: _ServedView,
@@ -365,6 +500,8 @@ class ViewServer:
         )
         served.reads_since_round = 0
         served.last_round_t = self._clock()
+        served.consecutive_failures = 0
+        served.last_failure = ""
         self.rounds.append(report)
         with self._stats_lock:
             self._round_count += 1
@@ -416,6 +553,7 @@ class ViewServer:
                 pending_fraction=pending / max(base, 1),
                 traffic=served.traffic_ewma,
                 predicted_cost_s=served.cost_ewma_s,
+                failures=served.consecutive_failures,
             ))
         return loads
 
@@ -495,6 +633,8 @@ class ViewServer:
                 rounds=self._round_count,
                 degraded_rounds=self._degraded_count,
                 full_maintenance_rounds=self._full_count,
+                maintenance_failures=self._failed_count,
+                scheduler_failures=self._scheduler_failures,
                 read_p50_s=self.read_latency.percentile(50),
                 read_p99_s=self.read_latency.percentile(99),
                 per_view_reads=dict(self._per_view_reads),

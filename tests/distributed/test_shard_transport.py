@@ -12,9 +12,11 @@ Four layers of guarantees:
   to the single-shard reference, ships only deltas + manifest diffs in
   steady state, and leaks no shared-memory segments — a "leaked
   shared_memory" warning on interpreter exit is a failure;
-* a broken persistent pool is recreated and retried once (recorded on
-  the report), and a pool that cannot be recreated permanently demotes
-  the backend instead of re-paying the failure every round.
+* a broken persistent pool is recreated and retried (recorded on the
+  report), and a pool that cannot be recreated opens the process
+  backend's circuit breaker — later rounds take the thread fallback
+  instead of re-paying the failure, and a half-open probe restores the
+  process fast path once the fault clears.
 """
 
 import pickle
@@ -44,6 +46,7 @@ from repro.distributed import (
 )
 from repro.distributed import shard as shard_mod
 from repro.errors import MaintenanceError
+from repro.reliability import FailureReason
 
 pytestmark = pytest.mark.skipif(
     not transport.shm_available(), reason="POSIX shared memory unavailable"
@@ -54,10 +57,13 @@ pytestmark = pytest.mark.skipif(
 def _clean_shard_runtime():
     """Every test starts and ends with a pristine shard runtime."""
     shard_mod.clear_pool_demotion()
+    transport.shm_breaker().reset()
     yield
-    set_shard_count(1, max_workers=0, transport="shm")
+    set_shard_count(1, max_workers=0, transport="shm",
+                    shard_timeout_s=0, max_retries=1)
     shutdown_shard_pool()
     shard_mod.clear_pool_demotion()
+    transport.shm_breaker().reset()
     # No test may orphan a shared-memory segment — not even through the
     # broken-pool demotion and encode-abort fallbacks exercised below.
     assert transport.leaked_segments() == frozenset()
@@ -612,8 +618,9 @@ class TestPoolRecovery:
         # The pool survived: a healthy round still runs on "process".
         rel = Relation(Schema(["x"]), [(i,) for i in range(100)], name="R")
         good = [(Leaf("R"), {"R": rel}, 0), (Leaf("R"), {"R": rel}, 1)]
-        results, backend, _ = shard_mod._run_tasks(good, cfg)
+        results, backend, _, telemetry = shard_mod._run_tasks(good, cfg)
         assert backend == "process"
+        assert telemetry.retries == 0
         # Both tasks evaluated the same unpartitioned leaf in a worker.
         assert [len(r) for r, _ in results] == [len(rel), len(rel)]
 
@@ -647,9 +654,13 @@ class TestPoolRecovery:
         fresh = view.fresh_data()  # view schema is (vid, n): no lambdas
         assert sorted(maintained.rows) == sorted(fresh.rows)
 
-    def test_unrecoverable_pool_demotes_permanently(self, monkeypatch):
-        """Satellite: when the pool cannot even be recreated, the backend
-        demotes once — later rounds stop re-paying the failure."""
+    def test_unrecoverable_pool_opens_breaker_and_probe_restores(
+        self, monkeypatch
+    ):
+        """Satellite: a pool that cannot be recreated opens the process
+        backend's circuit breaker — later rounds take the thread
+        fallback without re-paying the failure, and once the fault
+        clears a half-open probe restores the process fast path."""
         db, view = build_workload(n_log=2000, n_video=4000)
         set_shard_count(4, backend="process", max_workers=2, transport="shm")
 
@@ -667,21 +678,54 @@ class TestPoolRecovery:
         maintained = maintain(view)
         report = last_shard_report()
         assert report.backend == "serial"  # this round fell back in-process
-        assert "demoted" in report.transport.demoted
+        assert "breaker open" in report.transport.demoted
+        assert report.breaker == "open"
+        assert report.recovered == tuple(
+            s.shard for s in report.shards if not s.skipped
+        )
+        assert report.failure_reasons() == (FailureReason.POOL_UNAVAILABLE,)
         assert pool_demotion() is not None
-        assert len(attempts) == 2  # create + explicit recreate, then stop
+        assert len(attempts) == 2  # initial attempt + one backoff retry
 
-        # Later rounds go straight to threads: no further process attempts.
+        # While the breaker is open, rounds go straight to threads: no
+        # further process attempts, no repeated failure cost.
         db.apply_deltas()
         mutate(db, 1, n_ins=300)
         maintained = maintain(view)
         report = last_shard_report()
         assert report.backend == "thread"
+        assert any(d.reason is FailureReason.BREAKER_OPEN
+                   for d in report.demotions)
         assert len(attempts) == 2
         fresh = view.fresh_data()
         assert sorted(maintained.rows, key=repr) == sorted(fresh.rows, key=repr)
 
-        # Explicitly asking for the process backend clears the demotion.
+        # Clear the fault and step a fake clock past the cooldown: the
+        # half-open probe round runs on the pool again and a success
+        # closes the breaker — the fast path is restored, not lost for
+        # the session.
+        monkeypatch.setattr(shard_mod, "_get_pool", real_get_pool)
+        breaker = shard_mod.process_breaker()
+        import time as _time
+
+        now = [_time.monotonic() + breaker.cooldown_s + 1.0]
+        breaker.clock = lambda: now[0]
+        assert breaker.state == "half_open"
+        db.apply_deltas()
+        mutate(db, 2, n_ins=300)
+        maintained = maintain(view)
+        report = last_shard_report()
+        assert report.backend == "process"
+        assert report.breaker == "closed"
+        assert report.transport.demoted == ""
+        assert pool_demotion() is None
+        assert breaker.recovered_count == 1
+        fresh = view.fresh_data()
+        assert sorted(maintained.rows, key=repr) == sorted(fresh.rows, key=repr)
+
+        # Explicitly asking for the process backend also resets it.
+        breaker.record_failure("pool_broken", "again")
+        assert pool_demotion() is not None
         set_shard_count(4, backend="process", max_workers=2)
         assert pool_demotion() is None
 
@@ -694,7 +738,7 @@ class TestSegmentLeaks:
     freshly created segments behind for code that would never run again.
     """
 
-    def test_demotion_unlinks_every_segment(self, monkeypatch):
+    def test_demotion_keeps_store_accounted_and_leak_free(self, monkeypatch):
         db, view = build_workload(n_log=2000, n_video=4000)
         set_shard_count(4, backend="process", max_workers=2, transport="shm")
 
@@ -709,8 +753,12 @@ class TestSegmentLeaks:
         mutate(db, 0, n_ins=300)
         maintain(view)
         assert pool_demotion() is not None
-        # Demotion closed the store and unlinked the round's segments —
-        # nothing waits for session teardown to be reclaimed.
+        # The demotion is a breaker trip, not a session death sentence:
+        # the store stays resident so the half-open probe round reuses
+        # the exports — but every segment remains store-tracked, so
+        # nothing is orphaned, and session teardown reclaims it all.
+        assert transport.leaked_segments() == frozenset()
+        shutdown_shard_pool()
         assert transport.peek_store() is None
         assert transport.leaked_segments() == frozenset()
 

@@ -1,0 +1,49 @@
+"""The workload every chaos test maintains: a join view over a dirty
+fact relation and a static dimension relation, large enough that four
+shards all carry real work."""
+
+import numpy as np
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Relation,
+    Schema,
+    col,
+)
+from repro.db import Catalog, Database
+
+
+def build_workload(n_log=3000, n_video=9000):
+    rng = np.random.default_rng(11)
+    db = Database()
+    db.add_relation(Relation(
+        Schema(["sessionId", "videoId"]),
+        [(i, int(rng.integers(0, n_video))) for i in range(n_log)],
+        key=("sessionId",), name="Log",
+    ))
+    db.add_relation(Relation(
+        Schema(["videoId", "ownerId"]),
+        [(v, v % 97) for v in range(n_video)],
+        key=("videoId",), name="Video",
+    ))
+    view = Catalog(db).create_view(
+        "v", Aggregate(
+            Join(BaseRel("Log"), BaseRel("Video"),
+                 on=[("videoId", "videoId")], foreign_key=True),
+            ["ownerId"],
+            [AggSpec("visits", "count"),
+             AggSpec("ssum", "sum", col("sessionId"))],
+        ),
+    )
+    return db, view
+
+
+def mutate(db, round_no, n_ins=400, n_del=4):
+    db.insert("Log", [
+        (1_000_000 + round_no * 10_000 + i, (i * 7 + round_no) % 9000)
+        for i in range(n_ins)
+    ])
+    db.delete("Log", [db.relation("Log").rows[i] for i in range(n_del)])

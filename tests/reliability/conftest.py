@@ -1,0 +1,44 @@
+"""Chaos-suite fixtures: seeded fault plans over a clean shard runtime.
+
+The chaos seed comes from ``REPRO_CHAOS_SEED`` when set (the nightly CI
+job randomizes it and logs the value) and defaults to a fixed seed for
+the regular deterministic matrix.  A red nightly run reproduces locally
+with::
+
+    REPRO_CHAOS_SEED=<logged seed> pytest tests/reliability
+"""
+
+import os
+
+import pytest
+
+from repro.distributed import shard as shard_mod
+from repro.distributed import transport
+from repro.distributed.shard import set_shard_count, shutdown_shard_pool
+from repro.reliability import clear_fault_plan
+
+
+@pytest.fixture(scope="session")
+def chaos_seed():
+    """The seed every fault plan in the suite derives from."""
+    seed = int(os.environ.get("REPRO_CHAOS_SEED", "20150828"))
+    print(f"\n[chaos] REPRO_CHAOS_SEED={seed}")
+    return seed
+
+
+@pytest.fixture(autouse=True)
+def _clean_reliability_runtime():
+    """Pristine fault plan, breakers, and shard runtime per test."""
+    clear_fault_plan()
+    shard_mod.clear_pool_demotion()
+    transport.shm_breaker().reset()
+    yield
+    clear_fault_plan()
+    set_shard_count(1, max_workers=0, transport="shm",
+                    shard_timeout_s=0, max_retries=1)
+    shutdown_shard_pool()
+    shard_mod.clear_pool_demotion()
+    transport.shm_breaker().reset()
+    # Chaos must clean up after itself: no fault class may orphan a
+    # shared-memory segment, even the ones that kill pool workers.
+    assert transport.leaked_segments() == frozenset()

@@ -1,0 +1,121 @@
+"""Unit tests for the health-probed circuit breaker (fake clock)."""
+
+import pytest
+
+from repro.reliability import CircuitBreaker
+
+
+@pytest.fixture
+def clocked():
+    """A breaker driven entirely by a controllable clock."""
+    now = [1000.0]
+    breaker = CircuitBreaker(
+        "test", failure_threshold=2, cooldown_s=10.0,
+        cooldown_factor=2.0, max_cooldown_s=60.0,
+        clock=lambda: now[0],
+    )
+    return breaker, now
+
+
+def test_starts_closed_and_allows(clocked):
+    breaker, _ = clocked
+    assert breaker.state == "closed"
+    assert breaker.allow()
+    assert breaker.describe() == ""
+
+
+def test_opens_at_threshold_not_before(clocked):
+    breaker, _ = clocked
+    breaker.record_failure("pool_broken", "worker died")
+    assert breaker.state == "closed"
+    assert breaker.allow()
+    breaker.record_failure("pool_broken", "worker died again")
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    assert breaker.open_count == 1
+    assert "breaker open" in breaker.describe()
+    assert "pool_broken" in breaker.describe()
+
+
+def test_success_resets_consecutive_count(clocked):
+    breaker, _ = clocked
+    breaker.record_failure("x")
+    breaker.record_success()
+    breaker.record_failure("x")
+    assert breaker.state == "closed"  # never two in a row
+
+
+def test_half_open_admits_exactly_one_probe(clocked):
+    breaker, now = clocked
+    breaker.record_failure("x")
+    breaker.record_failure("x")
+    assert not breaker.allow()
+    now[0] += 10.0 + 0.001
+    assert breaker.state == "half_open"
+    assert breaker.allow()       # the single probe
+    assert not breaker.allow()   # everyone else still blocked
+    assert breaker.state == "half_open"
+
+
+def test_probe_success_closes_and_resets_cooldown(clocked):
+    breaker, now = clocked
+    breaker.record_failure("x")
+    breaker.record_failure("x")
+    now[0] += 11.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.cooldown_s == 10.0
+    assert breaker.recovered_count == 1
+    assert breaker.allow()
+    assert breaker.describe() == ""
+
+
+def test_failed_probe_escalates_cooldown_capped(clocked):
+    breaker, now = clocked
+    breaker.record_failure("x")
+    breaker.record_failure("x")
+    cooldowns = []
+    for _ in range(4):
+        now[0] += breaker.cooldown_s + 0.001
+        assert breaker.allow()
+        breaker.record_failure("still down")
+        assert breaker.state == "open"
+        cooldowns.append(breaker.cooldown_s)
+    assert cooldowns == [20.0, 40.0, 60.0, 60.0]  # x2, capped at max
+    # Recovery after escalation still resets to the base window.
+    now[0] += 60.0 + 0.001
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.cooldown_s == 10.0
+
+
+def test_open_window_blocks_until_cooldown(clocked):
+    breaker, now = clocked
+    breaker.record_failure("x")
+    breaker.record_failure("x")
+    now[0] += 9.0
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    now[0] += 1.5
+    assert breaker.state == "half_open"
+
+
+def test_reset_clears_state_but_keeps_lifetime_counters(clocked):
+    breaker, _ = clocked
+    breaker.record_failure("x")
+    breaker.record_failure("x")
+    breaker.reset()
+    assert breaker.state == "closed"
+    assert breaker.describe() == ""
+    assert breaker.open_count == 1  # lifetime telemetry survives reset
+    breaker.record_failure("x")
+    assert breaker.state == "closed"  # consecutive count was cleared
+
+
+def test_threshold_one_opens_immediately():
+    breaker = CircuitBreaker("one-strike", failure_threshold=1,
+                             cooldown_s=5.0)
+    breaker.record_failure("boom")
+    assert breaker.state == "open"
+    assert not breaker.allow()

@@ -1,0 +1,70 @@
+"""Satellite: pool shutdown and segment retirement must be idempotent.
+
+``shutdown_shard_pool`` is registered with ``atexit`` and is also called
+by tests, fixtures, and operators — any combination and ordering of
+re-entries must be safe, leak no shared-memory segments, and leave the
+runtime able to start a fresh round afterwards.
+"""
+
+import pytest
+
+from chaos_workload import build_workload, mutate
+from repro.db import maintain
+from repro.distributed import transport
+from repro.distributed.shard import set_shard_count, shutdown_shard_pool
+
+pytestmark = pytest.mark.skipif(
+    not transport.shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def run_round():
+    db, view = build_workload(n_log=800, n_video=2000)
+    set_shard_count(2, backend="process", max_workers=2, transport="shm")
+    mutate(db, 0, n_ins=100, n_del=2)
+    maintained = maintain(view)
+    fresh = view.fresh_data()
+    assert sorted(maintained.rows, key=repr) == sorted(fresh.rows, key=repr)
+
+
+def test_double_shutdown_is_harmless():
+    run_round()
+    assert transport.peek_store() is not None
+    shutdown_shard_pool()
+    assert transport.peek_store() is None
+    shutdown_shard_pool()  # atexit-style re-entry: no error, no leak
+    assert transport.leaked_segments() == frozenset()
+
+
+def test_close_store_then_shutdown_and_reverse():
+    run_round()
+    transport.close_store()
+    shutdown_shard_pool()
+    assert transport.leaked_segments() == frozenset()
+
+    run_round()
+    shutdown_shard_pool()
+    transport.close_store()  # already retired by the shutdown
+    transport.close_store()
+    assert transport.leaked_segments() == frozenset()
+
+
+def test_runtime_restarts_cleanly_after_shutdown():
+    run_round()
+    shutdown_shard_pool()
+    # A new round after full teardown re-exports and re-spawns workers.
+    run_round()
+    assert transport.peek_store() is not None
+    shutdown_shard_pool()
+    assert transport.leaked_segments() == frozenset()
+
+
+def test_interleaved_shutdown_storm():
+    """The pathological ordering: repeated teardown calls between and
+    after rounds, as an atexit handler racing explicit cleanup would."""
+    for _ in range(2):
+        run_round()
+        for _ in range(3):
+            shutdown_shard_pool()
+            transport.close_store()
+    assert transport.leaked_segments() == frozenset()

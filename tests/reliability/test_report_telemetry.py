@@ -1,0 +1,105 @@
+"""Satellite: structured failure telemetry on ShardRunReport.
+
+The report is the operator's flight recorder: machine-readable reason
+enums, retry/timeout counters, demotion events, and recovered shards —
+all pickle-stable so reports can cross process boundaries.
+"""
+
+import pickle
+
+from repro.distributed.metrics import (
+    RoundTelemetry,
+    ShardRunReport,
+    ShardTiming,
+    TransportStats,
+)
+from repro.reliability import DemotionEvent, FailureEvent, FailureReason
+
+
+def build_report():
+    telemetry = RoundTelemetry()
+    telemetry.record(FailureReason.WORKER_FAULT, shard=1, attempt=0,
+                     detail="InjectedFault('worker.raise')")
+    telemetry.record(FailureReason.SHARD_TIMEOUT, shard=2, attempt=0,
+                     detail="deadline 0.25s")
+    telemetry.record(FailureReason.POOL_BROKEN, shard=1, attempt=1,
+                     detail="BrokenProcessPool")
+    telemetry.demote("backend", "process", "serial",
+                     FailureReason.POOL_BROKEN, "retries exhausted")
+    telemetry.retries = 2
+    telemetry.recovered.append(1)
+    return ShardRunReport(
+        view="v",
+        attrs=("ownerId",),
+        backend="process",
+        shards=[
+            ShardTiming(shard=0, rows=100, seconds=0.01),
+            ShardTiming(shard=1, rows=110, seconds=0.02),
+        ],
+        transport=TransportStats(transport="shm"),
+        retries=telemetry.retries,
+        timeouts=telemetry.timeouts,
+        failures=tuple(telemetry.failures),
+        demotions=tuple(telemetry.demotions),
+        recovered=tuple(telemetry.recovered),
+        breaker="open",
+    )
+
+
+def test_round_telemetry_counts_timeouts_automatically():
+    telemetry = RoundTelemetry()
+    assert telemetry.timeouts == 0
+    telemetry.record(FailureReason.SHARD_TIMEOUT, shard=0)
+    telemetry.record(FailureReason.WORKER_FAULT, shard=1)
+    assert telemetry.timeouts == 1
+    assert len(telemetry.failures) == 2
+
+
+def test_failure_events_are_frozen_and_machine_readable():
+    event = FailureEvent(FailureReason.SEGMENT_CORRUPT, shard=3,
+                         attempt=1, detail="checksum mismatch")
+    assert event.reason is FailureReason.SEGMENT_CORRUPT
+    assert str(event.reason) == "segment_corrupt"
+    assert isinstance(event.reason, str)  # str-enum: JSON/log friendly
+
+
+def test_report_failure_reasons_ordered():
+    report = build_report()
+    assert report.failure_reasons() == (
+        FailureReason.WORKER_FAULT,
+        FailureReason.SHARD_TIMEOUT,
+        FailureReason.POOL_BROKEN,
+    )
+
+
+def test_report_summary_mentions_failures_and_recovery():
+    summary = build_report().summary()
+    assert "retr" in summary  # retries surfaced
+    assert "timeout" in summary
+    assert "recovered" in summary
+
+
+def test_report_pickles_stably():
+    report = build_report()
+    clone = pickle.loads(pickle.dumps(report))
+    assert clone.failure_reasons() == report.failure_reasons()
+    assert clone.retries == 2
+    assert clone.timeouts == 1
+    assert clone.recovered == (1,)
+    assert clone.breaker == "open"
+    demotion = clone.demotions[0]
+    assert isinstance(demotion, DemotionEvent)
+    assert demotion.reason is FailureReason.POOL_BROKEN
+    assert (demotion.domain, demotion.from_path, demotion.to_path) == (
+        "backend", "process", "serial"
+    )
+    # Enum identity survives the round-trip (same class, not a copy).
+    assert clone.failures[0].reason is FailureReason.WORKER_FAULT
+
+
+def test_clean_report_has_empty_telemetry():
+    report = ShardRunReport(view="v", attrs=("k",), backend="thread")
+    assert report.failure_reasons() == ()
+    assert report.retries == 0
+    assert report.demotions == ()
+    assert report.recovered == ()

@@ -1,0 +1,237 @@
+"""Graceful degradation of :class:`repro.serving.ViewServer` under
+injected maintenance and scheduler failures.
+
+The contract: the serving layer degrades, it never dies.  A failed
+round holds the last published epoch (readers keep answering), surfaces
+the failure in reports and stats, and bounded consecutive failures
+escalate to full maintenance.  A mid-period maintenance crash rolls the
+catalog back so nothing is ever applied twice.
+"""
+
+import queue
+
+import numpy as np
+import pytest
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Relation,
+    Schema,
+    col,
+)
+from repro.core import AggQuery
+from repro.db import Catalog, Database
+from repro.db.maintenance import maintain
+from repro.reliability import (
+    SERVING_MAINTENANCE,
+    SERVING_SCHEDULE,
+    FaultSpec,
+    inject_faults,
+)
+from repro.serving import FreshnessScheduler, FreshnessSLA, ViewServer
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def build_catalog(n_log=5000, n_videos=300, seed=7):
+    rng = np.random.default_rng(seed)
+    db = Database()
+    db.add_relation(Relation(
+        Schema(["sid", "vid"]),
+        [(i, int(rng.integers(0, n_videos))) for i in range(n_log)],
+        key=("sid",), name="Log",
+    ))
+    db.add_relation(Relation(
+        Schema(["vid", "owner"]),
+        [(v, v % 7) for v in range(n_videos)],
+        key=("vid",), name="Video",
+    ))
+    catalog = Catalog(db)
+    catalog.create_view("visits", Aggregate(
+        Join(BaseRel("Log"), BaseRel("Video"),
+             on=[("vid", "vid")], foreign_key=True),
+        ["vid", "owner"], [AggSpec("n", "count")],
+    ))
+    return db, catalog
+
+
+QUERY = AggQuery("sum", "n", col("owner") == 3)
+
+
+def make_server(max_round_failures=3):
+    db, catalog = build_catalog()
+    clock = FakeClock()
+    server = ViewServer(catalog, scheduler=FreshnessScheduler(budget_s=0.5),
+                        clock=clock)
+    server.register("visits", ratio=0.3,
+                    sla=FreshnessSLA(max_staleness_s=1.0, target_ratio=0.3,
+                                     min_ratio=0.05,
+                                     max_round_failures=max_round_failures))
+    return db, catalog, server, clock
+
+
+class TestFailedRoundsHoldEpochs:
+    def test_failed_round_holds_epoch_and_keeps_answering(self):
+        _, _, server, clock = make_server()
+        before = server.snapshot("visits")
+        answer_before = server.query("visits", QUERY).value
+        server.ingest("Log", inserts=[(10_000 + i, i % 300)
+                                      for i in range(50)])
+        clock.advance(2.0)
+        with inject_faults([FaultSpec(SERVING_MAINTENANCE)], seed=1):
+            (report,) = server.run_tick()
+        assert report.kind == "failed"
+        assert report.epoch == before.epoch  # held, not advanced
+        assert "MaintenanceError" in report.failure
+        assert "holding epoch" in report.summary()
+        # Readers never noticed: same epoch, same answer.
+        snap = server.snapshot("visits")
+        assert snap.epoch == before.epoch
+        assert server.query("visits", QUERY).value == pytest.approx(
+            answer_before
+        )
+        stats = server.stats()
+        assert stats.maintenance_failures == 1
+        assert "failed round" in stats.summary()
+        failures, last = server.view_health("visits")
+        assert failures == 1
+        assert "MaintenanceError" in last
+
+    def test_recovery_resets_failure_telemetry(self):
+        _, _, server, clock = make_server()
+        server.ingest("Log", inserts=[(10_000 + i, i % 300)
+                                      for i in range(50)])
+        clock.advance(2.0)
+        with inject_faults([FaultSpec(SERVING_MAINTENANCE)], seed=1):
+            server.run_tick()
+        assert server.view_health("visits")[0] == 1
+        # The fault cleared: the next tick cleans normally and the
+        # consecutive-failure counter resets.
+        clock.advance(2.0)
+        (report,) = server.run_tick()
+        assert report.kind == "cleaned"
+        assert report.epoch > 0
+        assert server.view_health("visits") == (0, "")
+
+    def test_repeated_failures_escalate_to_full_maintenance(self):
+        db, _, server, clock = make_server(max_round_failures=2)
+        server.ingest("Log", inserts=[(10_000 + i, i % 300)
+                                      for i in range(50)])
+        with inject_faults(
+            [FaultSpec(SERVING_MAINTENANCE, max_fires=2)], seed=1
+        ):
+            for _ in range(2):
+                clock.advance(2.0)
+                (report,) = server.run_tick()
+                assert report.kind == "failed"
+            # Two strikes at max_round_failures=2: the scheduler stops
+            # nursing sampled rounds and closes the period outright.
+            clock.advance(2.0)
+            reports = server.run_tick()
+        assert [r.kind for r in reports] == ["maintained"]
+        assert server.stats().full_maintenance_rounds == 1
+        assert server.snapshot("visits").mode == "fresh"
+        assert server.view_health("visits") == (0, "")
+        # And the escalated period really closed: deltas folded.
+        delta = db.deltas.get("Log")
+        assert delta is None or not (delta.inserted or delta.deleted)
+
+
+class TestMaintenanceRollback:
+    def test_mid_period_crash_rolls_back_and_never_double_applies(
+        self, monkeypatch
+    ):
+        """``maintain_all`` dying after maintaining some views must not
+        leave them half-published: the rollback restores every view, the
+        deltas stay pending, and the eventual successful period produces
+        the exact fresh answer (no delta applied twice)."""
+        db, catalog, server, clock = make_server()
+        saved_data = {v.name: v.data for v in catalog}
+        server.ingest("Log", inserts=[(20_000 + i, i % 300)
+                                      for i in range(100)])
+
+        def partial_maintenance(self, *args, **kwargs):
+            # Maintain the first view for real, then die before the
+            # deltas fold — the classic torn period.
+            maintain(next(iter(self)))
+            raise RuntimeError("disk full mid-period")
+
+        monkeypatch.setattr(Catalog, "maintain_all", partial_maintenance)
+        reports = server.maintain_now()
+        assert [r.kind for r in reports] == ["failed"]
+        assert "RuntimeError" in reports[0].failure
+        # Rollback: every view's relation is the pre-period object.
+        for view in catalog:
+            assert view.data is saved_data[view.name]
+        # The deltas were NOT folded — still pending for the retry.
+        delta = db.deltas.get("Log")
+        assert delta is not None and len(delta.inserted) == 100
+
+        monkeypatch.undo()
+        reports = server.maintain_now()
+        assert [r.kind for r in reports] == ["maintained"]
+        view = catalog.view("visits")
+        truth = QUERY.evaluate(view.fresh_data())
+        assert server.query("visits", QUERY).value == pytest.approx(truth)
+
+
+class TestSchedulerFailures:
+    def test_scheduler_crash_degrades_to_empty_plan(self):
+        _, _, server, clock = make_server()
+        server.ingest("Log", inserts=[(10_000, 1)])
+        clock.advance(2.0)
+        before = server.snapshot("visits")
+        with inject_faults([FaultSpec(SERVING_SCHEDULE)], seed=1):
+            assert server.run_tick() == []
+        assert server.stats().scheduler_failures == 1
+        assert server.snapshot("visits").epoch == before.epoch
+        # Next tick replans from scratch and cleans normally.
+        clock.advance(2.0)
+        (report,) = server.run_tick()
+        assert report.kind == "cleaned"
+        assert server.stats().scheduler_failures == 1
+
+
+class TestIngestOverflow:
+    def test_queue_overflow_backpressures_without_silent_drops(self):
+        """Satellite: a full ingest queue rejects loudly (queue.Full),
+        and the tick folds exactly the accepted batches — nothing is
+        dropped, nothing phantom appears."""
+        db, catalog = build_catalog()
+        clock = FakeClock()
+        server = ViewServer(catalog, queue_capacity=2,
+                            scheduler=FreshnessScheduler(budget_s=0.5),
+                            clock=clock)
+        server.register("visits", ratio=0.3,
+                        sla=FreshnessSLA(max_staleness_s=1.0,
+                                         target_ratio=0.3, min_ratio=0.05))
+        server.ingest("Log", inserts=[(30_000, 1)], block=False)
+        server.ingest("Log", inserts=[(30_001, 2), (30_002, 3)],
+                      block=False)
+        with pytest.raises(queue.Full):
+            server.ingest("Log", inserts=[(30_003, 4)], block=False)
+        clock.advance(2.0)
+        server.run_tick()
+        # Exactly the two accepted batches (3 rows) were folded.
+        stats = server.stats()
+        assert stats.ingested_batches == 2
+        assert stats.ingested_rows == 3
+        assert server.snapshot("visits").watermark == 2
+        delta = db.deltas.get("Log")
+        inserted = {row[0] for row in delta.inserted}
+        assert inserted == {30_000, 30_001, 30_002}
+        assert 30_003 not in inserted
+        # The queue drained: ingest accepts again without blocking.
+        server.ingest("Log", inserts=[(30_004, 5)], block=False)
