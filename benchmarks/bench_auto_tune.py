@@ -1,0 +1,205 @@
+"""Benchmark: the auto-tuner vs every static engine configuration.
+
+Runs the sharded-maintenance workload (activity ⋈ items SPJA view, a
+pending delta touching both relations) under each *static* candidate
+configuration — single-shard columnar/row, sharded thread/process,
+shm/pickle — and then under ``set_auto_tune()``, where the cost-model
+tuner picks the configuration per round and learns from what it
+observes.
+
+The gate (enforced quick and full): the best round run at the
+configuration the tuner settled on must land within 10% of the best
+static configuration's time — the tuner may never *cost* you meaningful
+performance against the best hand-tuning — and its maintained rows
+must equal the reference result exactly (the decision-equivalence
+property, re-asserted on the benchmark workload).  The recorded
+``DecisionLog`` is archived next to the JSON result so the run is
+replayable offline (nightly CI uploads it as an artifact).
+
+Run under pytest (``pytest benchmarks/bench_auto_tune.py [--quick]``)
+or standalone (``python benchmarks/bench_auto_tune.py [--quick]``).
+"""
+
+import pathlib
+import time
+
+from bench_sharded_maintenance import _build, _usable_cpus
+from repro.algebra.evaluator import set_columnar_enabled
+from repro.db import maintain
+from repro.db.sharding import clear_partition_cache
+from repro.distributed import set_shard_count
+from repro.distributed.shard import shutdown_shard_pool
+from repro.tuning import (
+    RoundFeatures,
+    Tuner,
+    default_probe,
+    reset_auto_tune,
+    set_auto_tune,
+)
+
+FULL_DELTA = 100_000
+QUICK_DELTA = 20_000
+#: The tuner's best post-exploration round must be within this factor
+#: of the best static configuration's best round.
+GATE_FACTOR = 1.10
+TUNED_ROUNDS = 8
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _restore(view, stale):
+    """Reset one timed round: stale view back, partition memos dropped."""
+    view.set_data(stale)
+    for rel in view.database.leaves().values():
+        clear_partition_cache(rel)
+
+
+def _timed_round(view, stale) -> float:
+    _restore(view, stale)
+    t0 = time.perf_counter()
+    maintain(view)
+    return time.perf_counter() - t0
+
+
+def run_bench(n_delta: int = FULL_DELTA, repeats: int = 3) -> dict:
+    """Static sweep vs auto-tuned rounds; returns the measurements."""
+    db, view = _build(n_delta)
+    stale = view.require_data()
+    probe = default_probe()
+    tuner = Tuner(probe=probe)
+    reference = None
+
+    # --- static sweep: every configuration the tuner can choose -------
+    feats = RoundFeatures(delta_rows=n_delta, base_rows=n_delta * 2,
+                          view_rows=len(stale), shardable=True)
+    static = {}
+    try:
+        for config in tuner.candidates(feats):
+            tuner.apply_config(config)
+            seconds = min(_timed_round(view, stale) for _ in range(repeats))
+            static[config.describe()] = seconds
+            if reference is None and config.engine == "row":
+                reference = sorted(view.data.rows, key=repr)
+        best_static_name, best_static_s = min(
+            static.items(), key=lambda kv: kv[1]
+        )
+
+        # --- auto-tuned rounds: the tuner explores, then must settle --
+        set_auto_tune(True, tuner=tuner)
+        round_times = [_timed_round(view, stale) for _ in range(TUNED_ROUNDS)]
+        tuned_rows = sorted(view.data.rows, key=repr)
+    finally:
+        reset_auto_tune()
+        set_shard_count(1, max_workers=0)
+        set_columnar_enabled(True)
+        shutdown_shard_pool()
+
+    from conftest import same_rows
+
+    assert same_rows(tuned_rows, reference), (
+        "auto-tuned maintenance diverged from the reference rows"
+    )
+
+    # Early rounds explore; the gate is on the configuration the tuner
+    # settled on, measured over every round it actually ran it.
+    final = tuner.log.last()
+    settled = [
+        seconds
+        for seconds, decision in zip(round_times[1:],
+                                     tuner.log.decisions[1:])
+        if decision.chosen == final.chosen
+    ]
+    tuned_s = min(settled) if settled else min(round_times[1:])
+    switches = sum(1 for d in tuner.log.decisions if d.switched)
+    return {
+        "n_delta": n_delta,
+        "cpus": _usable_cpus(),
+        "best_static_config": best_static_name,
+        "best_static_s": best_static_s,
+        "static_sweep": static,
+        "tuned_round_times_s": round_times,
+        "tuned_s": tuned_s,
+        "speedup": best_static_s / tuned_s,
+        "chosen_config": list(final.chosen),
+        "decision_switches": switches,
+        "decisions": tuner.log.total_recorded,
+        "_decision_log_json": tuner.log.to_json(probe),
+    }
+
+
+def archive_decision_log(result: dict) -> pathlib.Path:
+    """Write the run's DecisionLog JSON next to the benchmark result."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "bench_auto_tune_decisions.json"
+    path.write_text(result.pop("_decision_log_json") + "\n")
+    return path
+
+
+def to_table(result: dict) -> str:
+    lines = [
+        "bench_auto_tune — cost-model tuner vs static configurations",
+        f"delta rows: {result['n_delta']}   "
+        f"{result['cpus']} usable cpu(s)",
+    ]
+    for name, seconds in sorted(result["static_sweep"].items(),
+                                key=lambda kv: kv[1]):
+        marker = " <- best static" if name == result["best_static_config"] \
+            else ""
+        lines.append(f"  static {name:32s} {seconds * 1e3:9.2f} ms{marker}")
+    lines.append(
+        f"auto-tuned (best settled round): {result['tuned_s'] * 1e3:.2f} ms "
+        f"-> chose {tuple(result['chosen_config'])} "
+        f"after {result['decision_switches']} switch(es)"
+    )
+    lines.append(
+        f"tuner vs best static: {result['speedup']:.2f}x "
+        f"(gate >= {1.0 / GATE_FACTOR:.2f}x)"
+    )
+    return "\n".join(lines)
+
+
+def _check_gate(result: dict) -> None:
+    assert result["tuned_s"] <= result["best_static_s"] * GATE_FACTOR, (
+        f"auto-tuned round {result['tuned_s'] * 1e3:.2f} ms is more than "
+        f"{GATE_FACTOR:.0%} of the best static config "
+        f"({result['best_static_config']}: "
+        f"{result['best_static_s'] * 1e3:.2f} ms)"
+    )
+
+
+def test_auto_tune_matches_best_static(benchmark, quick, record_json):
+    from conftest import run_once
+
+    n_delta = QUICK_DELTA if quick else FULL_DELTA
+    result = run_once(benchmark, run_bench, n_delta=n_delta,
+                      repeats=2 if quick else 3)
+    archive_decision_log(result)
+    print("\n" + to_table(result))
+    record_json(
+        "bench_auto_tune",
+        result,
+        {"n_delta": n_delta, "quick": quick, "gate": GATE_FACTOR},
+    )
+    _check_gate(result)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small workload")
+    parser.add_argument("--delta", type=int, default=None)
+    args = parser.parse_args()
+    delta = args.delta or (QUICK_DELTA if args.quick else FULL_DELTA)
+    result = run_bench(n_delta=delta, repeats=2 if args.quick else 3)
+    log_path = archive_decision_log(result)
+    from conftest import write_json_result
+
+    write_json_result(
+        "bench_auto_tune",
+        result,
+        {"n_delta": delta, "quick": args.quick, "gate": GATE_FACTOR},
+    )
+    print(to_table(result))
+    print(f"decision log: {log_path}")
+    _check_gate(result)

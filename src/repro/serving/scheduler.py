@@ -95,7 +95,11 @@ class ViewLoad:
     pending_fraction: float
     #: Smoothed queries-per-tick observed against this view.
     traffic: float
-    #: Smoothed cost (seconds) of one cleaning round at ``target_ratio``.
+    #: Predicted cost (seconds) of one cleaning round at
+    #: ``target_ratio``, supplied by the server's spike-clamped EWMA
+    #: predictor (:class:`repro.tuning.predictor.CostEwma`) — one
+    #: pathological round cannot inflate it past every future budget,
+    #: so a spike degrades the next round instead of starving the view.
     predicted_cost_s: float
     #: Consecutive failed cleaning rounds (0 while healthy).
     failures: int = 0

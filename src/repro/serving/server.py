@@ -64,6 +64,7 @@ from repro.serving.scheduler import (
 )
 from repro.reliability.faults import SERVING_MAINTENANCE, fault_check
 from repro.reliability.telemetry import FailureReason
+from repro.tuning.predictor import CostEwma
 
 
 @dataclass
@@ -90,14 +91,27 @@ class _ServedView:
     #: rounds reuse them so a repeat degradation costs no re-anchor.
     cleaners: Dict[float, StaleViewCleaner] = field(default_factory=dict)
     last_round_t: float = 0.0
-    #: Smoothed seconds per cleaning round at the SLA's target ratio.
-    cost_ewma_s: float = 0.0
+    #: Spike-clamped smoothed seconds per cleaning round at the SLA's
+    #: target ratio — the scheduler's ``predicted_cost_s``.  The clamp
+    #: keeps one pathological round from inflating the prediction past
+    #: every future budget (permanent starvation); see
+    #: :class:`repro.tuning.predictor.CostEwma`.
+    cost_predictor: CostEwma = field(default_factory=CostEwma)
     traffic_ewma: float = 0.0
     reads_since_round: int = 0
     #: Consecutive failed rounds (reset by any successful publish).
     consecutive_failures: int = 0
     #: repr of the most recent round failure ("" while healthy).
     last_failure: str = ""
+
+    @property
+    def cost_ewma_s(self) -> float:
+        """The predicted round cost (legacy name; reads the predictor)."""
+        return self.cost_predictor.value
+
+    @cost_ewma_s.setter
+    def cost_ewma_s(self, value: float) -> None:
+        self.cost_predictor.reset(value)
 
     def cleaner(self, ratio: float) -> StaleViewCleaner:
         ratio = max(round(ratio, 4), 1e-4)
@@ -489,12 +503,7 @@ class ViewServer:
         normalized_cost: float = 0.0,
     ) -> None:
         if update_cost:
-            if served.cost_ewma_s == 0.0:
-                served.cost_ewma_s = normalized_cost
-            else:
-                served.cost_ewma_s = (
-                    0.7 * served.cost_ewma_s + 0.3 * normalized_cost
-                )
+            served.cost_predictor.update(normalized_cost)
         served.traffic_ewma = (
             0.5 * served.traffic_ewma + 0.5 * served.reads_since_round
         )

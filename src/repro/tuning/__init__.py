@@ -1,0 +1,60 @@
+"""Self-tuning execution: a telemetry-fitted cost model chooses shard
+count, backend, transport, and engine per maintenance round.
+
+See ``docs/tuning.md``.  The public surface:
+
+* :func:`set_auto_tune` / :func:`auto_tune_enabled` — the opt-in toggle
+  (off by default; nothing changes until it is enabled).
+* :class:`Tuner` — the decision loop; :class:`CostModel`,
+  :class:`CandidateConfig`, :class:`RoundFeatures` — the model under it.
+* :class:`HardwareProbe` / :func:`default_probe` — the one-shot
+  microprobe the priors come from.
+* :class:`DecisionLog` / :func:`replay_decisions` — the replayable
+  flight recorder.
+* :class:`CostEwma` — the spike-clamped cost predictor (shared with the
+  serving scheduler).
+"""
+
+from repro.tuning.costmodel import (
+    CandidateConfig,
+    CostModel,
+    RoundFeatures,
+    feature_vector,
+)
+from repro.tuning.decisions import Decision, DecisionLog, replay_decisions
+from repro.tuning.predictor import CostEwma
+from repro.tuning.probe import (
+    HardwareProbe,
+    default_probe,
+    measure_probe,
+    set_default_probe,
+)
+from repro.tuning.tuner import (
+    Tuner,
+    active_tuner,
+    auto_tune_enabled,
+    get_tuner,
+    reset_auto_tune,
+    set_auto_tune,
+)
+
+__all__ = [
+    "CandidateConfig",
+    "CostEwma",
+    "CostModel",
+    "Decision",
+    "DecisionLog",
+    "HardwareProbe",
+    "RoundFeatures",
+    "Tuner",
+    "active_tuner",
+    "auto_tune_enabled",
+    "default_probe",
+    "feature_vector",
+    "get_tuner",
+    "measure_probe",
+    "replay_decisions",
+    "reset_auto_tune",
+    "set_auto_tune",
+    "set_default_probe",
+]

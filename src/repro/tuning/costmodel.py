@@ -1,0 +1,220 @@
+"""Telemetry-fitted per-phase cost model for maintenance rounds.
+
+A maintenance round decomposes into four phases — *partition* the leaf
+environment, *ship* shard inputs across the process boundary, *execute*
+the strategy expression, *merge* the per-shard results — and each phase
+cost is (to first order) linear in an observable workload quantity:
+rows partitioned, bytes shipped, rows evaluated per effective worker,
+rows concatenated.  :func:`feature_vector` maps one (configuration,
+workload) pair to those regressors; :class:`CostModel` holds one
+coefficient per regressor and predicts a round's seconds as the dot
+product.
+
+Coefficients start from **microprobe priors** (seconds-per-row from the
+measured engine throughputs, seconds-per-byte from the measured
+transport bandwidths — :mod:`repro.tuning.probe`) so the very first
+decision is already hardware-aware, then :meth:`CostModel.fit` refines
+them by ridge-regularized least squares over recorded observations
+(``ShardRunReport``-style round timings).  The ridge term pulls
+unidentifiable coefficients back to their priors instead of letting a
+rank-deficient design matrix send them anywhere, and the fit is a pure
+function of its inputs — no randomness, no dict-order dependence — so a
+recorded tuning run replays bit-identically (``docs/tuning.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.tuning.probe import HardwareProbe
+
+#: Regressor order (fixed — decision logs record raw vectors).
+FEATURES = (
+    "const",
+    "exec_columnar_rows",
+    "exec_row_rows",
+    "partition_rows",
+    "ship_seconds",
+    "dispatch_workers",
+    "merge_rows",
+)
+
+#: Estimated serialized bytes per row for ship-volume estimates.  The
+#: exact width is workload-dependent; the tuner only needs transports
+#: ranked correctly, and the fit absorbs the constant.
+ROW_BYTES = 48.0
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """One point of the tuner's configuration space.
+
+    ``engine`` is ``"columnar"`` (vectorized batch engine + compiled
+    plans, the default toggles) or ``"row"`` (the reference row-at-a-
+    time engine).  ``backend``/``transport`` follow
+    :mod:`repro.distributed.shard`; both are fixed to the serial/pickle
+    placeholders when ``shards == 1`` so equal configurations compare
+    equal.
+    """
+
+    shards: int = 1
+    backend: str = "serial"
+    transport: str = "pickle"
+    engine: str = "columnar"
+
+    def key(self) -> Tuple:
+        return (self.shards, self.backend, self.transport, self.engine)
+
+    def describe(self) -> str:
+        if self.shards == 1:
+            return f"1-shard/{self.engine}"
+        return (f"{self.shards}-shard/{self.backend}/"
+                f"{self.transport}/{self.engine}")
+
+
+@dataclass(frozen=True)
+class RoundFeatures:
+    """The workload quantities one round's cost depends on."""
+
+    delta_rows: int = 0
+    base_rows: int = 0
+    view_rows: int = 0
+    shardable: bool = True
+
+    def key(self) -> Tuple:
+        return (self.delta_rows, self.base_rows, self.view_rows,
+                self.shardable)
+
+    @classmethod
+    def from_key(cls, key: Sequence) -> "RoundFeatures":
+        delta, base, view, shardable = key
+        return cls(int(delta), int(base), int(view), bool(shardable))
+
+
+def effective_parallelism(config: CandidateConfig,
+                          probe: HardwareProbe) -> float:
+    """How many shard evaluations genuinely overlap.
+
+    The process backend parallelizes up to the core count; threads
+    mostly serialize on the GIL (numpy releases it inside kernels, so a
+    modest overlap credit remains); serial — and any backend squeezed
+    onto one core — is 1.  Mirrors ``ShardConfig.workers()`` using the
+    *probe's* core count so replays do not depend on the host.
+    """
+    workers = min(config.shards, max(probe.cores, 1))
+    if config.shards <= 1 or workers <= 1 or config.backend == "serial":
+        return 1.0
+    if config.backend == "process":
+        return float(workers)
+    return 1.0 + 0.25 * (workers - 1)
+
+
+def shipped_bytes(config: CandidateConfig, feats: RoundFeatures) -> float:
+    """Estimated bytes one round moves across the process boundary.
+
+    The pickle transport re-serializes the whole environment every
+    round; the shm transport keeps base relations resident and ships
+    only the per-round leaves (delta partitions + the stale view).
+    """
+    if config.shards <= 1 or config.backend != "process":
+        return 0.0
+    per_round = feats.delta_rows + feats.view_rows
+    if config.transport == "shm":
+        return per_round * ROW_BYTES
+    return (per_round + feats.base_rows) * ROW_BYTES
+
+
+def feature_vector(config: CandidateConfig, feats: RoundFeatures,
+                   probe: HardwareProbe) -> np.ndarray:
+    """The regressor vector of one (configuration, workload) pair."""
+    work = float(feats.delta_rows + feats.view_rows)
+    parallel = effective_parallelism(config, probe)
+    sharded = config.shards > 1
+    bandwidth = (probe.shm_bytes_per_s if config.transport == "shm"
+                 else probe.pickle_bytes_per_s)
+    x = np.zeros(len(FEATURES), dtype=np.float64)
+    x[0] = 1.0
+    if config.engine == "columnar":
+        x[1] = work / parallel
+    else:
+        x[2] = work / parallel
+    if sharded:
+        x[3] = work
+        # Ship volume is pre-divided by the measured bandwidth so one
+        # coefficient covers both transports (a dimensionless ≈1 prior).
+        x[4] = shipped_bytes(config, feats) / max(bandwidth, 1.0)
+        if config.backend == "process":
+            x[5] = float(min(config.shards, max(probe.cores, 1)))
+        x[6] = float(feats.view_rows)
+    return x
+
+
+def prior_coefficients(probe: HardwareProbe) -> np.ndarray:
+    """Microprobe-derived starting coefficients (seconds per unit)."""
+    col_s = 1.0 / max(probe.columnar_rows_per_s, 1.0)
+    row_s = 1.0 / max(probe.row_rows_per_s, 1.0)
+    return np.array([
+        5e-4,           # fixed per-round overhead
+        col_s,          # columnar execute, per row per worker
+        row_s,          # row-engine execute, per row per worker
+        2.0 * col_s,    # partition: a couple of array passes per row
+        1.0,            # ship: feature already in seconds
+        probe.fork_s,   # per-worker dispatch floor
+        2.0 * col_s,    # merge/concat per result row
+    ], dtype=np.float64)
+
+
+class CostModel:
+    """Per-phase linear cost model: seconds ≈ features · coefficients."""
+
+    def __init__(self, probe: HardwareProbe,
+                 coefs: Sequence[float] | None = None):
+        self.probe = probe
+        if coefs is None:
+            self.coefs = prior_coefficients(probe)
+        else:
+            self.coefs = np.asarray(coefs, dtype=np.float64).copy()
+        if self.coefs.shape != (len(FEATURES),):
+            raise ValueError(
+                f"expected {len(FEATURES)} coefficients, "
+                f"got shape {self.coefs.shape}"
+            )
+
+    def predict(self, x: np.ndarray) -> float:
+        return float(max(np.dot(x, self.coefs), 0.0))
+
+    def predict_config(self, config: CandidateConfig,
+                       feats: RoundFeatures) -> float:
+        return self.predict(feature_vector(config, feats, self.probe))
+
+    @classmethod
+    def fit(cls, probe: HardwareProbe,
+            samples: Sequence[Tuple[np.ndarray, float]],
+            ridge: float = 0.25) -> "CostModel":
+        """Ridge-toward-prior least squares over recorded rounds.
+
+        Columns are scale-normalized before the solve (rows and bytes
+        differ by orders of magnitude) and the ridge penalty shrinks
+        each normalized coefficient toward its prior, so phases the
+        observations cannot identify — nobody ever ran the row engine,
+        say — keep their microprobe estimate instead of drifting.
+        Coefficients are clipped at zero: a negative per-row cost is
+        always a fitting artifact.
+        """
+        prior = prior_coefficients(probe)
+        if not samples:
+            return cls(probe, prior)
+        A = np.vstack([x for x, _ in samples]).astype(np.float64)
+        b = np.array([y for _, y in samples], dtype=np.float64)
+        scale = np.abs(A).max(axis=0)
+        scale[scale <= 0] = 1.0
+        An = A / scale
+        pn = prior * scale
+        k = len(FEATURES)
+        lhs = An.T @ An + ridge * np.eye(k)
+        rhs = An.T @ b + ridge * pn
+        solved = np.linalg.solve(lhs, rhs) / scale
+        return cls(probe, np.maximum(solved, 0.0))

@@ -1,0 +1,148 @@
+"""The tuner's flight recorder: a bounded, replayable decision log.
+
+Every round the tuner decides anything, one :class:`Decision` lands
+here: the workload features it saw, every candidate configuration it
+considered with its predicted cost, which it chose, and — once the
+round finishes — the observed cost and the regret against the
+best-predicted candidate.  Records hold only primitives (ints, floats,
+strings, tuples), so the log pickles and JSON-serializes without
+custom reducers, and the embedded :class:`HardwareProbe` snapshot makes
+a recorded run self-contained: replaying it on a different machine
+reproduces the exact same decisions (``tests/tuning/
+test_replay_determinism.py``).
+
+The log is bounded (default 256 decisions, oldest evicted first) so an
+always-on server cannot grow it without limit; ``total_recorded`` keeps
+counting past evictions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.tuning.probe import HardwareProbe
+
+ConfigKey = Tuple[int, str, str, str]  # (shards, backend, transport, engine)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One tuning decision, predicted and (eventually) observed."""
+
+    index: int
+    features: Tuple  # RoundFeatures.key()
+    candidates: Tuple[Tuple[ConfigKey, float], ...]  # (config, predicted_s)
+    chosen: ConfigKey
+    predicted_s: float
+    best_predicted_s: float
+    switched: bool
+    observed_s: float = -1.0  # -1 until the round completes
+
+    @property
+    def regret_s(self) -> float:
+        """Predicted cost sacrificed to hysteresis (0 when chosen=best)."""
+        return max(self.predicted_s - self.best_predicted_s, 0.0)
+
+    def to_record(self) -> dict:
+        return {
+            "index": self.index,
+            "features": list(self.features),
+            "candidates": [
+                {"config": list(key), "predicted_s": pred}
+                for key, pred in self.candidates
+            ],
+            "chosen": list(self.chosen),
+            "predicted_s": self.predicted_s,
+            "best_predicted_s": self.best_predicted_s,
+            "regret_s": self.regret_s,
+            "switched": self.switched,
+            "observed_s": self.observed_s,
+        }
+
+    @classmethod
+    def from_record(cls, rec: dict) -> "Decision":
+        return cls(
+            index=int(rec["index"]),
+            features=tuple(rec["features"]),
+            candidates=tuple(
+                (tuple(c["config"]), float(c["predicted_s"]))
+                for c in rec["candidates"]
+            ),
+            chosen=tuple(rec["chosen"]),
+            predicted_s=float(rec["predicted_s"]),
+            best_predicted_s=float(rec["best_predicted_s"]),
+            switched=bool(rec["switched"]),
+            observed_s=float(rec["observed_s"]),
+        )
+
+
+@dataclass
+class DecisionLog:
+    """Bounded append-only record of every tuning decision."""
+
+    limit: int = 256
+    decisions: List[Decision] = field(default_factory=list)
+    total_recorded: int = 0
+
+    def append(self, decision: Decision) -> None:
+        self.decisions.append(decision)
+        self.total_recorded += 1
+        if len(self.decisions) > self.limit:
+            del self.decisions[: len(self.decisions) - self.limit]
+
+    def finish(self, decision: Decision, observed_s: float) -> Decision:
+        """Record the observed cost on a previously-appended decision."""
+        done = replace(decision, observed_s=float(observed_s))
+        for i in range(len(self.decisions) - 1, -1, -1):
+            if self.decisions[i].index == decision.index:
+                self.decisions[i] = done
+                break
+        return done
+
+    def last(self) -> Optional[Decision]:
+        return self.decisions[-1] if self.decisions else None
+
+    def to_json(self, probe: HardwareProbe, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "probe": probe.to_dict(),
+                "total_recorded": self.total_recorded,
+                "decisions": [d.to_record() for d in self.decisions],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str,
+                  limit: int = 256) -> Tuple[HardwareProbe, "DecisionLog"]:
+        data = json.loads(text)
+        probe = HardwareProbe.from_dict(data["probe"])
+        log = cls(limit=limit)
+        log.decisions = [Decision.from_record(r) for r in data["decisions"]]
+        log.total_recorded = int(data.get("total_recorded",
+                                          len(log.decisions)))
+        return probe, log
+
+
+def replay_decisions(probe: HardwareProbe,
+                     decisions: Sequence[Decision]) -> List[Decision]:
+    """Re-run a recorded log through a fresh tuner, decision by decision.
+
+    Feeds each recorded round's features to ``Tuner.choose`` and its
+    recorded observed cost to ``Tuner.observe`` — the same inputs the
+    original run saw — and returns the decisions the fresh tuner makes.
+    A deterministic tuner yields a bit-identical sequence.
+    """
+    from repro.tuning.costmodel import RoundFeatures
+    from repro.tuning.tuner import Tuner
+
+    tuner = Tuner(probe=probe)
+    replayed: List[Decision] = []
+    for rec in decisions:
+        decision = tuner.choose(RoundFeatures.from_key(rec.features))
+        if rec.observed_s >= 0.0:
+            decision = tuner.observe(decision, rec.observed_s)
+        replayed.append(decision)
+    return replayed

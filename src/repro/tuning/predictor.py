@@ -1,0 +1,50 @@
+"""Spike-robust EWMA cost predictor.
+
+Shared by the serving layer (per-view round-cost estimates feeding the
+`FreshnessScheduler` budget) and the tuner (per-configuration observed
+round rates).  The one behavioral addition over a plain EWMA is the
+**spike clamp**: a single pathological round (GC pause, fault-injection
+kill + serial recovery, cold cache) is absorbed at no more than
+``spike_clamp``× the current estimate.  Without it, one 500× spike
+inflates the predicted cost so far past any scheduler budget that the
+view is skipped every tick — and because skipped views never run, the
+estimate never corrects: permanent starvation from one bad round.  With
+the clamp the estimate grows geometrically (bounded by clamp × alpha
+per round), so a *genuine* cost regime change is still learned within a
+few rounds while a one-off spike decays away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostEwma:
+    """Exponentially-weighted cost estimate with bounded spike uptake."""
+
+    alpha: float = 0.3
+    spike_clamp: float = 3.0
+    _value: float = field(default=0.0, repr=False)
+    count: int = 0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, seconds: float) -> float:
+        """Fold one observed round cost in; returns the new estimate."""
+        sample = max(float(seconds), 0.0)
+        if self.count == 0 or self._value <= 0.0:
+            self._value = sample
+        else:
+            sample = min(sample, self.spike_clamp * self._value)
+            self._value = ((1.0 - self.alpha) * self._value
+                           + self.alpha * sample)
+        self.count += 1
+        return self._value
+
+    def reset(self, value: float = 0.0) -> None:
+        """Overwrite the estimate (legacy direct-assignment path)."""
+        self._value = max(float(value), 0.0)
+        self.count = 1 if value > 0.0 else 0

@@ -1,0 +1,156 @@
+"""One-shot hardware microprobe — what the machine can actually do.
+
+The cost model's priors come from here: a handful of sub-millisecond
+measurements taken once per process (core count, columnar vs row-engine
+throughput, pickle and shared-memory bandwidth, fork latency).  The
+probe is *data*, not live state — it is recorded into every
+:class:`~repro.tuning.decisions.DecisionLog` so a tuning run replays
+bit-identically on any machine (see ``docs/tuning.md``).
+
+Tests construct :class:`HardwareProbe` directly with synthetic values
+(``cores=1`` reproduces the 1-CPU dev container regardless of where the
+suite runs); production code calls :func:`default_probe`, which measures
+once and caches.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+import numpy as np
+
+#: Probe workload sizes: large enough to dominate timer resolution,
+#: small enough that the one-shot probe stays well under ~50 ms.
+_PROBE_ROWS = 200_000
+_PROBE_ROW_LOOP = 20_000
+_PROBE_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class HardwareProbe:
+    """Measured machine characteristics the cost model's priors use.
+
+    ``cores`` is the number of *usable* CPUs (affinity-aware), which is
+    what bounds real shard parallelism.  The throughput fields are
+    rows/s (engines) and bytes/s (transports); ``fork_s`` is the
+    latency of one fork+exit, the floor cost of dispatching to a
+    process worker.  ``has_fork`` / ``has_shm`` gate which candidate
+    configurations exist at all — kept on the probe (not read from
+    ``os`` at choose time) so replaying a recorded decision log never
+    depends on the replaying machine.
+    """
+
+    cores: int = 1
+    columnar_rows_per_s: float = 5e6
+    row_rows_per_s: float = 1e6
+    pickle_bytes_per_s: float = 1e9
+    shm_bytes_per_s: float = 2e9
+    fork_s: float = 0.005
+    has_fork: bool = True
+    has_shm: bool = True
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HardwareProbe":
+        return cls(**data)
+
+
+def _usable_cores() -> int:
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn()`` (min discards scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return max(best, 1e-9)
+
+
+def _measure_fork() -> float:
+    """One fork + immediate child exit, the per-worker dispatch floor."""
+    if not hasattr(os, "fork"):
+        return 0.005
+    try:
+        t0 = time.perf_counter()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child exits immediately
+            os._exit(0)
+        os.waitpid(pid, 0)
+        return max(time.perf_counter() - t0, 1e-6)
+    except OSError:  # pragma: no cover - fork-limited sandboxes
+        return 0.005
+
+
+def measure_probe() -> HardwareProbe:
+    """Run the microprobe (a few ms of numpy/pickle/shm/fork timings)."""
+    from repro.distributed.transport import shm_available
+
+    arr = np.arange(_PROBE_ROWS, dtype=np.float64)
+    columnar = _PROBE_ROWS / _best_of(lambda: float(arr.sum()))
+
+    rows = [(i, i + 1) for i in range(_PROBE_ROW_LOOP)]
+    row_rate = _PROBE_ROW_LOOP / _best_of(
+        lambda: sum(r[1] for r in rows)
+    )
+
+    blob = np.zeros(_PROBE_BYTES // 8, dtype=np.float64)
+    pickle_bw = _PROBE_BYTES / _best_of(
+        lambda: pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+    has_shm = shm_available()
+    shm_bw = pickle_bw
+    if has_shm:
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(create=True, size=_PROBE_BYTES)
+            try:
+                view = np.ndarray((_PROBE_BYTES // 8,), dtype=np.float64,
+                                  buffer=seg.buf)
+                shm_bw = _PROBE_BYTES / _best_of(lambda: view.__setitem__(
+                    slice(None), blob))
+                del view
+            finally:
+                seg.close()
+                seg.unlink()
+        except OSError:  # pragma: no cover - /dev/shm full mid-probe
+            has_shm = False
+
+    return HardwareProbe(
+        cores=_usable_cores(),
+        columnar_rows_per_s=columnar,
+        row_rows_per_s=row_rate,
+        pickle_bytes_per_s=pickle_bw,
+        shm_bytes_per_s=shm_bw,
+        fork_s=_measure_fork(),
+        has_fork=hasattr(os, "fork"),
+        has_shm=has_shm,
+    )
+
+
+_DEFAULT: List[Optional[HardwareProbe]] = [None]
+
+
+def default_probe() -> HardwareProbe:
+    """The process-wide probe, measured once on first use."""
+    if _DEFAULT[0] is None:
+        _DEFAULT[0] = measure_probe()
+    return _DEFAULT[0]
+
+
+def set_default_probe(probe: Optional[HardwareProbe]) -> None:
+    """Install (or clear, with None) the cached probe — tests only."""
+    _DEFAULT[0] = probe

@@ -1,0 +1,313 @@
+"""The auto-tuner: rank candidate configurations, apply, observe, refit.
+
+One :class:`Tuner` closes the loop the hand-set toggles leave open.
+Per maintenance round it
+
+1. extracts :class:`RoundFeatures` from the view (pending delta rows,
+   base and view cardinalities, whether the shard planner can partition
+   the view at all),
+2. predicts each candidate configuration's cost — the fitted
+   :class:`CostModel` blended with a per-configuration EWMA of rounds
+   actually observed under that configuration (the blend weight grows
+   with the observation count, so measurements override the model once
+   they exist),
+3. applies the winner through the existing global toggles
+   (:func:`set_shard_count` / :func:`set_columnar_enabled`), diffing
+   against the live configuration first so a no-op decision touches
+   nothing — no plan-epoch bump, no breaker reset, no shm-store close,
+4. times the round, records predicted-vs-observed in the
+   :class:`DecisionLog`, and refits the cost model.
+
+**Hysteresis**: the incumbent configuration is kept unless a challenger
+predicts at least ``1 - hysteresis_margin`` of its cost (default: 20%
+better).  Config changes are not free — a count flip bumps the plan
+epoch, which recompiles plans and re-partitions shard environments — so
+the tuner only moves on a decisive prediction, never on noise-sized
+differences.
+
+Everything here is deterministic: candidates enumerate in a fixed
+order, ties break toward the earlier candidate, and the model fit is
+closed-form — replaying a :class:`DecisionLog` reproduces the run
+bit-for-bit (``docs/tuning.md``).
+
+The module also owns the global opt-in toggle, :func:`set_auto_tune`.
+It defaults **off**: nothing in the engine consults the tuner until a
+user (or ``Catalog.maintain_all(shards="auto")``) turns it on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.tuning.costmodel import (
+    CandidateConfig,
+    CostModel,
+    RoundFeatures,
+    feature_vector,
+)
+from repro.tuning.decisions import Decision, DecisionLog
+from repro.tuning.predictor import CostEwma
+from repro.tuning.probe import HardwareProbe, default_probe
+
+
+class Tuner:
+    """Cost-model-driven chooser over the engine's configuration space."""
+
+    def __init__(
+        self,
+        probe: Optional[HardwareProbe] = None,
+        hysteresis_margin: float = 0.2,
+        ewma_alpha: float = 0.3,
+        max_samples: int = 64,
+        log_limit: int = 256,
+    ):
+        self.probe = probe if probe is not None else default_probe()
+        self.hysteresis_margin = hysteresis_margin
+        self.max_samples = max_samples
+        self.model = CostModel(self.probe)
+        self.log = DecisionLog(limit=log_limit)
+        self.samples: List[Tuple] = []  # (feature_vector, observed_s)
+        self.observed: Dict[Tuple, CostEwma] = {}  # config key -> rate EWMA
+        self._ewma_alpha = ewma_alpha
+        self._current: Optional[Tuple] = None  # incumbent config key
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    # Candidate space
+    # ------------------------------------------------------------------
+    def candidates(self, feats: RoundFeatures) -> List[CandidateConfig]:
+        """Every configuration this round may run under, in fixed order.
+
+        Capability gating (fork, shm) reads the *probe*, not the live
+        OS, so a recorded run replays identically anywhere.  Non-process
+        candidates carry the placeholder ``pickle`` transport — the
+        transport only exists across a process boundary — and
+        :meth:`apply_config` never forwards it for them, so choosing a
+        thread candidate cannot unlink resident shm exports.
+        """
+        out = [
+            CandidateConfig(1, "serial", "pickle", "columnar"),
+            CandidateConfig(1, "serial", "pickle", "row"),
+        ]
+        if not feats.shardable:
+            return out
+        counts = [2, 4]
+        if self.probe.cores >= 8:
+            counts.append(8)
+        for shards in counts:
+            for engine in ("columnar", "row"):
+                out.append(CandidateConfig(shards, "thread", "pickle", engine))
+                if self.probe.has_fork:
+                    if self.probe.has_shm:
+                        out.append(
+                            CandidateConfig(shards, "process", "shm", engine)
+                        )
+                    out.append(
+                        CandidateConfig(shards, "process", "pickle", engine)
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    # Prediction and choice
+    # ------------------------------------------------------------------
+    def _blended_cost(self, config: CandidateConfig,
+                      feats: RoundFeatures) -> float:
+        """Model prediction, pulled toward this config's observed rounds.
+
+        Observed history is kept as a *rate* (seconds per work row), so
+        rounds of different sizes still inform each other; the blend
+        weight ``n / (n + 2)`` trusts the model until a configuration
+        has really been tried.
+        """
+        x = feature_vector(config, feats, self.probe)
+        predicted = self.model.predict(x)
+        ewma = self.observed.get(config.key())
+        if ewma is None or ewma.count == 0:
+            return predicted
+        work = float(max(feats.delta_rows + feats.view_rows, 1))
+        w = ewma.count / (ewma.count + 2.0)
+        return (1.0 - w) * predicted + w * ewma.value * work
+
+    def choose(self, feats: RoundFeatures) -> Decision:
+        """Rank the candidates and decide this round's configuration."""
+        ranked = [
+            (cand.key(), self._blended_cost(cand, feats))
+            for cand in self.candidates(feats)
+        ]
+        best_key, best_cost = min(ranked, key=lambda kp: kp[1])
+        chosen_key, chosen_cost = best_key, best_cost
+        by_key = dict(ranked)
+        if self._current is not None and self._current in by_key:
+            incumbent_cost = by_key[self._current]
+            threshold = (1.0 - self.hysteresis_margin) * incumbent_cost
+            if best_key != self._current and best_cost >= threshold:
+                chosen_key, chosen_cost = self._current, incumbent_cost
+        switched = chosen_key != self._current
+        decision = Decision(
+            index=self._next_index,
+            features=feats.key(),
+            candidates=tuple(ranked),
+            chosen=chosen_key,
+            predicted_s=chosen_cost,
+            best_predicted_s=best_cost,
+            switched=switched,
+        )
+        self._next_index += 1
+        self._current = chosen_key
+        self.log.append(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    # Applying a decision to the live engine
+    # ------------------------------------------------------------------
+    @staticmethod
+    def config_from_key(key: Tuple) -> CandidateConfig:
+        shards, backend, transport, engine = key
+        return CandidateConfig(int(shards), backend, transport, engine)
+
+    def apply_config(self, config: CandidateConfig) -> None:
+        """Install a configuration, touching only what actually differs.
+
+        ``set_shard_count`` has side effects beyond the count — passing
+        ``backend="process"`` resets the circuit breaker and leaving the
+        shm transport unlinks resident exports — so re-asserting the
+        incumbent configuration must be a true no-op.
+        """
+        from repro.algebra.evaluator import columnar_enabled, set_columnar_enabled
+        from repro.distributed.shard import get_shard_config, set_shard_count
+
+        want_columnar = config.engine == "columnar"
+        if columnar_enabled() != want_columnar:
+            set_columnar_enabled(want_columnar)
+        current = get_shard_config()
+        kwargs = {}
+        if config.shards > 1:
+            if current.backend != config.backend:
+                kwargs["backend"] = config.backend
+            if (config.backend == "process"
+                    and current.transport != config.transport):
+                kwargs["transport"] = config.transport
+        if current.count != config.shards or kwargs:
+            set_shard_count(config.shards, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def observe(self, decision: Decision, observed_s: float) -> Decision:
+        """Record a finished round and refit the cost model."""
+        done = self.log.finish(decision, observed_s)
+        feats = RoundFeatures.from_key(decision.features)
+        ewma = self.observed.get(decision.chosen)
+        if ewma is None:
+            ewma = CostEwma(alpha=self._ewma_alpha)
+            self.observed[decision.chosen] = ewma
+        work = float(max(feats.delta_rows + feats.view_rows, 1))
+        ewma.update(max(observed_s, 0.0) / work)
+        config = self.config_from_key(decision.chosen)
+        x = feature_vector(config, feats, self.probe)
+        self.samples.append((x, float(observed_s)))
+        if len(self.samples) > self.max_samples:
+            del self.samples[: len(self.samples) - self.max_samples]
+        self.model = CostModel.fit(self.probe, self.samples)
+        return done
+
+    # ------------------------------------------------------------------
+    # The per-round driver
+    # ------------------------------------------------------------------
+    def round_features(self, view) -> RoundFeatures:
+        """Workload features of the round about to run for ``view``."""
+        from repro.distributed.shard import plan_shards
+
+        database = view.database
+        base_names = set(database.relation_names())
+        leaf_names = {
+            leaf.name
+            for leaf in view.definition.leaves()
+            if leaf.name in base_names
+        }
+        delta_rows = 0
+        for name in leaf_names:
+            delta = database.deltas.get(name)
+            if delta is not None:
+                delta_rows += len(delta.inserted) + len(delta.deleted)
+        base_rows = sum(len(database.relation(n)) for n in leaf_names)
+        view_rows = len(view.data) if view.data is not None else 0
+        return RoundFeatures(
+            delta_rows=delta_rows,
+            base_rows=base_rows,
+            view_rows=view_rows,
+            shardable=plan_shards(view).shardable,
+        )
+
+    def run_round(self, view, fn: Callable[[], object]):
+        """Tune one maintenance round: choose, apply, run ``fn``, learn."""
+        decision = self.choose(self.round_features(view))
+        self.apply_config(self.config_from_key(decision.chosen))
+        t0 = time.perf_counter()
+        result = fn()
+        self.observe(decision, time.perf_counter() - t0)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def predicted_round_s(self) -> float:
+        """The last decision's predicted round cost (0 before any)."""
+        last = self.log.last()
+        return last.predicted_s if last is not None else 0.0
+
+    def current_config(self) -> Optional[CandidateConfig]:
+        if self._current is None:
+            return None
+        return self.config_from_key(self._current)
+
+
+# ----------------------------------------------------------------------
+# The global opt-in toggle
+# ----------------------------------------------------------------------
+_AUTO: List[bool] = [False]
+_TUNER: List[Optional[Tuner]] = [None]
+
+
+def set_auto_tune(enabled: bool = True,
+                  tuner: Optional[Tuner] = None) -> bool:
+    """Turn cost-model auto-tuning on or off; returns the previous state.
+
+    Off (the default), every toggle keeps its hand-set value and the
+    engine behaves exactly as before this module existed.  On, each
+    ``maintain`` round is routed through :meth:`Tuner.run_round`.
+    Passing ``tuner`` installs a specific instance (tests inject one
+    with a synthetic :class:`HardwareProbe`); otherwise a default is
+    created lazily on first use.
+    """
+    previous = _AUTO[0]
+    _AUTO[0] = bool(enabled)
+    if tuner is not None:
+        _TUNER[0] = tuner
+    return previous
+
+
+def auto_tune_enabled() -> bool:
+    """Whether maintenance rounds are currently auto-tuned."""
+    return _AUTO[0]
+
+
+def get_tuner() -> Tuner:
+    """The process-wide tuner, created on first use."""
+    if _TUNER[0] is None:
+        _TUNER[0] = Tuner()
+    return _TUNER[0]
+
+
+def active_tuner() -> Optional[Tuner]:
+    """The tuner when auto-tuning is on, else None (the common case)."""
+    if not _AUTO[0]:
+        return None
+    return get_tuner()
+
+
+def reset_auto_tune() -> None:
+    """Disable auto-tuning and drop the tuner instance (tests)."""
+    _AUTO[0] = False
+    _TUNER[0] = None

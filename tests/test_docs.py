@@ -59,9 +59,10 @@ def test_docs_mention_current_toggles():
     import repro.algebra
 
     readme = (REPO / "README.md").read_text()
-    for name in ("set_columnar_enabled", "set_shard_count"):
+    for name in ("set_columnar_enabled", "set_shard_count", "set_auto_tune"):
         assert name in readme
     assert hasattr(repro, "set_shard_count")
+    assert hasattr(repro, "set_auto_tune")
     assert hasattr(repro.algebra, "set_columnar_enabled")
 
 

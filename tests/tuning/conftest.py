@@ -1,0 +1,17 @@
+"""Shared fixtures: tuning tests must never leak global engine state."""
+
+import pytest
+
+from repro.algebra.evaluator import set_columnar_enabled
+from repro.distributed import set_shard_count
+from repro.tuning import reset_auto_tune, set_default_probe
+
+
+@pytest.fixture(autouse=True)
+def _reset_engine_state():
+    """Restore every global the tuner may move, whatever the test did."""
+    yield
+    reset_auto_tune()
+    set_default_probe(None)
+    set_shard_count(1, max_workers=0)
+    set_columnar_enabled(True)

@@ -1,0 +1,159 @@
+"""No tuner decision may ever affect correctness — only speed.
+
+Property suite over the candidate configuration space: for
+hypothesis-generated workloads (random base data, insertions,
+deletions), *every* configuration the tuner can possibly choose —
+every (shards, backend, transport, engine) point — must maintain the
+view to exactly the rows the reference configuration produces.  This is
+what makes auto-tuning safe to enable: the tuner only moves toggles
+that are each individually property-tested equivalent, and this suite
+closes the loop over the full cross product the tuner actually ranks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    AggSpec,
+    Aggregate,
+    BaseRel,
+    Join,
+    Relation,
+    Schema,
+    Select,
+    col,
+)
+from repro.db import Catalog, maintain
+from repro.tuning import HardwareProbe, RoundFeatures, Tuner
+
+# The probe only gates which candidates exist; use the full space (the
+# executor degrades gracefully where fork/shm are genuinely absent, and
+# the container images always have both).
+PROBE = HardwareProbe(cores=2)
+TUNER = Tuner(probe=PROBE)
+ALL_CANDIDATES = TUNER.candidates(
+    RoundFeatures(delta_rows=1, view_rows=1, shardable=True)
+)
+REFERENCE = ALL_CANDIDATES[1]  # 1-shard row engine: the reference semantics
+assert REFERENCE.key() == (1, "serial", "pickle", "row")
+
+
+def build_db(rows):
+    from repro.db import Database
+
+    db = Database()
+    db.add_relation(Relation(Schema(["sessionId", "videoId"]), rows,
+                             key=("sessionId",), name="Log"))
+    db.add_relation(Relation(
+        Schema(["videoId", "ownerId"]),
+        [(v, v % 2) for v in range(8)], key=("videoId",), name="Video",
+    ))
+    return db
+
+
+def spja_view(db):
+    join = Join(BaseRel("Log"), BaseRel("Video"),
+                on=[("videoId", "videoId")], foreign_key=True)
+    return Catalog(db).create_view(
+        "v", Aggregate(join, ["videoId", "ownerId"],
+                       [AggSpec("visits", "count"),
+                        AggSpec("ssum", "sum", col("sessionId")),
+                        AggSpec("smean", "avg", col("sessionId"))]),
+    )
+
+
+def spj_view(db):
+    return Catalog(db).create_view(
+        "v", Select(
+            Join(BaseRel("Log"), BaseRel("Video"),
+                 on=[("videoId", "videoId")], foreign_key=True),
+            col("videoId") < 7,
+        ),
+    )
+
+
+def make_mutation(new_rows, delete_idx):
+    def mutate(db):
+        base = db.relation("Log")
+        if new_rows:
+            db.insert("Log", new_rows)
+        picks = [base.rows[i] for i in delete_idx if i < len(base.rows)]
+        if picks:
+            db.delete("Log", list(dict.fromkeys(picks)))
+    return mutate
+
+
+def maintained_under(config, rows, new_rows, delete_idx, view_builder):
+    """The maintained rows of one workload under one candidate config."""
+    db = build_db(rows)
+    view = view_builder(db)
+    make_mutation(new_rows, delete_idx)(db)
+    TUNER.apply_config(config)
+    maintained = maintain(view)
+    return sorted(maintained.rows, key=repr)
+
+
+log_rows = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 6)),
+    min_size=0, max_size=30, unique_by=lambda r: r[0],
+)
+inserts = st.lists(
+    st.tuples(st.integers(300, 500), st.integers(0, 7)),
+    min_size=0, max_size=12, unique_by=lambda r: r[0],
+)
+delete_picks = st.lists(st.integers(0, 29), min_size=0, max_size=8,
+                        unique=True)
+
+
+class TestCandidateSpaceEquivalence:
+    def test_candidate_space_covers_every_dimension(self):
+        keys = {c.key() for c in ALL_CANDIDATES}
+        assert len(keys) == len(ALL_CANDIDATES)
+        assert {c.engine for c in ALL_CANDIDATES} == {"columnar", "row"}
+        assert {c.shards for c in ALL_CANDIDATES} == {1, 2, 4}
+        assert {c.backend for c in ALL_CANDIDATES} == {
+            "serial", "thread", "process",
+        }
+        assert {c.transport for c in ALL_CANDIDATES if c.backend == "process"
+                } == {"shm", "pickle"}
+
+    @given(log_rows, inserts, delete_picks)
+    @settings(max_examples=8, deadline=None)
+    def test_every_candidate_maintains_spja_identically(
+        self, rows, new_rows, delete_idx
+    ):
+        reference = maintained_under(REFERENCE, rows, new_rows, delete_idx,
+                                     spja_view)
+        for config in ALL_CANDIDATES:
+            result = maintained_under(config, rows, new_rows, delete_idx,
+                                      spja_view)
+            assert result == reference, config.describe()
+
+    @given(log_rows, inserts, delete_picks)
+    @settings(max_examples=8, deadline=None)
+    def test_every_candidate_maintains_spj_identically(
+        self, rows, new_rows, delete_idx
+    ):
+        reference = maintained_under(REFERENCE, rows, new_rows, delete_idx,
+                                     spj_view)
+        for config in ALL_CANDIDATES:
+            result = maintained_under(config, rows, new_rows, delete_idx,
+                                      spj_view)
+            assert result == reference, config.describe()
+
+    @pytest.mark.parametrize(
+        "config", ALL_CANDIDATES, ids=lambda c: c.describe()
+    )
+    def test_tuned_maintenance_matches_recompute(self, config):
+        """Each candidate's maintained view equals a from-scratch rebuild."""
+        rows = [(s, s % 7) for s in range(60)]
+        db = build_db(rows)
+        view = spja_view(db)
+        db.insert("Log", [(300 + i, i % 7) for i in range(25)])
+        db.delete("Log", [rows[i] for i in range(0, 12, 3)])
+        TUNER.apply_config(config)
+        maintained = sorted(maintain(view).rows, key=repr)
+        db.apply_deltas()
+        recomputed = sorted(view.materialize().rows, key=repr)
+        assert maintained == recomputed

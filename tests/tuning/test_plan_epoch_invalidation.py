@@ -1,0 +1,113 @@
+"""A tuner decision that flips engine or shard count must invalidate
+every epoch-keyed cache — and a decision that flips nothing must not.
+
+Three caches key on the global plan epoch (or on a fingerprint
+containing it): the per-view compiled-plan cache
+(``CompiledPlan.valid_for``), the per-view ``plan_shards`` memo, and
+the minibatch calibration fingerprint (``ErrorModel.is_current``).
+When the tuner moves ``set_shard_count`` / ``set_columnar_enabled``
+mid-run, all three must observe the change; when it re-asserts the
+incumbent configuration (the common case, thanks to hysteresis), none
+may churn — a gratuitous epoch bump would recompile every plan and
+re-partition every shard environment each round.
+"""
+
+from repro.algebra.compiler import plan_epoch
+from repro.algebra.evaluator import columnar_enabled
+from repro.db import Catalog, Database, maintain
+from repro.db.maintenance import compiled_strategy
+from repro.algebra import AggSpec, Aggregate, BaseRel, Join, Relation, Schema
+from repro.distributed.minibatch import engine_fingerprint
+from repro.distributed.shard import plan_shards
+from repro.tuning import CandidateConfig, HardwareProbe, Tuner
+
+PROBE = HardwareProbe(cores=2)
+
+SINGLE_COL = CandidateConfig(1, "serial", "pickle", "columnar")
+SINGLE_ROW = CandidateConfig(1, "serial", "pickle", "row")
+SHARDED_COL = CandidateConfig(2, "thread", "pickle", "columnar")
+
+
+def build_view():
+    db = Database()
+    db.add_relation(Relation(Schema(["sessionId", "videoId"]),
+                             [(s, s % 10) for s in range(300)],
+                             key=("sessionId",), name="Log"))
+    db.add_relation(Relation(Schema(["videoId", "ownerId"]),
+                             [(v, v % 3) for v in range(10)],
+                             key=("videoId",), name="Video"))
+    view = Catalog(db).create_view(
+        "v",
+        Aggregate(Join(BaseRel("Log"), BaseRel("Video"),
+                       on=[("videoId", "videoId")], foreign_key=True),
+                  ["videoId", "ownerId"], [AggSpec("visits", "count")]),
+    )
+    return db, view
+
+
+class TestEpochInvalidation:
+    def setup_method(self):
+        self.tuner = Tuner(probe=PROBE)
+        self.tuner.apply_config(SINGLE_COL)
+
+    def test_shard_count_flip_bumps_the_epoch(self):
+        before = plan_epoch()
+        self.tuner.apply_config(SHARDED_COL)
+        assert plan_epoch() > before
+        self.tuner.apply_config(SINGLE_COL)
+        assert plan_epoch() > before + 1
+
+    def test_engine_flip_bumps_the_epoch(self):
+        before = plan_epoch()
+        self.tuner.apply_config(SINGLE_ROW)
+        assert not columnar_enabled()
+        assert plan_epoch() > before
+
+    def test_noop_reassertion_does_not_bump(self):
+        self.tuner.apply_config(SHARDED_COL)
+        epoch = plan_epoch()
+        self.tuner.apply_config(SHARDED_COL)
+        assert plan_epoch() == epoch
+
+    def test_compiled_plan_invalidated_by_tuner_flip(self):
+        db, view = build_view()
+        db.insert("Log", [(1000 + i, i % 10) for i in range(50)])
+        _, plan = compiled_strategy(view)
+        assert plan.valid_for(db.leaves())
+        self.tuner.apply_config(SHARDED_COL)
+        assert not plan.valid_for(db.leaves())
+        # The next maintain recompiles and still produces exact rows.
+        maintained = sorted(maintain(view).rows, key=repr)
+        db.apply_deltas()
+        assert maintained == sorted(view.materialize().rows, key=repr)
+
+    def test_plan_shards_memo_refreshes_on_tuner_flip(self):
+        _, view = build_view()
+        first = plan_shards(view)
+        assert plan_shards(view) is first  # memo hit while nothing moved
+        self.tuner.apply_config(SHARDED_COL)
+        second = plan_shards(view)
+        assert second is not first  # epoch change invalidated the memo
+        assert second.partitioned == first.partitioned  # same decision
+
+    def test_engine_fingerprint_tracks_tuner_decisions(self):
+        base = engine_fingerprint()
+        self.tuner.apply_config(SHARDED_COL)
+        sharded = engine_fingerprint()
+        assert sharded != base
+        self.tuner.apply_config(SINGLE_ROW)
+        row = engine_fingerprint()
+        assert row != sharded != base
+        # Re-asserting the current config leaves the fingerprint alone.
+        self.tuner.apply_config(SINGLE_ROW)
+        assert engine_fingerprint() == row
+
+    def test_calibration_invalidated_by_tuner_flip(self):
+        from repro.distributed.minibatch import ErrorModel
+
+        model = ErrorModel(stale_points=[(0.0, 0.0), (1.0, 1.0)],
+                           estimation_points=[(0.0, 1.0), (1.0, 0.0)],
+                           fingerprint=engine_fingerprint())
+        assert model.is_current()
+        self.tuner.apply_config(SHARDED_COL)
+        assert not model.is_current()

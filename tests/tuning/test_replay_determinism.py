@@ -1,0 +1,123 @@
+"""A recorded tuning run must replay bit-identically.
+
+The DecisionLog is the tuner's flight recorder: features in, candidates
+ranked, choice out, observed cost back.  Replaying a serialized log
+through a fresh ``Tuner`` (same probe, same inputs) must reproduce the
+exact decision sequence — same chosen configs, same predicted floats —
+which guards the whole decision path against hash-randomization and
+dict-iteration-order nondeterminism, the same class of bug the
+``REPRO_CHAOS_SEED`` machinery pins in the reliability suite.  Any
+unsorted ``set``/``dict`` walk in candidate enumeration, model fitting,
+or tie-breaking shows up here as a flaky bit-diff.
+"""
+
+import pickle
+
+from repro import Catalog, Database, set_auto_tune
+from repro.algebra import AggSpec, Aggregate, BaseRel, Join, Relation, Schema
+from repro.tuning import (
+    DecisionLog,
+    HardwareProbe,
+    RoundFeatures,
+    Tuner,
+    replay_decisions,
+)
+
+PROBE = HardwareProbe(cores=1)
+
+# A fixed synthetic trace: (round features, observed seconds).  The
+# observations deliberately disagree with the priors so the replayed
+# model refits away from its starting point every round.
+TRACE = [
+    (RoundFeatures(5_000, 40_000, 500, True), 0.004),
+    (RoundFeatures(5_000, 40_000, 500, True), 0.0045),
+    (RoundFeatures(20_000, 45_000, 600, True), 0.015),
+    (RoundFeatures(1_000, 45_500, 600, True), 0.0011),
+    (RoundFeatures(1_000, 45_500, 600, False), 0.0032),
+    (RoundFeatures(50_000, 46_000, 700, True), 0.031),
+    (RoundFeatures(2_500, 48_000, 700, True), 0.002),
+    (RoundFeatures(2_500, 48_000, 700, True), 0.0019),
+]
+
+
+def run_trace():
+    tuner = Tuner(probe=PROBE)
+    for feats, observed in TRACE:
+        tuner.observe(tuner.choose(feats), observed)
+    return tuner
+
+
+def assert_bit_identical(original, replayed):
+    assert len(original) == len(replayed)
+    for a, b in zip(original, replayed):
+        assert a.chosen == b.chosen
+        assert a.features == b.features
+        assert a.candidates == b.candidates  # every predicted float, exact
+        assert a.predicted_s == b.predicted_s
+        assert a.best_predicted_s == b.best_predicted_s
+        assert a.switched == b.switched
+
+
+class TestReplayDeterminism:
+    def test_synthetic_trace_replays_bit_identically(self):
+        tuner = run_trace()
+        replayed = replay_decisions(PROBE, tuner.log.decisions)
+        assert_bit_identical(tuner.log.decisions, replayed)
+
+    def test_replay_survives_json_round_trip(self):
+        tuner = run_trace()
+        text = tuner.log.to_json(tuner.probe)
+        probe, log = DecisionLog.from_json(text)
+        assert probe == tuner.probe
+        assert log.decisions == tuner.log.decisions
+        assert log.total_recorded == tuner.log.total_recorded
+        replayed = replay_decisions(probe, log.decisions)
+        assert_bit_identical(log.decisions, replayed)
+
+    def test_two_fresh_tuners_agree_exactly(self):
+        a, b = run_trace(), run_trace()
+        assert a.log.decisions == b.log.decisions
+
+    def test_log_pickles_stably(self):
+        tuner = run_trace()
+        clone = pickle.loads(pickle.dumps(tuner.log))
+        assert clone.decisions == tuner.log.decisions
+        assert pickle.dumps(clone) == pickle.dumps(tuner.log)
+
+    def test_seeded_maintenance_run_replays_identically(self):
+        """End to end: record a real auto-tuned run, replay it offline."""
+        def run_once():
+            db = Database()
+            db.add_relation(Relation(Schema(["sessionId", "videoId"]),
+                                     [(s, s % 20) for s in range(1500)],
+                                     key=("sessionId",), name="Log"))
+            db.add_relation(Relation(Schema(["videoId", "ownerId"]),
+                                     [(v, v % 3) for v in range(20)],
+                                     key=("videoId",), name="Video"))
+            cat = Catalog(db)
+            cat.create_view(
+                "v",
+                Aggregate(Join(BaseRel("Log"), BaseRel("Video"),
+                               on=[("videoId", "videoId")],
+                               foreign_key=True),
+                          ["videoId", "ownerId"],
+                          [AggSpec("visits", "count")]),
+            )
+            tuner = Tuner(probe=PROBE)
+            set_auto_tune(True, tuner=tuner)
+            try:
+                for r in range(4):
+                    db.insert("Log", [(10_000 + 200 * r + i, i % 20)
+                                      for i in range(200)])
+                    cat.maintain_all()
+            finally:
+                set_auto_tune(False)
+            return tuner
+
+        tuner = run_once()
+        probe, log = DecisionLog.from_json(tuner.log.to_json(tuner.probe))
+        replayed = replay_decisions(probe, log.decisions)
+        # Wall-clock observations differ run to run, but the decision
+        # *function* is deterministic: identical features + identical
+        # recorded observations → identical choices and predictions.
+        assert_bit_identical(log.decisions, replayed)

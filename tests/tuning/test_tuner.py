@@ -1,0 +1,301 @@
+"""Unit tests of the tuning loop: probe, cost model, chooser, toggles.
+
+The acceptance bar from the issue: with auto-tuning enabled on the
+1-CPU container, the tuner converges to the single-shard compiled
+(columnar) configuration — never the 0.75× sharded one — within three
+rounds.  The convergence tests inject ``HardwareProbe(cores=1)`` so
+they pin that behavior wherever the suite actually runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Database, auto_tune_enabled, set_auto_tune
+from repro.algebra import AggSpec, Aggregate, BaseRel, Join, Relation, Schema
+from repro.algebra.evaluator import columnar_enabled
+from repro.distributed.shard import get_shard_config
+from repro.tuning import (
+    CandidateConfig,
+    CostModel,
+    HardwareProbe,
+    RoundFeatures,
+    Tuner,
+    active_tuner,
+    default_probe,
+    feature_vector,
+    get_tuner,
+    measure_probe,
+    set_default_probe,
+)
+
+ONE_CPU = HardwareProbe(cores=1)
+SINGLE_COLUMNAR = (1, "serial", "pickle", "columnar")
+
+
+def build_catalog(n=2000):
+    db = Database()
+    db.add_relation(Relation(Schema(["sessionId", "videoId"]),
+                             [(s, s % 50) for s in range(n)],
+                             key=("sessionId",), name="Log"))
+    db.add_relation(Relation(Schema(["videoId", "ownerId"]),
+                             [(v, v % 7) for v in range(50)],
+                             key=("videoId",), name="Video"))
+    cat = Catalog(db)
+    cat.create_view(
+        "visitView",
+        Aggregate(Join(BaseRel("Log"), BaseRel("Video"),
+                       on=[("videoId", "videoId")], foreign_key=True),
+                  ["videoId", "ownerId"], [AggSpec("visitCount", "count")]),
+    )
+    return db, cat
+
+
+class TestProbe:
+    def test_measured_probe_is_sane(self):
+        probe = measure_probe()
+        assert probe.cores >= 1
+        assert probe.columnar_rows_per_s > 0
+        assert probe.row_rows_per_s > 0
+        assert probe.pickle_bytes_per_s > 0
+        assert probe.shm_bytes_per_s > 0
+        assert probe.fork_s > 0
+        # numpy beats the python row loop on any machine worth probing
+        assert probe.columnar_rows_per_s > probe.row_rows_per_s
+
+    def test_round_trips_through_dict(self):
+        probe = measure_probe()
+        assert HardwareProbe.from_dict(probe.to_dict()) == probe
+
+    def test_default_probe_caches(self):
+        set_default_probe(None)
+        first = default_probe()
+        assert default_probe() is first
+
+
+class TestCostModel:
+    def test_priors_prefer_single_shard_on_one_cpu(self):
+        model = CostModel(ONE_CPU)
+        feats = RoundFeatures(delta_rows=20_000, base_rows=100_000,
+                              view_rows=5_000, shardable=True)
+        single = model.predict_config(
+            CandidateConfig(1, "serial", "pickle", "columnar"), feats)
+        for shards in (2, 4):
+            for backend, transport in (("thread", "pickle"),
+                                       ("process", "shm"),
+                                       ("process", "pickle")):
+                sharded = model.predict_config(
+                    CandidateConfig(shards, backend, transport, "columnar"),
+                    feats)
+                assert sharded > single, (shards, backend, transport)
+
+    def test_priors_prefer_columnar_engine(self):
+        model = CostModel(ONE_CPU)
+        feats = RoundFeatures(delta_rows=10_000, view_rows=1_000)
+        col = model.predict_config(
+            CandidateConfig(1, "serial", "pickle", "columnar"), feats)
+        row = model.predict_config(
+            CandidateConfig(1, "serial", "pickle", "row"), feats)
+        assert col < row
+
+    def test_fit_recovers_planted_coefficients(self):
+        # Generate noiseless observations from known per-phase costs and
+        # check the fit reproduces the planted cost ordering exactly.
+        rng = np.random.RandomState(7)
+        truth = np.array([1e-3, 2e-7, 1e-6, 4e-7, 1.0, 8e-3, 4e-7])
+        configs = [
+            CandidateConfig(1, "serial", "pickle", "columnar"),
+            CandidateConfig(1, "serial", "pickle", "row"),
+            CandidateConfig(2, "thread", "pickle", "columnar"),
+            CandidateConfig(4, "process", "shm", "columnar"),
+            CandidateConfig(4, "process", "pickle", "row"),
+        ]
+        samples = []
+        for _ in range(40):
+            feats = RoundFeatures(
+                delta_rows=int(rng.randint(1_000, 50_000)),
+                base_rows=int(rng.randint(10_000, 200_000)),
+                view_rows=int(rng.randint(100, 5_000)),
+                shardable=True,
+            )
+            for config in configs:
+                x = feature_vector(config, feats, ONE_CPU)
+                samples.append((x, float(np.dot(x, truth))))
+        model = CostModel.fit(ONE_CPU, samples)
+        check = RoundFeatures(delta_rows=20_000, base_rows=100_000,
+                              view_rows=2_000, shardable=True)
+        predicted = [model.predict_config(c, check) for c in configs]
+        true_cost = [float(np.dot(feature_vector(c, check, ONE_CPU), truth))
+                     for c in configs]
+        assert np.argsort(predicted).tolist() == np.argsort(true_cost).tolist()
+        for pred, true in zip(predicted, true_cost):
+            assert pred == pytest.approx(true, rel=0.15)
+
+    def test_fit_is_deterministic(self):
+        feats = RoundFeatures(delta_rows=5_000, view_rows=500, shardable=True)
+        x = feature_vector(CandidateConfig(), feats, ONE_CPU)
+        samples = [(x, 0.01), (x, 0.012), (x, 0.011)]
+        a = CostModel.fit(ONE_CPU, samples)
+        b = CostModel.fit(ONE_CPU, samples)
+        assert np.array_equal(a.coefs, b.coefs)
+
+
+class TestTunerChoice:
+    FEATS = RoundFeatures(delta_rows=20_000, base_rows=100_000,
+                          view_rows=5_000, shardable=True)
+
+    def test_converges_to_single_shard_columnar_on_one_cpu(self):
+        tuner = Tuner(probe=ONE_CPU)
+        chosen = []
+        for _ in range(3):
+            decision = tuner.choose(self.FEATS)
+            chosen.append(decision.chosen)
+            tuner.observe(decision, 0.01)
+        assert SINGLE_COLUMNAR in chosen[:3]
+        assert chosen[-1] == SINGLE_COLUMNAR
+
+    def test_hysteresis_never_flip_flops_on_noise(self):
+        # Alternate ±10% noise on the observed cost of the incumbent;
+        # nothing else ever looks >20% better, so the choice must hold.
+        tuner = Tuner(probe=ONE_CPU)
+        decision = tuner.choose(self.FEATS)
+        tuner.observe(decision, 0.01)
+        first = decision.chosen
+        for i in range(10):
+            decision = tuner.choose(self.FEATS)
+            assert decision.chosen == first
+            assert not decision.switched
+            tuner.observe(decision, 0.01 * (1.1 if i % 2 else 0.9))
+
+    def test_observed_costs_override_the_model(self):
+        # Make the model's favorite terrible in practice: the per-config
+        # EWMA must push the tuner off it despite hysteresis.
+        tuner = Tuner(probe=ONE_CPU)
+        for _ in range(8):
+            decision = tuner.choose(self.FEATS)
+            slow = decision.chosen == SINGLE_COLUMNAR
+            tuner.observe(decision, 5.0 if slow else 0.001)
+        assert tuner.choose(self.FEATS).chosen != SINGLE_COLUMNAR
+
+    def test_unshardable_views_only_get_single_shard_candidates(self):
+        tuner = Tuner(probe=ONE_CPU)
+        feats = RoundFeatures(delta_rows=1_000, view_rows=100,
+                              shardable=False)
+        assert all(c.shards == 1 for c in tuner.candidates(feats))
+
+    def test_candidate_gating_follows_the_probe(self):
+        no_fork = HardwareProbe(cores=4, has_fork=False)
+        cands = Tuner(probe=no_fork).candidates(self.FEATS)
+        assert all(c.backend != "process" for c in cands)
+        no_shm = HardwareProbe(cores=4, has_shm=False)
+        cands = Tuner(probe=no_shm).candidates(self.FEATS)
+        assert all(c.transport != "shm" for c in cands)
+
+    def test_decision_log_is_bounded(self):
+        tuner = Tuner(probe=ONE_CPU, log_limit=16)
+        for _ in range(40):
+            tuner.observe(tuner.choose(self.FEATS), 0.01)
+        assert len(tuner.log.decisions) == 16
+        assert tuner.log.total_recorded == 40
+
+    def test_decisions_record_regret_and_observation(self):
+        tuner = Tuner(probe=ONE_CPU)
+        decision = tuner.choose(self.FEATS)
+        done = tuner.observe(decision, 0.02)
+        assert done.observed_s == pytest.approx(0.02)
+        assert done.regret_s == 0.0  # first round takes the predicted best
+        assert tuner.log.decisions[-1].observed_s == pytest.approx(0.02)
+
+
+class TestApplyConfig:
+    def test_reasserting_incumbent_is_a_true_noop(self):
+        from repro.algebra.compiler import plan_epoch
+
+        tuner = Tuner(probe=ONE_CPU)
+        tuner.apply_config(CandidateConfig(1, "serial", "pickle", "columnar"))
+        epoch = plan_epoch()
+        before = get_shard_config()
+        tuner.apply_config(CandidateConfig(1, "serial", "pickle", "columnar"))
+        assert plan_epoch() == epoch
+        assert get_shard_config() is before
+
+    def test_thread_candidate_does_not_touch_transport(self):
+        from repro.distributed.shard import set_shard_count
+
+        set_shard_count(1, transport="shm")
+        tuner = Tuner(probe=ONE_CPU)
+        tuner.apply_config(CandidateConfig(2, "thread", "pickle", "columnar"))
+        assert get_shard_config().transport == "shm"
+
+    def test_engine_flip_moves_the_columnar_toggle(self):
+        tuner = Tuner(probe=ONE_CPU)
+        tuner.apply_config(CandidateConfig(1, "serial", "pickle", "row"))
+        assert not columnar_enabled()
+        tuner.apply_config(CandidateConfig(1, "serial", "pickle", "columnar"))
+        assert columnar_enabled()
+
+
+class TestToggleAndCatalog:
+    def test_auto_tune_defaults_off(self):
+        assert not auto_tune_enabled()
+        assert active_tuner() is None
+
+    def test_set_auto_tune_returns_previous_state(self):
+        assert set_auto_tune(True) is False
+        assert set_auto_tune(False) is True
+
+    def test_maintained_rows_match_with_tuning_on(self):
+        db, cat = build_catalog()
+        view = cat.view("visitView")
+        db.insert("Log", [(10_000 + i, i % 50) for i in range(500)])
+        set_auto_tune(True, tuner=Tuner(probe=ONE_CPU))
+        cat.maintain_all()
+        tuned = sorted(view.data.rows, key=repr)
+        fresh = sorted(view.materialize().rows, key=repr)
+        assert tuned == fresh
+
+    def test_maintain_all_auto_converges_and_restores(self):
+        from repro.algebra.evaluator import columnar_enabled
+
+        db, cat = build_catalog()
+        tuner = Tuner(probe=ONE_CPU)
+        set_auto_tune(False, tuner=tuner)
+        before = get_shard_config()
+        for r in range(3):
+            db.insert("Log", [(20_000 + 500 * r + i, i % 50)
+                              for i in range(500)])
+            cat.maintain_all(shards="auto")
+            # The period restores the hand-set configuration...
+            assert get_shard_config().count == before.count
+            assert get_shard_config().backend == before.backend
+            assert columnar_enabled()
+            # ...and auto-tuning returns to its prior (off) state.
+            assert not auto_tune_enabled()
+        assert tuner.log.last().chosen == SINGLE_COLUMNAR
+
+    def test_get_tuner_is_lazy_and_sticky(self):
+        set_auto_tune(True)
+        tuner = get_tuner()
+        assert active_tuner() is tuner
+        set_auto_tune(False)
+        assert active_tuner() is None
+        assert get_tuner() is tuner
+
+    def test_process_breaker_survives_tuner_rounds(self):
+        # An open circuit breaker must stay open through tuner decisions
+        # that keep the process backend: only an explicit user
+        # set_shard_count(backend="process") may reset it.
+        from repro.distributed import shard as shard_mod
+
+        breaker = shard_mod._PROCESS_BREAKER
+        try:
+            for _ in range(breaker.failure_threshold):
+                breaker.record_failure("test")
+            assert breaker.state == "open"
+            tuner = Tuner(probe=HardwareProbe(cores=1))
+            tuner.apply_config(CandidateConfig(2, "thread", "pickle",
+                                               "columnar"))
+            tuner.apply_config(CandidateConfig(1, "serial", "pickle",
+                                               "columnar"))
+            assert breaker.state == "open"
+        finally:
+            breaker.reset()
