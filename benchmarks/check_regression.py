@@ -20,7 +20,8 @@ To re-baseline after an intentional perf change::
     PYTHONPATH=src python -m pytest benchmarks/bench_<name>.py -q --quick
     cp benchmarks/results/bench_<name>.json benchmarks/baselines/
 
-Exit status: 0 when every compared metric holds, 1 on any regression.
+Exit status: 0 when every compared metric holds, 1 on any regression or
+unreadable/malformed payload.
 """
 
 import argparse
@@ -91,8 +92,17 @@ def check(results_dir, baselines_dir, threshold, absolute) -> int:
         if not fresh_path.exists():
             print(f"SKIP {name}: no fresh result under {results_dir}")
             continue
-        baseline = load_payload(baseline_path)
-        fresh = load_payload(fresh_path)
+        try:
+            baseline = load_payload(baseline_path)
+            fresh = load_payload(fresh_path)
+        except (json.JSONDecodeError, OSError) as err:
+            print(f"FAIL {name}: unreadable payload ({err})")
+            failed = True
+            continue
+        if not isinstance(baseline, dict) or not isinstance(fresh, dict):
+            print(f"FAIL {name}: payload is not a JSON object")
+            failed = True
+            continue
         base_cfg = comparable_config(baseline)
         fresh_cfg = comparable_config(fresh)
         if base_cfg != fresh_cfg:

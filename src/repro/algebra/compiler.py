@@ -89,6 +89,7 @@ from repro.algebra.predicates import (
 )
 from repro.algebra.relation import Relation
 from repro.algebra.schema import Schema
+from repro.caches import invalidate_caches, register_cache
 from repro.errors import KeyDerivationError
 
 # ----------------------------------------------------------------------
@@ -113,9 +114,17 @@ def plan_epoch() -> int:
 
 
 def bump_plan_epoch() -> int:
-    """Invalidate every cached plan (toggle hooks call this); returns new epoch."""
+    """Invalidate every cached plan (toggle hooks call this); returns new epoch.
+
+    The drain goes through the central :mod:`repro.caches` registry, so
+    every cache subscribed to the ``"plan_epoch"`` reason — this
+    module's plan cache, the mini-batch calibration memo, and anything a
+    future module registers — is dropped in one place instead of each
+    toggle knowing every cache.
+    """
+    # repro: ignore[REP006] -- single-writer by contract: only the coordinator flips toggles; a forked worker applying coordinator toggles bumps its own copied epoch
     _EPOCH[0] += 1
-    _PLAN_CACHE.clear()
+    invalidate_caches("plan_epoch")
     return _EPOCH[0]
 
 
@@ -127,6 +136,15 @@ def compile_count() -> int:
 def clear_plan_cache() -> None:
     """Drop the global plan cache (tests)."""
     _PLAN_CACHE.clear()
+
+
+register_cache(
+    "algebra.compiler.plan_cache",
+    clear=clear_plan_cache,
+    invalidate_on=("plan_epoch",),
+    size=lambda: len(_PLAN_CACHE),
+    description="compiled maintenance pipelines keyed by plan fingerprint",
+)
 
 
 # ----------------------------------------------------------------------
@@ -607,6 +625,7 @@ def compile_plan(expr: Expr, leaves: Mapping) -> CompiledPlan:
     signature); the returned plan can be executed against any leaf
     mapping with the same signature.
     """
+    # repro: ignore[REP006] -- monotone test-hook counter; a lost increment under thread workers skews a diagnostic count, never a result
     _COMPILE_COUNT[0] += 1
     key_memo: Dict[int, tuple] = {}
     node_by_key: Dict[tuple, Expr] = {}
@@ -716,6 +735,8 @@ def compiled_evaluate(expr: Expr, leaves: Mapping) -> Relation:
     if plan is None or not plan.valid_for(leaves):
         plan = compile_plan(expr, leaves)
         if len(_PLAN_CACHE) >= PLAN_CACHE_LIMIT:
+            # repro: ignore[REP006] -- benign memo maintenance under the GIL: dict clear/set are atomic and a racing thread at worst recompiles
             _PLAN_CACHE.clear()
+        # repro: ignore[REP006] -- benign memo write under the GIL: entries are idempotent per key (same expr fingerprint -> equivalent plan)
         _PLAN_CACHE[key] = plan
     return plan.execute(leaves)

@@ -90,6 +90,7 @@ from repro.algebra.keys import derive_key
 from repro.algebra.predicates import _FLOAT_EXACT, _INT64_SAFE, _int_bound
 from repro.algebra.relation import Relation
 from repro.algebra.schema import Schema
+from repro.caches import register_cache
 from repro.errors import EvaluationError, KeyDerivationError, SchemaError
 from repro.stats.hashing import get_hash_family, linear_unit, unit_hash_batch
 
@@ -139,6 +140,15 @@ def clear_hash_memo() -> None:
     """Drop cached hash draws (also done automatically on family change)."""
     _HASH_MEMO.clear()
     _HASH_MEMO_FAMILY[0] = None
+
+
+register_cache(
+    "algebra.evaluator.hash_memo",
+    clear=clear_hash_memo,
+    invalidate_on=("hash_family",),
+    size=lambda: len(_HASH_MEMO),
+    description="memoized per-key uniform draws for the η operator",
+)
 
 
 def hash_draw(values: tuple, seed: int) -> float:

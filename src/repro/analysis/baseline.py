@@ -1,0 +1,98 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the analyzer gate a codebase that predates a rule:
+existing violations are recorded once (with a required reason), new
+code is held to the full contract.  Entries match findings on
+``(rule, path, context)`` — not the line number — so they survive
+unrelated edits; an entry whose finding disappears is reported as
+stale so the file shrinks over time instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be used (malformed, missing reasons)."""
+
+
+@dataclass
+class Baseline:
+    """In-memory view of one baseline file."""
+
+    #: (rule, path, context) -> reason
+    entries: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
+    #: Keys that matched at least one finding this run.
+    _used: set = field(default_factory=set, repr=False)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as err:
+            raise BaselineError(f"cannot read baseline {path}: {err}") from err
+        except json.JSONDecodeError as err:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {err}"
+            ) from err
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        entries: Dict[Tuple[str, str, str], str] = {}
+        for i, entry in enumerate(payload["entries"]):
+            missing = {"rule", "path", "context", "reason"} - set(entry)
+            if missing:
+                raise BaselineError(
+                    f"baseline {path} entry {i} is missing {sorted(missing)}"
+                )
+            reason = str(entry["reason"]).strip()
+            if not reason or reason.upper().startswith("TODO"):
+                raise BaselineError(
+                    f"baseline {path} entry {i} "
+                    f"({entry['rule']} {entry['path']}) needs a real reason"
+                )
+            entries[(entry["rule"], entry["path"], entry["context"])] = reason
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], reason: str
+    ) -> "Baseline":
+        return cls(
+            entries={f.baseline_key(): reason for f in findings}
+        )
+
+    def match(self, finding: Finding) -> Optional[str]:
+        """Reason when ``finding`` is grandfathered, else ``None``."""
+        reason = self.entries.get(finding.baseline_key())
+        if reason is not None:
+            self._used.add(finding.baseline_key())
+        return reason
+
+    def stale_entries(self) -> List[Tuple[str, str, str]]:
+        """Entries that matched nothing this run (candidates to delete)."""
+        return sorted(k for k in self.entries if k not in self._used)
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [
+                {"rule": r, "path": p, "context": c, "reason": reason}
+                for (r, p, c), reason in sorted(self.entries.items())
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )

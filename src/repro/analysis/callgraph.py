@@ -1,0 +1,129 @@
+"""Static call graph over the project's top-level functions.
+
+Deliberately conservative: only calls that resolve *statically* — a
+bare name defined or imported in the same module, or a dotted
+``module.function`` chain through an import — become edges.  Method
+calls, callbacks, and dynamic dispatch are ignored, which means
+reachability is an *under*-approximation; the worker-state rule
+(REP006) therefore misses exotic paths but never hallucinates one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from repro.analysis.context import (
+    AnyFunction,
+    ModuleContext,
+    Project,
+    dotted_name,
+)
+
+__all__ = ["CallGraph", "build_callgraph"]
+
+
+@dataclass
+class CallGraph:
+    """Edges between fully-qualified top-level functions."""
+
+    #: qualname -> (module, function node)
+    functions: Dict[str, tuple]
+    #: qualname -> set of callee qualnames
+    edges: Dict[str, Set[str]]
+
+    def reachable(self, seeds: Iterable[str]) -> Set[str]:
+        """Every function reachable from ``seeds`` (seeds included when
+        they exist in the project)."""
+        seen: Set[str] = set()
+        frontier = [s for s in seeds if s in self.functions]
+        while frontier:
+            cur = frontier.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            frontier.extend(self.edges.get(cur, ()))
+        return seen
+
+
+def _import_aliases(module: ModuleContext) -> Dict[str, str]:
+    """Names bound by top-level imports -> the dotted target they mean.
+
+    ``from a.b import f``        binds ``f`` -> ``a.b.f``
+    ``from a.b import f as g``   binds ``g`` -> ``a.b.f``
+    ``import a.b as m``          binds ``m`` -> ``a.b``
+    ``import a.b``               binds ``a`` -> ``a``
+    """
+    aliases: Dict[str, str] = {}
+    package = module.modname.rsplit(".", 1)[0] if "." in module.modname else ""
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    aliases[head] = head
+        elif isinstance(stmt, ast.ImportFrom):
+            base = stmt.module or ""
+            if stmt.level:
+                parts = module.modname.split(".")
+                # level=1 is "this package"; each extra level goes up one.
+                parts = parts[: len(parts) - stmt.level] or [package]
+                base = ".".join(parts + ([base] if base else []))
+            for alias in stmt.names:
+                aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return aliases
+
+
+def _resolve_call(
+    call: ast.Call,
+    module: ModuleContext,
+    aliases: Dict[str, str],
+    functions: Dict[str, tuple],
+) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        own = f"{module.modname}.{func.id}"
+        if own in functions:
+            return own
+        target = aliases.get(func.id, "")
+        if target in functions:
+            return target
+        return ""
+    dotted = dotted_name(func)
+    if not dotted:
+        return ""
+    head, _, rest = dotted.partition(".")
+    target = aliases.get(head)
+    if target and rest:
+        candidate = f"{target}.{rest}"
+        if candidate in functions:
+            return candidate
+    if dotted in functions:
+        return dotted
+    return ""
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    functions: Dict[str, tuple] = {}
+    for module in project.modules:
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[f"{module.modname}.{stmt.name}"] = (module, stmt)
+    edges: Dict[str, Set[str]] = {}
+    for qualname, (module, node) in functions.items():
+        aliases = _import_aliases(module)
+        callees: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                target = _resolve_call(sub, module, aliases, functions)
+                if target:
+                    callees.add(target)
+        edges[qualname] = callees
+    return CallGraph(functions=functions, edges=edges)
+
+
+def function_node(graph: CallGraph, qualname: str) -> AnyFunction:
+    return graph.functions[qualname][1]

@@ -1,0 +1,93 @@
+"""REP001: module-level caches must register with ``repro.caches``.
+
+Three separate PRs shipped fixes for a module-level memo that missed an
+invalidation path (family-unaware hash memo, epoch-unaware
+calibrations, stale shard-plan memo).  The contract is now: any
+module-scope mutable container whose name says it is a cache
+(``*_CACHE`` / ``*_MEMO``) must be registered with
+:func:`repro.caches.register_cache` in the same module, so the central
+invalidation paths can drain it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from repro.analysis.context import ModuleContext, is_mutable_container
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileChecker, register_checker
+
+#: Names that declare cache intent (``_HASH_MEMO``, ``_PLAN_CACHE``...).
+CACHE_NAME = re.compile(r"(_MEMO|_CACHE)S?$")
+
+
+def _registration_args(module: ModuleContext) -> Set[str]:
+    """Every bare name appearing in a ``register_cache(...)`` call."""
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if callee != "register_cache":
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+@register_checker
+class CacheRegistrationChecker(FileChecker):
+    rule = "REP001"
+    name = "unregistered-cache"
+    title = "module-level cache not registered with repro.caches"
+    severity = "error"
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        # The registry itself holds the registrations, not a cache.
+        if module.modname == "repro.caches":
+            return
+        registered = _registration_args(module)
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [
+                    t for t in stmt.targets if isinstance(t, ast.Name)
+                ]
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = (
+                    [stmt.target]
+                    if isinstance(stmt.target, ast.Name)
+                    else []
+                )
+                value = stmt.value
+            else:
+                continue
+            if not is_mutable_container(value):
+                continue
+            for target in targets:
+                if not CACHE_NAME.search(target.id):
+                    continue
+                if target.id in registered:
+                    continue
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"module-level cache '{target.id}' is not registered "
+                    f"with the central cache registry",
+                    hint=(
+                        "call repro.caches.register_cache("
+                        f"\"{module.modname.removeprefix('repro.')}."
+                        f"{target.id.strip('_').lower()}\", clear=..., "
+                        "invalidate_on=(...)) next to the definition, or "
+                        "rename the variable if it is not a cache"
+                    ),
+                )

@@ -1,0 +1,92 @@
+"""REP004: failure domains must not swallow exceptions silently.
+
+The distributed executor, the serving layer, and the reliability
+machinery are *failure domains*: they deliberately catch broad
+exceptions to degrade instead of crash.  That is only auditable if
+every swallow leaves a trace — a re-raise, a
+:class:`~repro.reliability.telemetry.FailureReason` /
+``FailureEvent`` / ``DemotionEvent`` record, or a call to one of the
+telemetry recorders.  A bare ``except Exception: pass``-shaped handler
+drops the cause on the floor and turns the next incident into
+guesswork.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.context import ModuleContext, call_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileChecker, register_checker
+
+#: Path fragments marking a module as a failure domain.
+DOMAIN_FRAGMENTS: Tuple[str, ...] = (
+    "repro/distributed/",
+    "repro/serving/",
+    "repro/reliability/",
+)
+
+#: Telemetry type constructors/references that count as recording.
+TELEMETRY_NAMES = frozenset(
+    {"FailureReason", "FailureEvent", "DemotionEvent"}
+)
+
+#: Recorder calls that are known to attach failure telemetry.
+RECORDER_CALLS = frozenset({"record", "record_failure", "_failed_round"})
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:  # bare ``except:``
+        return True
+    names = []
+    if isinstance(kind, ast.Name):
+        names = [kind.id]
+    elif isinstance(kind, ast.Tuple):
+        names = [e.id for e in kind.elts if isinstance(e, ast.Name)]
+    return any(n in ("Exception", "BaseException") for n in names)
+
+
+def _records_failure(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Name) and node.id in TELEMETRY_NAMES:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in TELEMETRY_NAMES:
+            return True
+        if isinstance(node, ast.Call) and call_name(node) in RECORDER_CALLS:
+            return True
+    return False
+
+
+@register_checker
+class SwallowedFailureChecker(FileChecker):
+    rule = "REP004"
+    name = "silent-swallow"
+    title = "except Exception in a failure domain without telemetry"
+    severity = "error"
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        if not any(frag in module.rel for frag in DOMAIN_FRAGMENTS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node):
+                continue
+            if _records_failure(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "broad exception handler in a failure domain neither "
+                "re-raises nor records FailureReason telemetry",
+                hint=(
+                    "attach a FailureEvent (telemetry.record(...) / "
+                    "FailureReason.<CAUSE>) so the swallow stays "
+                    "auditable, or suppress with the reason the loss "
+                    "is acceptable"
+                ),
+            )

@@ -1,0 +1,121 @@
+"""REP005: columnar fast paths run behind the fallback-guard dispatch.
+
+Every columnar fast path (``_try_*`` helpers and the private
+``_*_columnar`` operator kernels) returns ``None`` when a value does
+not vectorize cleanly, and the caller *must* check for that and fall
+back to the reference row path — that per-operator bail-out is the
+whole equivalence argument of the columnar engine.  Calling a fast
+path and using its result unconditionally turns "abandon the fast
+path" into a crash (or worse, a silent ``None`` row set).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from repro.analysis.context import AnyFunction, ModuleContext, call_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileChecker, register_checker
+
+#: Private fast-path helpers: ``_try_mask``, ``_join_columnar``, ...
+#: (public names like ``Relation.from_columnar`` are constructors, not
+#: guarded fast paths, and do not match).
+FASTPATH_NAME = re.compile(r"^_try_\w+$|^_\w+_columnar$")
+
+
+def _none_checked_names(fn: AnyFunction) -> set:
+    """Names compared against ``None`` anywhere in ``fn``."""
+    names = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops):
+            continue
+        operands = [node.left] + list(node.comparators)
+        if not any(
+            isinstance(o, ast.Constant) and o.value is None for o in operands
+        ):
+            continue
+        for operand in operands:
+            if isinstance(operand, ast.Name):
+                names.add(operand.id)
+            elif isinstance(operand, ast.NamedExpr) and isinstance(
+                operand.target, ast.Name
+            ):
+                names.add(operand.target.id)
+    return names
+
+
+def _assign_targets(node: ast.AST) -> List[str]:
+    if isinstance(node, ast.Assign):
+        return [t.id for t in node.targets if isinstance(t, ast.Name)]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [node.target.id]
+    if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+        return [node.target.id]
+    return []
+
+
+@register_checker
+class FallbackGuardChecker(FileChecker):
+    rule = "REP005"
+    name = "unguarded-fastpath"
+    title = "columnar fast path called outside the fallback guard"
+    severity = "error"
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not FASTPATH_NAME.match(name):
+                continue
+            fn = module.enclosing_function(node)
+            if fn is None:
+                yield self._unguarded(module, node, name)
+                continue
+            # A fast path may *delegate* to another fast path in a
+            # return position: the None signal propagates unchanged and
+            # the outermost caller holds the guard.
+            if FASTPATH_NAME.match(fn.name) and any(
+                isinstance(anc, ast.Return) for anc in module.ancestors(node)
+            ):
+                continue
+            checked = _none_checked_names(fn)
+            guarded = False
+            targets: List[str] = []
+            for anc in module.ancestors(node):
+                # ``if (x := _try_f(...)) is not None`` — the compare
+                # ancestor itself is the guard.
+                if isinstance(anc, ast.Compare) and any(
+                    isinstance(op, (ast.Is, ast.IsNot)) for op in anc.ops
+                ):
+                    guarded = True
+                    break
+                targets = _assign_targets(anc)
+                if targets:
+                    break
+                if anc is fn:
+                    break
+            if guarded:
+                continue
+            if targets and any(t in checked for t in targets):
+                continue
+            yield self._unguarded(module, node, name)
+
+    def _unguarded(
+        self, module: ModuleContext, node: ast.Call, name: str
+    ) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"fast path {name}(...) is used without checking its "
+            f"result for None (the row-path fallback signal)",
+            hint=(
+                f"assign the result (fast = {name}(...)) and branch on "
+                "'fast is not None' with the reference row path as the "
+                "else arm"
+            ),
+        )

@@ -1,0 +1,149 @@
+"""REP006: worker-reachable mutation of module-level mutable state.
+
+Shard tasks run on thread pools (shared interpreter) and forked process
+pools (copied interpreter).  A function reachable from the worker entry
+points that mutates module-level mutable state is either a data race
+(threads) or a silent divergence between coordinator and worker state
+(processes) — unless it holds a lock or is a documented single-writer
+pattern (process-global toggles applied by each forked worker to its
+own copy, GIL-atomic idempotent memo writes).  The legitimate cases
+carry inline suppressions whose reasons *are* the documentation.
+
+Reachability comes from the conservative static call graph
+(:mod:`repro.analysis.callgraph`) seeded at the shard-executor entry
+points, so the rule follows the executor as it grows new helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.context import (
+    ModuleContext,
+    Project,
+    module_level_mutables,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Checker, register_checker
+
+#: Functions every pool worker runs (process and thread backends).
+WORKER_SEEDS: Tuple[str, ...] = (
+    "repro.distributed.shard._run_worker_blob",
+    "repro.distributed.shard._run_local_task",
+)
+
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def _base_name(node: ast.AST) -> str:
+    """``X`` for ``X[...]`` / ``X.attr`` chains rooted at a bare name."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else ""
+
+
+def _under_lock(module: ModuleContext, node: ast.AST) -> bool:
+    for anc in module.ancestors(node):
+        if isinstance(anc, (ast.With, ast.AsyncWith)):
+            for item in anc.items:
+                if "lock" in ast.unparse(item.context_expr).lower():
+                    return True
+    return False
+
+
+@register_checker
+class WorkerSharedStateChecker(Checker):
+    rule = "REP006"
+    name = "worker-shared-state"
+    title = "unlocked worker-reachable mutation of module-level state"
+    severity = "error"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = build_callgraph(project)
+        reachable = graph.reachable(WORKER_SEEDS)
+        if not reachable:
+            return
+        mutables: Dict[str, Dict[str, int]] = {
+            module.modname: module_level_mutables(module)
+            for module in project.modules
+        }
+        for qualname in sorted(reachable):
+            module, fn = graph.functions[qualname]
+            names = mutables.get(module.modname, {})
+            if not names:
+                continue
+            yield from self._check_function(module, fn, names, qualname)
+
+    def _check_function(
+        self,
+        module: ModuleContext,
+        fn: ast.AST,
+        mutable_names: Dict[str, int],
+        qualname: str,
+    ) -> Iterator[Finding]:
+        declared_global: Set[str] = {
+            name
+            for node in ast.walk(fn)
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+        for node in ast.walk(fn):
+            mutated = ""
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        base = _base_name(target)
+                        if base in mutable_names:
+                            mutated = base
+                    elif (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                        and target.id in mutable_names
+                    ):
+                        mutated = target.id
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATORS
+            ):
+                base = _base_name(node.func.value)
+                if base in mutable_names:
+                    mutated = base
+            if not mutated:
+                continue
+            if _under_lock(module, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"'{mutated}' (module-level mutable state) is mutated "
+                f"by {qualname}, which shard pool workers execute",
+                hint=(
+                    "guard the mutation with a lock, move the state "
+                    "into the task, or suppress with the single-writer "
+                    "argument as the reason"
+                ),
+            )

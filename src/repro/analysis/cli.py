@@ -1,0 +1,155 @@
+"""Command line front end: ``python -m repro.analysis``.
+
+Exit status: 0 when no actionable error-severity findings remain after
+suppressions and the baseline, 1 when any do, 2 on usage or baseline
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.engine import AnalysisResult, run_analysis
+from repro.analysis.registry import all_checkers
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant linter for the repro engine: machine-"
+            "checks the cache-epoch, shm-lifecycle, toggle, fallback, "
+            "and failure-telemetry contracts (rules REP001-REP006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyze (default: ./src)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="path findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON baseline of grandfathered findings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the current actionable findings to FILE as a "
+            "baseline (edit the generated reasons before committing)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _default_paths(root: Path) -> List[Path]:
+    src = root / "src"
+    if src.is_dir():
+        return [src]
+    return [root]
+
+
+def _render_text(result: AnalysisResult, out) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=out)
+    for rule, path, context in result.stale_baseline:
+        print(
+            f"note: stale baseline entry {rule} {path} ({context}) "
+            "matched nothing — delete it",
+            file=out,
+        )
+    counts = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{result.files_checked} file(s) checked"
+    )
+    print(counts, file=out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.rule}  {checker.name}: {checker.title}")
+        print("REP000  meta: malformed suppression / unparseable file")
+        return 0
+
+    root = args.root.resolve()
+    paths = (
+        [Path(p) for p in args.paths] if args.paths else _default_paths(root)
+    )
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {missing}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(
+                f"error: baseline {args.baseline} does not exist "
+                "(use --write-baseline to create one)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+
+    result = run_analysis(paths, root, baseline=baseline)
+
+    if args.write_baseline is not None:
+        generated = Baseline.from_findings(
+            result.findings,
+            reason="grandfathered at linter adoption; fix opportunistically",
+        )
+        generated.write(args.write_baseline)
+        print(
+            f"wrote {len(generated.entries)} baseline entr(y/ies) to "
+            f"{args.write_baseline}; review the reasons before committing",
+            file=sys.stderr,
+        )
+
+    if args.format == "json":
+        json.dump(result.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        _render_text(result, sys.stdout)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""Parsed-module and project context shared by every checker.
+
+One :class:`ModuleContext` per analyzed file carries the AST, the raw
+source lines, a parent map (``ast`` has no parent links), the derived
+dotted module name, and the parsed suppression comments.  A
+:class:`Project` bundles every module so cross-module checkers (the
+worker-reachability rule) can resolve imports and build a call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.suppressions import Suppression, scan_suppressions
+
+#: Either flavor of function definition node.
+AnyFunction = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+__all__ = [
+    "ModuleContext",
+    "Project",
+    "call_name",
+    "dotted_name",
+    "is_mutable_container",
+    "load_project",
+    "module_level_mutables",
+]
+
+#: Constructors whose call produces a mutable container.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "WeakKeyDictionary",
+        "WeakValueDictionary",
+    }
+)
+
+
+@dataclass
+class ModuleContext:
+    """Everything the checkers need to know about one source file."""
+
+    path: Path  # absolute
+    rel: str  # posix path relative to the analysis root
+    modname: str  # dotted module name ("repro.distributed.shard")
+    source: str
+    tree: ast.Module
+    suppressions: List[Suppression]
+    #: node -> parent node, for ancestor walks (keyed by identity).
+    parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[id(child)] = parent
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[AnyFunction]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def scope_name(self, node: ast.AST) -> str:
+        """Dotted enclosing scope (``Class.method``) or ``<module>``."""
+        names = [
+            anc.name
+            for anc in self.ancestors(node)
+            if isinstance(
+                anc, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.insert(0, node.name)
+        return ".".join(reversed(names)) if names else "<module>"
+
+    def functions(self) -> Iterator[AnyFunction]:
+        """Every (async) function definition, any nesting depth."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+@dataclass
+class Project:
+    """All analyzed modules plus derived cross-module views."""
+
+    root: Path
+    modules: List[ModuleContext]
+    #: Files that failed to parse: (rel path, lineno, message).
+    parse_errors: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    def by_modname(self, modname: str) -> Optional[ModuleContext]:
+        for module in self.modules:
+            if module.modname == modname:
+                return module
+        return None
+
+
+def derive_modname(rel: str) -> str:
+    """Dotted module name from a root-relative posix path.
+
+    A leading ``src/`` component (the import root of this repo layout)
+    is stripped; ``__init__.py`` names the package itself.
+    """
+    parts = list(Path(rel).parts)
+    while parts and parts[0] in ("src", "."):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" not in sub.parts and not any(
+                    part.startswith(".") for part in sub.parts
+                ):
+                    yield sub
+
+
+def load_project(
+    paths: Sequence[Path],
+    root: Path,
+    known_rules: Optional[Tuple[str, ...]] = None,
+) -> Project:
+    """Parse every ``.py`` file under ``paths`` into a :class:`Project`."""
+    root = root.resolve()
+    modules: List[ModuleContext] = []
+    parse_errors: List[Tuple[str, int, str]] = []
+    seen = set()
+    for path in iter_python_files([Path(p) for p in paths]):
+        path = path.resolve()
+        if path in seen:
+            continue
+        seen.add(path)
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as err:
+            parse_errors.append((rel, err.lineno or 1, err.msg or "syntax error"))
+            continue
+        modules.append(
+            ModuleContext(
+                path=path,
+                rel=rel,
+                modname=derive_modname(rel),
+                source=source,
+                tree=tree,
+                suppressions=scan_suppressions(source, known_rules),
+            )
+        )
+    return Project(root=root, modules=modules, parse_errors=parse_errors)
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers shared by the checkers
+# ----------------------------------------------------------------------
+def call_name(node: ast.Call) -> str:
+    """Terminal callee name: ``f`` for both ``f(...)`` and ``m.f(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Flatten ``a.b.c`` attribute chains; empty when not a pure chain."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_mutable_container(node: ast.AST) -> bool:
+    """True for dict/list/set literals, comprehensions, and the standard
+    mutable-container constructors."""
+    if isinstance(
+        node,
+        (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node) in MUTABLE_CONSTRUCTORS
+    return False
+
+
+def module_level_mutables(module: ModuleContext) -> Dict[str, int]:
+    """Module-scope names bound to mutable containers (name -> lineno)."""
+    out: Dict[str, int] = {}
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign) and is_mutable_container(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = stmt.lineno
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and stmt.value is not None
+            and isinstance(stmt.target, ast.Name)
+            and is_mutable_container(stmt.value)
+        ):
+            out[stmt.target.id] = stmt.lineno
+    return out

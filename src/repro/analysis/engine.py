@@ -1,0 +1,139 @@
+"""Analysis pipeline: parse -> check -> suppress -> baseline -> report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import Project, load_project
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_checkers, known_rules
+
+__all__ = ["AnalysisResult", "run_analysis"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    #: Actionable findings (not suppressed, not baselined).
+    findings: List[Finding] = field(default_factory=list)
+    #: Grandfathered findings and the baseline reason that excused each.
+    baselined: List[Tuple[Finding, str]] = field(default_factory=list)
+    #: Findings silenced by a valid inline suppression.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (candidates for deletion).
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [
+                {**f.to_dict(), "baseline_reason": reason}
+                for f, reason in self.baselined
+            ],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "stale_baseline": [
+                {"rule": r, "path": p, "context": c}
+                for r, p, c in self.stale_baseline
+            ],
+            "counts": {
+                "actionable": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+
+def _meta_findings(project: Project) -> List[Finding]:
+    """REP000 findings: unparseable files and malformed suppressions."""
+    out = []
+    for rel, lineno, message in project.parse_errors:
+        out.append(
+            Finding(
+                path=rel,
+                line=lineno,
+                col=0,
+                rule="REP000",
+                severity="error",
+                message=f"file does not parse: {message}",
+                context="<module>",
+            )
+        )
+    for module in project.modules:
+        for sup in module.suppressions:
+            if sup.error:
+                out.append(
+                    Finding(
+                        path=module.rel,
+                        line=sup.line,
+                        col=0,
+                        rule="REP000",
+                        severity="error",
+                        message=f"malformed suppression: {sup.error}",
+                        hint=(
+                            "write: # repro: ignore[REPnnn] -- reason "
+                            "the pattern is safe here"
+                        ),
+                        context=module.scope_name(module.tree),
+                    )
+                )
+    return out
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    root: Path,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Run every registered checker over ``paths``.
+
+    Findings silenced by a valid inline suppression (matching rule on
+    the covered line) are set aside; remaining findings matching a
+    baseline entry are excused with the entry's reason; the rest are
+    actionable.  REP000 (malformed suppression / parse failure) can be
+    neither suppressed nor baselined — the escape hatches must
+    themselves be sound.
+    """
+    project = load_project(paths, root, known_rules=known_rules())
+    result = AnalysisResult(files_checked=len(project.modules))
+
+    raw: List[Finding] = _meta_findings(project)
+    for checker in all_checkers():
+        raw.extend(checker.check(project))
+
+    suppression_by_module = {m.rel: m.suppressions for m in project.modules}
+    for finding in sorted(raw):
+        if finding.rule != "REP000":
+            sups = suppression_by_module.get(finding.path, [])
+            hit = next(
+                (s for s in sups if s.silences(finding.rule, finding.line)),
+                None,
+            )
+            if hit is not None:
+                hit.used = True
+                result.suppressed.append(finding)
+                continue
+            if baseline is not None:
+                reason = baseline.match(finding)
+                if reason is not None:
+                    result.baselined.append((finding, reason))
+                    continue
+        result.findings.append(finding)
+
+    if baseline is not None:
+        result.stale_baseline = baseline.stale_entries()
+    return result

@@ -1,0 +1,46 @@
+"""Structured findings emitted by the invariant checkers."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Finding severities, most severe first.  ``error`` findings fail the
+#: analysis run; ``warning`` findings are reported but never gate.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at a source location.
+
+    ``context`` is the dotted enclosing scope (``ViewServer.tick``, or
+    ``<module>`` for module-level code).  Baseline matching keys on
+    ``(rule, path, context)`` rather than the line number, so
+    grandfathered findings survive unrelated edits that shift lines.
+    """
+
+    path: str  # posix path relative to the analysis root
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    hint: str = ""
+    context: str = "<module>"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def render(self) -> str:
+        """One-line ``file:line:col: RULE severity: message`` form."""
+        loc = f"{self.path}:{self.line}:{self.col}"
+        text = f"{loc}: {self.rule} {self.severity}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

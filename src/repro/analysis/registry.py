@@ -1,0 +1,86 @@
+"""Checker registry: rules register themselves at import time.
+
+A checker is a class with ``rule`` (``REPnnn``), ``name``, ``severity``,
+``title`` and a ``check(project)`` generator of findings.  Importing
+:mod:`repro.analysis.checkers` pulls in every built-in rule; downstream
+code (and tests) can register additional checkers with the decorator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Type
+
+from repro.analysis.context import ModuleContext, Project
+from repro.analysis.findings import SEVERITIES, Finding
+
+__all__ = ["Checker", "FileChecker", "all_checkers", "register_checker"]
+
+_CHECKERS: Dict[str, Type["Checker"]] = {}
+
+
+class Checker:
+    """Base class for one invariant rule."""
+
+    rule: str = ""
+    name: str = ""
+    title: str = ""
+    severity: str = "error"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        return Finding(
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            severity=self.severity,
+            message=message,
+            hint=hint,
+            context=module.scope_name(node),
+        )
+
+
+class FileChecker(Checker):
+    """Checker that inspects each module independently."""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self.check_module(module)
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the registry."""
+    if not cls.rule or not cls.rule.startswith("REP"):
+        raise ValueError(f"checker {cls.__name__} needs a REPnnn rule id")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(
+            f"checker {cls.rule} severity must be one of {SEVERITIES}"
+        )
+    _CHECKERS[cls.rule] = cls
+    return cls
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, ordered by rule id."""
+    import repro.analysis.checkers  # noqa: F401  (registers built-ins)
+
+    return [_CHECKERS[rule]() for rule in sorted(_CHECKERS)]
+
+
+def known_rules() -> tuple:
+    """Every registered rule id plus the meta-rule REP000."""
+    import repro.analysis.checkers  # noqa: F401
+
+    return tuple(sorted(_CHECKERS)) + ("REP000",)

@@ -1,0 +1,120 @@
+"""Inline suppression comments: ``# repro: ignore[RULE] -- reason``.
+
+A suppression silences named rules on the line it sits on; a
+suppression on a comment-only line covers the next code line, so it can
+sit above the statement it excuses.  The reason after ``--`` is
+*required*: a suppression is a claim that a flagged pattern is safe,
+and the claim must say why.  A suppression with no reason, an empty
+rule list, or an unknown rule id is itself reported as **REP000** —
+and REP000 cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Suppression", "scan_suppressions"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: ignore[...]`` comment."""
+
+    line: int  # line the comment sits on (1-based)
+    covers: int  # code line the suppression applies to
+    rules: Tuple[str, ...]
+    reason: str
+    #: Parse problem, if any ("missing reason", "unknown rule ...").
+    error: str = ""
+    used: bool = field(default=False, compare=False)
+
+    def silences(self, rule: str, line: int) -> bool:
+        return not self.error and rule in self.rules and line == self.covers
+
+
+def _comment_tokens(source: str) -> List[tokenize.TokenInfo]:
+    toks = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                toks.append(tok)
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        pass  # the parser reports the syntax error; no comments to scan
+    return toks
+
+
+def scan_suppressions(
+    source: str, known_rules: Optional[Tuple[str, ...]] = None
+) -> List[Suppression]:
+    """Parse every suppression comment in ``source``.
+
+    ``known_rules`` (when given) validates the rule ids; ids outside it
+    mark the suppression as malformed so typos fail loudly instead of
+    silently suppressing nothing.
+    """
+    lines = source.splitlines()
+    code_lines = {
+        i + 1
+        for i, text in enumerate(lines)
+        if text.strip() and not text.lstrip().startswith("#")
+    }
+    out: List[Suppression] = []
+    for tok in _comment_tokens(source):
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        lineno = tok.start[0]
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        error = ""
+        if not rules:
+            error = "empty rule list"
+        else:
+            bad = [r for r in rules if not _RULE_ID_RE.match(r)]
+            if not bad and known_rules is not None:
+                bad = [r for r in rules if r not in known_rules]
+            if bad:
+                error = f"unknown rule id(s): {', '.join(bad)}"
+            elif "REP000" in rules:
+                error = "REP000 (malformed suppression) cannot be suppressed"
+        if not error and not reason:
+            error = "missing reason (write: # repro: ignore[RULE] -- why)"
+        covers = lineno
+        if lineno not in code_lines:
+            # Comment-only line: the suppression excuses the next code
+            # line (skipping further comments and blanks).
+            following = [n for n in code_lines if n > lineno]
+            covers = min(following) if following else lineno
+        out.append(
+            Suppression(
+                line=lineno,
+                covers=covers,
+                rules=rules,
+                reason=reason,
+                error=error,
+            )
+        )
+    return out
+
+
+def suppression_index(
+    suppressions: List[Suppression],
+) -> Dict[int, List[Suppression]]:
+    """Map covered code line -> suppressions applying to it."""
+    index: Dict[int, List[Suppression]] = {}
+    for sup in suppressions:
+        index.setdefault(sup.covers, []).append(sup)
+    return index

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.algebra.relation import Relation
+from repro.caches import register_cache
 from repro.errors import MaintenanceError
 
 _MASK64 = (1 << 64) - 1
@@ -39,6 +40,39 @@ _COMBINE = 0x9E3779B97F4A7C15
 #: Cache key prefix under which per-relation partitions are memoized on
 #: ``Relation.sample_cache()`` (sound: relations are immutable).
 _PARTITION_CACHE = "__shards__"
+
+#: Generation counter baked into every partition-memo key.  The memo
+#: entries live on each relation's own sample cache (there is no global
+#: list of live relations to walk), so the registry-driven "drop every
+#: partition memo" operation is a generation bump: every existing entry
+#: becomes unreachable at once and falls out of memory with its
+#: relation.  Per-relation eviction stays available via
+#: :func:`clear_partition_cache`.
+_PARTITION_GENERATION = [0]
+
+
+def invalidate_partition_memos() -> int:
+    """Orphan every memoized partition library-wide; returns the new
+    generation.  Partitions are pure functions of ``(rows, cols, n)``,
+    so this is never needed for correctness — it exists for cold-state
+    benchmarks and the central cache registry's full drain."""
+    _PARTITION_GENERATION[0] += 1
+    return _PARTITION_GENERATION[0]
+
+
+def _drop_partition_memos() -> None:
+    invalidate_partition_memos()
+
+
+register_cache(
+    "db.sharding.partition_memo",
+    clear=_drop_partition_memos,
+    invalidate_on=(),
+    description=(
+        "per-relation hash-partition memos (generation-keyed; entries "
+        "live on each immutable relation's sample cache)"
+    ),
+)
 
 
 def _mix64(v: int) -> int:
@@ -147,7 +181,7 @@ def partition_relation(rel: Relation, cols: Sequence[str], n: int) -> List[Relat
     """
     cols = tuple(cols)
     cache = rel.sample_cache()
-    cache_key = (_PARTITION_CACHE, cols, n)
+    cache_key = (_PARTITION_CACHE, _PARTITION_GENERATION[0], cols, n)
     hit = cache.get(cache_key)
     if hit is not None:
         return hit

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.algebra.compiler import plan_epoch
 from repro.algebra.evaluator import columnar_enabled
+from repro.caches import register_cache
 from repro.core.svc import StaleViewCleaner
 from repro.distributed.cluster import RECORDS_PER_GB, ClusterModel
 from repro.distributed.shard import get_shard_config
@@ -180,6 +181,18 @@ def calibrated_error_model(
 def invalidate_calibrations() -> None:
     """Drop every memoized calibration (test isolation hook)."""
     _CALIBRATION_CACHE.clear()
+
+
+register_cache(
+    "distributed.minibatch.calibration_cache",
+    clear=invalidate_calibrations,
+    invalidate_on=("plan_epoch",),
+    size=lambda: len(_CALIBRATION_CACHE),
+    description=(
+        "error-model calibrations keyed by workload parameters, "
+        "fingerprint-checked against the live engine configuration"
+    ),
+)
 
 
 def gen_log_name(db) -> str:

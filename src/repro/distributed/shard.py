@@ -105,7 +105,7 @@ from repro.reliability.faults import (
     active_fault_plan,
     execute_worker_directive,
 )
-from repro.reliability.telemetry import FailureReason
+from repro.reliability.telemetry import FailureEvent, FailureReason
 
 # ----------------------------------------------------------------------
 # Global shard configuration (the set_shard_count toggle)
@@ -278,6 +278,10 @@ class ShardPlan:
     attrs: Tuple[str, ...] = ()
     partitioned: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     reason: str = ""
+    #: Set when planning *failed* (rather than declined): the swallowed
+    #: tracing error, machine-readable, so an unexpectedly serial view
+    #: is diagnosable from the plan instead of from a debugger.
+    failure: Optional[FailureEvent] = None
 
     @property
     def shardable(self) -> bool:
@@ -443,8 +447,14 @@ def _plan_shards_fresh(view) -> ShardPlan:
 
     try:
         maps = _leaf_attr_maps(core, {a: a for a in attrs}, leaves)
-    except Exception:
-        return ShardPlan(view.name, reason="attribute tracing failed")
+    except Exception as err:
+        return ShardPlan(
+            view.name,
+            reason=f"attribute tracing failed: {err!r}",
+            failure=FailureEvent(
+                reason=FailureReason.PLAN_TRACE_FAILED, detail=repr(err)
+            ),
+        )
     base_names = set(database.relation_names())
     maps = {n: m for n, m in maps.items() if n in base_names}
     if not maps:
@@ -556,6 +566,7 @@ def _apply_worker_toggles(family, columnar: bool) -> None:
         _hashing._active_family[0] = family
         bump_plan_epoch()
     if columnar_enabled() != columnar:
+        # repro: ignore[REP003] -- worker-side install, not a scoped flip: each pool worker mirrors the coordinator's toggles onto its own forked/threaded copy before running tasks, and the coordinator re-asserts them per round
         set_columnar_enabled(columnar)
 
 
@@ -669,6 +680,7 @@ def _get_pool(kind: str, workers: int):
                 from multiprocessing import resource_tracker
 
                 resource_tracker.ensure_running()
+            # repro: ignore[REP004] -- best-effort warm-up of a stdlib-private helper, not a recovery path: failure here only re-creates the lazy-spawn behavior the call tries to avoid, and the pool itself still reports faults through FailureEvent
             except Exception:  # pragma: no cover - tracker internals moved
                 pass
             _POOL[0] = ProcessPoolExecutor(
@@ -696,6 +708,7 @@ def _teardown_pool() -> None:
     if pool is not None:
         try:
             pool.shutdown(wait=False, cancel_futures=True)
+        # repro: ignore[REP004] -- teardown of an already-broken executor: the breaking fault was recorded as a FailureEvent by the round that tripped it; a second event for the corpse's shutdown would double-count
         except Exception:  # pragma: no cover - broken executor internals
             pass
 
@@ -713,6 +726,7 @@ def shutdown_shard_pool() -> None:
     if pool is not None:
         try:
             pool.shutdown(wait=True, cancel_futures=True)
+        # repro: ignore[REP004] -- idempotent atexit/session teardown: there is no round in flight to attach a FailureEvent to, and the only goal is releasing OS resources on a possibly-broken executor
         except Exception:  # pragma: no cover - broken executor internals
             pass
     _transport.close_store()

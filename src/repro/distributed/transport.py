@@ -56,6 +56,7 @@ from __future__ import annotations
 import atexit
 import zlib
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.algebra.columnar import pack_column_buffers, write_column_buffers
@@ -162,13 +163,29 @@ INLINE_MAX_BYTES = 2048
 # Availability probe
 # ----------------------------------------------------------------------
 _SHM_STATE: List[Optional[str]] = [None]  # None=untested, ""=ok, str=reason
-_TRACK_KWARG: List[Optional[bool]] = [None]  # SharedMemory(track=...) support
 
 
 def _shared_memory():
     from multiprocessing import shared_memory
 
     return shared_memory
+
+
+@lru_cache(maxsize=1)
+def _supports_track_kwarg() -> bool:
+    """True when ``SharedMemory`` accepts ``track=`` (Python >= 3.13).
+
+    Explicit signature inspection, cached per process.  The previous
+    detection — a one-element module-level list written on the first
+    attach attempt — was exactly the worker-mutated shared-state
+    pattern the invariant linter (REP006) rejects; a cached pure
+    function has no shared mutable slot to race on (a concurrent first
+    call at worst inspects the signature twice).
+    """
+    import inspect
+
+    params = inspect.signature(_shared_memory().SharedMemory).parameters
+    return "track" in params
 
 
 def shm_available() -> bool:
@@ -185,6 +202,7 @@ def shm_available() -> bool:
             shm.close()
             shm.unlink()
             _SHM_STATE[0] = ""
+        # repro: ignore[REP004] -- availability probe, not a recovery path: the outcome *is* the reason string stored in _SHM_STATE, surfaced via shm_disabled_reason(); mid-session failures go through disable_shm which does emit DemotionEvents
         except Exception as err:  # pragma: no cover - platform dependent
             _SHM_STATE[0] = f"shared memory unavailable: {err!r}"
     return _SHM_STATE[0] == ""
@@ -236,14 +254,7 @@ def _attach_segment(name: str):
     that is the bug, not the fix.)
     """
     shared_memory = _shared_memory()
-    if _TRACK_KWARG[0] is None:
-        try:
-            shm = shared_memory.SharedMemory(name=name, track=False)
-            _TRACK_KWARG[0] = True
-            return shm
-        except TypeError:
-            _TRACK_KWARG[0] = False
-    elif _TRACK_KWARG[0]:
+    if _supports_track_kwarg():
         return shared_memory.SharedMemory(name=name, track=False)
     return shared_memory.SharedMemory(name=name)
 
@@ -619,6 +630,7 @@ def attach_manifest(manifest: ExportManifest,
         name=manifest.rel_name,
         owner=shm,
     )
+    # repro: ignore[REP006] -- per-process attachment cache: the shm transport only runs under the fork-based process backend, so each worker mutates its own copy; the coordinator never shares this dict with threads
     _ATTACHED[manifest.export_id] = rel
     return rel
 

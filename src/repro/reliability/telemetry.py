@@ -45,6 +45,9 @@ class FailureReason(str, Enum):
     MAINTENANCE_FAILED = "maintenance_failed"
     #: The freshness scheduler raised while planning a tick.
     SCHEDULER_ERROR = "scheduler_error"
+    #: Shard planning could not trace the maintenance key to the
+    #: leaves; the view fell back to single-shard maintenance.
+    PLAN_TRACE_FAILED = "plan_trace_failed"
 
     def __str__(self) -> str:  # "pool_broken", not "FailureReason.POOL..."
         return self.value

@@ -43,7 +43,8 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.estimators import AggQuery
 from repro.core.svc import StaleViewCleaner
@@ -63,7 +64,7 @@ from repro.serving.scheduler import (
     ViewLoad,
 )
 from repro.reliability.faults import SERVING_MAINTENANCE, fault_check
-from repro.reliability.telemetry import FailureReason
+from repro.reliability.telemetry import FailureEvent, FailureReason
 from repro.tuning.predictor import CostEwma
 
 
@@ -170,6 +171,11 @@ class ViewServer:
         self._full_count = 0
         self._failed_count = 0
         self._scheduler_failures = 0
+        #: Most recent failure events (bounded): every swallowed
+        #: exception in the serving failure domain lands here with a
+        #: machine-readable FailureReason, so degraded operation stays
+        #: auditable after the fact.
+        self._failures: Deque[FailureEvent] = deque(maxlen=64)
         self._watermark = 0
 
     # ------------------------------------------------------------------
@@ -307,9 +313,13 @@ class ViewServer:
             self._drain_queue()
             try:
                 plan = self.scheduler.plan(self._loads(), budget_s)
-            except Exception:
+            except Exception as err:
                 with self._stats_lock:
                     self._scheduler_failures += 1
+                    self._failures.append(FailureEvent(
+                        reason=FailureReason.SCHEDULER_ERROR,
+                        detail=repr(err),
+                    ))
                 plan = TickPlan()
             reports: List[ServingRoundReport] = []
             if plan.full_maintenance:
@@ -487,7 +497,21 @@ class ViewServer:
         self.rounds.append(report)
         with self._stats_lock:
             self._failed_count += 1
+            self._failures.append(FailureEvent(
+                reason=FailureReason.MAINTENANCE_FAILED,
+                detail=f"{served.view.name}: {err!r}",
+            ))
         return report
+
+    def recent_failures(self) -> List[FailureEvent]:
+        """The last failure events (newest last), machine-readable.
+
+        Covers every swallowed exception in the serving domain: failed
+        maintenance/cleaning rounds and scheduler planning errors.
+        Bounded (the deque drops the oldest), so polling it is cheap.
+        """
+        with self._stats_lock:
+            return list(self._failures)
 
     def view_health(self, view_name: str) -> Tuple[int, str]:
         """``(consecutive_failures, last_failure)`` of one served view."""

@@ -96,13 +96,16 @@ def set_hash_family(name: str) -> Callable:
     changed = _active_family[0] is not fn
     _active_family[0] = fn
     if changed:
-        # η leaves key their sample caches by family, but compiled
-        # maintenance pipelines and shard-plan memos are keyed by the
-        # plan epoch — bump it so they cannot serve plans whose cached
-        # environment assumptions predate the family switch (lazy
-        # import: the compiler transitively imports this module).
+        # Family-keyed memos (the η hash-draw memo) drain through the
+        # central cache registry; compiled maintenance pipelines and
+        # shard-plan memos are keyed by the plan epoch instead — bump it
+        # so they cannot serve plans whose cached environment
+        # assumptions predate the family switch (lazy import: the
+        # compiler transitively imports this module).
         from repro.algebra.compiler import bump_plan_epoch
+        from repro.caches import invalidate_caches
 
+        invalidate_caches("hash_family")
         bump_plan_epoch()
     return fn
 

@@ -179,6 +179,7 @@ class Tuner:
 
         want_columnar = config.engine == "columnar"
         if columnar_enabled() != want_columnar:
+            # repro: ignore[REP003] -- deliberate reconfiguration, not a scoped flip: the tuner's whole job is installing the chosen engine; "restore" is the next apply_config (or a catalog snapshot), never this frame
             set_columnar_enabled(want_columnar)
         current = get_shard_config()
         kwargs = {}
@@ -189,6 +190,7 @@ class Tuner:
                     and current.transport != config.transport):
                 kwargs["transport"] = config.transport
         if current.count != config.shards or kwargs:
+            # repro: ignore[REP003] -- deliberate reconfiguration, not a scoped flip: installs the tuner's chosen shard/backend/transport; the diff guards above make re-assertion a no-op, and rollback is just another apply_config
             set_shard_count(config.shards, **kwargs)
 
     # ------------------------------------------------------------------

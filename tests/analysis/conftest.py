@@ -1,0 +1,38 @@
+"""Helpers: throwaway mini-projects the analyzer runs against.
+
+Checker tests never lint the real library — each test writes a tiny
+fake project under ``tmp_path`` (with paths shaped like the real tree,
+``src/repro/distributed/...``, so the path-scoped rules and allowlists
+engage) and asserts which rules fire.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import run_analysis
+
+
+class MiniProject:
+    """A throwaway source tree plus a one-call analyzer runner."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def write(self, rel, source):
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    def run(self, baseline=None):
+        return run_analysis([self.root], self.root, baseline=baseline)
+
+    def rules(self):
+        """Actionable rule ids, sorted, one per finding."""
+        return sorted(f.rule for f in self.run().findings)
+
+
+@pytest.fixture
+def project(tmp_path):
+    return MiniProject(tmp_path)

@@ -1,0 +1,89 @@
+"""CLI contract: exit codes, formats, rule listing, baseline flags."""
+
+import json
+
+from repro.analysis.cli import main
+
+
+CLEAN = """
+def run():
+    return 1
+"""
+
+BAD = """
+def run():
+    set_columnar_enabled(True)
+    return 1
+"""
+
+
+def run_cli(project, *extra):
+    return main(["--root", str(project.root), str(project.root), *extra])
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, project, capsys):
+        project.write("src/repro/workloads/run.py", CLEAN)
+        assert run_cli(project) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_render(self, project, capsys):
+        project.write("src/repro/workloads/run.py", BAD)
+        assert run_cli(project) == 1
+        out = capsys.readouterr().out
+        assert "REP003" in out
+        assert "src/repro/workloads/run.py:3" in out
+        assert "hint:" in out
+
+    def test_missing_path_is_usage_error(self, project, capsys):
+        assert main(["--root", str(project.root), "no/such/dir"]) == 2
+
+    def test_missing_baseline_file_is_usage_error(self, project, capsys):
+        project.write("src/repro/workloads/run.py", CLEAN)
+        assert run_cli(project, "--baseline", "nope.json") == 2
+
+    def test_malformed_baseline_is_usage_error(self, project, capsys):
+        project.write("src/repro/workloads/run.py", CLEAN)
+        bad = project.root / "baseline.json"
+        bad.write_text("{not json")
+        assert run_cli(project, "--baseline", str(bad)) == 2
+
+
+class TestFormats:
+    def test_json_format_is_machine_readable(self, project, capsys):
+        project.write("src/repro/workloads/run.py", BAD)
+        assert run_cli(project, "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["actionable"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP003"
+        assert finding["path"] == "src/repro/workloads/run.py"
+
+    def test_list_rules_prints_catalog(self, project, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for i in range(7):
+            assert f"REP00{i}" in out
+
+
+class TestWriteBaseline:
+    def test_write_then_check_round_trip(self, project, capsys):
+        project.write("src/repro/workloads/run.py", BAD)
+        path = project.root / "baseline.json"
+        assert run_cli(project, "--write-baseline", str(path)) == 1
+        entries = json.loads(path.read_text())["entries"]
+        assert [e["rule"] for e in entries] == ["REP003"]
+        assert all(e["reason"] for e in entries)
+
+        capsys.readouterr()
+        assert run_cli(project, "--baseline", str(path)) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_stale_entry_noted_after_fix(self, project, capsys):
+        project.write("src/repro/workloads/run.py", BAD)
+        path = project.root / "baseline.json"
+        run_cli(project, "--write-baseline", str(path))
+        project.write("src/repro/workloads/run.py", CLEAN)
+        capsys.readouterr()
+        assert run_cli(project, "--baseline", str(path)) == 0
+        assert "stale baseline entry" in capsys.readouterr().out

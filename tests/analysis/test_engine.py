@@ -1,0 +1,187 @@
+"""Engine semantics: suppressions, REP000 meta-findings, baselines."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineError
+
+
+BAD_TOGGLE = """
+def run():
+    set_columnar_enabled(True)
+    return 1
+"""
+
+
+# ---------------------------------------------------------------------------
+# Inline suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_same_line_suppression_silences(self, project):
+        project.write(
+            "src/repro/workloads/run.py",
+            """
+            def run():
+                set_columnar_enabled(True)  # repro: ignore[REP003] -- deliberate sticky install for the demo harness
+                return 1
+            """,
+        )
+        result = project.run()
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["REP003"]
+
+    def test_comment_line_above_covers_next_statement(self, project):
+        project.write(
+            "src/repro/workloads/run.py",
+            """
+            def run():
+                # repro: ignore[REP003] -- deliberate sticky install for the demo harness
+                set_columnar_enabled(True)
+                return 1
+            """,
+        )
+        result = project.run()
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["REP003"]
+
+    def test_wrong_rule_does_not_silence(self, project):
+        project.write(
+            "src/repro/workloads/run.py",
+            """
+            def run():
+                set_columnar_enabled(True)  # repro: ignore[REP005] -- wrong rule for this site
+                return 1
+            """,
+        )
+        assert project.rules() == ["REP003"]
+
+    def test_missing_reason_is_rep000_and_does_not_silence(self, project):
+        project.write(
+            "src/repro/workloads/run.py",
+            """
+            def run():
+                set_columnar_enabled(True)  # repro: ignore[REP003]
+                return 1
+            """,
+        )
+        assert project.rules() == ["REP000", "REP003"]
+
+    def test_unknown_rule_id_is_rep000(self, project):
+        project.write(
+            "src/repro/workloads/run.py",
+            """
+            X = 1  # repro: ignore[REP999] -- no such rule
+            """,
+        )
+        assert project.rules() == ["REP000"]
+
+    def test_rep000_itself_cannot_be_suppressed(self, project):
+        project.write(
+            "src/repro/workloads/run.py",
+            """
+            X = 1  # repro: ignore[REP000] -- trying to silence the meta rule
+            """,
+        )
+        assert project.rules() == ["REP000"]
+
+    def test_unparseable_file_is_rep000(self, project):
+        project.write("src/repro/workloads/run.py", "def broken(:\n")
+        result = project.run()
+        assert [f.rule for f in result.findings] == ["REP000"]
+        assert "parse" in result.findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_excuses_and_exits_clean(self, project, tmp_path):
+        project.write("src/repro/workloads/run.py", BAD_TOGGLE)
+        first = project.run()
+        assert first.exit_code == 1
+
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(
+            first.findings, reason="grandfathered for the test"
+        ).write(path)
+
+        second = project.run(baseline=Baseline.load(path))
+        assert second.findings == []
+        baselined = [(f.rule, reason) for f, reason in second.baselined]
+        assert baselined == [("REP003", "grandfathered for the test")]
+        assert second.exit_code == 0
+
+    def test_baseline_is_line_number_insensitive(self, project, tmp_path):
+        project.write("src/repro/workloads/run.py", BAD_TOGGLE)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(project.run().findings, reason="ok").write(path)
+
+        # Shift the finding down two lines; the entry still matches.
+        padded = "# pad\n# pad\n" + BAD_TOGGLE
+        project.write("src/repro/workloads/run.py", padded)
+        result = project.run(baseline=Baseline.load(path))
+        assert result.findings == []
+        assert len(result.baselined) == 1
+
+    def test_fixed_finding_reports_stale_entry(self, project, tmp_path):
+        project.write("src/repro/workloads/run.py", BAD_TOGGLE)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(project.run().findings, reason="ok").write(path)
+
+        project.write(
+            "src/repro/workloads/run.py",
+            """
+            def run():
+                return 1
+            """,
+        )
+        result = project.run(baseline=Baseline.load(path))
+        assert result.findings == []
+        stale_rules = [rule for rule, _path, _ctx in result.stale_baseline]
+        assert stale_rules == ["REP003"]
+
+    def test_empty_or_todo_reason_rejected_at_load(self, tmp_path):
+        for reason in ("", "   ", "TODO"):
+            path = tmp_path / "baseline.json"
+            path.write_text(
+                json.dumps(
+                    {
+                        "version": 1,
+                        "entries": [
+                            {
+                                "rule": "REP003",
+                                "path": "src/repro/x.py",
+                                "context": "run",
+                                "reason": reason,
+                            }
+                        ],
+                    }
+                )
+            )
+            with pytest.raises(BaselineError):
+                Baseline.load(path)
+
+    def test_malformed_json_rejected_at_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_rep000_cannot_be_baselined(self, project, tmp_path):
+        project.write(
+            "src/repro/workloads/run.py",
+            """
+            X = 1  # repro: ignore[REP999] -- no such rule
+            """,
+        )
+        meta = project.run().findings
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(meta, reason="trying anyway").write(path)
+        result = project.run(baseline=Baseline.load(path))
+        assert [f.rule for f in result.findings] == ["REP000"]
+        assert result.exit_code == 1

@@ -1,0 +1,52 @@
+"""The analyzer's standing contract with this repository itself.
+
+These tests are the CI gate in miniature: the committed source tree
+must come up clean under the committed baseline, and the registered
+rule set must stay complete.  A new finding here means either fix the
+code, add an inline suppression with a reason, or (rarely) extend the
+baseline — the same trade the CI job offers.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Baseline, all_checkers, run_analysis
+from repro.analysis.context import load_project
+from repro.analysis.registry import known_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_rule_catalog_is_complete():
+    checkers = all_checkers()
+    assert [c.rule for c in checkers] == [f"REP00{i}" for i in range(1, 7)]
+    assert all(c.severity == "error" for c in checkers)
+
+
+def test_repository_source_is_clean_under_committed_baseline():
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.json")
+    result = run_analysis([REPO_ROOT / "src"], REPO_ROOT, baseline=baseline)
+    assert result.files_checked > 50
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.findings == [], f"new analyzer findings:\n{rendered}"
+    assert result.stale_baseline == []
+
+
+def test_every_inline_suppression_silences_a_live_finding():
+    # A suppression that no longer matches any finding is dead weight:
+    # its reason documents a hazard that no longer exists (or drifted to
+    # another line).  Each committed suppression names one rule, so the
+    # valid-suppression count must not exceed the silenced-finding
+    # count — an unused one would tip the balance.
+    result = run_analysis([REPO_ROOT / "src"], REPO_ROOT)
+    project = load_project([REPO_ROOT / "src"], REPO_ROOT, known_rules=known_rules())
+    valid = sum(
+        len(sup.rules)
+        for module in project.modules
+        for sup in module.suppressions
+        if not sup.error
+    )
+    assert valid >= 10  # the tree's documented single-writer patterns
+    assert valid <= len(result.suppressed), (
+        "an inline '# repro: ignore[...]' no longer silences anything; "
+        "delete it or move it back next to the pattern it documents"
+    )

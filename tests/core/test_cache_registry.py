@@ -1,0 +1,156 @@
+"""The central cache registry and the toggles that drain through it."""
+
+import pytest
+
+from repro.caches import (
+    cache_stats,
+    clear_all_caches,
+    invalidate_caches,
+    register_cache,
+    registered_caches,
+)
+
+
+# ---------------------------------------------------------------------------
+# Registry unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_register_and_drain_by_reason(self):
+        drained = {"n": 0}
+        register_cache(
+            "test.unit.scratch",
+            clear=lambda: drained.__setitem__("n", drained["n"] + 1),
+            invalidate_on=("plan_epoch",),
+        )
+        try:
+            names = invalidate_caches("plan_epoch")
+            assert "test.unit.scratch" in names
+            assert drained["n"] == 1
+            # Not subscribed to hash_family: untouched by that reason.
+            assert "test.unit.scratch" not in invalidate_caches("hash_family")
+            assert drained["n"] == 1
+            assert "test.unit.scratch" in registered_caches()
+        finally:
+            from repro import caches
+
+            caches._REGISTRY.pop("test.unit.scratch", None)
+
+    def test_unknown_reason_rejected(self):
+        with pytest.raises(ValueError):
+            invalidate_caches("no_such_reason")
+        with pytest.raises(ValueError):
+            register_cache(
+                "test.unit.bad", clear=lambda: None, invalidate_on=("nope",)
+            )
+
+    def test_stats_expose_size_and_drains(self):
+        store = {"k": 1}
+        register_cache(
+            "test.unit.sized",
+            clear=store.clear,
+            invalidate_on=("hash_family",),
+            size=lambda: len(store),
+            description="unit-test scratch cache",
+        )
+        try:
+            stats = cache_stats()["test.unit.sized"]
+            assert stats["size"] == 1
+            assert stats["invalidate_on"] == ("hash_family",)
+            invalidate_caches("hash_family")
+            assert cache_stats()["test.unit.sized"]["drains"] >= 1
+            assert store == {}
+        finally:
+            from repro import caches
+
+            caches._REGISTRY.pop("test.unit.sized", None)
+
+    def test_library_caches_register_at_import(self):
+        import repro.algebra.compiler  # noqa: F401
+        import repro.algebra.evaluator  # noqa: F401
+        import repro.db.sharding  # noqa: F401
+        import repro.distributed.minibatch  # noqa: F401
+
+        names = set(registered_caches())
+        assert {
+            "algebra.evaluator.hash_memo",
+            "algebra.compiler.plan_cache",
+            "distributed.minibatch.calibration_cache",
+            "db.sharding.partition_memo",
+        } <= names
+
+    def test_clear_all_drains_every_registration(self):
+        drained = clear_all_caches()
+        assert "algebra.evaluator.hash_memo" in drained
+        assert "algebra.compiler.plan_cache" in drained
+
+
+# ---------------------------------------------------------------------------
+# Integration: the toggles drain through the registry
+# ---------------------------------------------------------------------------
+
+
+class TestToggleIntegration:
+    @staticmethod
+    def _active_family_name():
+        from repro.stats.hashing import HASH_FAMILIES, get_hash_family
+
+        active = get_hash_family()
+        return next(k for k, v in HASH_FAMILIES.items() if v is active)
+
+    def test_set_hash_family_drains_hash_memo_and_bumps_epoch(self):
+        from repro.algebra.compiler import plan_epoch
+        from repro.algebra.evaluator import _HASH_MEMO, hash_draw
+        from repro.stats.hashing import set_hash_family
+
+        restore = self._active_family_name()
+        try:
+            set_hash_family("sha1")
+            hash_draw("k", 7)
+            assert len(_HASH_MEMO) > 0
+            before = plan_epoch()
+            set_hash_family("linear")
+            assert len(_HASH_MEMO) == 0
+            assert plan_epoch() == before + 1
+        finally:
+            set_hash_family(restore)
+
+    def test_reasserting_same_family_is_a_noop(self):
+        from repro.algebra.compiler import plan_epoch
+        from repro.stats.hashing import set_hash_family
+
+        before = plan_epoch()
+        set_hash_family(self._active_family_name())
+        assert plan_epoch() == before
+
+    def test_bump_plan_epoch_drains_plan_and_calibration_caches(self):
+        from repro.algebra.compiler import _PLAN_CACHE, bump_plan_epoch
+        from repro.distributed.minibatch import _CALIBRATION_CACHE
+
+        _PLAN_CACHE["probe"] = object()
+        _CALIBRATION_CACHE[("probe",)] = object()
+        bump_plan_epoch()
+        assert "probe" not in _PLAN_CACHE
+        assert ("probe",) not in _CALIBRATION_CACHE
+
+    def test_partition_generation_orphans_memos(self):
+        from repro.algebra import Relation
+        from repro.db.sharding import (
+            invalidate_partition_memos,
+            partition_relation,
+        )
+
+        rel = Relation(
+            ("videoId", "count"),
+            [(i % 4, float(i)) for i in range(16)],
+        )
+        first = partition_relation(rel, ("videoId",), 2)
+        again = partition_relation(rel, ("videoId",), 2)
+        assert [id(p) for p in first] == [id(p) for p in again]
+
+        invalidate_partition_memos()
+        fresh = partition_relation(rel, ("videoId",), 2)
+        assert [id(p) for p in first] != [id(p) for p in fresh]
+        for a, b in zip(first, fresh):
+            assert a.rows == b.rows

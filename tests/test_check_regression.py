@@ -1,0 +1,140 @@
+"""The benchmark regression guard (``benchmarks/check_regression.py``).
+
+The guard is a script, not a package module, so it is loaded by file
+path.  Each test builds a baselines/results directory pair and asserts
+the exit status plus the PASS/FAIL/SKIP lines CI operators read.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "check_regression.py"
+)
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def payload(speedup, *, config=None, extra_metrics=None):
+    metrics = {"speedup": speedup, "wall_s": 1.0}
+    metrics.update(extra_metrics or {})
+    return {"config": config or {"quick": True}, "metrics": metrics}
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baselines = tmp_path / "baselines"
+    results = tmp_path / "results"
+    baselines.mkdir()
+    results.mkdir()
+    return baselines, results
+
+
+def write(directory, name, data):
+    text = data if isinstance(data, str) else json.dumps(data)
+    (directory / name).write_text(text)
+
+
+def run(baselines, results, threshold=0.25, absolute=False):
+    args = [
+        "--baselines",
+        str(baselines),
+        "--results",
+        str(results),
+        "--threshold",
+        str(threshold),
+    ]
+    if absolute:
+        args.append("--absolute")
+    return check_regression.main(args)
+
+
+def test_no_baselines_is_a_clean_pass(dirs, capsys):
+    baselines, results = dirs
+    assert run(baselines, results) == 0
+    assert "nothing to check" in capsys.readouterr().out
+
+
+def test_missing_fresh_result_is_skipped(dirs, capsys):
+    baselines, results = dirs
+    write(baselines, "bench_x.json", payload(2.0))
+    assert run(baselines, results) == 0
+    assert "SKIP bench_x.json: no fresh result" in capsys.readouterr().out
+
+
+def test_within_threshold_passes(dirs):
+    baselines, results = dirs
+    write(baselines, "bench_x.json", payload(2.0))
+    write(results, "bench_x.json", payload(1.7))  # -15%: inside 25%
+    assert run(baselines, results) == 0
+
+
+def test_drop_beyond_threshold_fails(dirs, capsys):
+    baselines, results = dirs
+    write(baselines, "bench_x.json", payload(2.0))
+    write(results, "bench_x.json", payload(1.4))  # -30%: beyond 25%
+    assert run(baselines, results) == 1
+    out = capsys.readouterr().out
+    assert "FAIL bench_x.json: speedup" in out
+    assert "REGRESSED" in out
+
+
+def test_config_mismatch_is_skipped_not_compared(dirs, capsys):
+    baselines, results = dirs
+    write(baselines, "bench_x.json", payload(2.0, config={"quick": True}))
+    write(results, "bench_x.json", payload(0.1, config={"quick": False}))
+    assert run(baselines, results) == 0
+    assert "config mismatch" in capsys.readouterr().out
+
+
+def test_absolute_metrics_only_compared_behind_flag(dirs):
+    baselines, results = dirs
+    base = payload(2.0)
+    slow = payload(2.0)
+    slow["metrics"]["wall_s"] = 10.0  # 10x slower wall clock
+    write(baselines, "bench_x.json", base)
+    write(results, "bench_x.json", slow)
+    assert run(baselines, results) == 0
+    assert run(baselines, results, absolute=True) == 1
+
+
+def test_malformed_fresh_json_fails_with_message(dirs, capsys):
+    baselines, results = dirs
+    write(baselines, "bench_x.json", payload(2.0))
+    write(results, "bench_x.json", "{not json")
+    assert run(baselines, results) == 1
+    assert "unreadable payload" in capsys.readouterr().out
+
+
+def test_malformed_baseline_json_fails_too(dirs, capsys):
+    baselines, results = dirs
+    write(baselines, "bench_x.json", "[oops")
+    write(results, "bench_x.json", payload(2.0))
+    assert run(baselines, results) == 1
+
+
+def test_non_object_payload_fails_cleanly(dirs, capsys):
+    baselines, results = dirs
+    write(baselines, "bench_x.json", payload(2.0))
+    write(results, "bench_x.json", json.dumps([1, 2, 3]))
+    assert run(baselines, results) == 1
+    assert "not a JSON object" in capsys.readouterr().out
+
+
+def test_one_bad_file_does_not_mask_other_regressions(dirs, capsys):
+    baselines, results = dirs
+    write(baselines, "bench_a.json", payload(2.0))
+    write(results, "bench_a.json", "{not json")
+    write(baselines, "bench_b.json", payload(2.0))
+    write(results, "bench_b.json", payload(1.0))
+    assert run(baselines, results) == 1
+    out = capsys.readouterr().out
+    assert "FAIL bench_a.json" in out
+    assert "FAIL bench_b.json" in out
